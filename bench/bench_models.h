@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Shared model/dataset roster for the accuracy benches (Figs. 11-12):
+ * the eight workload stand-ins of Table IV with their training
+ * recipes, plus weight snapshot/restore so one pre-trained model can be
+ * evaluated under many quantization configurations.
+ */
+
+#ifndef ANT_BENCH_BENCH_MODELS_H
+#define ANT_BENCH_BENCH_MODELS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/models.h"
+#include "nn/qat.h"
+
+namespace ant {
+namespace bench {
+
+/** One roster entry: a trained classifier and its dataset. */
+struct Entry
+{
+    std::string paperName; //!< the paper workload this stands in for
+    std::unique_ptr<nn::Classifier> model;
+    nn::Dataset dataset;
+    nn::TrainConfig pretrain;
+    nn::TrainConfig finetune;
+};
+
+/** Build the eight-entry roster (untrained). */
+inline std::vector<Entry>
+makeRoster()
+{
+    using namespace nn;
+    std::vector<Entry> roster;
+
+    const auto cnn_pre = [] {
+        TrainConfig t;
+        t.epochs = 8;
+        t.lr = 0.01f;
+        return t;
+    };
+    const auto cnn_ft = [] {
+        TrainConfig t;
+        t.epochs = 2;
+        t.lr = 0.003f;
+        return t;
+    };
+    const auto tx_pre = [] {
+        TrainConfig t;
+        t.epochs = 8;
+        t.lr = 0.002f;
+        t.useAdam = true;
+        return t;
+    };
+    const auto tx_ft = [] {
+        TrainConfig t;
+        t.epochs = 2;
+        t.lr = 0.0005f;
+        t.useAdam = true;
+        return t;
+    };
+
+    {
+        Entry e;
+        e.paperName = "VGG16";
+        e.dataset = makeTextureImageDataset(10, 600, 300, 11, 0.8f);
+        e.model = buildVggStyle(10, 21);
+        e.pretrain = cnn_pre();
+        e.finetune = cnn_ft();
+        roster.push_back(std::move(e));
+    }
+    {
+        Entry e;
+        e.paperName = "Res.18";
+        e.dataset = makeTextureImageDataset(10, 600, 300, 12, 0.8f);
+        e.model = buildResNetStyle(10, false, 22);
+        e.pretrain = cnn_pre();
+        e.finetune = cnn_ft();
+        roster.push_back(std::move(e));
+    }
+    {
+        Entry e;
+        e.paperName = "Res.50";
+        e.dataset = makeTextureImageDataset(10, 600, 300, 13, 0.8f);
+        e.model = buildResNetStyle(10, true, 23);
+        e.pretrain = cnn_pre();
+        e.finetune = cnn_ft();
+        roster.push_back(std::move(e));
+    }
+    {
+        Entry e;
+        e.paperName = "Incep.V3";
+        e.dataset = makeTextureImageDataset(10, 600, 300, 14, 0.8f);
+        e.model = buildInceptionStyle(10, 24);
+        e.pretrain = cnn_pre();
+        e.finetune = cnn_ft();
+        roster.push_back(std::move(e));
+    }
+    {
+        Entry e;
+        e.paperName = "ViT";
+        e.dataset = makeTextureImageDataset(10, 600, 300, 15, 0.6f);
+        e.model = buildVitStyle(10, 25);
+        e.pretrain = tx_pre();
+        e.finetune = tx_ft();
+        roster.push_back(std::move(e));
+    }
+    const struct { nn::TokenTask task; const char *nm; } toks[] = {
+        {TokenTask::EntailLike, "MNLI"},
+        {TokenTask::GrammarLike, "CoLA"},
+        {TokenTask::SentimentLike, "SST2"},
+    };
+    int seed = 16;
+    for (const auto &t : toks) {
+        Entry e;
+        e.paperName = t.nm;
+        e.dataset = makeTokenDataset(t.task, 1000, 400,
+                                     static_cast<uint64_t>(seed));
+        e.model = buildBertStyle(std::string("bert-") + t.nm,
+                                 e.dataset.numClasses, e.dataset.vocab,
+                                 e.dataset.seqLen,
+                                 static_cast<uint64_t>(seed + 10));
+        e.pretrain = tx_pre();
+        e.pretrain.epochs = 10;
+        e.finetune = tx_ft();
+        roster.push_back(std::move(e));
+        ++seed;
+    }
+    return roster;
+}
+
+/** Deep-copy all parameter tensors. */
+inline std::vector<Tensor>
+snapshotWeights(nn::Classifier &m)
+{
+    std::vector<Tensor> out;
+    for (nn::Param *p : m.parameters()) out.push_back(p->var->value);
+    return out;
+}
+
+/** Restore parameters from a snapshot. */
+inline void
+restoreWeights(nn::Classifier &m, const std::vector<Tensor> &snap)
+{
+    const auto params = m.parameters();
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->var->value = snap[i];
+}
+
+} // namespace bench
+} // namespace ant
+
+#endif // ANT_BENCH_BENCH_MODELS_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces paper Fig. 11: accuracy loss of the primitive
+ * combinations at 4 bits *without* fine-tuning (pure PTQ), on the
+ * eight workload stand-ins.
+ *
+ * Expected shape: losses shrink (or stay equal) as primitives are
+ * added; at this model scale the CNN stand-ins are more robust to
+ * 4-bit PTQ than their ImageNet counterparts (documented in
+ * EXPERIMENTS.md), so the absolute losses are smaller than the
+ * paper's.
+ */
+
+#include <cstdio>
+
+#include "bench_models.h"
+
+int
+main()
+{
+    using namespace ant;
+    using namespace ant::bench;
+    using namespace ant::nn;
+
+    const Combo combos[] = {Combo::INT, Combo::IP, Combo::FIP,
+                            Combo::IPF, Combo::FIPF};
+
+    std::printf("=== Fig. 11: accuracy LOSS (percentage points) without "
+                "fine-tuning, 4-bit ===\n");
+    std::printf("%-10s %-7s", "Model", "FP32");
+    for (Combo c : combos) std::printf(" %-7s", comboName(c));
+    std::printf("\n");
+
+    auto roster = makeRoster();
+    for (Entry &e : roster) {
+        disableQuant(*e.model);
+        trainClassifier(*e.model, e.dataset, e.pretrain);
+        const double fp32 = evaluateAccuracy(*e.model, e.dataset);
+        const auto snap = snapshotWeights(*e.model);
+
+        std::printf("%-10s %-7.3f", e.paperName.c_str(), fp32);
+        for (Combo c : combos) {
+            restoreWeights(*e.model, snap);
+            QatConfig qc;
+            qc.combo = c;
+            qc.bits = 4;
+            qc.weightGranularity = Granularity::PerTensor;
+            configureQuant(*e.model, qc);
+            calibrateQuant(*e.model, e.dataset, qc);
+            const double acc = evaluateAccuracy(*e.model, e.dataset);
+            std::printf(" %-7.2f", (fp32 - acc) * 100.0);
+            disableQuant(*e.model);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

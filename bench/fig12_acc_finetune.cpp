@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: accuracy loss of the primitive
+ * combinations at 4 bits *with* quantization-aware fine-tuning, plus
+ * the mixed-precision ANT4-8 column that recovers to within the
+ * accuracy threshold.
+ */
+
+#include <cstdio>
+
+#include "bench_models.h"
+
+int
+main()
+{
+    using namespace ant;
+    using namespace ant::bench;
+    using namespace ant::nn;
+
+    const Combo combos[] = {Combo::INT, Combo::IP, Combo::FIP,
+                            Combo::IPF, Combo::FIPF};
+
+    std::printf("=== Fig. 12: accuracy LOSS (percentage points) with "
+                "fine-tuning, 4-bit + ANT4-8 ===\n");
+    std::printf("%-10s %-7s", "Model", "FP32");
+    for (Combo c : combos) std::printf(" %-7s", comboName(c));
+    std::printf(" %-8s %-6s\n", "ANT4-8", "4b-ratio");
+
+    auto roster = makeRoster();
+    for (Entry &e : roster) {
+        disableQuant(*e.model);
+        trainClassifier(*e.model, e.dataset, e.pretrain);
+        const double fp32 = evaluateAccuracy(*e.model, e.dataset);
+        const auto snap = snapshotWeights(*e.model);
+
+        std::printf("%-10s %-7.3f", e.paperName.c_str(), fp32);
+        for (Combo c : combos) {
+            restoreWeights(*e.model, snap);
+            QatConfig qc;
+            qc.combo = c;
+            qc.bits = 4;
+            qc.weightGranularity = Granularity::PerTensor;
+            configureQuant(*e.model, qc);
+            calibrateQuant(*e.model, e.dataset, qc);
+            trainClassifier(*e.model, e.dataset, e.finetune);
+            const double acc = evaluateAccuracy(*e.model, e.dataset);
+            std::printf(" %-7.2f", (fp32 - acc) * 100.0);
+            disableQuant(*e.model);
+        }
+
+        // ANT4-8: mixed precision with the IP-F 4-bit base
+        // (threshold: 0.1% for CNN stand-ins, 1% for Transformers,
+        // as in Sec. VII-D).
+        restoreWeights(*e.model, snap);
+        QatConfig qc;
+        qc.combo = Combo::IPF;
+        qc.bits = 4;
+        qc.weightGranularity = Granularity::PerTensor;
+        const bool transformer = e.dataset.isToken ||
+                                 e.paperName == "ViT";
+        const MixedPrecisionResult mp = runAnt48(
+            *e.model, e.dataset, qc, e.finetune, fp32,
+            transformer ? 0.01 : 0.001);
+        std::printf(" %-8.2f %-6.2f\n",
+                    (fp32 - mp.finalMetric) * 100.0,
+                    fourBitWeightRatio(*e.model, mp.precision));
+        disableQuant(*e.model);
+    }
+
+    std::printf("\nPaper shape check: fine-tuning recovers most loss; "
+                "ANT4-8 lands within the threshold with most tensors "
+                "still 4-bit.\n");
+    return 0;
+}

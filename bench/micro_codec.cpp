@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the ANT kernels: flint codec,
+ * decoders, MAC, quantizer, type selection, and the cycle simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/flint.h"
+#include "core/quantizer.h"
+#include "core/type_selector.h"
+#include "hw/decoder.h"
+#include "hw/mac.h"
+#include "sim/accelerator.h"
+
+namespace {
+
+using namespace ant;
+
+void
+BM_FlintEncode(benchmark::State &state)
+{
+    int64_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(flint::encodeInteger(v & 63, 4));
+        ++v;
+    }
+}
+BENCHMARK(BM_FlintEncode);
+
+void
+BM_FlintQuantEncodeAlgo1(benchmark::State &state)
+{
+    double x = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(flint::quantEncode(x, 4, 0.37));
+        x += 0.173;
+        if (x > 24.0) x = 0.0;
+    }
+}
+BENCHMARK(BM_FlintQuantEncodeAlgo1);
+
+void
+BM_IntDecoder(benchmark::State &state)
+{
+    uint32_t c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw::decodeFlintIntUnsigned(c & 15u, 4));
+        ++c;
+    }
+}
+BENCHMARK(BM_IntDecoder);
+
+void
+BM_FusedInt8Mac(benchmark::State &state)
+{
+    int32_t a = -128, b = 127;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hw::fusedInt8Multiply(a, b, true));
+        a = a == 127 ? -128 : a + 1;
+        b = b == -128 ? 127 : b - 1;
+    }
+}
+BENCHMARK(BM_FusedInt8Mac);
+
+void
+BM_QuantizeTensor(benchmark::State &state)
+{
+    Rng rng(1);
+    const Tensor t = rng.tensor(Shape{state.range(0)},
+                                DistFamily::WeightLike);
+    QuantConfig cfg;
+    cfg.type = makeFlint(4, true);
+    for (auto _ : state) benchmark::DoNotOptimize(quantize(t, cfg));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeTensor)->Arg(1024)->Arg(16384);
+
+void
+BM_TypeSelection(benchmark::State &state)
+{
+    Rng rng(2);
+    const Tensor t = rng.tensor(Shape{4096}, DistFamily::WeightLike);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(selectType(t, Combo::IPF, 4, true));
+}
+BENCHMARK(BM_TypeSelection);
+
+void
+BM_SimulateResnet18(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::resnet18();
+    const sim::QuantPlan plan =
+        sim::planWorkload(w, hw::Design::AntOS);
+    const sim::SimConfig cfg =
+        sim::SimConfig::forDesign(hw::Design::AntOS);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::simulate(w, plan, cfg));
+}
+BENCHMARK(BM_SimulateResnet18);
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Table V: ANT (IP-F) vs BiScaled under 6-bit
+ * post-training quantization (no fine-tuning) on CNN classifiers.
+ * Models are the trained stand-ins of DESIGN.md; the claim under test
+ * is the *ordering* — ANT's inter/intra-tensor adaptivity loses less
+ * accuracy than BiScaled's two-scale scheme at equal bits.
+ */
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "nn/models.h"
+#include "nn/qat.h"
+
+namespace {
+
+using namespace ant;
+using namespace ant::nn;
+
+/** PTQ with the BiScaled quantizer applied to weights+activations. */
+double
+evalBiscaled(Classifier &model, const Dataset &ds)
+{
+    // Quantize weights in place with biscaled-6; activations keep a
+    // quantizer on the ANT path configured to plain int6 with the
+    // two-scale emulation applied to weights (the dominant effect).
+    std::vector<Tensor> saved;
+    auto params = model.parameters();
+    for (Param *p : params) saved.push_back(p->var->value);
+    for (Param *p : params) {
+        if (p->var->value.ndim() < 2) continue;
+        p->var->value = biscaledQuantize(p->var->value, 6, true).dequant;
+    }
+    const double acc = evaluateAccuracy(model, ds);
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->var->value = saved[i];
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table V: 6-bit PTQ accuracy, ANT vs BiScaled "
+                "(no fine-tuning) ===\n");
+    std::printf("%-16s %-9s %-9s %-9s\n", "Model", "ANT", "BiScaled",
+                "Source");
+
+    const struct {
+        const char *name;
+        bool deep;
+        uint64_t seed;
+    } models[] = {
+        {"cnn-a (VGG16)", false, 11},
+        {"cnn-b (Res50)", true, 12},
+    };
+
+    for (const auto &mi : models) {
+        auto ds = makeTextureImageDataset(10, 700, 400, mi.seed, 0.8f);
+        auto m = mi.deep ? buildResNetStyle(10, true, mi.seed)
+                         : buildVggStyle(10, mi.seed);
+        TrainConfig pre;
+        pre.epochs = 10;
+        pre.lr = 0.01f;
+        trainClassifier(*m, ds, pre);
+        const double src = evaluateAccuracy(*m, ds);
+
+        // ANT 6-bit PTQ (per-tensor weights; no fine-tuning).
+        QatConfig qc;
+        qc.combo = Combo::IPF;
+        qc.bits = 6;
+        qc.weightGranularity = Granularity::PerTensor;
+        configureQuant(*m, qc);
+        calibrateQuant(*m, ds, qc);
+        const double ant = evaluateAccuracy(*m, ds);
+        disableQuant(*m);
+
+        const double bis = evalBiscaled(*m, ds);
+        std::printf("%-16s %-9.3f %-9.3f %-9.3f\n", mi.name, ant, bis,
+                    src);
+    }
+
+    std::printf("\nPaper reference: ANT stays within ~1-3%% of source "
+                "while BiScaled drops 5-7%% (VGG16 72.80 vs 66.56, "
+                "source 73.48).\n");
+    return 0;
+}

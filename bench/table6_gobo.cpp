@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces paper Table VI: weight-only quantization, ANT vs GOBO, on
+ * the BERT stand-in (MNLI-like task) at 3 and 4 bits. The claim under
+ * test: fixed-length ANT matches GOBO's variable-length clustering
+ * accuracy while remaining hardware-aligned.
+ */
+
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "nn/models.h"
+#include "nn/qat.h"
+
+namespace {
+
+using namespace ant;
+using namespace ant::nn;
+
+double
+evalGoboWeights(Classifier &model, const Dataset &ds, int bits)
+{
+    std::vector<Tensor> saved;
+    auto params = model.parameters();
+    for (Param *p : params) saved.push_back(p->var->value);
+    double avg_bits = 0.0;
+    int n = 0;
+    for (Param *p : params) {
+        if (p->var->value.ndim() < 2) continue;
+        const BaselineResult r = goboQuantize(p->var->value, bits);
+        p->var->value = r.dequant;
+        avg_bits += r.avgBits;
+        ++n;
+    }
+    const double acc = evaluateAccuracy(model, ds);
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->var->value = saved[i];
+    std::printf("    (GOBO effective bits: %.2f)\n",
+                n ? avg_bits / n : 0.0);
+    return acc;
+}
+
+double
+evalAntWeights(Classifier &model, const Dataset &ds, int bits)
+{
+    QatConfig qc;
+    qc.combo = Combo::IPF;
+    qc.bits = bits;
+    qc.quantActs = false; // weight-only, like GOBO
+    qc.weightGranularity = Granularity::PerTensor;
+    configureQuant(model, qc);
+    calibrateQuant(model, ds, qc);
+    const double acc = evaluateAccuracy(model, ds);
+    disableQuant(model);
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table VI: weight-only quantization, BERT stand-in "
+                "on MNLI-like task ===\n");
+
+    auto ds = makeTokenDataset(TokenTask::EntailLike, 1200, 400, 7);
+    auto m = buildBertStyle("bert-mnli", ds.numClasses, ds.vocab,
+                            ds.seqLen, 8);
+    TrainConfig pre;
+    pre.epochs = 12;
+    pre.lr = 0.002f;
+    pre.useAdam = true;
+    trainClassifier(*m, ds, pre);
+    const double src = evaluateAccuracy(*m, ds);
+
+    std::printf("%-8s %-9s %-9s %-9s\n", "Bits", "ANT", "GOBO",
+                "Source");
+    for (int bits : {3, 4}) {
+        const double ant = evalAntWeights(*m, ds, bits);
+        const double gobo = evalGoboWeights(*m, ds, bits);
+        std::printf("%-8d %-9.3f %-9.3f %-9.3f\n", bits, ant, gobo,
+                    src);
+    }
+
+    std::printf("\nPaper reference: 3-bit ANT 83.86%% vs GOBO 83.76%%; "
+                "4-bit 84.39%% vs 84.45%% (source 84.42%%) — parity, "
+                "with ANT fixed-length.\n");
+    return 0;
+}

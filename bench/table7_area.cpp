@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces paper Table VII: iso-area configuration and area breakdown
+ * of ANT and the baseline accelerators at 28 nm.
+ */
+
+#include <cstdio>
+
+#include "hw/area_model.h"
+#include "hw/decoder.h"
+#include "hw/lzd.h"
+
+int
+main()
+{
+    using namespace ant::hw;
+
+    std::printf("=== Table VII: configuration and area breakdown "
+                "(28 nm) ===\n");
+    std::printf("%-11s %-26s %-8s %-12s\n", "Arch", "Component",
+                "Count", "Area (mm^2)");
+    for (const AreaRow &r : tableVII())
+        std::printf("%-11s %-26s %-8d %.3f\n", r.architecture.c_str(),
+                    r.component.c_str(), r.count, r.areaMm2);
+
+    std::printf("\nShared buffer: 512 KB, 4.2 mm^2 for every design.\n");
+
+    std::printf("\nCore totals and decoder/controller overhead:\n");
+    for (Design d : {Design::AntOS, Design::BitFusion, Design::OLAccel,
+                     Design::BiScaled, Design::AdaFloat}) {
+        const DesignConfig c = designConfig(d);
+        std::printf("  %-11s core %.3f mm^2, overhead %.2f%%\n",
+                    designName(d), coreAreaMm2(c),
+                    overheadRatio(c) * 100.0);
+    }
+
+    std::printf("\nDecoder gate-model detail (int-based flint):\n");
+    for (int n : {4, 8})
+        std::printf("  %d-bit decoder: ~%d gates (LZD depth %d)\n", n,
+                    flintIntDecoderGates(n), lzdDepth(n - 1));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Accelerator comparison: run ResNet-18 and BERT-Base through the
+ * cycle-level simulator on every Table VII design and print latency
+ * and energy, including the per-layer view for ANT-OS — a compact
+ * version of the Fig. 13 experiment for interactive use.
+ */
+
+#include <cstdio>
+
+#include "sim/accelerator.h"
+
+int
+main()
+{
+    using namespace ant;
+    using namespace ant::sim;
+    using hw::Design;
+
+    for (const auto &w : {workloads::resnet18(),
+                          workloads::bertBase("MNLI")}) {
+        std::printf("=== %s (batch 64) ===\n", w.name.c_str());
+        std::printf("%-11s %-12s %-12s %-10s\n", "Design", "cycles",
+                    "energy (uJ)", "avg bits");
+        for (Design d : {Design::AntOS, Design::AntWS,
+                         Design::BitFusion, Design::OLAccel,
+                         Design::BiScaled, Design::AdaFloat}) {
+            const QuantPlan plan = planWorkload(w, d);
+            const SimResult r =
+                simulate(w, plan, SimConfig::forDesign(d));
+            std::printf("%-11s %-12lld %-12.1f %-10.2f\n",
+                        hw::designName(d),
+                        static_cast<long long>(r.cycles),
+                        r.energyTotal() * 1e-6, plan.avgBits);
+        }
+        std::printf("\n");
+    }
+
+    // Per-layer detail for ANT-OS on ResNet-18 (first few layers).
+    const workloads::Workload r18 = workloads::resnet18();
+    const QuantPlan plan = planWorkload(r18, Design::AntOS);
+    const SimResult r =
+        simulate(r18, plan, SimConfig::forDesign(Design::AntOS));
+    std::printf("=== ANT-OS per-layer view (ResNet-18, first 8 layers) "
+                "===\n");
+    std::printf("%-14s %-10s %-10s %-10s %s\n", "Layer", "compute",
+                "memory", "cycles", "bound");
+    for (size_t i = 0; i < r.layers.size() && i < 8; ++i) {
+        const LayerResult &lr = r.layers[i];
+        std::printf("%-14s %-10lld %-10lld %-10lld %s\n",
+                    lr.name.c_str(),
+                    static_cast<long long>(lr.computeCycles),
+                    static_cast<long long>(lr.memoryCycles),
+                    static_cast<long long>(lr.cycles),
+                    lr.computeCycles >= lr.memoryCycles ? "compute"
+                                                        : "memory");
+    }
+    return 0;
+}

@@ -1,0 +1,195 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/ops.h"
+
+namespace ant {
+
+BaselineResult
+olaccelQuantize(const Tensor &t, int normal_bits, double outlier_frac,
+                bool is_signed)
+{
+    BaselineResult r;
+    r.dequant = Tensor{t.shape()};
+    const int64_t n = t.numel();
+    if (n == 0) return r;
+
+    // Outlier threshold: |x| percentile at (1 - outlier_frac).
+    std::vector<float> mags(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) mags[static_cast<size_t>(i)] =
+        std::fabs(t[i]);
+    std::vector<float> sorted = mags;
+    const auto kth = static_cast<size_t>(
+        std::min<double>(static_cast<double>(n) - 1,
+                         (1.0 - outlier_frac) * static_cast<double>(n)));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<int64_t>(kth),
+                     sorted.end());
+    const float thresh = sorted[kth];
+
+    // Normal values: low-bit int over [-thresh, thresh] (or [0,thresh]).
+    const auto type = makeInt(normal_bits, is_signed);
+    const double scale =
+        thresh > 0 ? thresh / type->maxValue() : 0.0;
+
+    int64_t outliers = 0;
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        double q;
+        if (mags[static_cast<size_t>(i)] > thresh) {
+            // Outlier path: 16-bit precision, error negligible here.
+            q = t[i];
+            ++outliers;
+        } else if (scale > 0) {
+            q = type->quantizeValue(t[i] / scale) * scale;
+        } else {
+            q = 0.0;
+        }
+        r.dequant[i] = static_cast<float>(q);
+        const double d = q - t[i];
+        err += d * d;
+    }
+    r.mse = err / static_cast<double>(n);
+    r.outlierRatio =
+        static_cast<double>(outliers) / static_cast<double>(n);
+    r.avgBits = normal_bits * (1.0 - r.outlierRatio) +
+                16.0 * r.outlierRatio;
+    return r;
+}
+
+BaselineResult
+goboQuantize(const Tensor &t, int bits, double outlier_sigmas,
+             int lloyd_iters)
+{
+    BaselineResult r;
+    r.dequant = Tensor{t.shape()};
+    const int64_t n = t.numel();
+    if (n == 0) return r;
+
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += t[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double d = t[i] - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double thresh = outlier_sigmas * std::sqrt(var);
+
+    // Gather the Gaussian bulk.
+    std::vector<float> bulk;
+    bulk.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        if (std::fabs(t[i] - mean) <= thresh) bulk.push_back(t[i]);
+    const int k = 1 << bits;
+
+    // Initialize centroids uniformly over the bulk range, then Lloyd.
+    float lo = bulk.empty() ? 0.0f : *std::min_element(bulk.begin(),
+                                                       bulk.end());
+    float hi = bulk.empty() ? 0.0f : *std::max_element(bulk.begin(),
+                                                       bulk.end());
+    std::vector<double> centroids(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c)
+        centroids[static_cast<size_t>(c)] =
+            lo + (hi - lo) * (c + 0.5) / k;
+
+    std::vector<double> sum(static_cast<size_t>(k));
+    std::vector<int64_t> cnt(static_cast<size_t>(k));
+    const auto nearest = [&](float v) {
+        const auto it = std::lower_bound(centroids.begin(),
+                                         centroids.end(),
+                                         static_cast<double>(v));
+        size_t j = static_cast<size_t>(
+            std::distance(centroids.begin(), it));
+        if (j == centroids.size()) return j - 1;
+        if (j > 0 &&
+            v - centroids[j - 1] < centroids[j] - v)
+            return j - 1;
+        return j;
+    };
+    for (int it = 0; it < lloyd_iters; ++it) {
+        std::fill(sum.begin(), sum.end(), 0.0);
+        std::fill(cnt.begin(), cnt.end(), 0);
+        for (float v : bulk) {
+            const size_t j = nearest(v);
+            sum[j] += v;
+            ++cnt[j];
+        }
+        for (int c = 0; c < k; ++c)
+            if (cnt[static_cast<size_t>(c)])
+                centroids[static_cast<size_t>(c)] =
+                    sum[static_cast<size_t>(c)] /
+                    static_cast<double>(cnt[static_cast<size_t>(c)]);
+        std::sort(centroids.begin(), centroids.end());
+    }
+
+    int64_t outliers = 0;
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        double q;
+        if (std::fabs(t[i] - mean) > thresh) {
+            q = t[i]; // stored uncompressed
+            ++outliers;
+        } else {
+            q = centroids[nearest(t[i])];
+        }
+        r.dequant[i] = static_cast<float>(q);
+        const double d = q - t[i];
+        err += d * d;
+    }
+    r.mse = err / static_cast<double>(n);
+    r.outlierRatio =
+        static_cast<double>(outliers) / static_cast<double>(n);
+    r.avgBits =
+        bits * (1.0 - r.outlierRatio) + 32.0 * r.outlierRatio;
+    return r;
+}
+
+BaselineResult
+biscaledQuantize(const Tensor &t, int bits, bool is_signed, int shift)
+{
+    BaselineResult r;
+    r.dequant = Tensor{t.shape()};
+    const int64_t n = t.numel();
+    if (n == 0) return r;
+
+    const auto type = makeInt(bits, is_signed);
+    const double amax = [&] {
+        double m = 0.0;
+        for (int64_t i = 0; i < n; ++i)
+            m = std::max(m, std::fabs(static_cast<double>(t[i])));
+        return m;
+    }();
+    if (amax == 0.0) return r;
+
+    // Coarse scale covers the full range; fine scale is 2^shift finer
+    // and covers the dense body (BiScaled's "two scale factors").
+    const double coarse = amax / type->maxValue();
+    const double fine = coarse / std::ldexp(1.0, shift);
+    const double fine_range = fine * type->maxValue();
+
+    double err = 0.0;
+    int64_t tail = 0;
+    for (int64_t i = 0; i < n; ++i) {
+        const bool in_body = std::fabs(t[i]) <= fine_range;
+        const double s = in_body ? fine : coarse;
+        if (!in_body) ++tail;
+        const double q = type->quantizeValue(t[i] / s) * s;
+        r.dequant[i] = static_cast<float>(q);
+        const double d = q - t[i];
+        err += d * d;
+    }
+    r.mse = err / static_cast<double>(n);
+    r.outlierRatio = static_cast<double>(tail) / static_cast<double>(n);
+    // One mask bit per element block-of-1 upper bound (the paper's
+    // BiScaled-6 lands at ~6.16 bits with block masks).
+    r.avgBits = bits + 1.0 / 8.0;
+    return r;
+}
+
+} // namespace ant

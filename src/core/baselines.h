@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Baseline quantization schemes the paper evaluates against (Sec. II-D,
+ * Sec. VII): outlier-aware OLAccel, weight-clustering GOBO, and
+ * two-scale BiScaled. AdaptiveFloat is covered by FloatType with the
+ * power-of-two scale mode, and BitFusion by the int types plus the
+ * mixed-precision controller.
+ */
+
+#ifndef ANT_CORE_BASELINES_H
+#define ANT_CORE_BASELINES_H
+
+#include "core/quantizer.h"
+
+namespace ant {
+
+/** Outcome of a baseline quantization pass. */
+struct BaselineResult
+{
+    Tensor dequant;
+    double mse = 0.0;
+    double avgBits = 0.0;     //!< average stored bits per element
+    double outlierRatio = 0.0;
+};
+
+/**
+ * OLAccel-style outlier-aware quantization [66]: values under the
+ * outlier threshold use low-bit int; the top @p outlier_frac by
+ * magnitude are kept at 16-bit precision. Variable-length storage is
+ * reflected in avgBits.
+ */
+BaselineResult olaccelQuantize(const Tensor &t, int normal_bits,
+                               double outlier_frac, bool is_signed);
+
+/**
+ * GOBO-style weight quantization [86]: the Gaussian bulk is clustered
+ * to 2^bits centroids (k-means style Lloyd iterations); |w - mean| >
+ * @p outlier_sigmas * std are stored uncompressed (FP32/FP16).
+ */
+BaselineResult goboQuantize(const Tensor &t, int bits,
+                            double outlier_sigmas = 3.0,
+                            int lloyd_iters = 12);
+
+/**
+ * BiScaled-DNN [43]: fixed-length code with two scale factors
+ * (fine for the dense body, coarse = fine * 2^shift for the long
+ * tail) plus a per-block bit mask choosing the scale. avgBits
+ * includes the mask overhead.
+ */
+BaselineResult biscaledQuantize(const Tensor &t, int bits,
+                                bool is_signed, int shift = 3);
+
+} // namespace ant
+
+#endif // ANT_CORE_BASELINES_H

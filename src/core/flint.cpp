@@ -1,0 +1,192 @@
+#include "core/flint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+namespace flint {
+
+namespace {
+
+/** Leading-zero count of @p v within a field of @p width bits. */
+int
+lzd(uint32_t v, int width)
+{
+    int n = 0;
+    for (int b = width - 1; b >= 0; --b) {
+        if (v & (1u << b)) break;
+        ++n;
+    }
+    return n;
+}
+
+void
+checkWidth(int n)
+{
+    if (n < 2 || n > 12)
+        throw std::invalid_argument("flint: bit width must be in [2, 12]");
+}
+
+} // namespace
+
+int
+mantissaBits(int n, int i)
+{
+    checkWidth(n);
+    assert(i >= 1 && i <= 2 * n - 1);
+    if (i <= n - 1) return i - 1;        // MSB=0 intervals
+    if (i <= 2 * n - 2) return 2 * n - 2 - i; // MSB=1 intervals
+    return 0;                            // top interval (code 10..0)
+}
+
+Fields
+decodeFields(uint32_t code, int n)
+{
+    checkWidth(n);
+    Fields f;
+    if (code == 0) {
+        f.zero = true;
+        return f;
+    }
+    const uint32_t msb = (code >> (n - 1)) & 1u;
+    const uint32_t rest = code & ((1u << (n - 1)) - 1u);
+    const int z = lzd(rest, n - 1);
+    f.interval = msb ? n + z : (n - 1) - z;
+    f.manBits = mantissaBits(n, f.interval);
+    f.mantissa = code & ((1u << f.manBits) - 1u);
+    return f;
+}
+
+int64_t
+decodeToInteger(uint32_t code, int n)
+{
+    const Fields f = decodeFields(code, n);
+    if (f.zero) return 0;
+    // value = 2^(i-1) * (1 + m / 2^mb), always an integer.
+    const int64_t base = (int64_t{1} << f.manBits) + f.mantissa;
+    return base << (f.interval - 1 - f.manBits);
+}
+
+uint32_t
+encodeInteger(int64_t v, int n)
+{
+    checkWidth(n);
+    if (v < 0 || v > maxInteger(n))
+        throw std::invalid_argument("flint::encodeInteger: out of range");
+    if (v == 0) return 0;
+
+    // Interval index: i = floor(log2 v) + 1 (Algorithm 1 line 7).
+    int i = 0;
+    for (int64_t t = v; t > 0; t >>= 1) ++i;
+
+    int mb = mantissaBits(n, i);
+    // m = round((v / 2^(i-1) - 1) * 2^mb), round-half-away (line 10).
+    const double frac =
+        (static_cast<double>(v) / std::ldexp(1.0, i - 1) - 1.0) *
+        std::ldexp(1.0, mb);
+    auto m = static_cast<int64_t>(std::llround(frac));
+    if (m == (int64_t{1} << mb)) {
+        // Mantissa overflow: carry into the next interval.
+        ++i;
+        mb = mantissaBits(n, i);
+        m = 0;
+    }
+
+    if (i <= n - 1)
+        return (1u << (i - 1)) | static_cast<uint32_t>(m);
+    if (i <= 2 * n - 2)
+        return (1u << (n - 1)) | (1u << (2 * n - 2 - i)) |
+               static_cast<uint32_t>(m);
+    return 1u << (n - 1); // top interval: 10..0
+}
+
+uint32_t
+quantEncode(double e, int n, double s)
+{
+    // Line 3: int quantization to [0, 2^(2n-2)].
+    const double scaled = e / s;
+    auto v = static_cast<int64_t>(std::llround(scaled));
+    if (v < 0) v = 0;
+    if (v > maxInteger(n)) v = maxInteger(n);
+    return encodeInteger(v, n);
+}
+
+std::vector<int64_t>
+valueTable(int n)
+{
+    checkWidth(n);
+    std::vector<int64_t> vals;
+    vals.reserve(size_t{1} << n);
+    for (uint32_t c = 0; c < (1u << n); ++c)
+        vals.push_back(decodeToInteger(c, n));
+    std::sort(vals.begin(), vals.end());
+    return vals;
+}
+
+int64_t
+decodeSignedToInteger(uint32_t code, int n)
+{
+    checkWidth(n);
+    const uint32_t sign = (code >> (n - 1)) & 1u;
+    const uint32_t mag = code & ((1u << (n - 1)) - 1u);
+    const int64_t v = decodeToInteger(mag, n - 1);
+    return sign ? -v : v;
+}
+
+uint32_t
+encodeSignedInteger(int64_t v, int n)
+{
+    checkWidth(n);
+    const uint32_t sign = v < 0 ? 1u : 0u;
+    const uint32_t mag = encodeInteger(std::llabs(v), n - 1);
+    return (sign << (n - 1)) | mag;
+}
+
+IntDecode
+decodeIntBased(uint32_t code, int n)
+{
+    checkWidth(n);
+    IntDecode d;
+    const uint32_t msb = (code >> (n - 1)) & 1u;
+    const uint32_t rest = code & ((1u << (n - 1)) - 1u);
+    if (!msb) {
+        // Eq. 5/6 top rows: plain integer, zero exponent.
+        d.baseInt = rest;
+        d.exp = 0;
+        return d;
+    }
+    if (rest == 0) {
+        // Code 10..0: base 1, exponent 2 * (n-1) - ... = 2n - 2 - ...;
+        // for n=4 this is 6 (Table III last row).
+        d.baseInt = 1;
+        d.exp = 2 * (n - 1);
+        return d;
+    }
+    const int z = lzd(rest, n - 1);
+    d.baseInt = static_cast<int64_t>(rest) << 1;
+    d.exp = 2 * z;
+    return d;
+}
+
+FloatDecode
+decodeFloatBased(uint32_t code, int n)
+{
+    checkWidth(n);
+    FloatDecode d;
+    const Fields f = decodeFields(code, n);
+    if (f.zero) {
+        d.zero = true;
+        return d;
+    }
+    d.exp = f.interval;
+    d.fraction = f.manBits
+                     ? static_cast<double>(f.mantissa) /
+                           std::ldexp(1.0, f.manBits)
+                     : 0.0;
+    return d;
+}
+
+} // namespace flint
+} // namespace ant

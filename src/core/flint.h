@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The flint primitive data type (paper Sec. IV-A).
+ *
+ * flint is a fixed-length code that uses *first-one* encoding to split a
+ * b-bit word into a variable exponent field and a variable mantissa field.
+ * Small and large magnitudes get more exponent bits (coarse, wide range);
+ * middle magnitudes get more mantissa bits (fine precision), matching the
+ * importance profile of Gaussian-like DNN tensors.
+ *
+ * An unsigned b-bit flint covers the integer grid [0, 2^(2b-2)] with
+ * 2^b codes split across 2b-1 exponent intervals plus a zero code
+ * (paper Algorithm 1, value Tables II/III). A signed b-bit flint is a
+ * sign bit plus an unsigned (b-1)-bit flint magnitude (Eq. 7-8).
+ *
+ * This header implements the pure *functional* codec; the gate-level
+ * decoder models (LZD + shifters, Figs. 5-7) live in src/hw.
+ */
+
+#ifndef ANT_CORE_FLINT_H
+#define ANT_CORE_FLINT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ant {
+namespace flint {
+
+/** Decoded fields of an unsigned flint code. */
+struct Fields
+{
+    bool zero = false;  //!< true for the all-zero code
+    int interval = 0;   //!< first-one interval index i in [1, 2n-1]
+    int manBits = 0;    //!< number of mantissa bits in this interval
+    uint32_t mantissa = 0; //!< mantissa payload (low manBits bits)
+};
+
+/** Largest representable integer of an unsigned n-bit flint: 2^(2n-2). */
+inline int64_t
+maxInteger(int n)
+{
+    return int64_t{1} << (2 * n - 2);
+}
+
+/** Number of mantissa bits in interval @p i of an n-bit flint. */
+int mantissaBits(int n, int i);
+
+/** Split an unsigned n-bit code into first-one fields. */
+Fields decodeFields(uint32_t code, int n);
+
+/** Integer value of an unsigned n-bit flint code (Table II). */
+int64_t decodeToInteger(uint32_t code, int n);
+
+/**
+ * Encode a non-negative integer (already scale-quantized, clamped to
+ * [0, maxInteger(n)]) to the nearest n-bit flint code, following the
+ * mantissa rounding of Algorithm 1 (round-half-away, with carry into the
+ * next interval on mantissa overflow).
+ */
+uint32_t encodeInteger(int64_t v, int n);
+
+/**
+ * Full Algorithm 1: quantize a real value with scale @p s to an unsigned
+ * n-bit flint code (int quantization to the integer grid, then first-one
+ * encoding with mantissa rounding).
+ */
+uint32_t quantEncode(double e, int n, double s);
+
+/** All representable integers of an unsigned n-bit flint, ascending. */
+std::vector<int64_t> valueTable(int n);
+
+/**
+ * Signed n-bit flint: MSB is the sign, low n-1 bits are an unsigned
+ * (n-1)-bit flint magnitude. Note -0 aliases +0 (code 1000...0).
+ */
+int64_t decodeSignedToInteger(uint32_t code, int n);
+uint32_t encodeSignedInteger(int64_t v, int n);
+
+/**
+ * Int-based decoder output (paper Sec. V-B, Table III): the value is
+ * reconstructed as baseInt << exp on the integer PE datapath.
+ */
+struct IntDecode
+{
+    int64_t baseInt = 0;
+    int exp = 0;
+};
+
+/** Reference int-based decomposition: value = baseInt << exp (Eq. 5-6). */
+IntDecode decodeIntBased(uint32_t code, int n);
+
+/**
+ * Float-based decoder output (paper Sec. V-A, Fig. 5): an exponent field
+ * and a left-aligned mantissa fraction, value = 2^(exp-1) * (1+fraction).
+ */
+struct FloatDecode
+{
+    bool zero = false;
+    int exp = 0;          //!< raw interval exponent i
+    double fraction = 0;  //!< mantissa as a fraction in [0, 1)
+};
+
+/** Reference float-based decomposition (Eq. 3-4). */
+FloatDecode decodeFloatBased(uint32_t code, int n);
+
+} // namespace flint
+} // namespace ant
+
+#endif // ANT_CORE_FLINT_H

@@ -1,0 +1,67 @@
+#include "core/mixed_precision.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ant {
+
+MixedPrecisionResult
+runMixedPrecision(int num_layers, const MixedPrecisionConfig &cfg,
+                  const MixedPrecisionHooks &hooks)
+{
+    if (!hooks.applyAndTune || !hooks.evaluate || !hooks.layerMse)
+        throw std::invalid_argument("runMixedPrecision: missing hooks");
+
+    MixedPrecisionResult res;
+    res.precision.assign(static_cast<size_t>(num_layers),
+                         LayerPrecision::Ant4);
+
+    hooks.applyAndTune(res.precision);
+    double metric = hooks.evaluate();
+    res.history.push_back({-1, metric, 0});
+
+    int rounds = 0;
+    while (metric < cfg.baselineMetric - cfg.threshold &&
+           rounds < cfg.maxRounds) {
+        // Escalate the 4-bit layer with the greatest MSE (Sec. IV-C).
+        const std::vector<double> mses = hooks.layerMse();
+        int worst = -1;
+        double worst_mse = -1.0;
+        for (int i = 0; i < num_layers; ++i) {
+            if (res.precision[static_cast<size_t>(i)] !=
+                LayerPrecision::Ant4)
+                continue;
+            if (mses[static_cast<size_t>(i)] > worst_mse) {
+                worst_mse = mses[static_cast<size_t>(i)];
+                worst = i;
+            }
+        }
+        if (worst < 0) break; // everything already 8-bit
+
+        res.precision[static_cast<size_t>(worst)] = LayerPrecision::Int8;
+        hooks.applyAndTune(res.precision);
+        metric = hooks.evaluate();
+
+        int eight = 0;
+        for (LayerPrecision p : res.precision)
+            if (p == LayerPrecision::Int8) ++eight;
+        res.history.push_back({worst, metric, eight});
+        ++rounds;
+    }
+
+    res.finalMetric = metric;
+    res.converged = metric >= cfg.baselineMetric - cfg.threshold;
+    return res;
+}
+
+double
+fourBitRatio(const std::vector<LayerPrecision> &precision)
+{
+    if (precision.empty()) return 1.0;
+    const auto four = std::count(precision.begin(), precision.end(),
+                                 LayerPrecision::Ant4);
+    return static_cast<double>(four) /
+           static_cast<double>(precision.size());
+}
+
+} // namespace ant

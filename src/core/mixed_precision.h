@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Layer-wise mixed-precision controller (paper Sec. IV-C, "Mixed
+ * Precision"): start every layer at 4-bit ANT, then repeatedly escalate
+ * the layer with the greatest quantization MSE to 8-bit int until the
+ * model metric is within a threshold of the full-precision baseline.
+ *
+ * The controller is model-agnostic: it drives the loop through callbacks
+ * so it can be exercised both by the real QAT framework (src/nn) and by
+ * the analytic workload harness (bench/).
+ */
+
+#ifndef ANT_CORE_MIXED_PRECISION_H
+#define ANT_CORE_MIXED_PRECISION_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ant {
+
+/** Precision assigned to one quantized layer. */
+enum class LayerPrecision {
+    Ant4, //!< 4-bit ANT (int/PoT/flint selected per tensor)
+    Int8, //!< 8-bit int fallback
+};
+
+/** One escalation step in the controller's history. */
+struct EscalationStep
+{
+    int layer = -1;       //!< layer escalated this round (-1 for round 0)
+    double metric = 0.0;  //!< model metric after fine-tuning this round
+    int eightBitLayers = 0;
+};
+
+/** Final mixed-precision assignment. */
+struct MixedPrecisionResult
+{
+    std::vector<LayerPrecision> precision; //!< per layer
+    std::vector<EscalationStep> history;
+    bool converged = false;  //!< metric within threshold at the end
+    double finalMetric = 0.0;
+};
+
+/** Callbacks the controller drives. */
+struct MixedPrecisionHooks
+{
+    /** Apply an assignment (quantize + fine-tune); no return. */
+    std::function<void(const std::vector<LayerPrecision> &)> applyAndTune;
+    /** Model quality metric, higher is better (e.g. accuracy). */
+    std::function<double()> evaluate;
+    /** Quantization MSE per layer under the current assignment. */
+    std::function<std::vector<double>()> layerMse;
+};
+
+/** Controller configuration. */
+struct MixedPrecisionConfig
+{
+    double baselineMetric = 0.0; //!< full-precision reference
+    double threshold = 0.01;     //!< allowed drop (absolute)
+    int maxRounds = 32;          //!< escalation budget
+};
+
+/**
+ * Run the escalation loop and return the final assignment. Rounds stop
+ * when the metric is within threshold, every layer is 8-bit, or the
+ * budget is exhausted.
+ */
+MixedPrecisionResult runMixedPrecision(int num_layers,
+                                       const MixedPrecisionConfig &cfg,
+                                       const MixedPrecisionHooks &hooks);
+
+/** Fraction of layers (by count) left at 4-bit. */
+double fourBitRatio(const std::vector<LayerPrecision> &precision);
+
+} // namespace ant
+
+#endif // ANT_CORE_MIXED_PRECISION_H

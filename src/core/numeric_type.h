@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Primitive numerical data types of the ANT framework (paper Sec. IV).
+ *
+ * Every type exposes its unscaled *value grid*: the sorted set of
+ * representable magnitudes before the per-tensor/per-channel scale factor
+ * is applied (Eq. 2). Quantization then is nearest-grid rounding with
+ * clamping, and the grid abstraction lets Algorithm 2 treat
+ * int/float/PoT/flint uniformly.
+ */
+
+#ifndef ANT_CORE_NUMERIC_TYPE_H
+#define ANT_CORE_NUMERIC_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ant {
+
+/** Kind tags for the ANT primitive types. */
+enum class TypeKind {
+    Int,      //!< uniform fixed-point
+    Float,    //!< minifloat EeMm with subnormals
+    PoT,      //!< power-of-two (exponent only)
+    Flint,    //!< first-one composite type (the paper's contribution)
+};
+
+const char *typeKindName(TypeKind k);
+
+/**
+ * A fixed-length numerical data type with a finite value grid.
+ *
+ * Concrete types populate the code->value map in their constructors; the
+ * base class derives the sorted unique grid used for nearest-value
+ * quantization and for MSE evaluation.
+ */
+class NumericType
+{
+  public:
+    virtual ~NumericType() = default;
+
+    TypeKind kind() const { return kind_; }
+    int bits() const { return bits_; }
+    bool isSigned() const { return signed_; }
+    const std::string &name() const { return name_; }
+
+    /** Number of distinct codes, 2^bits. */
+    int codeCount() const { return 1 << bits_; }
+
+    /** Unscaled value of a code (codes are bits_-wide). */
+    double codeValue(uint32_t code) const { return codeValues_[code]; }
+
+    /** Sorted unique representable values (unscaled). */
+    const std::vector<double> &grid() const { return grid_; }
+
+    /** Largest representable magnitude (unscaled). */
+    double maxValue() const { return grid_.back(); }
+
+    /** Smallest representable value (most negative, or 0 if unsigned). */
+    double minValue() const { return grid_.front(); }
+
+    /**
+     * Quantize one unscaled value: clamp to [minValue, maxValue], then
+     * round to the nearest grid point (ties away from zero).
+     */
+    double quantizeValue(double x) const;
+
+    /** Code of the grid point quantizeValue would return. */
+    uint32_t encodeNearest(double x) const;
+
+  protected:
+    NumericType(TypeKind kind, int bits, bool is_signed, std::string name)
+        : kind_(kind), bits_(bits), signed_(is_signed),
+          name_(std::move(name))
+    {}
+
+    /** Install the code->value map and build the sorted grid. */
+    void setCodeValues(std::vector<double> values);
+
+  private:
+    TypeKind kind_;
+    int bits_;
+    bool signed_;
+    std::string name_;
+    std::vector<double> codeValues_; //!< indexed by code
+    std::vector<double> grid_;       //!< sorted unique values
+};
+
+using TypePtr = std::shared_ptr<const NumericType>;
+
+/** Uniform int: unsigned [0, 2^b-1]; signed symmetric [-(2^(b-1)-1), ..]. */
+class IntType : public NumericType
+{
+  public:
+    IntType(int bits, bool is_signed);
+};
+
+/**
+ * Minifloat with @p exp_bits exponent and @p man_bits mantissa bits
+ * (plus a sign bit when signed). Subnormals included; the exponent bias
+ * is folded into the scale factor, so the unscaled grid starts at the
+ * subnormal step and tops out at (2 - 2^-man_bits) * 2^emax.
+ */
+class FloatType : public NumericType
+{
+  public:
+    FloatType(int exp_bits, int man_bits, bool is_signed);
+
+    int expBits() const { return expBits_; }
+    int manBits() const { return manBits_; }
+
+  private:
+    int expBits_;
+    int manBits_;
+};
+
+/**
+ * Power-of-two type: {0} plus 2^0 .. 2^(2^n - 2) for an unsigned n-bit
+ * code; signed is a sign bit plus an unsigned (n-1)-bit PoT.
+ * Multiplication degenerates to exponent addition in hardware.
+ */
+class PoTType : public NumericType
+{
+  public:
+    PoTType(int bits, bool is_signed);
+};
+
+/** The flint composite type (see flint.h for the codec). */
+class FlintType : public NumericType
+{
+  public:
+    FlintType(int bits, bool is_signed);
+};
+
+/** Factory helpers. */
+TypePtr makeInt(int bits, bool is_signed);
+TypePtr makeFloat(int exp_bits, int man_bits, bool is_signed);
+TypePtr makePoT(int bits, bool is_signed);
+TypePtr makeFlint(int bits, bool is_signed);
+
+/**
+ * Default b-bit float used by the ANT candidate lists: 3 exponent bits
+ * for 4-bit types (so the signed 4-bit float is E3M0 and coincides with
+ * the signed 4-bit PoT, as noted in the paper's Fig. 14 discussion).
+ */
+TypePtr makeDefaultFloat(int bits, bool is_signed);
+
+/** Primitive-combination candidate lists evaluated in Fig. 10-12. */
+enum class Combo {
+    INT,   //!< int only
+    IP,    //!< int + PoT
+    FIP,   //!< float + int + PoT
+    IPF,   //!< int + PoT + flint ("IP-F", the shipped ANT config)
+    FIPF,  //!< float + int + PoT + flint ("FIP-F")
+};
+
+const char *comboName(Combo c);
+
+/** Candidate types for a combination at a given bit width / signedness. */
+std::vector<TypePtr> comboCandidates(Combo c, int bits, bool is_signed);
+
+} // namespace ant
+
+#endif // ANT_CORE_NUMERIC_TYPE_H

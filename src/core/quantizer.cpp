@@ -1,0 +1,137 @@
+#include "core/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+
+double
+quantizeWithScale(const float *in, float *out, int64_t n,
+                  const NumericType &type, double scale)
+{
+    if (scale <= 0.0 || !std::isfinite(scale)) {
+        // Degenerate (all-zero) input: pass through zeros.
+        double err = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            if (out) out[i] = 0.0f;
+            err += static_cast<double>(in[i]) * in[i];
+        }
+        return n ? err / static_cast<double>(n) : 0.0;
+    }
+    const double inv = 1.0 / scale;
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double q = type.quantizeValue(in[i] * inv) * scale;
+        if (out) out[i] = static_cast<float>(q);
+        const double d = q - in[i];
+        err += d * d;
+    }
+    return n ? err / static_cast<double>(n) : 0.0;
+}
+
+double
+quantMse(const float *in, int64_t n, const NumericType &type, double scale)
+{
+    return quantizeWithScale(in, nullptr, n, type, scale);
+}
+
+namespace {
+
+double
+rangeAbsMax(const float *in, int64_t n, bool is_signed)
+{
+    double m = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double v = is_signed ? std::fabs(static_cast<double>(in[i]))
+                                   : std::max(0.0,
+                                              static_cast<double>(in[i]));
+        m = std::max(m, v);
+    }
+    return m;
+}
+
+} // namespace
+
+double
+searchScale(const float *in, int64_t n, const NumericType &type,
+            const QuantConfig &cfg)
+{
+    const double amax = rangeAbsMax(in, n, type.isSigned());
+    if (amax == 0.0) return 0.0;
+    const double full = amax / type.maxValue();
+
+    if (cfg.scaleMode == ScaleMode::MaxCalib) return full;
+
+    if (cfg.scaleMode == ScaleMode::PowerOfTwo) {
+        // AdaptiveFloat: the scale (exponent bias) is a power of two.
+        const int k0 = static_cast<int>(std::ceil(std::log2(full)));
+        double best_s = std::ldexp(1.0, k0);
+        double best_e = quantMse(in, n, type, best_s);
+        for (int k = k0 - 3; k <= k0 + 1; ++k) {
+            const double s = std::ldexp(1.0, k);
+            const double e = quantMse(in, n, type, s);
+            if (e < best_e) {
+                best_e = e;
+                best_s = s;
+            }
+        }
+        return best_s;
+    }
+
+    // MseSearch: clip ratios in [searchLo, 1.0].
+    double best_s = full;
+    double best_e = quantMse(in, n, type, full);
+    const int steps = std::max(2, cfg.searchSteps);
+    for (int i = 0; i < steps; ++i) {
+        const double r = cfg.searchLo +
+                         (1.0 - cfg.searchLo) * i /
+                             static_cast<double>(steps - 1);
+        const double s = full * r;
+        const double e = quantMse(in, n, type, s);
+        if (e < best_e) {
+            best_e = e;
+            best_s = s;
+        }
+    }
+    return best_s;
+}
+
+QuantResult
+quantize(const Tensor &t, const QuantConfig &cfg)
+{
+    if (!cfg.type) throw std::invalid_argument("quantize: null type");
+    QuantResult r;
+    r.dequant = Tensor{t.shape()};
+
+    if (cfg.granularity == Granularity::PerTensor || t.ndim() < 2) {
+        const double s = searchScale(t.data(), t.numel(), *cfg.type, cfg);
+        r.mse = quantizeWithScale(t.data(), r.dequant.data(), t.numel(),
+                                  *cfg.type, s);
+        r.scales.push_back(s);
+        return r;
+    }
+
+    // Per-channel along dim 0 (output channels for weight tensors).
+    const int64_t channels = t.dim(0);
+    const int64_t chunk = t.numel() / channels;
+    double err = 0.0;
+    for (int64_t c = 0; c < channels; ++c) {
+        const float *in = t.data() + c * chunk;
+        float *out = r.dequant.data() + c * chunk;
+        const double s = searchScale(in, chunk, *cfg.type, cfg);
+        err += quantizeWithScale(in, out, chunk, *cfg.type, s) *
+               static_cast<double>(chunk);
+        r.scales.push_back(s);
+    }
+    r.mse = err / static_cast<double>(t.numel());
+    return r;
+}
+
+Tensor
+fakeQuantize(const Tensor &t, const QuantConfig &cfg)
+{
+    return quantize(t, cfg).dequant;
+}
+
+} // namespace ant

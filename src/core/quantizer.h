@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The generalized quantize/dequantize operator of Eq. 2 with scale-factor
+ * search by MSE minimization (range clipping, Sec. IV-C), per-tensor and
+ * per-channel granularities.
+ */
+
+#ifndef ANT_CORE_QUANTIZER_H
+#define ANT_CORE_QUANTIZER_H
+
+#include <vector>
+
+#include "core/numeric_type.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+
+/** Quantization granularity (Sec. II-B). */
+enum class Granularity {
+    PerTensor,  //!< one scale for the whole tensor (activations)
+    PerChannel, //!< one scale per dim-0 slice (weights, output channels)
+};
+
+/** How the scale factor is chosen. */
+enum class ScaleMode {
+    MaxCalib,   //!< scale = absmax / maxValue (no clipping)
+    MseSearch,  //!< grid search over clip ratios minimizing MSE
+    PowerOfTwo, //!< MSE search restricted to power-of-two scales
+                //!< (AdaptiveFloat's tensor-wise exponent bias)
+};
+
+/** Configuration of one quantization op. */
+struct QuantConfig
+{
+    TypePtr type;
+    Granularity granularity = Granularity::PerTensor;
+    ScaleMode scaleMode = ScaleMode::MseSearch;
+    int searchSteps = 40;     //!< clip-ratio grid points for MseSearch
+    double searchLo = 0.30;   //!< smallest clip ratio explored
+};
+
+/** Result of quantizing a tensor. */
+struct QuantResult
+{
+    Tensor dequant;             //!< fake-quantized tensor (same shape)
+    std::vector<double> scales; //!< one entry (per-tensor) or C entries
+    double mse = 0.0;           //!< mean squared error vs the input
+};
+
+/**
+ * Quantize a flat range of values with a fixed scale; returns the MSE and
+ * writes dequantized values to @p out (may alias @p in).
+ */
+double quantizeWithScale(const float *in, float *out, int64_t n,
+                         const NumericType &type, double scale);
+
+/** MSE of quantizing the range with the given scale, no output. */
+double quantMse(const float *in, int64_t n, const NumericType &type,
+                double scale);
+
+/**
+ * Search the scale minimizing MSE for a flat range (ArgminMSE of
+ * Algorithm 2 line 5). Returns the best scale.
+ */
+double searchScale(const float *in, int64_t n, const NumericType &type,
+                   const QuantConfig &cfg);
+
+/** Quantize a whole tensor according to @p cfg. */
+QuantResult quantize(const Tensor &t, const QuantConfig &cfg);
+
+/** Convenience: fake-quantized tensor only. */
+Tensor fakeQuantize(const Tensor &t, const QuantConfig &cfg);
+
+} // namespace ant
+
+#endif // ANT_CORE_QUANTIZER_H

@@ -1,0 +1,40 @@
+#include "core/type_selector.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ant {
+
+TypeSelection
+selectType(const Tensor &t, const std::vector<TypePtr> &candidates,
+           const QuantConfig &base_cfg)
+{
+    if (candidates.empty())
+        throw std::invalid_argument("selectType: empty candidate list");
+
+    TypeSelection sel;
+    double best = std::numeric_limits<double>::infinity();
+    for (const TypePtr &cand : candidates) {
+        QuantConfig cfg = base_cfg;
+        cfg.type = cand;
+        QuantResult r = quantize(t, cfg);
+        sel.scores.push_back({cand, r.mse});
+        if (r.mse < best) {
+            best = r.mse;
+            sel.type = cand;
+            sel.result = std::move(r);
+        }
+    }
+    return sel;
+}
+
+TypeSelection
+selectType(const Tensor &t, Combo combo, int bits, bool is_signed,
+           Granularity gran)
+{
+    QuantConfig cfg;
+    cfg.granularity = gran;
+    return selectType(t, comboCandidates(combo, bits, is_signed), cfg);
+}
+
+} // namespace ant

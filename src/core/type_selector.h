@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ANT data type selection (paper Algorithm 2): choose, per tensor, the
+ * primitive type with minimum quantization MSE out of a candidate list,
+ * searching the clip range per candidate.
+ */
+
+#ifndef ANT_CORE_TYPE_SELECTOR_H
+#define ANT_CORE_TYPE_SELECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/quantizer.h"
+
+namespace ant {
+
+/** MSE achieved by one candidate type. */
+struct CandidateScore
+{
+    TypePtr type;
+    double mse = 0.0;
+};
+
+/** Outcome of Algorithm 2 on one tensor. */
+struct TypeSelection
+{
+    TypePtr type;                       //!< argmin-MSE candidate
+    QuantResult result;                 //!< quantization with that type
+    std::vector<CandidateScore> scores; //!< MSE of every candidate
+};
+
+/**
+ * Run Algorithm 2: quantize @p t with every candidate (searching the
+ * scale per candidate per @p base_cfg) and keep the minimum-MSE type.
+ * @p base_cfg.type is ignored.
+ */
+TypeSelection selectType(const Tensor &t,
+                         const std::vector<TypePtr> &candidates,
+                         const QuantConfig &base_cfg);
+
+/** Convenience: select from a Combo list (Fig. 10-12 configurations). */
+TypeSelection selectType(const Tensor &t, Combo combo, int bits,
+                         bool is_signed,
+                         Granularity gran = Granularity::PerTensor);
+
+} // namespace ant
+
+#endif // ANT_CORE_TYPE_SELECTOR_H

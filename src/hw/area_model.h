@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Area and energy model for the evaluated accelerator designs at 28 nm
+ * (paper Sec. VII, Tables I & VII).
+ *
+ * Component areas for ANT come from the paper's Synopsys DC synthesis
+ * (decoder 4.9 um^2, 4-bit PE 79.57 um^2); baseline PE areas are derived
+ * from the iso-area PE counts the paper reports in Table VII. Energy
+ * constants follow the usual 28 nm scaling of published per-operation
+ * energies (Horowitz-style), used for the *relative* energy comparison
+ * of Fig. 13 — absolute joules are not the claim.
+ */
+
+#ifndef ANT_HW_AREA_MODEL_H
+#define ANT_HW_AREA_MODEL_H
+
+#include <string>
+#include <vector>
+
+namespace ant {
+namespace hw {
+
+/** Accelerator designs evaluated in the paper. */
+enum class Design {
+    AntOS,     //!< ANT, output-stationary systolic array
+    AntWS,     //!< ANT, weight-stationary systolic array
+    BitFusion, //!< mixed 4/8-bit int, spatial fusion
+    OLAccel,   //!< outlier-aware 4-bit with 8/16-bit outlier path
+    BiScaled,  //!< two-scale fixed-point, 6-bit BPE
+    AdaFloat,  //!< AdaptiveFloat 8-bit float PE
+    GOBO,      //!< weight-only outlier clustering (memory-side only)
+    Int8,      //!< plain int8 baseline
+};
+
+const char *designName(Design d);
+
+/** Per-design physical configuration under the iso-area budget. */
+struct DesignConfig
+{
+    Design design;
+    int peCount = 0;          //!< PEs at the design's native precision
+    double peAreaUm2 = 0.0;   //!< area of one PE
+    int decoderCount = 0;     //!< boundary decoders (ANT) or equivalents
+    double decoderAreaUm2 = 0.0;
+    double controllerAreaUm2 = 0.0; //!< outlier/scale controllers
+    double bufferKB = 512.0;
+    double bufferAreaMm2 = 4.2;
+    int nativeBits = 4;       //!< operand width of one PE
+};
+
+/** The Table VII configuration for a design. */
+DesignConfig designConfig(Design d);
+
+/** Total core area (PEs + decoders + controller), mm^2. */
+double coreAreaMm2(const DesignConfig &c);
+
+/**
+ * Decoder+controller overhead ratio relative to the PE array area
+ * (the "Area Ratio" column of Table I).
+ */
+double overheadRatio(const DesignConfig &c);
+
+/** Per-operation energy constants (pJ), 28 nm. */
+struct EnergyModel
+{
+    double dramPerBit = 10.0;     //!< off-chip DRAM access
+    double bufferPerBit = 0.35;   //!< 512 KB on-chip SRAM access
+    double mac4 = 0.06;           //!< 4-bit int/flint MAC
+    double mac8 = 0.22;           //!< 8-bit int MAC
+    double mac16Float = 1.10;     //!< FP16 MAC (GOBO activations)
+    double macBpe6 = 0.13;        //!< BiScaled 6-bit bit-plane PE
+    double macFloat8 = 0.48;      //!< AdaFloat 8-bit float MAC
+    double decodeOp = 0.008;      //!< one flint decode
+    double outlierOp = 0.30;      //!< OLAccel outlier-controller event
+    /**
+     * Leakage: ~25 mW/mm^2 for 28 nm logic+SRAM at nominal corner,
+     * i.e. 25 pJ per cycle per mm^2 at 1 GHz. Slow designs pay this
+     * over more cycles (the paper's static bars).
+     */
+    double staticPerCyclePerMm2 = 25.0;
+};
+
+/** Shared default energy model. */
+const EnergyModel &defaultEnergyModel();
+
+/** One row of the Table VII reproduction. */
+struct AreaRow
+{
+    std::string architecture;
+    std::string component;
+    int count = 0;
+    double areaMm2 = 0.0;
+};
+
+/** All rows of Table VII, computed from designConfig(). */
+std::vector<AreaRow> tableVII();
+
+} // namespace hw
+} // namespace ant
+
+#endif // ANT_HW_AREA_MODEL_H

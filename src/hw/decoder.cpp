@@ -1,0 +1,148 @@
+#include "hw/decoder.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+namespace hw {
+
+IntOperand
+decodeFlintIntUnsigned(uint32_t code, int n)
+{
+    assert(n >= 2 && n <= 12);
+    IntOperand op;
+    const uint32_t msb = (code >> (n - 1)) & 1u;
+    const uint32_t rest = code & ((1u << (n - 1)) - 1u);
+
+    if (!msb) {
+        // Table III row 1: plain integer, zero exponent.
+        op.baseInt = static_cast<int32_t>(rest);
+        op.exp = 0;
+        return op;
+    }
+    const LzdResult z = lzdTree(rest, n - 1);
+    if (!z.valid) {
+        // Code 10..0 (top of range): base 1, exponent 2*(n-1) (Eq. 5/6
+        // special case; 6 for the 4-bit type, Table III last row).
+        op.baseInt = 1;
+        op.exp = 2 * (n - 1);
+        return op;
+    }
+    // Eq. 5: base = rest << 1; Eq. 6: exp = 2 * LZD(rest).
+    op.baseInt = static_cast<int32_t>(rest << 1);
+    op.exp = 2 * z.count;
+    return op;
+}
+
+IntOperand
+decodeFlintIntSigned(uint32_t code, int n)
+{
+    const uint32_t sign = (code >> (n - 1)) & 1u;
+    const uint32_t mag = code & ((1u << (n - 1)) - 1u);
+    IntOperand op = decodeFlintIntUnsigned(mag, n - 1);
+    // Two's-complement conversion on the base integer (Sec. V-C); the
+    // exponent path is untouched so the LZD critical path is unchanged.
+    if (sign) op.baseInt = -op.baseInt;
+    return op;
+}
+
+IntOperand
+decodeIntOperand(uint32_t code, int n, PeType type, bool is_signed)
+{
+    IntOperand op;
+    switch (type) {
+      case PeType::Int: {
+        // Int: zero exponent, base = code (sign-extended when signed,
+        // with the symmetric-grid clamp matching IntType).
+        if (!is_signed) {
+            op.baseInt = static_cast<int32_t>(code);
+        } else {
+            int32_t v = static_cast<int32_t>(code);
+            if (v >= (1 << (n - 1))) v -= (1 << n);
+            const int32_t max_mag = (1 << (n - 1)) - 1;
+            if (v < -max_mag) v = -max_mag;
+            op.baseInt = v;
+        }
+        op.exp = 0;
+        return op;
+      }
+      case PeType::PoT: {
+        // PoT: base = +/-1, exponent straight from the code.
+        uint32_t mag = code;
+        bool neg = false;
+        int mag_bits = n;
+        if (is_signed) {
+            neg = (code >> (n - 1)) & 1u;
+            mag = code & ((1u << (n - 1)) - 1u);
+            mag_bits = n - 1;
+        }
+        (void)mag_bits;
+        if (mag == 0) {
+            op.baseInt = 0;
+            op.exp = 0;
+        } else {
+            op.baseInt = neg ? -1 : 1;
+            op.exp = static_cast<int>(mag) - 1;
+        }
+        return op;
+      }
+      case PeType::Flint:
+        return is_signed ? decodeFlintIntSigned(code, n)
+                         : decodeFlintIntUnsigned(code, n);
+    }
+    return op;
+}
+
+FloatOperand
+decodeFlintFloatUnsigned(uint32_t code, int n)
+{
+    assert(n >= 2 && n <= 12);
+    FloatOperand op;
+    if (code == 0) {
+        op.zero = true;
+        return op;
+    }
+    const uint32_t msb = (code >> (n - 1)) & 1u;
+    const uint32_t rest = code & ((1u << (n - 1)) - 1u);
+    const LzdResult z = lzdTree(rest, n - 1);
+    const int lz = z.valid ? z.count : n - 1;
+    // Eq. 3: exponent = (n-1) - LZD when MSB=0, n + LZD when MSB=1.
+    op.exp = msb ? n + lz : (n - 1) - lz;
+    // Eq. 4: mantissa = rest << (LZD + 1), left-aligned in n-1 bits.
+    op.mantissa = (rest << (lz + 1)) & ((1u << (n - 1)) - 1u);
+    op.manWidth = n - 1;
+    return op;
+}
+
+FloatOperand
+decodeFlintFloatSigned(uint32_t code, int n)
+{
+    const uint32_t sign = (code >> (n - 1)) & 1u;
+    const uint32_t mag = code & ((1u << (n - 1)) - 1u);
+    FloatOperand op = decodeFlintFloatUnsigned(mag, n - 1);
+    op.negative = sign != 0;
+    return op;
+}
+
+double
+floatOperandValue(const FloatOperand &op)
+{
+    if (op.zero) return 0.0;
+    const double frac = static_cast<double>(op.mantissa) /
+                        std::ldexp(1.0, op.manWidth);
+    const double v = std::ldexp(1.0 + frac, op.exp - 1);
+    return op.negative ? -v : v;
+}
+
+int
+flintIntDecoderGates(int n)
+{
+    // LZD + one (n-1)-bit shifter + 2:1 muxes on base/exp outputs.
+    const int shifter = 3 * (n - 1);
+    const int muxes = 3 * n;
+    return lzdGateCount(n - 1) + shifter + muxes;
+}
+
+} // namespace hw
+} // namespace ant

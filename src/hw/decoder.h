@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Gate-level models of the ANT TypeFusion decoders (paper Sec. V).
+ *
+ * Two decoder families are modeled:
+ *  - the float-based flint decoder of Fig. 5 (Eq. 3-4): produces an
+ *    exponent field and a left-aligned mantissa for a float multiplier;
+ *  - the int-based flint decoder of Fig. 6 (Eq. 5-6, Table III):
+ *    produces a base integer and an exponent so the value is
+ *    baseInt << exp on a plain integer datapath.
+ *
+ * Both are built from the LZD and shifters only, and both handle the
+ * uniform decode of int and PoT operands as degenerate cases (Sec. V-A:
+ * "int has no exponent ... PoT has no mantissa"). Signed variants reuse
+ * the unsigned logic per Eq. 7-8.
+ */
+
+#ifndef ANT_HW_DECODER_H
+#define ANT_HW_DECODER_H
+
+#include <cstdint>
+
+#include "core/numeric_type.h"
+#include "hw/lzd.h"
+
+namespace ant {
+namespace hw {
+
+/** Operand types understood by the integer TypeFusion PE (Sec. V-B). */
+enum class PeType { Int, PoT, Flint };
+
+/** Decoded operand on the integer datapath: value = baseInt << exp. */
+struct IntOperand
+{
+    int32_t baseInt = 0; //!< signed base integer (two's complement)
+    int exp = 0;         //!< left-shift amount
+};
+
+/** Decoded operand on the float datapath: value = 2^(exp-1)*(1+frac). */
+struct FloatOperand
+{
+    bool zero = false;
+    bool negative = false;
+    int exp = 0;           //!< biased interval exponent
+    uint32_t mantissa = 0; //!< left-aligned fraction field
+    int manWidth = 0;      //!< width of the mantissa field in bits
+};
+
+/**
+ * Int-based flint decoder (Fig. 6) for an unsigned n-bit code.
+ * Pure LZD + shifter logic; exhaustively checked against the
+ * functional codec in tests.
+ */
+IntOperand decodeFlintIntUnsigned(uint32_t code, int n);
+
+/** Signed variant (Eq. 7-8): sign bit + (n-1)-bit unsigned decoder. */
+IntOperand decodeFlintIntSigned(uint32_t code, int n);
+
+/** Uniform decode of any integer-PE operand type, unsigned or signed. */
+IntOperand decodeIntOperand(uint32_t code, int n, PeType type,
+                            bool is_signed);
+
+/** Float-based flint decoder (Fig. 5) for an unsigned n-bit code. */
+FloatOperand decodeFlintFloatUnsigned(uint32_t code, int n);
+
+/** Signed float-based decode: sign attaches to the magnitude decode. */
+FloatOperand decodeFlintFloatSigned(uint32_t code, int n);
+
+/** Real value reconstructed from a float-datapath operand. */
+double floatOperandValue(const FloatOperand &op);
+
+/** Integer value reconstructed from an int-datapath operand. */
+inline int64_t
+intOperandValue(const IntOperand &op)
+{
+    return static_cast<int64_t>(op.baseInt) << op.exp;
+}
+
+/** Gate-count estimate of an n-bit int-based flint decoder. */
+int flintIntDecoderGates(int n);
+
+} // namespace hw
+} // namespace ant
+
+#endif // ANT_HW_DECODER_H

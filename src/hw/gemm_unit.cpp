@@ -1,0 +1,134 @@
+#include "hw/gemm_unit.h"
+
+#include <stdexcept>
+
+namespace ant {
+namespace hw {
+
+namespace {
+
+PeType
+peTypeOf(const NumericType &t)
+{
+    switch (t.kind()) {
+      case TypeKind::Int: return PeType::Int;
+      case TypeKind::PoT: return PeType::PoT;
+      case TypeKind::Flint: return PeType::Flint;
+      case TypeKind::Float:
+        // The integer TypeFusion PE excludes float (Sec. V-B).
+        throw std::invalid_argument(
+            "QuantizedMatrix: float types need the float-based PE");
+    }
+    return PeType::Int;
+}
+
+} // namespace
+
+QuantizedMatrix::QuantizedMatrix(const Tensor &t, const TypePtr &type,
+                                 std::vector<double> scales)
+    : rows_(t.dim(0)), cols_(t.dim(1)), type_(type),
+      peType_(peTypeOf(*type)), scales_(std::move(scales))
+{
+    if (scales_.size() != 1 &&
+        scales_.size() != static_cast<size_t>(rows_))
+        throw std::invalid_argument(
+            "QuantizedMatrix: need 1 or rows scales");
+    codes_.resize(static_cast<size_t>(rows_ * cols_));
+    for (int64_t r = 0; r < rows_; ++r) {
+        const double s = scaleOfRow(r);
+        const double inv = s > 0 ? 1.0 / s : 0.0;
+        for (int64_t c = 0; c < cols_; ++c) {
+            const double u = t[r * cols_ + c] * inv;
+            codes_[static_cast<size_t>(r * cols_ + c)] =
+                type_->encodeNearest(u);
+        }
+    }
+}
+
+Tensor
+QuantizedMatrix::dequantize() const
+{
+    Tensor out{Shape{rows_, cols_}};
+    for (int64_t r = 0; r < rows_; ++r) {
+        const double s = scaleOfRow(r);
+        for (int64_t c = 0; c < cols_; ++c)
+            out[r * cols_ + c] = static_cast<float>(
+                type_->codeValue(code(r, c)) * s);
+    }
+    return out;
+}
+
+Tensor
+typeFusionGemm(const QuantizedMatrix &act, const QuantizedMatrix &weight,
+               GemmStats *stats)
+{
+    if (act.cols() != weight.cols())
+        throw std::invalid_argument("typeFusionGemm: K mismatch");
+    if (act.perChannel())
+        throw std::invalid_argument(
+            "typeFusionGemm: activations are per-tensor (Sec. II-B)");
+
+    const int64_t M = act.rows(), K = act.cols(), N = weight.rows();
+    Tensor out{Shape{M, N}};
+
+    // Pre-decode the weight matrix once (weight decoders run at
+    // preload time in the weight-stationary array, Sec. VI-A).
+    std::vector<IntOperand> wdec(static_cast<size_t>(N * K));
+    for (int64_t n = 0; n < N; ++n)
+        for (int64_t k = 0; k < K; ++k)
+            wdec[static_cast<size_t>(n * K + k)] = decodeIntOperand(
+                weight.code(n, k), weight.bits(), weight.peType(),
+                weight.type()->isSigned());
+    if (stats) stats->decodes += N * K;
+
+    for (int64_t m = 0; m < M; ++m) {
+        // Boundary decode of the activation row as it streams in.
+        std::vector<IntOperand> adec(static_cast<size_t>(K));
+        for (int64_t k = 0; k < K; ++k)
+            adec[static_cast<size_t>(k)] = decodeIntOperand(
+                act.code(m, k), act.bits(), act.peType(),
+                act.type()->isSigned());
+        if (stats) stats->decodes += K;
+
+        for (int64_t n = 0; n < N; ++n) {
+            // Wide integer accumulation (Fig. 7); the product of two
+            // scaled integers rescales by s_a * s_w at the output.
+            int64_t acc = 0;
+            for (int64_t k = 0; k < K; ++k)
+                acc += IntFlintMac::multiply(
+                    adec[static_cast<size_t>(k)],
+                    wdec[static_cast<size_t>(n * K + k)]);
+            if (stats) stats->macs += K;
+            out[m * N + n] = static_cast<float>(
+                static_cast<double>(acc) * act.scaleOfRow(0) *
+                weight.scaleOfRow(n));
+        }
+    }
+    return out;
+}
+
+Tensor
+quantizedLinear(const Tensor &act, const Tensor &weight,
+                const QuantConfig &act_cfg, const QuantConfig &weight_cfg,
+                GemmStats *stats)
+{
+    const double sa =
+        searchScale(act.data(), act.numel(), *act_cfg.type, act_cfg);
+    QuantizedMatrix qa(act, act_cfg.type, {sa});
+
+    std::vector<double> ws;
+    if (weight_cfg.granularity == Granularity::PerChannel) {
+        const int64_t chunk = weight.numel() / weight.dim(0);
+        for (int64_t r = 0; r < weight.dim(0); ++r)
+            ws.push_back(searchScale(weight.data() + r * chunk, chunk,
+                                     *weight_cfg.type, weight_cfg));
+    } else {
+        ws.push_back(searchScale(weight.data(), weight.numel(),
+                                 *weight_cfg.type, weight_cfg));
+    }
+    QuantizedMatrix qw(weight, weight_cfg.type, std::move(ws));
+    return typeFusionGemm(qa, qw, stats);
+}
+
+} // namespace hw
+} // namespace ant

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional model of the ANT systolic GEMM path (paper Sec. VI):
+ * operands are stored as low-bit *codes*, boundary decoders expand them
+ * to (base integer, exponent) pairs, TypeFusion PEs multiply-accumulate
+ * into wide integer accumulators, and the result is rescaled to reals.
+ *
+ * This is the end-to-end integration point between the quantization
+ * framework (which decides types and scales) and the hardware models:
+ * the bit-exact invariant is that executing on codes reproduces the
+ * software fake-quantized matmul exactly (tests/test_gemm_unit.cpp).
+ * The paper's ISA extension (Sec. VI-B) reduces to tagging each MAC
+ * stream with the operand PeType, which is what QuantizedMatrix holds.
+ */
+
+#ifndef ANT_HW_GEMM_UNIT_H
+#define ANT_HW_GEMM_UNIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/quantizer.h"
+#include "hw/mac.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace hw {
+
+/**
+ * A tensor stored in encoded low-bit form with its type tag and
+ * scale(s) — what the on-chip buffers hold (aligned, fixed-length).
+ */
+class QuantizedMatrix
+{
+  public:
+    /**
+     * Encode a [rows, cols] tensor with the given type and scales
+     * (one scale, or one per row for per-channel weights).
+     */
+    QuantizedMatrix(const Tensor &t, const TypePtr &type,
+                    std::vector<double> scales);
+
+    int64_t rows() const { return rows_; }
+    int64_t cols() const { return cols_; }
+    const TypePtr &type() const { return type_; }
+    PeType peType() const { return peType_; }
+    int bits() const { return type_->bits(); }
+
+    uint32_t code(int64_t r, int64_t c) const
+    {
+        return codes_[static_cast<size_t>(r * cols_ + c)];
+    }
+    double scaleOfRow(int64_t r) const
+    {
+        return scales_.size() == 1 ? scales_[0]
+                                   : scales_[static_cast<size_t>(r)];
+    }
+    bool perChannel() const { return scales_.size() > 1; }
+
+    /** Dequantize back to reals (reference path). */
+    Tensor dequantize() const;
+
+    /** Storage cost in bits (fixed-length, aligned). */
+    int64_t storageBits() const { return rows_ * cols_ * bits(); }
+
+  private:
+    int64_t rows_, cols_;
+    TypePtr type_;
+    PeType peType_;
+    std::vector<double> scales_;
+    std::vector<uint32_t> codes_;
+};
+
+/**
+ * Functional TypeFusion GEMM: out[M,N] = act[M,K] x weight[N,K]^T,
+ * computed on codes through int-based decoders and integer MACs with
+ * wide accumulation, then rescaled (output stays high precision, as in
+ * Fig. 4 / Fig. 9).
+ *
+ * Also counts the decode and MAC operations so callers can cross-check
+ * the analytical energy model.
+ */
+struct GemmStats
+{
+    int64_t macs = 0;
+    int64_t decodes = 0;
+};
+
+Tensor typeFusionGemm(const QuantizedMatrix &act,
+                      const QuantizedMatrix &weight,
+                      GemmStats *stats = nullptr);
+
+/**
+ * Convenience: quantize both operands with the given configs (running
+ * the scale search) and execute the fused GEMM. Mirrors one
+ * ANT-quantized Conv/FC layer end to end.
+ */
+Tensor quantizedLinear(const Tensor &act, const Tensor &weight,
+                       const QuantConfig &act_cfg,
+                       const QuantConfig &weight_cfg,
+                       GemmStats *stats = nullptr);
+
+} // namespace hw
+} // namespace ant
+
+#endif // ANT_HW_GEMM_UNIT_H

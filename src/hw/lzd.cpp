@@ -1,0 +1,58 @@
+#include "hw/lzd.h"
+
+#include <cassert>
+
+namespace ant {
+namespace hw {
+
+LzdResult
+lzdTree(uint32_t v, int width)
+{
+    assert(width >= 1 && width <= 32);
+    if (width == 1) {
+        LzdResult r;
+        r.valid = (v & 1u) != 0;
+        r.count = r.valid ? 0 : 1;
+        return r;
+    }
+    // Split into a high half and low half; 2n-bit LZD from two n-bit LZDs.
+    const int hi_w = (width + 1) / 2;
+    const int lo_w = width - hi_w;
+    const LzdResult hi = lzdTree(v >> lo_w, hi_w);
+    const LzdResult lo = lzdTree(v & ((1u << lo_w) - 1u), lo_w);
+    LzdResult r;
+    if (hi.valid) {
+        r.valid = true;
+        r.count = hi.count;
+    } else if (lo.valid) {
+        r.valid = true;
+        r.count = hi_w + lo.count;
+    } else {
+        r.valid = false;
+        r.count = width;
+    }
+    return r;
+}
+
+int
+lzdGateCount(int width)
+{
+    // One 2-input NOR + mux pair per internal node of the binary tree:
+    // roughly 4 gates per combine step, width-1 combine steps.
+    return 4 * (width - 1) + width;
+}
+
+int
+lzdDepth(int width)
+{
+    int d = 0;
+    int w = 1;
+    while (w < width) {
+        w *= 2;
+        ++d;
+    }
+    return d;
+}
+
+} // namespace hw
+} // namespace ant

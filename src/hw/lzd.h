@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Leading-zero detector modeled after the modular LZD of Oklobdzija
+ * (paper reference [65]), the critical-path component of the flint
+ * decoders (Figs. 5-6).
+ *
+ * The functional result is trivial; the point of this model is to carry
+ * hardware cost metadata (gate count, depth) that feeds the area model,
+ * and to mirror the 2-bit-block recursive structure of the real circuit
+ * so the unit tests exercise the same composition the RTL would use.
+ */
+
+#ifndef ANT_HW_LZD_H
+#define ANT_HW_LZD_H
+
+#include <cstdint>
+
+namespace ant {
+namespace hw {
+
+/** Result of a leading-zero detection. */
+struct LzdResult
+{
+    int count = 0;    //!< number of leading zeros in the field
+    bool valid = false; //!< false when the input field is all zeros
+};
+
+/**
+ * Recursive (tree) leading-zero detector over a @p width -bit field.
+ * Matches the valid/position composition rule of the Oklobdzija LZD:
+ * a 2n-bit detector combines two n-bit detectors with one mux level.
+ */
+LzdResult lzdTree(uint32_t v, int width);
+
+/** Gate-count estimate for a tree LZD of the given width. */
+int lzdGateCount(int width);
+
+/** Logic depth (mux levels) of a tree LZD of the given width. */
+int lzdDepth(int width);
+
+} // namespace hw
+} // namespace ant
+
+#endif // ANT_HW_LZD_H

@@ -1,0 +1,41 @@
+#include "hw/mac.h"
+
+namespace ant {
+namespace hw {
+
+void
+decomposeInt8(int32_t x, bool is_signed, IntOperand &hi, IntOperand &lo)
+{
+    // Low nibble is always unsigned; the high nibble carries the sign in
+    // two's complement (Fig. 8: <a,4> and <b,0>).
+    const uint32_t ux = static_cast<uint32_t>(x) & 0xffu;
+    lo.baseInt = static_cast<int32_t>(ux & 0xfu);
+    lo.exp = 0;
+    int32_t h = static_cast<int32_t>(ux >> 4);
+    if (is_signed && h >= 8) h -= 16;
+    hi.baseInt = h;
+    hi.exp = 4;
+}
+
+int64_t
+fusedInt8Multiply(int32_t a, int32_t b, bool is_signed)
+{
+    IntOperand ah, al, bh, bl;
+    decomposeInt8(a, is_signed, ah, al);
+    decomposeInt8(b, is_signed, bh, bl);
+    // Four 4-bit PE products summed by the adder tree (Fig. 8).
+    const int64_t p0 = IntFlintMac::multiply(ah, bh); // << 8
+    const int64_t p1 = IntFlintMac::multiply(ah, bl); // << 4
+    const int64_t p2 = IntFlintMac::multiply(al, bh); // << 4
+    const int64_t p3 = IntFlintMac::multiply(al, bl); // << 0
+    return p0 + p1 + p2 + p3;
+}
+
+double
+floatFlintMultiply(const FloatOperand &a, const FloatOperand &b)
+{
+    return floatOperandValue(a) * floatOperandValue(b);
+}
+
+} // namespace hw
+} // namespace ant

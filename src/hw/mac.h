@@ -1,0 +1,86 @@
+/**
+ * @file
+ * TypeFusion multiply-accumulate units (paper Sec. V, Figs. 7-8).
+ *
+ * The int-based flint MAC multiplies two decoded operands with a plain
+ * n-bit integer multiplier, adds their exponents with an n-bit adder,
+ * left-shifts the product, and accumulates in wide precision. Four 4-bit
+ * ANT PEs plus an adder tree implement one 8-bit int MAC (Fig. 8),
+ * which is how the mixed-precision mode reuses the array.
+ */
+
+#ifndef ANT_HW_MAC_H
+#define ANT_HW_MAC_H
+
+#include <cstdint>
+
+#include "hw/decoder.h"
+
+namespace ant {
+namespace hw {
+
+/**
+ * Integer-datapath TypeFusion MAC (Fig. 7).
+ *
+ * Holds a wide accumulator; multiply() models one cycle of the PE.
+ */
+class IntFlintMac
+{
+  public:
+    explicit IntFlintMac(int bits = 4) : bits_(bits) {}
+
+    /** Product of two decoded operands: (ia*ib) << (ea+eb). */
+    static int64_t
+    multiply(const IntOperand &a, const IntOperand &b)
+    {
+        const int64_t ic = static_cast<int64_t>(a.baseInt) * b.baseInt;
+        const int ec = a.exp + b.exp;
+        return ic << ec;
+    }
+
+    /** Decode both operand codes and multiply-accumulate one pair. */
+    void
+    mac(uint32_t code_a, PeType type_a, bool signed_a, uint32_t code_b,
+        PeType type_b, bool signed_b)
+    {
+        const IntOperand a = decodeIntOperand(code_a, bits_, type_a,
+                                              signed_a);
+        const IntOperand b = decodeIntOperand(code_b, bits_, type_b,
+                                              signed_b);
+        acc_ += multiply(a, b);
+    }
+
+    int64_t accumulator() const { return acc_; }
+    void reset() { acc_ = 0; }
+    int bits() const { return bits_; }
+
+  private:
+    int bits_;
+    int64_t acc_ = 0;
+};
+
+/**
+ * 8-bit int multiply built from four 4-bit ANT PEs (Fig. 8).
+ *
+ * Each 8-bit operand x is decomposed into <hi, 4> and <lo, 0> base/exp
+ * pairs; the four cross products are computed on 4-bit PEs and summed by
+ * the extra adder tree. Exhaustive tests check equality with a native
+ * 8x8 multiply for signed and unsigned operands.
+ */
+int64_t fusedInt8Multiply(int32_t a, int32_t b, bool is_signed);
+
+/** Decompose an 8-bit integer into the two fused-PE operands. */
+void decomposeInt8(int32_t x, bool is_signed, IntOperand &hi,
+                   IntOperand &lo);
+
+/**
+ * Float-datapath flint multiply (Sec. V-A): multiply two decoded float
+ * operands exactly (exponent add, mantissa multiply). Returns the real
+ * product; used to validate the float-based PE option.
+ */
+double floatFlintMultiply(const FloatOperand &a, const FloatOperand &b);
+
+} // namespace hw
+} // namespace ant
+
+#endif // ANT_HW_MAC_H

@@ -1,0 +1,599 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ant {
+namespace nn {
+
+namespace {
+
+std::atomic<int64_t> g_next_id{0};
+
+/** True if any input participates in backward. */
+bool
+anyGrad(const std::vector<Var> &vs)
+{
+    for (const Var &v : vs)
+        if (v && v->requiresGrad) return true;
+    return false;
+}
+
+/** Build an op node: value, parents, and backward closure. */
+Var
+makeOp(Tensor value, std::vector<Var> parents,
+       std::function<void(Node &)> backfn)
+{
+    auto n = std::make_shared<Node>(std::move(value), anyGrad(parents));
+    n->parents = std::move(parents);
+    if (n->requiresGrad) {
+        Node *raw = n.get();
+        n->backfn = [raw, fn = std::move(backfn)] { fn(*raw); };
+    }
+    return n;
+}
+
+} // namespace
+
+Node::Node(Tensor v, bool requires_grad)
+    : value(std::move(v)), requiresGrad(requires_grad),
+      id(g_next_id.fetch_add(1))
+{}
+
+Tensor &
+Node::ensureGrad()
+{
+    if (grad.shape() != value.shape()) grad = Tensor{value.shape()};
+    return grad;
+}
+
+Var
+variable(Tensor value, bool requires_grad)
+{
+    return std::make_shared<Node>(std::move(value), requires_grad);
+}
+
+Var
+constant(Tensor value)
+{
+    return variable(std::move(value), false);
+}
+
+void
+backward(const Var &root, const Tensor &seed)
+{
+    if (!root->requiresGrad)
+        throw std::invalid_argument("backward: root requires no grad");
+    if (seed.shape() != root->value.shape())
+        throw std::invalid_argument("backward: seed shape mismatch");
+    root->ensureGrad();
+    root->grad = seed;
+
+    // Collect the reachable subgraph, then replay in descending id
+    // order (a topological order, since ops only consume older nodes).
+    std::vector<Node *> order;
+    std::unordered_set<Node *> seen;
+    std::vector<Node *> stack{root.get()};
+    while (!stack.empty()) {
+        Node *n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second) continue;
+        order.push_back(n);
+        for (const Var &p : n->parents)
+            if (p && p->requiresGrad) stack.push_back(p.get());
+    }
+    std::sort(order.begin(), order.end(),
+              [](Node *a, Node *b) { return a->id > b->id; });
+    for (Node *n : order)
+        if (n->backfn) n->backfn();
+}
+
+void
+backward(const Var &root)
+{
+    backward(root, Tensor::full(root->value.shape(), 1.0f));
+}
+
+// ----------------------------------------------------------------------
+// Elementwise / scalar ops
+// ----------------------------------------------------------------------
+
+Var
+add(const Var &a, const Var &b)
+{
+    return makeOp(ops::add(a->value, b->value), {a, b}, [](Node &n) {
+        for (int k = 0; k < 2; ++k) {
+            const Var &p = n.parents[static_cast<size_t>(k)];
+            if (!p->requiresGrad) continue;
+            Tensor &g = p->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += n.grad[i];
+        }
+    });
+}
+
+Var
+sub(const Var &a, const Var &b)
+{
+    return makeOp(ops::sub(a->value, b->value), {a, b}, [](Node &n) {
+        if (n.parents[0]->requiresGrad) {
+            Tensor &g = n.parents[0]->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += n.grad[i];
+        }
+        if (n.parents[1]->requiresGrad) {
+            Tensor &g = n.parents[1]->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] -= n.grad[i];
+        }
+    });
+}
+
+Var
+mul(const Var &a, const Var &b)
+{
+    return makeOp(ops::mul(a->value, b->value), {a, b}, [](Node &n) {
+        const Tensor &av = n.parents[0]->value;
+        const Tensor &bv = n.parents[1]->value;
+        if (n.parents[0]->requiresGrad) {
+            Tensor &g = n.parents[0]->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i)
+                g[i] += n.grad[i] * bv[i];
+        }
+        if (n.parents[1]->requiresGrad) {
+            Tensor &g = n.parents[1]->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i)
+                g[i] += n.grad[i] * av[i];
+        }
+    });
+}
+
+Var
+scale(const Var &a, float k)
+{
+    Tensor v = a->value;
+    v.scale(k);
+    return makeOp(std::move(v), {a}, [k](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (int64_t i = 0; i < g.numel(); ++i) g[i] += k * n.grad[i];
+    });
+}
+
+// ----------------------------------------------------------------------
+// Linear algebra
+// ----------------------------------------------------------------------
+
+Var
+linear(const Var &x, const Var &w, const Var &b)
+{
+    Tensor y = ops::matmulBT(x->value, w->value);
+    if (b) y = ops::addRowBias(y, b->value);
+    std::vector<Var> parents{x, w};
+    if (b) parents.push_back(b);
+    return makeOp(std::move(y), std::move(parents), [](Node &n) {
+        const Var &x = n.parents[0];
+        const Var &w = n.parents[1];
+        if (x->requiresGrad) {
+            // dx = dy @ W
+            const Tensor dx = ops::matmul(n.grad, w->value);
+            Tensor &g = x->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += dx[i];
+        }
+        if (w->requiresGrad) {
+            // dW = dy^T @ x
+            const Tensor dw = ops::matmulAT(n.grad, x->value);
+            Tensor &g = w->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += dw[i];
+        }
+        if (n.parents.size() > 2 && n.parents[2]->requiresGrad) {
+            Tensor &g = n.parents[2]->ensureGrad();
+            const int64_t m = n.grad.dim(0), c = n.grad.dim(1);
+            for (int64_t i = 0; i < m; ++i)
+                for (int64_t j = 0; j < c; ++j)
+                    g[j] += n.grad[i * c + j];
+        }
+    });
+}
+
+Var
+matmul(const Var &a, const Var &b)
+{
+    return makeOp(ops::matmul(a->value, b->value), {a, b}, [](Node &n) {
+        const Var &a = n.parents[0];
+        const Var &b = n.parents[1];
+        if (a->requiresGrad) {
+            const Tensor da = ops::matmulBT(n.grad, b->value);
+            Tensor &g = a->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += da[i];
+        }
+        if (b->requiresGrad) {
+            const Tensor db = ops::matmulAT(a->value, n.grad);
+            Tensor &g = b->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += db[i];
+        }
+    });
+}
+
+Var
+matmulBT(const Var &a, const Var &b)
+{
+    return makeOp(ops::matmulBT(a->value, b->value), {a, b},
+                  [](Node &n) {
+        const Var &a = n.parents[0];
+        const Var &b = n.parents[1];
+        if (a->requiresGrad) {
+            const Tensor da = ops::matmul(n.grad, b->value);
+            Tensor &g = a->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += da[i];
+        }
+        if (b->requiresGrad) {
+            const Tensor db = ops::matmulAT(n.grad, a->value);
+            Tensor &g = b->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += db[i];
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// Activations
+// ----------------------------------------------------------------------
+
+Var
+relu(const Var &x)
+{
+    return makeOp(ops::relu(x->value), {x}, [](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        const Tensor &xv = n.parents[0]->value;
+        for (int64_t i = 0; i < g.numel(); ++i)
+            if (xv[i] > 0.0f) g[i] += n.grad[i];
+    });
+}
+
+Var
+gelu(const Var &x)
+{
+    return makeOp(ops::gelu(x->value), {x}, [](Node &n) {
+        constexpr float kA = 0.7978845608028654f;
+        Tensor &g = n.parents[0]->ensureGrad();
+        const Tensor &xv = n.parents[0]->value;
+        for (int64_t i = 0; i < g.numel(); ++i) {
+            const float v = xv[i];
+            const float u = kA * (v + 0.044715f * v * v * v);
+            const float t = std::tanh(u);
+            const float du = kA * (1.0f + 3.0f * 0.044715f * v * v);
+            const float d =
+                0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+            g[i] += n.grad[i] * d;
+        }
+    });
+}
+
+Var
+tanhV(const Var &x)
+{
+    return makeOp(ops::tanhT(x->value), {x}, [](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (int64_t i = 0; i < g.numel(); ++i) {
+            const float t = n.value[i];
+            g[i] += n.grad[i] * (1.0f - t * t);
+        }
+    });
+}
+
+Var
+softmaxRows(const Var &x)
+{
+    return makeOp(ops::softmaxRows(x->value), {x}, [](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        const int64_t m = n.value.dim(0), c = n.value.dim(1);
+        for (int64_t i = 0; i < m; ++i) {
+            double dot = 0.0;
+            for (int64_t j = 0; j < c; ++j)
+                dot += static_cast<double>(n.grad[i * c + j]) *
+                       n.value[i * c + j];
+            for (int64_t j = 0; j < c; ++j)
+                g[i * c + j] +=
+                    n.value[i * c + j] *
+                    (n.grad[i * c + j] - static_cast<float>(dot));
+        }
+    });
+}
+
+Var
+layerNorm(const Var &x, const Var &gamma, const Var &beta, float eps)
+{
+    const int64_t m = x->value.dim(0), d = x->value.dim(1);
+    Tensor y{x->value.shape()};
+    Tensor mean{Shape{m}}, rstd{Shape{m}};
+    for (int64_t i = 0; i < m; ++i) {
+        double mu = 0.0;
+        for (int64_t j = 0; j < d; ++j) mu += x->value[i * d + j];
+        mu /= static_cast<double>(d);
+        double var = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+            const double t = x->value[i * d + j] - mu;
+            var += t * t;
+        }
+        var /= static_cast<double>(d);
+        const double rs = 1.0 / std::sqrt(var + eps);
+        mean[i] = static_cast<float>(mu);
+        rstd[i] = static_cast<float>(rs);
+        for (int64_t j = 0; j < d; ++j) {
+            const float xhat = static_cast<float>(
+                (x->value[i * d + j] - mu) * rs);
+            y[i * d + j] = xhat * gamma->value[j] + beta->value[j];
+        }
+    }
+    return makeOp(std::move(y), {x, gamma, beta},
+                  [mean, rstd, d](Node &n) {
+        const Var &x = n.parents[0];
+        const Var &gamma = n.parents[1];
+        const Var &beta = n.parents[2];
+        const int64_t m = n.value.dim(0);
+        for (int64_t i = 0; i < m; ++i) {
+            // Recompute xhat for the row.
+            std::vector<float> xhat(static_cast<size_t>(d));
+            for (int64_t j = 0; j < d; ++j)
+                xhat[static_cast<size_t>(j)] =
+                    (x->value[i * d + j] - mean[i]) * rstd[i];
+            double sum_dy = 0.0, sum_dyx = 0.0;
+            std::vector<float> dxhat(static_cast<size_t>(d));
+            for (int64_t j = 0; j < d; ++j) {
+                const float dy = n.grad[i * d + j];
+                dxhat[static_cast<size_t>(j)] = dy * gamma->value[j];
+                sum_dy += dxhat[static_cast<size_t>(j)];
+                sum_dyx += static_cast<double>(
+                               dxhat[static_cast<size_t>(j)]) *
+                           xhat[static_cast<size_t>(j)];
+            }
+            if (x->requiresGrad) {
+                Tensor &gx = x->ensureGrad();
+                for (int64_t j = 0; j < d; ++j) {
+                    const double t =
+                        dxhat[static_cast<size_t>(j)] -
+                        sum_dy / static_cast<double>(d) -
+                        xhat[static_cast<size_t>(j)] * sum_dyx /
+                            static_cast<double>(d);
+                    gx[i * d + j] += static_cast<float>(t * rstd[i]);
+                }
+            }
+            if (gamma->requiresGrad) {
+                Tensor &gg = gamma->ensureGrad();
+                for (int64_t j = 0; j < d; ++j)
+                    gg[j] += n.grad[i * d + j] *
+                             xhat[static_cast<size_t>(j)];
+            }
+            if (beta->requiresGrad) {
+                Tensor &gb = beta->ensureGrad();
+                for (int64_t j = 0; j < d; ++j)
+                    gb[j] += n.grad[i * d + j];
+            }
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// Convolution / pooling / shape
+// ----------------------------------------------------------------------
+
+Var
+conv2d(const Var &x, const Var &w, int stride, int pad)
+{
+    return makeOp(ops::conv2d(x->value, w->value, stride, pad), {x, w},
+                  [stride, pad](Node &n) {
+        const Var &x = n.parents[0];
+        const Var &w = n.parents[1];
+        const int64_t nb = n.value.dim(0), oc = n.value.dim(1);
+        const int64_t ohw = n.value.dim(2) * n.value.dim(3);
+        const int k = static_cast<int>(w->value.dim(2));
+        const int64_t ickk = w->value.dim(1) * k * k;
+
+        // dy as [n*oh*ow, oc].
+        Tensor dy_mat{Shape{nb * ohw, oc}};
+        for (int64_t b = 0; b < nb; ++b)
+            for (int64_t c = 0; c < oc; ++c)
+                for (int64_t s = 0; s < ohw; ++s)
+                    dy_mat[(b * ohw + s) * oc + c] =
+                        n.grad[(b * oc + c) * ohw + s];
+
+        if (w->requiresGrad) {
+            const Tensor cols = ops::im2col(x->value, k, stride, pad);
+            // dW = dy^T @ cols, shape [oc, ic*k*k].
+            const Tensor dw = ops::matmulAT(dy_mat, cols);
+            Tensor &g = w->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += dw[i];
+        }
+        if (x->requiresGrad) {
+            // dcols = dy @ Wmat.
+            const Tensor wmat =
+                w->value.reshaped(Shape{oc, ickk});
+            const Tensor dcols = ops::matmul(dy_mat, wmat);
+            const Tensor dx =
+                ops::col2im(dcols, x->value.shape(), k, stride, pad);
+            Tensor &g = x->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += dx[i];
+        }
+    });
+}
+
+Var
+maxPool2d(const Var &x, int k, int stride)
+{
+    Tensor y = ops::maxPool2d(x->value, k, stride);
+    return makeOp(std::move(y), {x}, [k, stride](Node &n) {
+        const Var &x = n.parents[0];
+        Tensor &g = x->ensureGrad();
+        const int64_t nb = x->value.dim(0), c = x->value.dim(1);
+        const int64_t h = x->value.dim(2), w = x->value.dim(3);
+        const int64_t oh = n.value.dim(2), ow = n.value.dim(3);
+        for (int64_t nc = 0; nc < nb * c; ++nc) {
+            for (int64_t oy = 0; oy < oh; ++oy)
+                for (int64_t ox = 0; ox < ow; ++ox) {
+                    // Route grad to the argmax input.
+                    float best = -1e30f;
+                    int64_t bi = -1;
+                    for (int ky = 0; ky < k; ++ky)
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int64_t iy = oy * stride + ky;
+                            const int64_t ix = ox * stride + kx;
+                            if (iy >= h || ix >= w) continue;
+                            const float v =
+                                x->value[(nc * h + iy) * w + ix];
+                            if (v > best) {
+                                best = v;
+                                bi = (nc * h + iy) * w + ix;
+                            }
+                        }
+                    if (bi >= 0)
+                        g[bi] += n.grad[(nc * oh + oy) * ow + ox];
+                }
+        }
+    });
+}
+
+Var
+globalAvgPool(const Var &x)
+{
+    return makeOp(ops::globalAvgPool(x->value), {x}, [](Node &n) {
+        const Var &x = n.parents[0];
+        Tensor &g = x->ensureGrad();
+        const int64_t nb = x->value.dim(0), c = x->value.dim(1);
+        const int64_t hw = x->value.dim(2) * x->value.dim(3);
+        const float inv = 1.0f / static_cast<float>(hw);
+        for (int64_t nc = 0; nc < nb * c; ++nc)
+            for (int64_t i = 0; i < hw; ++i)
+                g[nc * hw + i] += n.grad[nc] * inv;
+    });
+}
+
+Var
+reshape(const Var &x, Shape shape)
+{
+    return makeOp(x->value.reshaped(std::move(shape)), {x}, [](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (int64_t i = 0; i < g.numel(); ++i) g[i] += n.grad[i];
+    });
+}
+
+Var
+sliceRows(const Var &x, int64_t lo, int64_t hi)
+{
+    const int64_t cols = x->value.dim(1);
+    Tensor y{Shape{hi - lo, cols}};
+    for (int64_t i = 0; i < y.numel(); ++i)
+        y[i] = x->value[lo * cols + i];
+    return makeOp(std::move(y), {x}, [lo, cols](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (int64_t i = 0; i < n.grad.numel(); ++i)
+            g[lo * cols + i] += n.grad[i];
+    });
+}
+
+Var
+concatRows(const std::vector<Var> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("concatRows: empty input");
+    const int64_t cols = xs[0]->value.dim(1);
+    int64_t rows = 0;
+    for (const Var &v : xs) rows += v->value.dim(0);
+    Tensor y{Shape{rows, cols}};
+    int64_t off = 0;
+    for (const Var &v : xs) {
+        for (int64_t i = 0; i < v->value.numel(); ++i)
+            y[off + i] = v->value[i];
+        off += v->value.numel();
+    }
+    return makeOp(std::move(y), xs, [](Node &n) {
+        int64_t off = 0;
+        for (const Var &p : n.parents) {
+            if (p->requiresGrad) {
+                Tensor &g = p->ensureGrad();
+                for (int64_t i = 0; i < p->value.numel(); ++i)
+                    g[i] += n.grad[off + i];
+            }
+            off += p->value.numel();
+        }
+    });
+}
+
+Var
+transpose(const Var &x)
+{
+    const int64_t m = x->value.dim(0), c = x->value.dim(1);
+    Tensor y{Shape{c, m}};
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < c; ++j)
+            y[j * m + i] = x->value[i * c + j];
+    return makeOp(std::move(y), {x}, [m, c](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < c; ++j)
+                g[i * c + j] += n.grad[j * m + i];
+    });
+}
+
+Var
+embedding(const Var &table, const std::vector<int> &ids)
+{
+    const int64_t d = table->value.dim(1);
+    Tensor y{Shape{static_cast<int64_t>(ids.size()), d}};
+    for (size_t t = 0; t < ids.size(); ++t)
+        for (int64_t j = 0; j < d; ++j)
+            y[static_cast<int64_t>(t) * d + j] =
+                table->value[ids[t] * d + j];
+    return makeOp(std::move(y), {table}, [ids, d](Node &n) {
+        Tensor &g = n.parents[0]->ensureGrad();
+        for (size_t t = 0; t < ids.size(); ++t)
+            for (int64_t j = 0; j < d; ++j)
+                g[ids[t] * d + j] +=
+                    n.grad[static_cast<int64_t>(t) * d + j];
+    });
+}
+
+Var
+crossEntropy(const Var &logits, const std::vector<int> &labels)
+{
+    const int64_t m = logits->value.dim(0), c = logits->value.dim(1);
+    if (static_cast<int64_t>(labels.size()) != m)
+        throw std::invalid_argument("crossEntropy: label count mismatch");
+    const Tensor probs = ops::softmaxRows(logits->value);
+    double loss = 0.0;
+    for (int64_t i = 0; i < m; ++i)
+        loss -= std::log(
+            std::max(1e-12f, probs[i * c + labels[static_cast<size_t>(i)]]));
+    loss /= static_cast<double>(m);
+    Tensor out{Shape{1}};
+    out[0] = static_cast<float>(loss);
+    return makeOp(std::move(out), {logits}, [probs, labels](Node &n) {
+        const Var &logits = n.parents[0];
+        Tensor &g = logits->ensureGrad();
+        const int64_t m = logits->value.dim(0);
+        const int64_t c = logits->value.dim(1);
+        const float s = n.grad[0] / static_cast<float>(m);
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < c; ++j) {
+                float d = probs[i * c + j];
+                if (j == labels[static_cast<size_t>(i)]) d -= 1.0f;
+                g[i * c + j] += s * d;
+            }
+    });
+}
+
+Var
+fakeQuantSTE(const Var &x, Tensor quantized, float lo, float hi)
+{
+    if (quantized.shape() != x->value.shape())
+        throw std::invalid_argument("fakeQuantSTE: shape mismatch");
+    return makeOp(std::move(quantized), {x}, [lo, hi](Node &n) {
+        // Straight-through: identity gradient inside the clip range,
+        // zero outside (PACT-style, Sec. VII-A "Fine-tuning").
+        Tensor &g = n.parents[0]->ensureGrad();
+        const Tensor &xv = n.parents[0]->value;
+        for (int64_t i = 0; i < g.numel(); ++i)
+            if (xv[i] >= lo && xv[i] <= hi) g[i] += n.grad[i];
+    });
+}
+
+} // namespace nn
+} // namespace ant

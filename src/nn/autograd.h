@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Minimal tape-based reverse-mode autodiff over ant::Tensor.
+ *
+ * This replaces the PyTorch dependency of the paper's released framework:
+ * quantization-aware fine-tuning (Sec. IV-C) only needs forward fake
+ * quantization plus straight-through gradients, which this engine
+ * provides. Nodes form a DAG; backward() walks it in reverse creation
+ * order, which is a valid topological order because operations can only
+ * consume already-created nodes.
+ */
+
+#ifndef ANT_NN_AUTOGRAD_H
+#define ANT_NN_AUTOGRAD_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace nn {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+/** One value in the computation graph. */
+class Node
+{
+  public:
+    Node(Tensor value, bool requires_grad);
+
+    Tensor value;        //!< forward result
+    Tensor grad;         //!< accumulated gradient (lazily allocated)
+    bool requiresGrad;   //!< participate in backward?
+    int64_t id;          //!< creation index, defines topo order
+
+    std::vector<Var> parents;
+    /** Propagate this->grad into parents' grads. */
+    std::function<void()> backfn;
+
+    /** Zero-filled grad of value's shape, allocating on first use. */
+    Tensor &ensureGrad();
+
+    const Shape &shape() const { return value.shape(); }
+    int64_t numel() const { return value.numel(); }
+};
+
+/** Wrap a tensor as a graph leaf. */
+Var variable(Tensor value, bool requires_grad = false);
+
+/** Constant (no grad) leaf. */
+Var constant(Tensor value);
+
+/**
+ * Reverse-mode sweep from @p root (seed gradient 1 for scalars, or the
+ * given seed). Frees nothing; call graph construction per step.
+ */
+void backward(const Var &root);
+void backward(const Var &root, const Tensor &seed);
+
+// --- differentiable ops -----------------------------------------------
+
+Var add(const Var &a, const Var &b);
+Var sub(const Var &a, const Var &b);
+Var mul(const Var &a, const Var &b);
+Var scale(const Var &a, float k);
+
+/** y = x @ W^T + b; x:[m,in], w:[out,in], b:[out] (b may be null). */
+Var linear(const Var &x, const Var &w, const Var &b);
+
+/** Plain matrix products. */
+Var matmul(const Var &a, const Var &b);
+Var matmulBT(const Var &a, const Var &b);
+
+Var relu(const Var &x);
+Var gelu(const Var &x);
+Var tanhV(const Var &x);
+
+/** Row-wise softmax over the last dim of a 2-D value. */
+Var softmaxRows(const Var &x);
+
+/** Row-wise layer norm with learned gamma/beta vectors. */
+Var layerNorm(const Var &x, const Var &gamma, const Var &beta,
+              float eps = 1e-5f);
+
+/** NCHW convolution via im2col. */
+Var conv2d(const Var &x, const Var &w, int stride, int pad);
+
+Var maxPool2d(const Var &x, int k, int stride);
+Var globalAvgPool(const Var &x);
+
+Var reshape(const Var &x, Shape shape);
+
+/** Rows [lo, hi) of a 2-D value. */
+Var sliceRows(const Var &x, int64_t lo, int64_t hi);
+
+/** Concatenate 2-D values along rows. */
+Var concatRows(const std::vector<Var> &xs);
+
+/** 2-D transpose. */
+Var transpose(const Var &x);
+
+/** Embedding lookup: table [V, D] gathered by ids (len T). */
+Var embedding(const Var &table, const std::vector<int> &ids);
+
+/**
+ * Mean softmax cross-entropy of logits [B, C] against integer labels;
+ * returns a scalar Var.
+ */
+Var crossEntropy(const Var &logits, const std::vector<int> &labels);
+
+/**
+ * Straight-through fake quantization: forward replaces values with
+ * @p quantized (same shape, computed by the caller); backward passes
+ * gradients through unchanged for elements whose input was inside
+ * [lo, hi] and zeros them outside (PACT-style clipping mask).
+ */
+Var fakeQuantSTE(const Var &x, Tensor quantized, float lo, float hi);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_AUTOGRAD_H

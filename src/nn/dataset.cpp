@@ -1,0 +1,248 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+namespace nn {
+
+Batch
+Dataset::batch(int64_t b, int64_t bs, bool train) const
+{
+    Batch out;
+    const int64_t n = train ? trainSize() : testSize();
+    const int64_t lo = b * bs;
+    const int64_t hi = std::min(n, lo + bs);
+    if (lo >= hi) throw std::out_of_range("Dataset::batch: empty batch");
+
+    const std::vector<int> &ys = train ? trainY : testY;
+    out.labels.assign(ys.begin() + lo, ys.begin() + hi);
+
+    if (isToken) {
+        const auto &toks = train ? trainTok : testTok;
+        out.tokens.assign(toks.begin() + lo, toks.begin() + hi);
+    } else {
+        const Tensor &X = train ? trainX : testX;
+        const int64_t stride = X.numel() / X.dim(0);
+        std::vector<int64_t> dims = X.shape().dims();
+        dims[0] = hi - lo;
+        Tensor xb{Shape{dims}};
+        for (int64_t i = 0; i < xb.numel(); ++i)
+            xb[i] = X[lo * stride + i];
+        out.x = std::move(xb);
+    }
+    return out;
+}
+
+Dataset
+makeClusterDataset(int classes, int dim, int64_t n_train, int64_t n_test,
+                   uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.name = "clusters";
+    ds.numClasses = classes;
+
+    // Class centers on a sphere, radius spaced for ~90%+ separability.
+    std::vector<std::vector<float>> centers(
+        static_cast<size_t>(classes), std::vector<float>(dim));
+    for (auto &c : centers)
+        for (float &v : c) v = rng.gaussian(0.0f, 2.0f);
+
+    const auto gen = [&](int64_t n, Tensor &X, std::vector<int> &Y) {
+        X = Tensor{Shape{n, dim}};
+        Y.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            const int k = static_cast<int>(rng.randint(0, classes - 1));
+            Y[static_cast<size_t>(i)] = k;
+            for (int64_t j = 0; j < dim; ++j)
+                X[i * dim + j] =
+                    centers[static_cast<size_t>(k)][static_cast<size_t>(
+                        j)] +
+                    rng.gaussian(0.0f, 0.9f);
+        }
+    };
+    gen(n_train, ds.trainX, ds.trainY);
+    gen(n_test, ds.testX, ds.testY);
+    return ds;
+}
+
+Dataset
+makeTextureImageDataset(int classes, int64_t n_train, int64_t n_test,
+                        uint64_t seed, float noise)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.name = "textures";
+    ds.numClasses = classes;
+    constexpr int kH = 16, kW = 16;
+
+    const auto gen = [&](int64_t n, Tensor &X, std::vector<int> &Y) {
+        X = Tensor{Shape{n, 1, kH, kW}};
+        Y.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i) {
+            const int k = static_cast<int>(rng.randint(0, classes - 1));
+            Y[static_cast<size_t>(i)] = k;
+            // Class-specific grating orientation and frequency; with
+            // more than 5 classes orientations repeat and only the
+            // frequency separates them, which makes the task harder.
+            const float theta =
+                static_cast<float>(k % 5) * 3.14159265f /
+                static_cast<float>(std::min(classes, 5));
+            const float freq =
+                0.5f + 0.18f * static_cast<float>(k / 5) +
+                0.05f * static_cast<float>(k % 3);
+            const float phase = rng.uniform(0.0f, 6.28f);
+            const float fx = freq * std::cos(theta);
+            const float fy = freq * std::sin(theta);
+            for (int y = 0; y < kH; ++y)
+                for (int x = 0; x < kW; ++x)
+                    X[((i * kH) + y) * kW + x] =
+                        std::sin(fx * static_cast<float>(x) +
+                                 fy * static_cast<float>(y) + phase) +
+                        rng.gaussian(0.0f, noise);
+        }
+    };
+    gen(n_train, ds.trainX, ds.trainY);
+    gen(n_test, ds.testX, ds.testY);
+    return ds;
+}
+
+namespace {
+
+/** Shared token-task constants. */
+constexpr int kVocab = 32;
+constexpr int kSeq = 12;
+
+std::vector<int>
+randomSeq(Rng &rng, int lo, int hi, int len)
+{
+    std::vector<int> s(static_cast<size_t>(len));
+    for (int &t : s) t = static_cast<int>(rng.randint(lo, hi));
+    return s;
+}
+
+} // namespace
+
+Dataset
+makeTokenDataset(TokenTask task, int64_t n_train, int64_t n_test,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds;
+    ds.isToken = true;
+    ds.vocab = kVocab;
+    ds.seqLen = kSeq;
+
+    const auto gen_one = [&](std::vector<int> &seq, int &label) {
+        switch (task) {
+          case TokenTask::EntailLike: {
+            // Premise (5 tokens) + SEP + hypothesis (5 tokens). Tokens
+            // below kVocab/2 carry negative polarity, the rest positive
+            // (SEP excluded). The 3-way label is the polarity relation
+            // between the two segments: agree-negative / mixed /
+            // agree-positive — a minimal two-segment relational task
+            // a small encoder generalizes on.
+            const int kSep = kVocab - 1;
+            const int kHalf = (kVocab - 1) / 2;
+            const auto seg = [&](bool positive) {
+                std::vector<int> s(5);
+                for (size_t i = 0; i < 5; ++i) {
+                    // Only a 3-of-5 majority is guaranteed; the last
+                    // two tokens are free, keeping margins tight so
+                    // quantization noise is measurable (Fig. 11).
+                    const bool flip = i >= 3 && rng.bernoulli(0.5);
+                    const bool pos = positive != flip;
+                    s[i] = pos ? static_cast<int>(
+                                     rng.randint(kHalf, kVocab - 2))
+                               : static_cast<int>(
+                                     rng.randint(0, kHalf - 1));
+                }
+                return s;
+            };
+            const bool p_pos = rng.bernoulli(0.5);
+            const bool h_pos = rng.bernoulli(0.5);
+            seq = seg(p_pos);
+            seq.push_back(kSep);
+            const std::vector<int> hyp = seg(h_pos);
+            seq.insert(seq.end(), hyp.begin(), hyp.end());
+            label = static_cast<int>(p_pos) + static_cast<int>(h_pos);
+            break;
+          }
+          case TokenTask::GrammarLike: {
+            // Acceptability: "grammatical" sequences draw only from
+            // the regular vocabulary; a corruption replaces one or two
+            // tokens with members of a small reserved "violation"
+            // class (function-word misuse analogue). Detecting the
+            // violation is a sparse-token detection problem a small
+            // encoder learns reliably — unlike full order checking.
+            const int kReserved = 4; // top tokens are the violations
+            seq = randomSeq(rng, 0, kVocab - kReserved - 1, kSeq);
+            std::sort(seq.begin(), seq.begin() + kSeq / 2);
+            std::sort(seq.begin() + kSeq / 2, seq.end());
+            const bool corrupt = rng.bernoulli(0.5);
+            if (corrupt) {
+                const int hits = 1 + static_cast<int>(rng.randint(0, 1));
+                for (int h = 0; h < hits; ++h) {
+                    const auto i = static_cast<size_t>(
+                        rng.randint(0, kSeq - 1));
+                    seq[i] = kVocab - 1 -
+                             static_cast<int>(
+                                 rng.randint(0, kReserved - 1));
+                }
+            }
+            label = corrupt ? 0 : 1;
+            break;
+          }
+          case TokenTask::SentimentLike: {
+            // Tokens < kVocab/2 are "negative", >= are "positive";
+            // the label is the majority polarity.
+            seq = randomSeq(rng, 0, kVocab - 1, kSeq);
+            int pos = 0;
+            for (int t : seq)
+                if (t >= kVocab / 2) ++pos;
+            if (pos * 2 == kSeq) { // break ties decisively
+                seq[0] = kVocab - 1;
+                ++pos;
+            }
+            label = pos * 2 > kSeq ? 1 : 0;
+            break;
+          }
+        }
+    };
+
+    switch (task) {
+      case TokenTask::EntailLike:
+        ds.name = "entail-like (MNLI stand-in)";
+        ds.numClasses = 3;
+        break;
+      case TokenTask::GrammarLike:
+        ds.name = "grammar-like (CoLA stand-in)";
+        ds.numClasses = 2;
+        break;
+      case TokenTask::SentimentLike:
+        ds.name = "sentiment-like (SST-2 stand-in)";
+        ds.numClasses = 2;
+        break;
+    }
+
+    const auto gen = [&](int64_t n, std::vector<std::vector<int>> &T,
+                         std::vector<int> &Y) {
+        T.resize(static_cast<size_t>(n));
+        Y.resize(static_cast<size_t>(n));
+        for (int64_t i = 0; i < n; ++i)
+            gen_one(T[static_cast<size_t>(i)], Y[static_cast<size_t>(i)]);
+    };
+    gen(n_train, ds.trainTok, ds.trainY);
+    gen(n_test, ds.testTok, ds.testY);
+
+    // Token datasets with EntailLike use 12 tokens total? Keep seqLen
+    // consistent with the produced sequences.
+    if (!ds.trainTok.empty())
+        ds.seqLen = static_cast<int>(ds.trainTok[0].size());
+    return ds;
+}
+
+} // namespace nn
+} // namespace ant

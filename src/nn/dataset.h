@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic datasets standing in for ImageNet and GLUE (see DESIGN.md
+ * substitution table). Each generator produces a deterministic,
+ * learnable task whose trained models exhibit the tensor distribution
+ * families the paper's experiments depend on.
+ */
+
+#ifndef ANT_NN_DATASET_H
+#define ANT_NN_DATASET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace nn {
+
+/** One minibatch: dense features or token sequences, plus labels. */
+struct Batch
+{
+    Tensor x;                             //!< dense input (may be empty)
+    std::vector<std::vector<int>> tokens; //!< token input (may be empty)
+    std::vector<int> labels;
+};
+
+/** In-memory dataset with train/test splits. */
+struct Dataset
+{
+    std::string name;
+    int numClasses = 0;
+    bool isToken = false;
+    int seqLen = 0;   //!< tokens per sequence (token datasets)
+    int vocab = 0;
+
+    // Dense samples: [N, ...] tensor; token samples: ids.
+    Tensor trainX, testX;
+    std::vector<std::vector<int>> trainTok, testTok;
+    std::vector<int> trainY, testY;
+
+    int64_t trainSize() const
+    {
+        return isToken ? static_cast<int64_t>(trainTok.size())
+                       : trainX.dim(0);
+    }
+    int64_t testSize() const
+    {
+        return isToken ? static_cast<int64_t>(testTok.size())
+                       : testX.dim(0);
+    }
+
+    /** Materialize batch @p b of size @p bs from the selected split. */
+    Batch batch(int64_t b, int64_t bs, bool train) const;
+};
+
+/**
+ * Gaussian cluster classification in R^dim (quickstart MLP workload).
+ */
+Dataset makeClusterDataset(int classes, int dim, int64_t n_train,
+                           int64_t n_test, uint64_t seed);
+
+/**
+ * 1x16x16 "texture" images: each class is an oriented sinusoidal
+ * grating with class-specific frequency plus noise; the CNN analogue of
+ * the paper's ImageNet models. First-layer activations are uniform-ish
+ * (raw pixels), deeper ones Gaussian-like, matching Fig. 1.
+ */
+Dataset makeTextureImageDataset(int classes, int64_t n_train,
+                                int64_t n_test, uint64_t seed,
+                                float noise = 0.35f);
+
+/** GLUE-analogue token tasks (see DESIGN.md). */
+enum class TokenTask {
+    EntailLike,   //!< 3-class premise/hypothesis overlap (MNLI stand-in)
+    GrammarLike,  //!< 2-class token-order acceptability (CoLA stand-in)
+    SentimentLike //!< 2-class token-polarity majority (SST-2 stand-in)
+};
+
+Dataset makeTokenDataset(TokenTask task, int64_t n_train, int64_t n_test,
+                         uint64_t seed);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_DATASET_H

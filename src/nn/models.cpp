@@ -1,0 +1,314 @@
+#include "nn/models.h"
+
+#include <cmath>
+
+namespace ant {
+namespace nn {
+
+namespace {
+
+/** Mark a conv/fc layer whose input passed through ReLU (unsigned). */
+void
+markUnsignedInput(QuantLayer *l)
+{
+    l->actQ.isSigned = false;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// InceptionBlock
+// ----------------------------------------------------------------------
+
+InceptionBlock::InceptionBlock(int64_t in_ch, int64_t b1, int64_t b3,
+                               int64_t b5, Rng &rng, std::string label)
+    : label_(std::move(label))
+{
+    conv1 = std::make_shared<Conv2d>(in_ch, b1, 1, 1, 0, rng,
+                                     label_ + ".b1");
+    conv3 = std::make_shared<Conv2d>(in_ch, b3, 3, 1, 1, rng,
+                                     label_ + ".b3");
+    conv5 = std::make_shared<Conv2d>(in_ch, b5, 5, 1, 2, rng,
+                                     label_ + ".b5");
+}
+
+Var
+InceptionBlock::forward(const Var &x)
+{
+    return relu(concatChannels({conv1->forward(x), conv3->forward(x),
+                                conv5->forward(x)}));
+}
+
+void
+InceptionBlock::collectParams(std::vector<Param *> &out)
+{
+    conv1->collectParams(out);
+    conv3->collectParams(out);
+    conv5->collectParams(out);
+}
+
+// ----------------------------------------------------------------------
+// VitClassifier
+// ----------------------------------------------------------------------
+
+VitClassifier::VitClassifier(int classes, int64_t dim, int heads,
+                             int blocks, Rng &rng)
+    : dim_(dim)
+{
+    // 16x16 inputs split into 4x4 patches -> 16 tokens of 16 pixels.
+    constexpr int kPatch = 4;
+    patches_ = (16 / kPatch) * (16 / kPatch);
+    patchEmbed_ = std::make_shared<Linear>(kPatch * kPatch, dim, rng,
+                                           true, "vit.patch");
+    posEmbed_ = {variable(rng.heWeight(Shape{patches_, dim}, dim), true),
+                 "vit.pos"};
+    for (int i = 0; i < blocks; ++i)
+        blocks_.push_back(std::make_shared<TransformerBlock>(
+            dim, heads, dim * 2, patches_, rng,
+            "vit.block" + std::to_string(i)));
+    head_ = std::make_shared<Linear>(dim, classes, rng, true, "vit.head");
+}
+
+Var
+VitClassifier::forward(const Batch &b)
+{
+    const int64_t batch = b.x.dim(0);
+    // Patchify: [B,1,16,16] -> [B*patches, 16].
+    const Tensor cols = ops::im2col(b.x, 4, 4, 0);
+    Var h = patchEmbed_->forward(constant(cols));
+    // Add the (shared) positional embedding to every sequence.
+    std::vector<Var> reps(static_cast<size_t>(batch), posEmbed_.var);
+    h = add(h, concatRows(reps));
+    for (auto &blk : blocks_) h = blk->forward(h);
+    // Per-sequence mean pooling, then the classification head.
+    std::vector<Var> pooled;
+    pooled.reserve(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i)
+        pooled.push_back(
+            meanRows(sliceRows(h, i * patches_, (i + 1) * patches_)));
+    return head_->forward(concatRows(pooled));
+}
+
+std::vector<Param *>
+VitClassifier::parameters()
+{
+    std::vector<Param *> out;
+    patchEmbed_->collectParams(out);
+    out.push_back(&posEmbed_);
+    for (auto &blk : blocks_) blk->collectParams(out);
+    head_->collectParams(out);
+    return out;
+}
+
+std::vector<QuantLayer *>
+VitClassifier::quantLayers()
+{
+    std::vector<QuantLayer *> out{patchEmbed_.get()};
+    for (auto &blk : blocks_)
+        for (QuantLayer *l : blk->quantLayers()) out.push_back(l);
+    out.push_back(head_.get());
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// BertClassifier
+// ----------------------------------------------------------------------
+
+BertClassifier::BertClassifier(std::string name, int classes, int vocab,
+                               int64_t T, int64_t dim, int heads,
+                               int blocks, Rng &rng)
+    : name_(std::move(name)), T_(T), dim_(dim)
+{
+    tokEmbed_ = {variable(rng.heWeight(Shape{vocab, dim}, dim), true),
+                 name_ + ".tok"};
+    posEmbed_ = {variable(rng.heWeight(Shape{T, dim}, dim), true),
+                 name_ + ".pos"};
+    for (int i = 0; i < blocks; ++i)
+        blocks_.push_back(std::make_shared<TransformerBlock>(
+            dim, heads, dim * 2, T, rng,
+            name_ + ".block" + std::to_string(i)));
+    head_ = std::make_shared<Linear>(dim, classes, rng, true,
+                                     name_ + ".head");
+}
+
+Var
+BertClassifier::forward(const Batch &b)
+{
+    const int64_t batch = static_cast<int64_t>(b.tokens.size());
+    std::vector<int> flat;
+    flat.reserve(static_cast<size_t>(batch * T_));
+    for (const auto &seq : b.tokens)
+        flat.insert(flat.end(), seq.begin(), seq.end());
+    Var h = embedding(tokEmbed_.var, flat);
+    std::vector<Var> reps(static_cast<size_t>(batch), posEmbed_.var);
+    h = add(h, concatRows(reps));
+    for (auto &blk : blocks_) h = blk->forward(h);
+    std::vector<Var> pooled;
+    pooled.reserve(static_cast<size_t>(batch));
+    for (int64_t i = 0; i < batch; ++i)
+        pooled.push_back(meanRows(sliceRows(h, i * T_, (i + 1) * T_)));
+    return head_->forward(concatRows(pooled));
+}
+
+std::vector<Param *>
+BertClassifier::parameters()
+{
+    std::vector<Param *> out;
+    out.push_back(&tokEmbed_);
+    out.push_back(&posEmbed_);
+    for (auto &blk : blocks_) blk->collectParams(out);
+    head_->collectParams(out);
+    return out;
+}
+
+std::vector<QuantLayer *>
+BertClassifier::quantLayers()
+{
+    std::vector<QuantLayer *> out;
+    for (auto &blk : blocks_)
+        for (QuantLayer *l : blk->quantLayers()) out.push_back(l);
+    out.push_back(head_.get());
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Builders
+// ----------------------------------------------------------------------
+
+std::unique_ptr<CnnClassifier>
+buildMlp(int in_dim, int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_shared<Sequential>();
+    std::vector<QuantLayer *> q;
+    auto fc1 = std::make_shared<Linear>(in_dim, 32, rng, true, "fc1");
+    auto fc2 = std::make_shared<Linear>(32, 32, rng, true, "fc2");
+    auto fc3 = std::make_shared<Linear>(32, classes, rng, true, "fc3");
+    markUnsignedInput(fc2.get());
+    markUnsignedInput(fc3.get());
+    net->push(fc1);
+    net->push(std::make_shared<ReLU>());
+    net->push(fc2);
+    net->push(std::make_shared<ReLU>());
+    net->push(fc3);
+    q = {fc1.get(), fc2.get(), fc3.get()};
+    return std::make_unique<CnnClassifier>("mlp", net, q);
+}
+
+std::unique_ptr<CnnClassifier>
+buildVggStyle(int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_shared<Sequential>();
+    std::vector<QuantLayer *> q;
+    const auto conv = [&](int64_t ic, int64_t oc, const char *nm,
+                          bool unsigned_in) {
+        auto c = std::make_shared<Conv2d>(ic, oc, 3, 1, 1, rng, nm);
+        if (unsigned_in) markUnsignedInput(c.get());
+        net->push(c);
+        net->push(std::make_shared<ReLU>());
+        q.push_back(c.get());
+        return c;
+    };
+    conv(1, 8, "conv1", false); // raw pixels: signed, uniform-ish
+    conv(8, 8, "conv2", true);
+    net->push(std::make_shared<MaxPool>(2, 2)); // 8x8
+    conv(8, 16, "conv3", true);
+    conv(16, 16, "conv4", true);
+    net->push(std::make_shared<MaxPool>(2, 2)); // 4x4
+    net->push(std::make_shared<Flatten>());
+    auto fc1 = std::make_shared<Linear>(16 * 4 * 4, 48, rng, true, "fc1");
+    markUnsignedInput(fc1.get());
+    net->push(fc1);
+    net->push(std::make_shared<ReLU>());
+    auto fc2 = std::make_shared<Linear>(48, classes, rng, true, "fc2");
+    markUnsignedInput(fc2.get());
+    net->push(fc2);
+    q.push_back(fc1.get());
+    q.push_back(fc2.get());
+    return std::make_unique<CnnClassifier>("vgg-style", net, q);
+}
+
+std::unique_ptr<CnnClassifier>
+buildResNetStyle(int classes, bool deep, uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_shared<Sequential>();
+    std::vector<QuantLayer *> q;
+    auto stem = std::make_shared<Conv2d>(1, 8, 3, 1, 1, rng, "stem");
+    net->push(stem);
+    net->push(std::make_shared<ReLU>());
+    q.push_back(stem.get());
+
+    const int stages = deep ? 3 : 2;
+    int64_t ch = 8;
+    for (int s = 0; s < stages; ++s) {
+        const int64_t out_ch = ch * (s ? 2 : 1);
+        auto blk = std::make_shared<ResidualBlock>(
+            ch, out_ch, s ? 2 : 1, rng, "res" + std::to_string(s));
+        markUnsignedInput(blk->conv1.get());
+        markUnsignedInput(blk->conv2.get());
+        if (blk->proj) markUnsignedInput(blk->proj.get());
+        net->push(blk);
+        q.push_back(blk->conv1.get());
+        q.push_back(blk->conv2.get());
+        if (blk->proj) q.push_back(blk->proj.get());
+        ch = out_ch;
+    }
+    net->push(std::make_shared<GlobalAvgPool>());
+    auto fc = std::make_shared<Linear>(ch, classes, rng, true, "fc");
+    markUnsignedInput(fc.get());
+    net->push(fc);
+    q.push_back(fc.get());
+    return std::make_unique<CnnClassifier>(
+        deep ? "resnet-deep-style" : "resnet-style", net, q);
+}
+
+std::unique_ptr<CnnClassifier>
+buildInceptionStyle(int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    auto net = std::make_shared<Sequential>();
+    std::vector<QuantLayer *> q;
+    auto stem = std::make_shared<Conv2d>(1, 8, 3, 1, 1, rng, "stem");
+    net->push(stem);
+    net->push(std::make_shared<ReLU>());
+    q.push_back(stem.get());
+    auto inc1 = std::make_shared<InceptionBlock>(8, 4, 8, 4, rng, "inc1");
+    auto inc2 = std::make_shared<InceptionBlock>(16, 8, 12, 4, rng,
+                                                 "inc2");
+    for (auto *c : {inc1->conv1.get(), inc1->conv3.get(),
+                    inc1->conv5.get(), inc2->conv1.get(),
+                    inc2->conv3.get(), inc2->conv5.get()}) {
+        markUnsignedInput(c);
+        q.push_back(c);
+    }
+    net->push(inc1);
+    net->push(std::make_shared<MaxPool>(2, 2));
+    net->push(inc2);
+    net->push(std::make_shared<GlobalAvgPool>());
+    auto fc = std::make_shared<Linear>(24, classes, rng, true, "fc");
+    markUnsignedInput(fc.get());
+    net->push(fc);
+    q.push_back(fc.get());
+    return std::make_unique<CnnClassifier>("inception-style", net, q);
+}
+
+std::unique_ptr<VitClassifier>
+buildVitStyle(int classes, uint64_t seed)
+{
+    Rng rng(seed);
+    return std::make_unique<VitClassifier>(classes, 32, 2, 2, rng);
+}
+
+std::unique_ptr<BertClassifier>
+buildBertStyle(const std::string &name, int classes, int vocab, int64_t T,
+               uint64_t seed)
+{
+    Rng rng(seed);
+    return std::make_unique<BertClassifier>(name, classes, vocab, T, 32,
+                                            2, 2, rng);
+}
+
+} // namespace nn
+} // namespace ant

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Model zoo: small, trainable stand-ins for the paper's eight evaluated
+ * workloads (VGG16, ResNet-18/50, Inception-V3, ViT, and BERT on three
+ * GLUE tasks — Table IV). Architecture families are preserved: plain
+ * deep CNN, residual CNN, multi-branch CNN, patch transformer, and
+ * token transformer.
+ */
+
+#ifndef ANT_NN_MODELS_H
+#define ANT_NN_MODELS_H
+
+#include <memory>
+
+#include "nn/trainer.h"
+#include "nn/transformer.h"
+
+namespace ant {
+namespace nn {
+
+/** Dense-input classifier wrapping a Sequential backbone. */
+class CnnClassifier : public Classifier
+{
+  public:
+    CnnClassifier(std::string name, std::shared_ptr<Sequential> net,
+                  std::vector<QuantLayer *> qlayers)
+        : name_(std::move(name)), net_(std::move(net)),
+          qlayers_(std::move(qlayers))
+    {}
+
+    Var
+    forward(const Batch &b) override
+    {
+        return net_->forward(constant(b.x));
+    }
+
+    std::vector<Param *>
+    parameters() override
+    {
+        return net_->parameters();
+    }
+
+    std::vector<QuantLayer *> quantLayers() override { return qlayers_; }
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::shared_ptr<Sequential> net_;
+    std::vector<QuantLayer *> qlayers_;
+};
+
+/** Inception-style multi-branch block (1x1 / 3x3 / 5x5 fused). */
+class InceptionBlock : public Module
+{
+  public:
+    InceptionBlock(int64_t in_ch, int64_t b1, int64_t b3, int64_t b5,
+                   Rng &rng, std::string label);
+
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+
+    std::shared_ptr<Conv2d> conv1, conv3, conv5;
+
+  private:
+    std::string label_;
+};
+
+/** Patch-embedding vision transformer (ViT stand-in). */
+class VitClassifier : public Classifier
+{
+  public:
+    VitClassifier(int classes, int64_t dim, int heads, int blocks,
+                  Rng &rng);
+
+    Var forward(const Batch &b) override;
+    std::vector<Param *> parameters() override;
+    std::vector<QuantLayer *> quantLayers() override;
+    std::string name() const override { return "mini-vit"; }
+
+  private:
+    int64_t dim_;
+    int64_t patches_;        //!< tokens per image
+    std::shared_ptr<Linear> patchEmbed_;
+    Param posEmbed_;
+    std::vector<std::shared_ptr<TransformerBlock>> blocks_;
+    std::shared_ptr<Linear> head_;
+};
+
+/** Token-sequence transformer encoder (BERT stand-in). */
+class BertClassifier : public Classifier
+{
+  public:
+    BertClassifier(std::string name, int classes, int vocab, int64_t T,
+                   int64_t dim, int heads, int blocks, Rng &rng);
+
+    Var forward(const Batch &b) override;
+    std::vector<Param *> parameters() override;
+    std::vector<QuantLayer *> quantLayers() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    int64_t T_, dim_;
+    Param tokEmbed_; //!< [V, D]
+    Param posEmbed_; //!< [T, D]
+    std::vector<std::shared_ptr<TransformerBlock>> blocks_;
+    std::shared_ptr<Linear> head_;
+};
+
+/** Dense MLP on flat features (quickstart workload). */
+std::unique_ptr<CnnClassifier> buildMlp(int in_dim, int classes,
+                                        uint64_t seed);
+
+/** Plain deep CNN (VGG16 stand-in). */
+std::unique_ptr<CnnClassifier> buildVggStyle(int classes, uint64_t seed);
+
+/** Residual CNN; @p deep selects the ResNet-50-like depth. */
+std::unique_ptr<CnnClassifier> buildResNetStyle(int classes, bool deep,
+                                                uint64_t seed);
+
+/** Multi-branch CNN (Inception-V3 stand-in). */
+std::unique_ptr<CnnClassifier> buildInceptionStyle(int classes,
+                                                   uint64_t seed);
+
+std::unique_ptr<VitClassifier> buildVitStyle(int classes, uint64_t seed);
+
+std::unique_ptr<BertClassifier> buildBertStyle(const std::string &name,
+                                               int classes, int vocab,
+                                               int64_t T, uint64_t seed);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_MODELS_H

@@ -1,0 +1,316 @@
+#include "nn/module.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+namespace nn {
+
+// ----------------------------------------------------------------------
+// QuantState
+// ----------------------------------------------------------------------
+
+void
+QuantState::observe(const Tensor &t)
+{
+    if (!observing) return;
+    // Strided subsample keeps the buffer bounded while covering the
+    // whole tensor.
+    const int64_t stride =
+        std::max<int64_t>(1, t.numel() * 4 / static_cast<int64_t>(kMaxObs));
+    for (int64_t i = 0; i < t.numel() && obs_.size() < kMaxObs;
+         i += stride)
+        obs_.push_back(t[i]);
+}
+
+void
+QuantState::calibrate(const Tensor &t)
+{
+    if (candidates.empty())
+        throw std::invalid_argument("QuantState: no candidates");
+    QuantConfig cfg;
+    cfg.granularity = granularity;
+    const TypeSelection sel = selectType(t, candidates, cfg);
+    type = sel.type;
+    scales = sel.result.scales;
+    lastMse = sel.result.mse;
+}
+
+void
+QuantState::finalizeFromObservations()
+{
+    if (obs_.empty())
+        throw std::logic_error("QuantState: no observations collected");
+    Tensor t{Shape{static_cast<int64_t>(obs_.size())},
+             std::vector<float>(obs_.begin(), obs_.end())};
+    // Activations are always per-tensor (Sec. II-B).
+    const Granularity saved = granularity;
+    granularity = Granularity::PerTensor;
+    calibrate(t);
+    granularity = saved;
+    obs_.clear();
+    observing = false;
+}
+
+Tensor
+QuantState::apply(const Tensor &t)
+{
+    if (!calibrated())
+        throw std::logic_error("QuantState: apply before calibrate");
+    Tensor out{t.shape()};
+    if (granularity == Granularity::PerChannel && t.ndim() >= 2 &&
+        scales.size() == static_cast<size_t>(t.dim(0))) {
+        const int64_t channels = t.dim(0);
+        const int64_t chunk = t.numel() / channels;
+        double err = 0.0;
+        for (int64_t c = 0; c < channels; ++c)
+            err += quantizeWithScale(t.data() + c * chunk,
+                                     out.data() + c * chunk, chunk, *type,
+                                     scales[static_cast<size_t>(c)]) *
+                   static_cast<double>(chunk);
+        lastMse = err / static_cast<double>(t.numel());
+    } else {
+        // Per-tensor (the scale searched at calibration time is kept;
+        // the tensor distribution is assumed stable, Sec. IV-C).
+        const double s = scales.empty() ? 0.0 : scales[0];
+        lastMse = quantizeWithScale(t.data(), out.data(), t.numel(),
+                                    *type, s);
+    }
+    return out;
+}
+
+float
+QuantState::clipLo() const
+{
+    if (!calibrated() || scales.empty()) return -1e30f;
+    double smax = 0.0;
+    for (double s : scales) smax = std::max(smax, s);
+    return static_cast<float>(type->minValue() * smax);
+}
+
+float
+QuantState::clipHi() const
+{
+    if (!calibrated() || scales.empty()) return 1e30f;
+    double smax = 0.0;
+    for (double s : scales) smax = std::max(smax, s);
+    return static_cast<float>(type->maxValue() * smax);
+}
+
+namespace {
+
+/** Apply one quant state to a Var with the STE wrapper. */
+Var
+applyQuant(QuantState &q, const Var &x)
+{
+    if (q.observing) q.observe(x->value);
+    if (!q.enabled || !q.calibrated()) return x;
+    Tensor quantized = q.apply(x->value);
+    return fakeQuantSTE(x, std::move(quantized), q.clipLo(), q.clipHi());
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Linear
+// ----------------------------------------------------------------------
+
+Linear::Linear(int64_t in, int64_t out, Rng &rng, bool bias,
+               std::string label)
+    : hasBias_(bias), label_(std::move(label))
+{
+    w_ = {variable(rng.heWeight(Shape{out, in}, in), true),
+          label_ + ".w"};
+    if (bias)
+        b_ = {variable(Tensor::zeros(Shape{out}), true), label_ + ".b"};
+}
+
+Var
+Linear::forward(const Var &x)
+{
+    const Var qx = applyQuant(actQ, x);
+    const Var qw = applyQuant(weightQ, w_.var);
+    return linear(qx, qw, hasBias_ ? b_.var : nullptr);
+}
+
+void
+Linear::collectParams(std::vector<Param *> &out)
+{
+    out.push_back(&w_);
+    if (hasBias_) out.push_back(&b_);
+}
+
+void
+Linear::calibrateWeights()
+{
+    if (weightQ.enabled) weightQ.calibrate(w_.var->value);
+}
+
+// ----------------------------------------------------------------------
+// Conv2d
+// ----------------------------------------------------------------------
+
+Conv2d::Conv2d(int64_t in_ch, int64_t out_ch, int k, int stride, int pad,
+               Rng &rng, std::string label)
+    : stride_(stride), pad_(pad), label_(std::move(label))
+{
+    w_ = {variable(rng.heWeight(Shape{out_ch, in_ch, k, k},
+                                in_ch * k * k),
+                   true),
+          label_ + ".w"};
+}
+
+Var
+Conv2d::forward(const Var &x)
+{
+    const Var qx = applyQuant(actQ, x);
+    const Var qw = applyQuant(weightQ, w_.var);
+    return conv2d(qx, qw, stride_, pad_);
+}
+
+void
+Conv2d::collectParams(std::vector<Param *> &out)
+{
+    out.push_back(&w_);
+}
+
+void
+Conv2d::calibrateWeights()
+{
+    if (weightQ.enabled) weightQ.calibrate(w_.var->value);
+}
+
+// ----------------------------------------------------------------------
+// LayerNorm
+// ----------------------------------------------------------------------
+
+LayerNorm::LayerNorm(int64_t dim, std::string label)
+    : label_(std::move(label))
+{
+    gamma_ = {variable(Tensor::ones(Shape{dim}), true), label_ + ".g"};
+    beta_ = {variable(Tensor::zeros(Shape{dim}), true), label_ + ".b"};
+}
+
+Var
+LayerNorm::forward(const Var &x)
+{
+    return layerNorm(x, gamma_.var, beta_.var);
+}
+
+void
+LayerNorm::collectParams(std::vector<Param *> &out)
+{
+    out.push_back(&gamma_);
+    out.push_back(&beta_);
+}
+
+// ----------------------------------------------------------------------
+// ResidualBlock
+// ----------------------------------------------------------------------
+
+ResidualBlock::ResidualBlock(int64_t in_ch, int64_t out_ch, int stride,
+                             Rng &rng, std::string label)
+    : label_(std::move(label))
+{
+    conv1 = std::make_shared<Conv2d>(in_ch, out_ch, 3, stride, 1, rng,
+                                     label_ + ".conv1");
+    conv2 = std::make_shared<Conv2d>(out_ch, out_ch, 3, 1, 1, rng,
+                                     label_ + ".conv2");
+    if (in_ch != out_ch || stride != 1)
+        proj = std::make_shared<Conv2d>(in_ch, out_ch, 1, stride, 0, rng,
+                                        label_ + ".proj");
+}
+
+Var
+ResidualBlock::forward(const Var &x)
+{
+    Var h = relu(conv1->forward(x));
+    h = conv2->forward(h);
+    const Var skip = proj ? proj->forward(x) : x;
+    return relu(add(h, skip));
+}
+
+void
+ResidualBlock::collectParams(std::vector<Param *> &out)
+{
+    conv1->collectParams(out);
+    conv2->collectParams(out);
+    if (proj) proj->collectParams(out);
+}
+
+// ----------------------------------------------------------------------
+// Free helpers
+// ----------------------------------------------------------------------
+
+Var
+concatChannels(const std::vector<Var> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("concatChannels: empty input");
+    const int64_t n = xs[0]->value.dim(0);
+    const int64_t h = xs[0]->value.dim(2), w = xs[0]->value.dim(3);
+    int64_t total_c = 0;
+    for (const Var &v : xs) total_c += v->value.dim(1);
+    Tensor y{Shape{n, total_c, h, w}};
+    int64_t c_off = 0;
+    for (const Var &v : xs) {
+        const int64_t c = v->value.dim(1);
+        for (int64_t b = 0; b < n; ++b)
+            for (int64_t ci = 0; ci < c; ++ci)
+                for (int64_t s = 0; s < h * w; ++s)
+                    y[((b * total_c + c_off + ci) * h * w) + s] =
+                        v->value[((b * c + ci) * h * w) + s];
+        c_off += c;
+    }
+    auto node = std::make_shared<Node>(std::move(y), true);
+    node->parents = xs;
+    Node *raw = node.get();
+    const int64_t hw = h * w;
+    node->backfn = [raw, n, total_c, hw] {
+        int64_t c_off = 0;
+        for (const Var &p : raw->parents) {
+            const int64_t c = p->value.dim(1);
+            if (p->requiresGrad) {
+                Tensor &g = p->ensureGrad();
+                for (int64_t b = 0; b < n; ++b)
+                    for (int64_t ci = 0; ci < c; ++ci)
+                        for (int64_t s = 0; s < hw; ++s)
+                            g[((b * c + ci) * hw) + s] +=
+                                raw->grad[((b * total_c + c_off + ci) *
+                                           hw) +
+                                          s];
+            }
+            c_off += c;
+        }
+    };
+    return node;
+}
+
+Var
+meanRows(const Var &x)
+{
+    const int64_t m = x->value.dim(0), d = x->value.dim(1);
+    Tensor y{Shape{1, d}};
+    for (int64_t j = 0; j < d; ++j) {
+        double s = 0.0;
+        for (int64_t i = 0; i < m; ++i) s += x->value[i * d + j];
+        y[j] = static_cast<float>(s / static_cast<double>(m));
+    }
+    auto node = std::make_shared<Node>(std::move(y), x->requiresGrad);
+    node->parents = {x};
+    if (node->requiresGrad) {
+        Node *raw = node.get();
+        node->backfn = [raw, m, d] {
+            Tensor &g = raw->parents[0]->ensureGrad();
+            const float inv = 1.0f / static_cast<float>(m);
+            for (int64_t i = 0; i < m; ++i)
+                for (int64_t j = 0; j < d; ++j)
+                    g[i * d + j] += raw->grad[j] * inv;
+        };
+    }
+    return node;
+}
+
+} // namespace nn
+} // namespace ant

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * NN modules with built-in ANT quantization hooks.
+ *
+ * QuantLinear / QuantConv2d implement the ANT-based quantized inference
+ * flow of paper Fig. 4: low-bit quantized weights and input activations,
+ * high-precision accumulation and outputs, with straight-through
+ * gradients for quantization-aware fine-tuning.
+ */
+
+#ifndef ANT_NN_MODULE_H
+#define ANT_NN_MODULE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/type_selector.h"
+#include "nn/autograd.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace nn {
+
+/** A trainable tensor. */
+struct Param
+{
+    Var var;          //!< requiresGrad = true
+    std::string name;
+};
+
+/**
+ * Quantization state for one tensor role (weight or input activation)
+ * of one layer. Calibration selects the ANT primitive type and scale(s)
+ * once (Algorithm 2); afterwards forward passes fake-quantize with the
+ * frozen configuration.
+ */
+class QuantState
+{
+  public:
+    bool enabled = false;
+    bool isSigned = true;
+    Granularity granularity = Granularity::PerTensor;
+    std::vector<TypePtr> candidates; //!< Algorithm 2 candidate list
+
+    /** Chosen type and scales after calibrate(). */
+    TypePtr type;
+    std::vector<double> scales;
+    double lastMse = 0.0;
+
+    /** Calibration-observation buffer (activations). */
+    bool observing = false;
+
+    /** Record calibration samples (subsampled to bound memory). */
+    void observe(const Tensor &t);
+
+    /** Run Algorithm 2 on the observed/provided data; freeze type. */
+    void calibrate(const Tensor &t);
+
+    /** Finalize from the observation buffer. */
+    void finalizeFromObservations();
+
+    /**
+     * Fake-quantize @p t with the frozen configuration; also refreshes
+     * lastMse. Requires calibrate() to have run.
+     */
+    Tensor apply(const Tensor &t);
+
+    /** Clip bounds (scaled) for the STE mask. */
+    float clipLo() const;
+    float clipHi() const;
+
+    bool calibrated() const { return static_cast<bool>(type); }
+
+  private:
+    std::vector<float> obs_;
+    static constexpr size_t kMaxObs = 16384;
+};
+
+/** Base class of all layers. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+    virtual Var forward(const Var &x) = 0;
+    /** Append this module's params (and children's) to @p out. */
+    virtual void collectParams(std::vector<Param *> &out) = 0;
+    virtual std::string name() const = 0;
+
+    std::vector<Param *>
+    parameters()
+    {
+        std::vector<Param *> out;
+        collectParams(out);
+        return out;
+    }
+};
+
+/** Layers that carry ANT quantization state (conv / fc). */
+class QuantLayer : public Module
+{
+  public:
+    QuantState weightQ;
+    QuantState actQ;
+
+    /** Calibrate weight quantization from the current weight values. */
+    virtual void calibrateWeights() = 0;
+    /** Quantization MSE metric used by the mixed-precision loop. */
+    double
+    quantMseMetric() const
+    {
+        return weightQ.lastMse + actQ.lastMse;
+    }
+    /** Weight tensor element count (for type-ratio statistics). */
+    virtual int64_t weightCount() const = 0;
+};
+
+/** Fully-connected layer with optional ANT quantization. */
+class Linear : public QuantLayer
+{
+  public:
+    Linear(int64_t in, int64_t out, Rng &rng, bool bias = true,
+           std::string label = "linear");
+
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+    void calibrateWeights() override;
+    int64_t weightCount() const override { return w_.var->numel(); }
+
+    Param &weight() { return w_; }
+
+  private:
+    Param w_; //!< [out, in]
+    Param b_; //!< [out] (may be empty)
+    bool hasBias_;
+    std::string label_;
+};
+
+/** 2-D convolution (square kernel) with optional ANT quantization. */
+class Conv2d : public QuantLayer
+{
+  public:
+    Conv2d(int64_t in_ch, int64_t out_ch, int k, int stride, int pad,
+           Rng &rng, std::string label = "conv");
+
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+    void calibrateWeights() override;
+    int64_t weightCount() const override { return w_.var->numel(); }
+
+  private:
+    Param w_; //!< [oc, ic, k, k]
+    int stride_, pad_;
+    std::string label_;
+};
+
+/** Stateless activation layers. */
+class ReLU : public Module
+{
+  public:
+    Var forward(const Var &x) override { return relu(x); }
+    void collectParams(std::vector<Param *> &) override {}
+    std::string name() const override { return "relu"; }
+};
+
+class GELU : public Module
+{
+  public:
+    Var forward(const Var &x) override { return gelu(x); }
+    void collectParams(std::vector<Param *> &) override {}
+    std::string name() const override { return "gelu"; }
+};
+
+/** Row-wise layer normalization. */
+class LayerNorm : public Module
+{
+  public:
+    LayerNorm(int64_t dim, std::string label = "ln");
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+
+  private:
+    Param gamma_, beta_;
+    std::string label_;
+};
+
+/** Pooling / reshaping adapters. */
+class MaxPool : public Module
+{
+  public:
+    MaxPool(int k, int stride) : k_(k), stride_(stride) {}
+    Var forward(const Var &x) override { return maxPool2d(x, k_, stride_); }
+    void collectParams(std::vector<Param *> &) override {}
+    std::string name() const override { return "maxpool"; }
+
+  private:
+    int k_, stride_;
+};
+
+class GlobalAvgPool : public Module
+{
+  public:
+    Var forward(const Var &x) override { return globalAvgPool(x); }
+    void collectParams(std::vector<Param *> &) override {}
+    std::string name() const override { return "gap"; }
+};
+
+class Flatten : public Module
+{
+  public:
+    Var
+    forward(const Var &x) override
+    {
+        const int64_t b = x->value.dim(0);
+        return reshape(x, Shape{b, x->value.numel() / b});
+    }
+    void collectParams(std::vector<Param *> &) override {}
+    std::string name() const override { return "flatten"; }
+};
+
+/** Sequential container. */
+class Sequential : public Module
+{
+  public:
+    Sequential() = default;
+
+    void push(std::shared_ptr<Module> m) { mods_.push_back(std::move(m)); }
+
+    Var
+    forward(const Var &x) override
+    {
+        Var h = x;
+        for (auto &m : mods_) h = m->forward(h);
+        return h;
+    }
+
+    void
+    collectParams(std::vector<Param *> &out) override
+    {
+        for (auto &m : mods_) m->collectParams(out);
+    }
+
+    std::string name() const override { return "sequential"; }
+
+    const std::vector<std::shared_ptr<Module>> &children() const
+    {
+        return mods_;
+    }
+
+  private:
+    std::vector<std::shared_ptr<Module>> mods_;
+};
+
+/** Residual wrapper: y = relu(x + block(x)); projects with 1x1 conv. */
+class ResidualBlock : public Module
+{
+  public:
+    ResidualBlock(int64_t in_ch, int64_t out_ch, int stride, Rng &rng,
+                  std::string label = "res");
+
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+
+    std::shared_ptr<Conv2d> conv1, conv2, proj; //!< proj may be null
+
+  private:
+    std::string label_;
+};
+
+/** Concatenate NCHW vars along channels (Inception-style branches). */
+Var concatChannels(const std::vector<Var> &xs);
+
+/** Mean over rows of a 2-D value: [T, D] -> [1, D]. */
+Var meanRows(const Var &x);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_MODULE_H

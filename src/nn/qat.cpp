@@ -1,0 +1,175 @@
+#include "nn/qat.h"
+
+#include <algorithm>
+
+namespace ant {
+namespace nn {
+
+namespace {
+
+/** Candidate list for one layer at one precision. */
+std::vector<TypePtr>
+candidatesFor(const QatConfig &cfg, LayerPrecision prec, bool is_signed)
+{
+    if (prec == LayerPrecision::Int8)
+        return {makeInt(8, is_signed)};
+    return comboCandidates(cfg.combo, cfg.bits, is_signed);
+}
+
+void
+installState(QuantLayer *l, const QatConfig &cfg, LayerPrecision prec)
+{
+    l->weightQ.enabled = cfg.quantWeights;
+    l->weightQ.isSigned = true; // weights are always signed
+    l->weightQ.granularity = cfg.weightGranularity;
+    l->weightQ.candidates =
+        candidatesFor(cfg, prec, /*is_signed=*/true);
+
+    l->actQ.enabled = cfg.quantActs;
+    l->actQ.granularity = Granularity::PerTensor;
+    l->actQ.candidates = candidatesFor(cfg, prec, l->actQ.isSigned);
+    l->actQ.type = nullptr; // force recalibration
+    l->weightQ.type = nullptr;
+}
+
+} // namespace
+
+void
+configureQuant(Classifier &model, const QatConfig &cfg)
+{
+    for (QuantLayer *l : model.quantLayers())
+        installState(l, cfg, LayerPrecision::Ant4);
+}
+
+void
+disableQuant(Classifier &model)
+{
+    for (QuantLayer *l : model.quantLayers()) {
+        l->weightQ.enabled = false;
+        l->actQ.enabled = false;
+        l->weightQ.observing = false;
+        l->actQ.observing = false;
+    }
+}
+
+void
+calibrateQuant(Classifier &model, const Dataset &ds,
+               const QatConfig &cfg)
+{
+    const std::vector<QuantLayer *> layers = model.quantLayers();
+    // Weights: directly from current values.
+    for (QuantLayer *l : layers) l->calibrateWeights();
+
+    if (!cfg.quantActs) return;
+
+    // Activations: observe a calibration forward pass with
+    // quantization masked off, then finalize (Algorithm 2 per tensor).
+    for (QuantLayer *l : layers) l->actQ.observing = true;
+    const int64_t bs = 32;
+    const int64_t n = std::min<int64_t>(cfg.calibSamples, ds.trainSize());
+    for (int64_t b = 0; b * bs < n; ++b)
+        (void)model.forward(ds.batch(b, bs, true));
+    for (QuantLayer *l : layers) l->actQ.finalizeFromObservations();
+}
+
+std::vector<double>
+layerQuantMses(Classifier &model)
+{
+    std::vector<double> out;
+    for (QuantLayer *l : model.quantLayers())
+        out.push_back(l->quantMseMetric());
+    return out;
+}
+
+std::vector<std::string>
+layerWeightTypes(Classifier &model)
+{
+    std::vector<std::string> out;
+    for (QuantLayer *l : model.quantLayers())
+        out.push_back(l->weightQ.calibrated() ? l->weightQ.type->name()
+                                              : "fp32");
+    return out;
+}
+
+double
+fourBitWeightRatio(Classifier &model,
+                   const std::vector<LayerPrecision> &prec)
+{
+    const auto layers = model.quantLayers();
+    int64_t four = 0, total = 0;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const int64_t n = layers[i]->weightCount();
+        total += n;
+        if (i < prec.size() && prec[i] == LayerPrecision::Ant4)
+            four += n;
+    }
+    return total ? static_cast<double>(four) /
+                       static_cast<double>(total)
+                 : 1.0;
+}
+
+void
+applyPrecisionAssignment(Classifier &model,
+                         const std::vector<LayerPrecision> &prec,
+                         const QatConfig &cfg, const Dataset &ds)
+{
+    const auto layers = model.quantLayers();
+    for (size_t i = 0; i < layers.size(); ++i)
+        installState(layers[i], cfg,
+                     i < prec.size() ? prec[i] : LayerPrecision::Ant4);
+    calibrateQuant(model, ds, cfg);
+}
+
+QatResult
+runQatExperiment(Classifier &model, const Dataset &ds,
+                 const QatConfig &cfg, const TrainConfig &pretrain,
+                 const TrainConfig &finetune)
+{
+    QatResult r;
+    disableQuant(model);
+    trainClassifier(model, ds, pretrain);
+    r.fp32Accuracy = evaluateAccuracy(model, ds);
+
+    configureQuant(model, cfg);
+    calibrateQuant(model, ds, cfg);
+    r.ptqAccuracy = evaluateAccuracy(model, ds);
+
+    trainClassifier(model, ds, finetune);
+    // Re-run weight calibration so MSE stats reflect tuned weights.
+    for (QuantLayer *l : model.quantLayers()) l->calibrateWeights();
+    r.qatAccuracy = evaluateAccuracy(model, ds);
+
+    const auto mses = layerQuantMses(model);
+    for (double m : mses) r.meanMse += m;
+    if (!mses.empty()) r.meanMse /= static_cast<double>(mses.size());
+    return r;
+}
+
+MixedPrecisionResult
+runAnt48(Classifier &model, const Dataset &ds, const QatConfig &cfg,
+         const TrainConfig &finetune, double fp32_accuracy,
+         double threshold)
+{
+    MixedPrecisionConfig mp;
+    mp.baselineMetric = fp32_accuracy;
+    mp.threshold = threshold;
+    mp.maxRounds =
+        static_cast<int>(model.quantLayers().size());
+
+    MixedPrecisionHooks hooks;
+    hooks.applyAndTune =
+        [&](const std::vector<LayerPrecision> &prec) {
+            applyPrecisionAssignment(model, prec, cfg, ds);
+            trainClassifier(model, ds, finetune);
+            for (QuantLayer *l : model.quantLayers())
+                l->calibrateWeights();
+        };
+    hooks.evaluate = [&] { return evaluateAccuracy(model, ds); };
+    hooks.layerMse = [&] { return layerQuantMses(model); };
+
+    return runMixedPrecision(
+        static_cast<int>(model.quantLayers().size()), mp, hooks);
+}
+
+} // namespace nn
+} // namespace ant

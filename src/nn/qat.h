@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The ANT quantization framework driver (paper Sec. IV-C): per-tensor
+ * type selection, calibration, quantization-aware fine-tuning, and the
+ * layer-wise mixed-precision loop over a Classifier.
+ */
+
+#ifndef ANT_NN_QAT_H
+#define ANT_NN_QAT_H
+
+#include "core/mixed_precision.h"
+#include "nn/trainer.h"
+
+namespace ant {
+namespace nn {
+
+/** Quantization policy applied uniformly across a model's layers. */
+struct QatConfig
+{
+    Combo combo = Combo::IPF;  //!< primitive candidate list
+    int bits = 4;
+    bool quantWeights = true;
+    bool quantActs = true;
+    Granularity weightGranularity = Granularity::PerChannel;
+    int64_t calibSamples = 128; //!< ~100 samples per the paper
+};
+
+/**
+ * Install quantization state on every quant layer of @p model:
+ * candidate lists per the combo, per-channel signed weights, per-tensor
+ * activations (unsigned after ReLU). Does not calibrate.
+ */
+void configureQuant(Classifier &model, const QatConfig &cfg);
+
+/** Remove quantization (back to FP32 behaviour). */
+void disableQuant(Classifier &model);
+
+/**
+ * Run Algorithm 2 everywhere: weights immediately from their values;
+ * activations by observing a calibration pass over @p ds train data.
+ */
+void calibrateQuant(Classifier &model, const Dataset &ds,
+                    const QatConfig &cfg);
+
+/** Per-layer quantization MSE (weight + activation), network order. */
+std::vector<double> layerQuantMses(Classifier &model);
+
+/** Name of the selected weight type per layer (after calibration). */
+std::vector<std::string> layerWeightTypes(Classifier &model);
+
+/**
+ * Fraction of weight elements held in 4-bit layers under a
+ * mixed-precision assignment (tensor-size weighted, for Fig. 13 top).
+ */
+double fourBitWeightRatio(Classifier &model,
+                          const std::vector<LayerPrecision> &prec);
+
+/**
+ * Apply a mixed-precision assignment: Ant4 layers get the 4-bit combo
+ * candidates, Int8 layers get {int8}; then recalibrate.
+ */
+void applyPrecisionAssignment(Classifier &model,
+                              const std::vector<LayerPrecision> &prec,
+                              const QatConfig &cfg, const Dataset &ds);
+
+/** Result of one full QAT experiment. */
+struct QatResult
+{
+    double fp32Accuracy = 0.0;
+    double ptqAccuracy = 0.0; //!< after calibration, before fine-tuning
+    double qatAccuracy = 0.0; //!< after fine-tuning
+    double meanMse = 0.0;     //!< mean per-layer quantization MSE
+};
+
+/**
+ * End-to-end experiment used by Figs. 10-12: train FP32, calibrate the
+ * given combo, measure PTQ accuracy, fine-tune, measure QAT accuracy.
+ * The FP32 model is trained in place; quantization remains installed.
+ */
+QatResult runQatExperiment(Classifier &model, const Dataset &ds,
+                           const QatConfig &cfg,
+                           const TrainConfig &pretrain,
+                           const TrainConfig &finetune);
+
+/**
+ * The mixed-precision ANT4-8 flow (Sec. IV-C): escalate worst-MSE
+ * layers to 8-bit until accuracy is within @p threshold of FP32.
+ */
+MixedPrecisionResult runAnt48(Classifier &model, const Dataset &ds,
+                              const QatConfig &cfg,
+                              const TrainConfig &finetune,
+                              double fp32_accuracy, double threshold);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_QAT_H

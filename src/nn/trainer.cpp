@@ -1,0 +1,135 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ant {
+namespace nn {
+
+void
+Sgd::step(const std::vector<Param *> &params)
+{
+    if (velocity_.size() != params.size()) {
+        velocity_.clear();
+        for (Param *p : params)
+            velocity_.emplace_back(p->var->value.shape());
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+        Param *p = params[i];
+        if (p->var->grad.numel() != p->var->value.numel()) continue;
+        Tensor &v = velocity_[i];
+        Tensor &w = p->var->value;
+        const Tensor &g = p->var->grad;
+        for (int64_t j = 0; j < w.numel(); ++j) {
+            v[j] = mu_ * v[j] + g[j] + wd_ * w[j];
+            w[j] -= lr_ * v[j];
+        }
+    }
+}
+
+void
+Sgd::zeroGrad(const std::vector<Param *> &params)
+{
+    for (Param *p : params) p->var->grad = Tensor{};
+}
+
+void
+Adam::step(const std::vector<Param *> &params)
+{
+    if (m_.size() != params.size()) {
+        m_.clear();
+        v_.clear();
+        for (Param *p : params) {
+            m_.emplace_back(p->var->value.shape());
+            v_.emplace_back(p->var->value.shape());
+        }
+        t_ = 0;
+    }
+    ++t_;
+    const float bc1 = 1.0f - std::pow(b1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(b2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params.size(); ++i) {
+        Param *p = params[i];
+        if (p->var->grad.numel() != p->var->value.numel()) continue;
+        Tensor &m = m_[i];
+        Tensor &v = v_[i];
+        Tensor &w = p->var->value;
+        const Tensor &g = p->var->grad;
+        for (int64_t j = 0; j < w.numel(); ++j) {
+            m[j] = b1_ * m[j] + (1.0f - b1_) * g[j];
+            v[j] = b2_ * v[j] + (1.0f - b2_) * g[j] * g[j];
+            const float mh = m[j] / bc1;
+            const float vh = v[j] / bc2;
+            w[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+        }
+    }
+}
+
+void
+Adam::zeroGrad(const std::vector<Param *> &params)
+{
+    for (Param *p : params) p->var->grad = Tensor{};
+}
+
+double
+trainClassifier(Classifier &model, const Dataset &ds,
+                const TrainConfig &cfg)
+{
+    const std::vector<Param *> params = model.parameters();
+    Sgd sgd(cfg.lr, cfg.momentum, cfg.weightDecay);
+    Adam adam(cfg.lr);
+
+    const int64_t nb =
+        (ds.trainSize() + cfg.batchSize - 1) / cfg.batchSize;
+    double last_epoch_loss = 0.0;
+    for (int e = 0; e < cfg.epochs; ++e) {
+        double loss_sum = 0.0;
+        for (int64_t b = 0; b < nb; ++b) {
+            const Batch batch = ds.batch(b, cfg.batchSize, true);
+            const Var logits = model.forward(batch);
+            const Var loss = crossEntropy(logits, batch.labels);
+            loss_sum += loss->value[0];
+            if (cfg.useAdam)
+                adam.zeroGrad(params);
+            else
+                sgd.zeroGrad(params);
+            backward(loss);
+            if (cfg.useAdam)
+                adam.step(params);
+            else
+                sgd.step(params);
+        }
+        last_epoch_loss = loss_sum / static_cast<double>(nb);
+        if (cfg.verbose)
+            std::printf("  [%s] epoch %d loss %.4f\n",
+                        model.name().c_str(), e, last_epoch_loss);
+    }
+    return last_epoch_loss;
+}
+
+double
+evaluateAccuracy(Classifier &model, const Dataset &ds, int64_t batch_size)
+{
+    const int64_t n = ds.testSize();
+    const int64_t nb = (n + batch_size - 1) / batch_size;
+    int64_t correct = 0;
+    for (int64_t b = 0; b < nb; ++b) {
+        const Batch batch = ds.batch(b, batch_size, false);
+        const Var logits = model.forward(batch);
+        const int64_t rows = logits->value.dim(0);
+        const int64_t c = logits->value.dim(1);
+        for (int64_t i = 0; i < rows; ++i) {
+            int best = 0;
+            for (int j = 1; j < c; ++j)
+                if (logits->value[i * c + j] >
+                    logits->value[i * c + best])
+                    best = static_cast<int>(j);
+            if (best == batch.labels[static_cast<size_t>(i)]) ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+} // namespace nn
+} // namespace ant

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Optimizers, the training loop, and evaluation — the fine-tuning
+ * machinery used for quantization-aware training (paper Sec. VII-A).
+ */
+
+#ifndef ANT_NN_TRAINER_H
+#define ANT_NN_TRAINER_H
+
+#include <memory>
+
+#include "nn/dataset.h"
+#include "nn/module.h"
+
+namespace ant {
+namespace nn {
+
+/** A classification model: batches in, logits out. */
+class Classifier
+{
+  public:
+    virtual ~Classifier() = default;
+    virtual Var forward(const Batch &b) = 0;
+    virtual std::vector<Param *> parameters() = 0;
+    /** Layers participating in ANT quantization, in network order. */
+    virtual std::vector<QuantLayer *> quantLayers() = 0;
+    virtual std::string name() const = 0;
+};
+
+/** SGD with momentum and decoupled weight decay. */
+class Sgd
+{
+  public:
+    Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+        : lr_(lr), mu_(momentum), wd_(weight_decay)
+    {}
+
+    void step(const std::vector<Param *> &params);
+    void zeroGrad(const std::vector<Param *> &params);
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_, mu_, wd_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (used for the Transformer models). */
+class Adam
+{
+  public:
+    explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                  float eps = 1e-8f)
+        : lr_(lr), b1_(beta1), b2_(beta2), eps_(eps)
+    {}
+
+    void step(const std::vector<Param *> &params);
+    void zeroGrad(const std::vector<Param *> &params);
+    void setLr(float lr) { lr_ = lr; }
+
+  private:
+    float lr_, b1_, b2_, eps_;
+    int64_t t_ = 0;
+    std::vector<Tensor> m_, v_;
+};
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int epochs = 10;
+    int64_t batchSize = 32;
+    float lr = 0.05f;
+    bool useAdam = false;
+    float momentum = 0.9f;
+    float weightDecay = 1e-4f;
+    bool verbose = false;
+};
+
+/** Mean loss over the run's final epoch. */
+double trainClassifier(Classifier &model, const Dataset &ds,
+                       const TrainConfig &cfg);
+
+/** Top-1 accuracy on the test split. */
+double evaluateAccuracy(Classifier &model, const Dataset &ds,
+                        int64_t batch_size = 64);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_TRAINER_H

@@ -1,0 +1,146 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ant {
+namespace nn {
+
+Var
+sliceCols(const Var &x, int64_t lo, int64_t hi)
+{
+    const int64_t m = x->value.dim(0), c = x->value.dim(1);
+    const int64_t w = hi - lo;
+    Tensor y{Shape{m, w}};
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < w; ++j)
+            y[i * w + j] = x->value[i * c + lo + j];
+    auto node = std::make_shared<Node>(std::move(y), x->requiresGrad);
+    node->parents = {x};
+    if (node->requiresGrad) {
+        Node *raw = node.get();
+        node->backfn = [raw, m, c, lo, w] {
+            Tensor &g = raw->parents[0]->ensureGrad();
+            for (int64_t i = 0; i < m; ++i)
+                for (int64_t j = 0; j < w; ++j)
+                    g[i * c + lo + j] += raw->grad[i * w + j];
+        };
+    }
+    return node;
+}
+
+Var
+concatCols(const std::vector<Var> &xs)
+{
+    if (xs.empty())
+        throw std::invalid_argument("concatCols: empty input");
+    const int64_t m = xs[0]->value.dim(0);
+    int64_t total = 0;
+    for (const Var &v : xs) total += v->value.dim(1);
+    Tensor y{Shape{m, total}};
+    int64_t off = 0;
+    for (const Var &v : xs) {
+        const int64_t c = v->value.dim(1);
+        for (int64_t i = 0; i < m; ++i)
+            for (int64_t j = 0; j < c; ++j)
+                y[i * total + off + j] = v->value[i * c + j];
+        off += c;
+    }
+    auto node = std::make_shared<Node>(std::move(y), true);
+    node->parents = xs;
+    Node *raw = node.get();
+    node->backfn = [raw, m, total] {
+        int64_t off = 0;
+        for (const Var &p : raw->parents) {
+            const int64_t c = p->value.dim(1);
+            if (p->requiresGrad) {
+                Tensor &g = p->ensureGrad();
+                for (int64_t i = 0; i < m; ++i)
+                    for (int64_t j = 0; j < c; ++j)
+                        g[i * c + j] += raw->grad[i * total + off + j];
+            }
+            off += c;
+        }
+    };
+    return node;
+}
+
+TransformerBlock::TransformerBlock(int64_t dim, int heads, int64_t ff_dim,
+                                   int64_t T, Rng &rng, std::string label)
+    : dim_(dim), heads_(heads), T_(T), label_(std::move(label))
+{
+    if (dim % heads != 0)
+        throw std::invalid_argument("TransformerBlock: dim % heads != 0");
+    wq = std::make_shared<Linear>(dim, dim, rng, true, label_ + ".wq");
+    wk = std::make_shared<Linear>(dim, dim, rng, true, label_ + ".wk");
+    wv = std::make_shared<Linear>(dim, dim, rng, true, label_ + ".wv");
+    wo = std::make_shared<Linear>(dim, dim, rng, true, label_ + ".wo");
+    fc1 = std::make_shared<Linear>(dim, ff_dim, rng, true,
+                                   label_ + ".fc1");
+    fc2 = std::make_shared<Linear>(ff_dim, dim, rng, true,
+                                   label_ + ".fc2");
+    ln1 = std::make_shared<LayerNorm>(dim, label_ + ".ln1");
+    ln2 = std::make_shared<LayerNorm>(dim, label_ + ".ln2");
+}
+
+Var
+TransformerBlock::forward(const Var &x)
+{
+    const int64_t rows = x->value.dim(0);
+    if (rows % T_ != 0)
+        throw std::invalid_argument("TransformerBlock: rows % T != 0");
+    const int64_t batch = rows / T_;
+    const int64_t dh = dim_ / heads_;
+    const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+
+    // Projections over the whole [B*T, D] batch (quantized inside).
+    const Var q = wq->forward(x);
+    const Var k = wk->forward(x);
+    const Var v = wv->forward(x);
+
+    std::vector<Var> outs;
+    outs.reserve(static_cast<size_t>(batch));
+    for (int64_t b = 0; b < batch; ++b) {
+        const Var qb = sliceRows(q, b * T_, (b + 1) * T_);
+        const Var kb = sliceRows(k, b * T_, (b + 1) * T_);
+        const Var vb = sliceRows(v, b * T_, (b + 1) * T_);
+        std::vector<Var> heads;
+        heads.reserve(static_cast<size_t>(heads_));
+        for (int h = 0; h < heads_; ++h) {
+            const Var qh = sliceCols(qb, h * dh, (h + 1) * dh);
+            const Var kh = sliceCols(kb, h * dh, (h + 1) * dh);
+            const Var vh = sliceCols(vb, h * dh, (h + 1) * dh);
+            const Var scores = scale(matmulBT(qh, kh), inv_sqrt);
+            const Var probs = softmaxRows(scores);
+            heads.push_back(matmul(probs, vh));
+        }
+        outs.push_back(concatCols(heads));
+    }
+    const Var attn = wo->forward(concatRows(outs));
+    const Var h1 = ln1->forward(add(x, attn));
+    const Var ffn = fc2->forward(gelu(fc1->forward(h1)));
+    return ln2->forward(add(h1, ffn));
+}
+
+void
+TransformerBlock::collectParams(std::vector<Param *> &out)
+{
+    wq->collectParams(out);
+    wk->collectParams(out);
+    wv->collectParams(out);
+    wo->collectParams(out);
+    fc1->collectParams(out);
+    fc2->collectParams(out);
+    ln1->collectParams(out);
+    ln2->collectParams(out);
+}
+
+std::vector<QuantLayer *>
+TransformerBlock::quantLayers()
+{
+    return {wq.get(), wk.get(), wv.get(),
+            wo.get(), fc1.get(), fc2.get()};
+}
+
+} // namespace nn
+} // namespace ant

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Transformer encoder block (BERT/ViT-style) built on the quantizable
+ * Linear layers, used for the paper's Transformer workloads (Sec. VII).
+ */
+
+#ifndef ANT_NN_TRANSFORMER_H
+#define ANT_NN_TRANSFORMER_H
+
+#include "nn/module.h"
+
+namespace ant {
+namespace nn {
+
+/**
+ * Post-LN Transformer encoder block operating on a batch of sequences
+ * flattened to [B*T, D]. Attention is evaluated per sequence (the
+ * sequence length T is fixed at construction).
+ */
+class TransformerBlock : public Module
+{
+  public:
+    TransformerBlock(int64_t dim, int heads, int64_t ff_dim, int64_t T,
+                     Rng &rng, std::string label = "block");
+
+    Var forward(const Var &x) override;
+    void collectParams(std::vector<Param *> &out) override;
+    std::string name() const override { return label_; }
+
+    /** Quantizable projection layers, exposed for the QAT framework. */
+    std::vector<QuantLayer *> quantLayers();
+
+    std::shared_ptr<Linear> wq, wk, wv, wo, fc1, fc2;
+    std::shared_ptr<LayerNorm> ln1, ln2;
+
+  private:
+    int64_t dim_;
+    int heads_;
+    int64_t T_;
+    std::string label_;
+};
+
+/** Column slice helper for splitting attention heads. */
+Var sliceCols(const Var &x, int64_t lo, int64_t hi);
+
+/** Concatenate 2-D values along columns (merging heads). */
+Var concatCols(const std::vector<Var> &xs);
+
+} // namespace nn
+} // namespace ant
+
+#endif // ANT_NN_TRANSFORMER_H

@@ -1,0 +1,187 @@
+#include "sim/accelerator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ant {
+namespace sim {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Core MAC energy for one multiply at the design's operating mode. */
+double
+macEnergy(hw::Design d, int bits)
+{
+    const hw::EnergyModel &e = hw::defaultEnergyModel();
+    switch (d) {
+      case hw::Design::AntOS:
+      case hw::Design::AntWS:
+      case hw::Design::BitFusion:
+        return bits <= 4 ? e.mac4 : e.mac8;
+      case hw::Design::OLAccel:
+        return bits <= 4 ? e.mac4 : e.mac8;
+      case hw::Design::BiScaled:
+        return e.macBpe6;
+      case hw::Design::AdaFloat:
+        return e.macFloat8;
+      case hw::Design::GOBO:
+        return e.mac16Float;
+      case hw::Design::Int8:
+        return e.mac8;
+    }
+    return e.mac8;
+}
+
+} // namespace
+
+SimConfig
+SimConfig::forDesign(hw::Design d, int64_t batch)
+{
+    SimConfig cfg;
+    cfg.design = d;
+    cfg.batch = batch;
+    cfg.outputStationary = d != hw::Design::AntWS;
+    const hw::DesignConfig dc = hw::designConfig(d);
+    cfg.rows = static_cast<int64_t>(
+        std::floor(std::sqrt(static_cast<double>(dc.peCount))));
+    cfg.cols = dc.peCount / cfg.rows;
+    return cfg;
+}
+
+LayerResult
+simulateLayer(const workloads::Layer &l, const LayerPlan &p,
+              const SimConfig &cfg)
+{
+    const hw::EnergyModel &e = hw::defaultEnergyModel();
+    const hw::DesignConfig dc = hw::designConfig(cfg.design);
+    LayerResult r;
+    r.name = l.name;
+
+    // GEMM dims with the batch folded into M.
+    const int64_t M = l.m * cfg.batch;
+    const int64_t K = l.k;
+    const int64_t N = l.n;
+    const int64_t macs = M * K * N;
+
+    // --- compute ------------------------------------------------------
+    // Precision mode: 4-bit-native arrays fuse 2x2 PEs for 8-bit ops
+    // (Fig. 8); designs whose PEs are natively wider are unaffected.
+    const int op_bits = std::max(p.actBits, p.weightBits);
+    int64_t rows = cfg.rows, cols = cfg.cols;
+    if (dc.nativeBits == 4 && op_bits > 4) {
+        rows = std::max<int64_t>(1, rows / 2);
+        cols = std::max<int64_t>(1, cols / 2);
+    }
+
+    if (cfg.outputStationary) {
+        // Output tile R x C accumulates over K with pipeline fill.
+        const int64_t tiles = ceilDiv(M, rows) * ceilDiv(N, cols);
+        r.computeCycles = tiles * (K + rows + cols);
+    } else {
+        // Weight-stationary: K x N weights mapped R x C at a time;
+        // every mapping streams M rows through the array.
+        const int64_t tiles = ceilDiv(K, rows) * ceilDiv(N, cols);
+        r.computeCycles = tiles * (M + rows);
+    }
+
+    // OLAccel: outlier elements take a second pass through the
+    // low-throughput outlier path (serialization overhead of the
+    // outlier controller).
+    if (cfg.design == hw::Design::OLAccel && p.outlierRatio > 0) {
+        r.computeCycles += static_cast<int64_t>(
+            static_cast<double>(r.computeCycles) * p.outlierRatio * 4.0);
+    }
+
+    // --- memory -------------------------------------------------------
+    const double w_bits = static_cast<double>(l.weightElems()) *
+                          p.weightBits;
+    const double a_bits = static_cast<double>(l.actElems()) *
+                          cfg.batch * p.actBits;
+    const double o_bits = static_cast<double>(l.outElems()) *
+                          cfg.batch * 16.0; // high-precision outputs
+
+    // If the weight working set exceeds half the (double-buffered)
+    // buffer, activations are re-streamed once per weight chunk.
+    const double buf_bits = static_cast<double>(cfg.bufferBytes) * 8.0;
+    const double w_passes = std::max(1.0, w_bits / (buf_bits / 2.0));
+    r.dramBits = w_bits + a_bits * w_passes + o_bits;
+    r.memoryCycles = static_cast<int64_t>(
+        r.dramBits / (cfg.dramBytesPerCycle * 8.0));
+
+    // Buffer traffic: operands re-read once per orthogonal tile strip;
+    // weight-stationary adds partial-sum read+write per K tile.
+    const double buf_a = a_bits * static_cast<double>(ceilDiv(N, cols));
+    const double buf_w = w_bits * static_cast<double>(ceilDiv(M, rows));
+    double buf_o = o_bits;
+    if (!cfg.outputStationary)
+        buf_o = o_bits * 2.0 * static_cast<double>(ceilDiv(K, rows));
+    r.bufferBits = buf_a + buf_w + buf_o;
+
+    // Overlapped execution with double buffering.
+    r.cycles = std::max(r.computeCycles, r.memoryCycles);
+
+    // --- energy -------------------------------------------------------
+    r.energyDram = r.dramBits * e.dramPerBit;
+    r.energyBuffer = r.bufferBits * e.bufferPerBit;
+
+    double core = static_cast<double>(macs) *
+                  macEnergy(cfg.design, op_bits);
+    if (cfg.design == hw::Design::AntOS ||
+        cfg.design == hw::Design::AntWS) {
+        // Boundary decoders: one decode per operand element entering
+        // the array per tile strip (Sec. VI-A).
+        core += (static_cast<double>(l.actElems()) * cfg.batch *
+                     static_cast<double>(ceilDiv(N, cols)) +
+                 static_cast<double>(l.weightElems()) *
+                     static_cast<double>(ceilDiv(M, rows))) *
+                e.decodeOp;
+    }
+    if (cfg.design == hw::Design::OLAccel) {
+        core += static_cast<double>(macs) * p.outlierRatio * e.outlierOp;
+    }
+    r.energyCore = core;
+
+    const double area =
+        hw::coreAreaMm2(dc) + dc.bufferAreaMm2;
+    r.energyStatic = static_cast<double>(r.cycles) * area *
+                     e.staticPerCyclePerMm2;
+    return r;
+}
+
+SimResult
+simulate(const workloads::Workload &w, const QuantPlan &plan,
+         const SimConfig &cfg)
+{
+    SimResult res;
+    res.design = cfg.design;
+    res.workload = w.name;
+    for (size_t i = 0; i < w.layers.size(); ++i) {
+        const LayerResult lr =
+            simulateLayer(w.layers[i], plan.layers[i], cfg);
+        res.cycles += lr.cycles;
+        res.energyDram += lr.energyDram;
+        res.energyBuffer += lr.energyBuffer;
+        res.energyCore += lr.energyCore;
+        res.energyStatic += lr.energyStatic;
+        res.layers.push_back(lr);
+    }
+    return res;
+}
+
+SimResult
+runDesign(const workloads::Workload &w, hw::Design d, int64_t batch,
+          double snr_target)
+{
+    const QuantPlan plan = planWorkload(w, d, 1234, snr_target);
+    const SimConfig cfg = SimConfig::forDesign(d, batch);
+    return simulate(w, plan, cfg);
+}
+
+} // namespace sim
+} // namespace ant

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cycle-level accelerator model (paper Sec. VI-VII): a DnnWeaver-style
+ * tile simulator for systolic arrays with double-buffered on-chip SRAM
+ * and a DRAM bandwidth model. Each design from Table VII runs every
+ * workload layer under its quantization plan; the model reports cycles
+ * and an energy breakdown (static / DRAM / buffer / core) matching the
+ * panels of Fig. 13.
+ */
+
+#ifndef ANT_SIM_ACCELERATOR_H
+#define ANT_SIM_ACCELERATOR_H
+
+#include "sim/planner.h"
+
+namespace ant {
+namespace sim {
+
+/** Machine configuration (iso-area defaults from Table VII). */
+struct SimConfig
+{
+    hw::Design design = hw::Design::AntOS;
+    int64_t batch = 64;              //!< paper: batch 64
+    double dramBytesPerCycle = 64.0; //!< 64 GB/s at 1 GHz
+    int64_t bufferBytes = 512 * 1024;
+    bool outputStationary = true;    //!< ANT-OS vs ANT-WS
+
+    /** PE array shape derived from the design's iso-area PE count. */
+    int64_t rows = 0, cols = 0;
+
+    static SimConfig forDesign(hw::Design d, int64_t batch = 64);
+};
+
+/** Per-layer simulation outcome. */
+struct LayerResult
+{
+    std::string name;
+    int64_t computeCycles = 0;
+    int64_t memoryCycles = 0;
+    int64_t cycles = 0;      //!< max of the two (double buffering)
+    double dramBits = 0.0;
+    double bufferBits = 0.0;
+    double energyDram = 0.0;   //!< pJ
+    double energyBuffer = 0.0;
+    double energyCore = 0.0;
+    double energyStatic = 0.0;
+};
+
+/** Whole-network simulation outcome. */
+struct SimResult
+{
+    hw::Design design;
+    std::string workload;
+    int64_t cycles = 0;
+    double energyDram = 0.0;
+    double energyBuffer = 0.0;
+    double energyCore = 0.0;
+    double energyStatic = 0.0;
+    std::vector<LayerResult> layers;
+
+    double
+    energyTotal() const
+    {
+        return energyDram + energyBuffer + energyCore + energyStatic;
+    }
+};
+
+/** Simulate one layer of a workload under its plan. */
+LayerResult simulateLayer(const workloads::Layer &l, const LayerPlan &p,
+                          const SimConfig &cfg);
+
+/** Simulate a full workload. */
+SimResult simulate(const workloads::Workload &w, const QuantPlan &plan,
+                   const SimConfig &cfg);
+
+/** Convenience: plan + simulate with the design's default config. */
+SimResult runDesign(const workloads::Workload &w, hw::Design d,
+                    int64_t batch = 64, double snr_target = 25.0);
+
+} // namespace sim
+} // namespace ant
+
+#endif // ANT_SIM_ACCELERATOR_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-design quantization planner: decides, for every layer of a
+ * workload, the storage/compute precision each accelerator design uses
+ * at iso-accuracy. This is the simulator-side analogue of the paper's
+ * mixed-precision ratio adjustment ("we adjust the mixed-precision
+ * ratio to make all models close to their original accuracy",
+ * Sec. VII-D); accuracy is proxied by the quantization SNR of
+ * distribution-matched layer tensors, since tensor distributions — not
+ * task labels — determine achievable bit widths.
+ */
+
+#ifndef ANT_SIM_PLANNER_H
+#define ANT_SIM_PLANNER_H
+
+#include "core/type_selector.h"
+#include "hw/area_model.h"
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace sim {
+
+/** Chosen precision of one layer on one design. */
+struct LayerPlan
+{
+    int actBits = 4;
+    int weightBits = 4;
+    std::string actType = "int4";
+    std::string weightType = "int4";
+    double outlierRatio = 0.0; //!< element-wise outliers (OLAccel)
+    double snr = 0.0;          //!< proxy accuracy signal
+};
+
+/** Whole-network plan plus tensor-type statistics (Fig. 13 top). */
+struct QuantPlan
+{
+    hw::Design design;
+    std::vector<LayerPlan> layers;
+
+    /** Element-weighted ratios over weight+activation tensors. */
+    double ratioFlint4 = 0.0;
+    double ratioPot4 = 0.0;
+    double ratioInt4 = 0.0;
+    double ratioInt8 = 0.0;
+    double ratioOther = 0.0; //!< 6-bit / 8-bit float / fp16 schemes
+
+    /** Average stored bits per element (Table I memory columns). */
+    double avgBits = 0.0;
+};
+
+/**
+ * Plan a workload on a design. @p snr_target is the iso-accuracy knob:
+ * layers whose 4-bit quantization SNR falls below it are escalated to
+ * 8 bits on designs with mixed-precision support.
+ */
+QuantPlan planWorkload(const workloads::Workload &w, hw::Design design,
+                       uint64_t seed = 1234, double snr_target = 25.0);
+
+} // namespace sim
+} // namespace ant
+
+#endif // ANT_SIM_PLANNER_H

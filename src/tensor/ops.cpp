@@ -1,0 +1,343 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ant {
+namespace ops {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *what)
+{
+    if (a.shape() != b.shape())
+        throw std::invalid_argument(std::string(what) + ": shape mismatch " +
+                                    a.shape().str() + " vs " +
+                                    b.shape().str());
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    const int64_t m = a.dim(0), k = a.dim(1);
+    const int64_t k2 = b.dim(0), n = b.dim(1);
+    if (k != k2)
+        throw std::invalid_argument("matmul: inner dim mismatch");
+    Tensor c{Shape{m, n}};
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t p = 0; p < k; ++p) {
+            const float av = pa[i * k + p];
+            if (av == 0.0f) continue;
+            const float *brow = pb + p * n;
+            float *crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulBT(const Tensor &a, const Tensor &b)
+{
+    const int64_t m = a.dim(0), k = a.dim(1);
+    const int64_t n = b.dim(0), k2 = b.dim(1);
+    if (k != k2)
+        throw std::invalid_argument("matmulBT: inner dim mismatch");
+    Tensor c{Shape{m, n}};
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            const float *arow = pa + i * k;
+            const float *brow = pb + j * k;
+            for (int64_t p = 0; p < k; ++p)
+                s += static_cast<double>(arow[p]) * brow[p];
+            pc[i * n + j] = static_cast<float>(s);
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulAT(const Tensor &a, const Tensor &b)
+{
+    const int64_t k = a.dim(0), m = a.dim(1);
+    const int64_t k2 = b.dim(0), n = b.dim(1);
+    if (k != k2)
+        throw std::invalid_argument("matmulAT: inner dim mismatch");
+    Tensor c{Shape{m, n}};
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t p = 0; p < k; ++p) {
+        const float *arow = pa + p * m;
+        const float *brow = pb + p * n;
+        for (int64_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float *crow = pc + i * n;
+            for (int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] += b[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] -= b[i];
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] *= b[i];
+    return c;
+}
+
+Tensor
+addRowBias(const Tensor &a, const Tensor &bias)
+{
+    const int64_t m = a.dim(0), n = a.dim(1);
+    if (bias.numel() != n)
+        throw std::invalid_argument("addRowBias: bias size mismatch");
+    Tensor c = a;
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < n; ++j)
+            c[i * n + j] += bias[j];
+    return c;
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] = std::max(0.0f, c[i]);
+    return c;
+}
+
+Tensor
+gelu(const Tensor &a)
+{
+    // tanh approximation of GELU, as used by BERT.
+    constexpr float kA = 0.7978845608028654f; // sqrt(2/pi)
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) {
+        const float x = c[i];
+        c[i] = 0.5f * x * (1.0f + std::tanh(kA * (x + 0.044715f * x * x * x)));
+    }
+    return c;
+}
+
+Tensor
+tanhT(const Tensor &a)
+{
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] = std::tanh(c[i]);
+    return c;
+}
+
+Tensor
+expT(const Tensor &a)
+{
+    Tensor c = a;
+    for (int64_t i = 0; i < c.numel(); ++i) c[i] = std::exp(c[i]);
+    return c;
+}
+
+Tensor
+softmaxRows(const Tensor &a)
+{
+    const int64_t m = a.dim(0), n = a.dim(1);
+    Tensor c = a;
+    for (int64_t i = 0; i < m; ++i) {
+        float *row = c.data() + i * n;
+        float mx = row[0];
+        for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+            row[j] = std::exp(row[j] - mx);
+            sum += row[j];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t j = 0; j < n; ++j) row[j] *= inv;
+    }
+    return c;
+}
+
+Tensor
+im2col(const Tensor &x, int k, int stride, int pad)
+{
+    const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const int oh = convOutDim(static_cast<int>(h), k, stride, pad);
+    const int ow = convOutDim(static_cast<int>(w), k, stride, pad);
+    Tensor cols{Shape{n * oh * ow, c * k * k}};
+    float *pc = cols.data();
+    const float *px = x.data();
+    int64_t row = 0;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox, ++row) {
+                float *dst = pc + row * (c * k * k);
+                for (int64_t ci = 0; ci < c; ++ci) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = oy * stride - pad + ky;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ox * stride - pad + kx;
+                            float v = 0.0f;
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                                v = px[((ni * c + ci) * h + iy) * w + ix];
+                            }
+                            *dst++ = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor &cols, const Shape &x_shape, int k, int stride, int pad)
+{
+    const int64_t n = x_shape.dim(0), c = x_shape.dim(1);
+    const int64_t h = x_shape.dim(2), w = x_shape.dim(3);
+    const int oh = convOutDim(static_cast<int>(h), k, stride, pad);
+    const int ow = convOutDim(static_cast<int>(w), k, stride, pad);
+    Tensor x{x_shape};
+    float *px = x.data();
+    const float *pc = cols.data();
+    int64_t row = 0;
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox, ++row) {
+                const float *src = pc + row * (c * k * k);
+                for (int64_t ci = 0; ci < c; ++ci) {
+                    for (int ky = 0; ky < k; ++ky) {
+                        const int iy = oy * stride - pad + ky;
+                        for (int kx = 0; kx < k; ++kx) {
+                            const int ix = ox * stride - pad + kx;
+                            const float v = *src++;
+                            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                                px[((ni * c + ci) * h + iy) * w + ix] += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return x;
+}
+
+Tensor
+conv2d(const Tensor &x, const Tensor &w, int stride, int pad)
+{
+    const int64_t n = x.dim(0);
+    const int64_t oc = w.dim(0), ic = w.dim(1);
+    const int k = static_cast<int>(w.dim(2));
+    if (ic != x.dim(1))
+        throw std::invalid_argument("conv2d: channel mismatch");
+    const int oh = convOutDim(static_cast<int>(x.dim(2)), k, stride, pad);
+    const int ow = convOutDim(static_cast<int>(x.dim(3)), k, stride, pad);
+
+    Tensor cols = im2col(x, k, stride, pad);           // [n*oh*ow, ic*k*k]
+    Tensor wmat = w.reshaped(Shape{oc, ic * k * k});   // [oc, ic*k*k]
+    Tensor out = matmulBT(cols, wmat);                 // [n*oh*ow, oc]
+
+    // Transpose [n*oh*ow, oc] -> [n, oc, oh, ow].
+    Tensor y{Shape{n, oc, oh, ow}};
+    const float *po = out.data();
+    float *py = y.data();
+    for (int64_t ni = 0; ni < n; ++ni)
+        for (int64_t s = 0; s < oh * ow; ++s)
+            for (int64_t co = 0; co < oc; ++co)
+                py[(ni * oc + co) * oh * ow + s] =
+                    po[(ni * oh * ow + s) * oc + co];
+    return y;
+}
+
+Tensor
+globalAvgPool(const Tensor &x)
+{
+    const int64_t n = x.dim(0), c = x.dim(1);
+    const int64_t hw = x.dim(2) * x.dim(3);
+    Tensor y{Shape{n, c}};
+    const float *px = x.data();
+    for (int64_t ni = 0; ni < n; ++ni) {
+        for (int64_t ci = 0; ci < c; ++ci) {
+            double s = 0.0;
+            for (int64_t i = 0; i < hw; ++i)
+                s += px[(ni * c + ci) * hw + i];
+            y[ni * c + ci] = static_cast<float>(s / static_cast<double>(hw));
+        }
+    }
+    return y;
+}
+
+Tensor
+maxPool2d(const Tensor &x, int k, int stride)
+{
+    const int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const int oh = convOutDim(static_cast<int>(h), k, stride, 0);
+    const int ow = convOutDim(static_cast<int>(w), k, stride, 0);
+    Tensor y{Shape{n, c, oh, ow}};
+    const float *px = x.data();
+    float *py = y.data();
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+        for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+                float m = -1e30f;
+                for (int ky = 0; ky < k; ++ky)
+                    for (int kx = 0; kx < k; ++kx) {
+                        const int iy = oy * stride + ky;
+                        const int ix = ox * stride + kx;
+                        if (iy < h && ix < w)
+                            m = std::max(m, px[(nc * h + iy) * w + ix]);
+                    }
+                py[(nc * oh + oy) * ow + ox] = m;
+            }
+        }
+    }
+    return y;
+}
+
+double
+mse(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mse");
+    double s = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return a.numel() ? s / static_cast<double>(a.numel()) : 0.0;
+}
+
+} // namespace ops
+} // namespace ant

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dense tensor math used by the NN substrate and the quantization core.
+ *
+ * All routines are straightforward reference implementations: the goal of
+ * this reproduction is numerical fidelity and clarity, not peak FLOPS.
+ */
+
+#ifndef ANT_TENSOR_OPS_H
+#define ANT_TENSOR_OPS_H
+
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace ops {
+
+/** C = A @ B for A:[m,k], B:[k,n]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C = A @ B^T for A:[m,k], B:[n,k]. */
+Tensor matmulBT(const Tensor &a, const Tensor &b);
+
+/** C = A^T @ B for A:[k,m], B:[k,n]. */
+Tensor matmulAT(const Tensor &a, const Tensor &b);
+
+/** Elementwise binary ops; shapes must match exactly. */
+Tensor add(const Tensor &a, const Tensor &b);
+Tensor sub(const Tensor &a, const Tensor &b);
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** y = a + row_bias, a:[m,n], bias:[n]. */
+Tensor addRowBias(const Tensor &a, const Tensor &bias);
+
+/** Elementwise unary ops. */
+Tensor relu(const Tensor &a);
+Tensor gelu(const Tensor &a);
+Tensor tanhT(const Tensor &a);
+Tensor expT(const Tensor &a);
+
+/** Row-wise softmax over the last dimension of a 2-D tensor. */
+Tensor softmaxRows(const Tensor &a);
+
+/**
+ * im2col for NCHW conv2d with square kernel.
+ *
+ * @param x input [n, c, h, w]
+ * @param k kernel size
+ * @param stride stride
+ * @param pad zero padding
+ * @return patches [n*oh*ow, c*k*k]
+ */
+Tensor im2col(const Tensor &x, int k, int stride, int pad);
+
+/** Inverse of im2col: scatter-add patches back to [n, c, h, w]. */
+Tensor col2im(const Tensor &cols, const Shape &x_shape, int k, int stride,
+              int pad);
+
+/**
+ * Direct conv2d, NCHW, weight [oc, ic, k, k], returns [n, oc, oh, ow].
+ * Implemented via im2col + matmul.
+ */
+Tensor conv2d(const Tensor &x, const Tensor &w, int stride, int pad);
+
+/** 2-D average pool over the full spatial extent: [n,c,h,w] -> [n,c]. */
+Tensor globalAvgPool(const Tensor &x);
+
+/** Max pool with square window. */
+Tensor maxPool2d(const Tensor &x, int k, int stride);
+
+/** Mean squared error between two equal-shape tensors. */
+double mse(const Tensor &a, const Tensor &b);
+
+/** Output spatial size for a conv/pool dimension. */
+inline int
+convOutDim(int in, int k, int stride, int pad)
+{
+    return (in + 2 * pad - k) / stride + 1;
+}
+
+} // namespace ops
+} // namespace ant
+
+#endif // ANT_TENSOR_OPS_H

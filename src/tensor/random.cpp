@@ -1,0 +1,127 @@
+#include "tensor/random.h"
+
+#include <cmath>
+
+namespace ant {
+
+const char *
+distFamilyName(DistFamily f)
+{
+    switch (f) {
+      case DistFamily::Uniform: return "uniform";
+      case DistFamily::Gaussian: return "gaussian";
+      case DistFamily::WeightLike: return "weight-like";
+      case DistFamily::Laplace: return "laplace";
+      case DistFamily::LaplaceOutlier: return "laplace+outlier";
+      case DistFamily::HalfGaussian: return "half-gaussian";
+      case DistFamily::HalfLaplace: return "half-laplace";
+    }
+    return "?";
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(eng_);
+}
+
+float
+Rng::gaussian(float mu, float sigma)
+{
+    std::normal_distribution<float> d(mu, sigma);
+    return d(eng_);
+}
+
+float
+Rng::laplace(float mu, float b)
+{
+    // Inverse-CDF sampling: u in (-0.5, 0.5).
+    std::uniform_real_distribution<float> d(-0.5f + 1e-7f, 0.5f - 1e-7f);
+    const float u = d(eng_);
+    const float s = u < 0 ? -1.0f : 1.0f;
+    return mu - b * s * std::log(1.0f - 2.0f * std::fabs(u));
+}
+
+int64_t
+Rng::randint(int64_t lo, int64_t hi)
+{
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(eng_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution d(p);
+    return d(eng_);
+}
+
+Tensor
+Rng::tensor(Shape shape, DistFamily family, float scale)
+{
+    Tensor t{std::move(shape)};
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        float v = 0.0f;
+        switch (family) {
+          case DistFamily::Uniform:
+            v = uniform(0.0f, 1.0f);
+            break;
+          case DistFamily::Gaussian:
+            v = gaussian();
+            break;
+          case DistFamily::WeightLike:
+            v = bernoulli(0.05) ? gaussian(0.0f, 3.0f) : gaussian();
+            break;
+          case DistFamily::Laplace:
+            v = laplace();
+            break;
+          case DistFamily::LaplaceOutlier:
+            v = laplace();
+            if (bernoulli(0.01)) v *= 8.0f;
+            break;
+          case DistFamily::HalfGaussian:
+            v = std::fabs(gaussian());
+            break;
+          case DistFamily::HalfLaplace:
+            v = std::fabs(laplace());
+            break;
+        }
+        t[i] = v * scale;
+    }
+    return t;
+}
+
+Tensor
+Rng::laplaceOutlierTensor(Shape shape, float scale, double outlier_frac,
+                          float outlier_gain)
+{
+    Tensor t{std::move(shape)};
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        float v = laplace() * scale;
+        if (bernoulli(outlier_frac)) v *= outlier_gain;
+        t[i] = v;
+    }
+    return t;
+}
+
+Tensor
+Rng::heWeight(Shape shape, int64_t fan_in)
+{
+    const float sigma = std::sqrt(2.0f / static_cast<float>(fan_in));
+    Tensor t{std::move(shape)};
+    for (int64_t i = 0; i < t.numel(); ++i) t[i] = gaussian(0.0f, sigma);
+    return t;
+}
+
+Tensor
+Rng::xavierWeight(Shape shape, int64_t fan_in, int64_t fan_out)
+{
+    const float lim =
+        std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    Tensor t{std::move(shape)};
+    for (int64_t i = 0; i < t.numel(); ++i) t[i] = uniform(-lim, lim);
+    return t;
+}
+
+} // namespace ant

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic random tensor generation.
+ *
+ * The paper's experiments draw tensors from trained DNN models whose values
+ * follow three distribution families (Fig. 1): uniform-like (first-layer
+ * activations), Gaussian-like (most weights), and Laplace-like with long
+ * tails / outliers (Transformer activations). This module reproduces those
+ * families synthetically so experiments that only depend on value
+ * distributions can run without the original checkpoints.
+ */
+
+#ifndef ANT_TENSOR_RANDOM_H
+#define ANT_TENSOR_RANDOM_H
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.h"
+
+namespace ant {
+
+/** Distribution families observed in DNN tensors (paper Fig. 1). */
+enum class DistFamily {
+    Uniform,        //!< flat density over a bounded range
+    Gaussian,       //!< pure bell curve
+    WeightLike,     //!< Gaussian scale mixture: the "Gaussian-like"
+                    //!< shape of trained DNN weights (leptokurtic body
+                    //!< with a moderate tail, 95% N(0,s) + 5% N(0,3s))
+    Laplace,        //!< heavier tail than Gaussian
+    LaplaceOutlier, //!< Laplace body plus a sparse far tail (BERT acts)
+    HalfGaussian,   //!< |N(0,1)|: post-ReLU activations
+    HalfLaplace,    //!< |Laplace|: post-ReLU with long tail
+};
+
+const char *distFamilyName(DistFamily f);
+
+/**
+ * Seeded random generator producing tensors from the families above.
+ *
+ * All draws are reproducible given the seed; the generator is cheap to
+ * copy so fan-out experiments can fork independent streams.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) : eng_(seed) {}
+
+    /** Uniform in [lo, hi). */
+    float uniform(float lo = 0.0f, float hi = 1.0f);
+
+    /** Standard normal scaled to @p sigma with mean @p mu. */
+    float gaussian(float mu = 0.0f, float sigma = 1.0f);
+
+    /** Laplace with location @p mu and scale @p b. */
+    float laplace(float mu = 0.0f, float b = 1.0f);
+
+    /** Uniform integer in [lo, hi]. */
+    int64_t randint(int64_t lo, int64_t hi);
+
+    /** Bernoulli draw. */
+    bool bernoulli(double p);
+
+    /** Fill a fresh tensor from one of the named families. */
+    Tensor tensor(Shape shape, DistFamily family, float scale = 1.0f);
+
+    /**
+     * Laplace body with an extra sparse outlier tail: a fraction
+     * @p outlier_frac of elements is multiplied by @p outlier_gain.
+     * Mirrors the activation outliers GOBO/OLAccel exploit.
+     */
+    Tensor laplaceOutlierTensor(Shape shape, float scale, double outlier_frac,
+                                float outlier_gain);
+
+    /** Gaussian He-style init for a weight of fan_in inputs. */
+    Tensor heWeight(Shape shape, int64_t fan_in);
+
+    /** Xavier/Glorot uniform init. */
+    Tensor xavierWeight(Shape shape, int64_t fan_in, int64_t fan_out);
+
+    std::mt19937_64 &engine() { return eng_; }
+
+  private:
+    std::mt19937_64 eng_;
+};
+
+} // namespace ant
+
+#endif // ANT_TENSOR_RANDOM_H

@@ -1,0 +1,79 @@
+#include "tensor/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ant {
+
+TensorStats
+computeStats(const Tensor &t)
+{
+    TensorStats s;
+    s.numel = t.numel();
+    if (s.numel == 0) return s;
+
+    double sum = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) sum += t[i];
+    s.mean = sum / static_cast<double>(s.numel);
+
+    double m2 = 0.0, m4 = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        const double d = t[i] - s.mean;
+        const double d2 = d * d;
+        m2 += d2;
+        m4 += d2 * d2;
+        s.absMax = std::max(s.absMax, std::fabs(static_cast<double>(t[i])));
+    }
+    m2 /= static_cast<double>(s.numel);
+    m4 /= static_cast<double>(s.numel);
+    s.stddev = std::sqrt(m2);
+    s.kurtosis = m2 > 0 ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+    s.p999 = absPercentile(t, 99.9);
+
+    int64_t outliers = 0;
+    const double thresh = 6.0 * s.stddev;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        if (std::fabs(t[i] - s.mean) > thresh) ++outliers;
+    s.outlierRatio =
+        static_cast<double>(outliers) / static_cast<double>(s.numel);
+    return s;
+}
+
+std::string
+classifyDistribution(const TensorStats &s)
+{
+    if (s.kurtosis < -0.6) return "uniform-like";
+    if (s.kurtosis < 1.5) return "gaussian-like";
+    return "laplace-like";
+}
+
+std::vector<int64_t>
+histogram(const Tensor &t, double lo, double hi, int bins)
+{
+    std::vector<int64_t> h(static_cast<size_t>(bins), 0);
+    const double width = (hi - lo) / bins;
+    if (width <= 0) return h;
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        int b = static_cast<int>((t[i] - lo) / width);
+        b = std::clamp(b, 0, bins - 1);
+        ++h[static_cast<size_t>(b)];
+    }
+    return h;
+}
+
+double
+absPercentile(const Tensor &t, double q)
+{
+    if (t.numel() == 0) return 0.0;
+    std::vector<float> v(t.vec());
+    for (float &x : v) x = std::fabs(x);
+    const auto idx = static_cast<size_t>(
+        std::min<double>(static_cast<double>(v.size()) - 1,
+                         q / 100.0 * static_cast<double>(v.size())));
+    std::nth_element(v.begin(), v.begin() + static_cast<int64_t>(idx),
+                     v.end());
+    return v[idx];
+}
+
+} // namespace ant

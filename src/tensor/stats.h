@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tensor value statistics and distribution-family classification.
+ *
+ * Used by the ANT framework to report which distribution a tensor is
+ * closest to (uniform / Gaussian / Laplace), mirroring the analysis in
+ * Sec. III-A and Fig. 1 of the paper.
+ */
+
+#ifndef ANT_TENSOR_STATS_H
+#define ANT_TENSOR_STATS_H
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ant {
+
+/** Summary statistics of a tensor's value distribution. */
+struct TensorStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double absMax = 0.0;
+    double kurtosis = 0.0;   //!< excess kurtosis (0 for Gaussian, 3 Laplace)
+    double p999 = 0.0;       //!< 99.9th percentile of |x|
+    double outlierRatio = 0.0; //!< fraction with |x| > 6*stddev
+    int64_t numel = 0;
+};
+
+/** Compute summary statistics over all elements. */
+TensorStats computeStats(const Tensor &t);
+
+/**
+ * Classify a tensor's distribution family from its excess kurtosis:
+ * uniform-like (< -0.6), Gaussian-like ([-0.6, 1.5)), Laplace-like (>= 1.5).
+ * Thresholds sit halfway between the analytic values (-1.2, 0, 3).
+ */
+std::string classifyDistribution(const TensorStats &s);
+
+/** Histogram with equal-width bins over [lo, hi]. */
+std::vector<int64_t> histogram(const Tensor &t, double lo, double hi,
+                               int bins);
+
+/** q-th percentile (0..100) of |x| over the tensor. */
+double absPercentile(const Tensor &t, double q);
+
+} // namespace ant
+
+#endif // ANT_TENSOR_STATS_H

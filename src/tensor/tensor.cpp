@@ -1,0 +1,161 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ant {
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i) os << ", ";
+        os << dims_[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Tensor
+Tensor::scalar(float v)
+{
+    Tensor t{Shape{1}};
+    t[0] = v;
+    return t;
+}
+
+Tensor
+Tensor::full(Shape shape, float v)
+{
+    Tensor t{std::move(shape)};
+    t.fill(v);
+    return t;
+}
+
+Tensor
+Tensor::linspace(float lo, float hi, int64_t n)
+{
+    Tensor t{Shape{n}};
+    if (n == 1) {
+        t[0] = lo;
+        return t;
+    }
+    const float step = (hi - lo) / static_cast<float>(n - 1);
+    for (int64_t i = 0; i < n; ++i)
+        t[i] = lo + step * static_cast<float>(i);
+    return t;
+}
+
+int64_t
+Tensor::flatIndex(std::initializer_list<int64_t> idx) const
+{
+    assert(static_cast<int>(idx.size()) == ndim());
+    int64_t flat = 0;
+    int d = 0;
+    for (int64_t i : idx) {
+        assert(i >= 0 && i < shape_.dim(d));
+        flat = flat * shape_.dim(d) + i;
+        ++d;
+    }
+    return flat;
+}
+
+float &
+Tensor::at(std::initializer_list<int64_t> idx)
+{
+    return data_[static_cast<size_t>(flatIndex(idx))];
+}
+
+float
+Tensor::at(std::initializer_list<int64_t> idx) const
+{
+    return data_[static_cast<size_t>(flatIndex(idx))];
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    if (new_shape.numel() != numel())
+        throw std::invalid_argument("reshaped: numel mismatch " +
+                                    shape_.str() + " -> " + new_shape.str());
+    return Tensor{std::move(new_shape), data_};
+}
+
+bool
+Tensor::allFinite() const
+{
+    return std::all_of(data_.begin(), data_.end(),
+                       [](float v) { return std::isfinite(v); });
+}
+
+float
+Tensor::min() const
+{
+    return *std::min_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::max() const
+{
+    return *std::max_element(data_.begin(), data_.end());
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+float
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float v : data_) s += v;
+    return static_cast<float>(s);
+}
+
+float
+Tensor::mean() const
+{
+    return numel() ? sum() / static_cast<float>(numel()) : 0.0f;
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+void
+Tensor::scale(float v)
+{
+    for (float &x : data_) x *= v;
+}
+
+void
+Tensor::add(float v)
+{
+    for (float &x : data_) x += v;
+}
+
+std::string
+Tensor::str(int64_t max_elems) const
+{
+    std::ostringstream os;
+    os << "Tensor" << shape_.str() << " {";
+    const int64_t n = std::min<int64_t>(numel(), max_elems);
+    for (int64_t i = 0; i < n; ++i) {
+        if (i) os << ", ";
+        os << data_[static_cast<size_t>(i)];
+    }
+    if (numel() > n) os << ", ...";
+    os << "}";
+    return os.str();
+}
+
+} // namespace ant

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Dense n-dimensional float tensor used throughout the ANT reproduction.
+ *
+ * The tensor substrate is deliberately small: contiguous row-major float
+ * storage with shape/stride bookkeeping. All heavy math lives in ops.h.
+ */
+
+#ifndef ANT_TENSOR_TENSOR_H
+#define ANT_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ant {
+
+/** Shape of a tensor: a small vector of dimension extents. */
+class Shape
+{
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    /** Number of dimensions. */
+    int ndim() const { return static_cast<int>(dims_.size()); }
+
+    /** Extent of dimension @p i (supports negative indexing). */
+    int64_t
+    dim(int i) const
+    {
+        if (i < 0) i += ndim();
+        assert(i >= 0 && i < ndim());
+        return dims_[static_cast<size_t>(i)];
+    }
+
+    int64_t operator[](int i) const { return dim(i); }
+
+    /**
+     * Total number of elements. A default-constructed (rank-0) shape
+     * has zero elements — the library does not use rank-0 scalars, and
+     * this keeps "empty tensor" distinguishable from "1-element".
+     */
+    int64_t
+    numel() const
+    {
+        if (dims_.empty()) return 0;
+        int64_t n = 1;
+        for (int64_t d : dims_) n *= d;
+        return n;
+    }
+
+    const std::vector<int64_t> &dims() const { return dims_; }
+
+    bool operator==(const Shape &o) const { return dims_ == o.dims_; }
+    bool operator!=(const Shape &o) const { return dims_ != o.dims_; }
+
+    /** Human-readable form, e.g. "[2, 3, 4]". */
+    std::string str() const;
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+/**
+ * Dense row-major float tensor.
+ *
+ * Copy semantics are value semantics (deep copy via the underlying
+ * std::vector); use references or moves to avoid copies in hot paths.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape)
+        : shape_(std::move(shape)),
+          data_(static_cast<size_t>(shape_.numel()), 0.0f)
+    {}
+
+    Tensor(Shape shape, std::vector<float> data)
+        : shape_(std::move(shape)), data_(std::move(data))
+    {
+        if (static_cast<int64_t>(data_.size()) != shape_.numel())
+            throw std::invalid_argument("Tensor: data size != shape numel");
+    }
+
+    /** Construct a scalar tensor. */
+    static Tensor scalar(float v);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(Shape shape, float v);
+
+    /** Tensor of zeros / ones. */
+    static Tensor zeros(Shape shape) { return full(std::move(shape), 0.0f); }
+    static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+    /** 1-D tensor with evenly spaced values in [lo, hi] (inclusive). */
+    static Tensor linspace(float lo, float hi, int64_t n);
+
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+    int ndim() const { return shape_.ndim(); }
+    int64_t dim(int i) const { return shape_.dim(i); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+    std::vector<float> &vec() { return data_; }
+    const std::vector<float> &vec() const { return data_; }
+
+    float &operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+    float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+    /** Element access by multi-dimensional index. */
+    float &at(std::initializer_list<int64_t> idx);
+    float at(std::initializer_list<int64_t> idx) const;
+
+    /** Reinterpret the data with a new shape of equal numel. */
+    Tensor reshaped(Shape new_shape) const;
+
+    /** True when every element is finite. */
+    bool allFinite() const;
+
+    /** Reductions over all elements. */
+    float min() const;
+    float max() const;
+    float absMax() const;
+    float sum() const;
+    float mean() const;
+
+    /** In-place scalar update helpers. */
+    void fill(float v);
+    void scale(float v);
+    void add(float v);
+
+    std::string str(int64_t max_elems = 16) const;
+
+  private:
+    int64_t flatIndex(std::initializer_list<int64_t> idx) const;
+
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace ant
+
+#endif // ANT_TENSOR_TENSOR_H

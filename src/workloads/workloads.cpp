@@ -1,0 +1,265 @@
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace workloads {
+
+namespace {
+
+/** Conv layer lowered to GEMM: M = oh*ow, K = ic*k*k, N = oc. */
+Layer
+conv(const std::string &name, int in_ch, int out_ch, int k, int out_hw,
+     LayerKind kind = LayerKind::Conv)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.m = static_cast<int64_t>(out_hw) * out_hw;
+    l.k = static_cast<int64_t>(in_ch) * k * k;
+    l.n = out_ch;
+    l.weightDist = DistFamily::WeightLike;
+    l.actDist = kind == LayerKind::ConvFirst ? DistFamily::Uniform
+                                             : DistFamily::HalfGaussian;
+    return l;
+}
+
+Layer
+fc(const std::string &name, int64_t rows, int64_t in, int64_t out,
+   LayerKind kind = LayerKind::Fc)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.m = rows;
+    l.k = in;
+    l.n = out;
+    l.weightDist = DistFamily::WeightLike;
+    l.actDist = kind == LayerKind::Attention
+                    ? DistFamily::LaplaceOutlier
+                    : DistFamily::Laplace;
+    return l;
+}
+
+/** One transformer encoder block's GEMMs (seq length T, hidden D). */
+void
+pushEncoderBlock(std::vector<Layer> &out, const std::string &prefix,
+                 int64_t T, int64_t D, int64_t ff)
+{
+    out.push_back(fc(prefix + ".q", T, D, D, LayerKind::Attention));
+    out.push_back(fc(prefix + ".k", T, D, D, LayerKind::Attention));
+    out.push_back(fc(prefix + ".v", T, D, D, LayerKind::Attention));
+    out.push_back(fc(prefix + ".o", T, D, D, LayerKind::Attention));
+    out.push_back(fc(prefix + ".ffn1", T, D, ff));
+    out.push_back(fc(prefix + ".ffn2", T, ff, D));
+}
+
+} // namespace
+
+int64_t
+Workload::totalMacs() const
+{
+    int64_t s = 0;
+    for (const Layer &l : layers) s += l.macs();
+    return s;
+}
+
+int64_t
+Workload::totalWeights() const
+{
+    int64_t s = 0;
+    for (const Layer &l : layers) s += l.weightElems();
+    return s;
+}
+
+Workload
+vgg16()
+{
+    Workload w;
+    w.name = "VGG16";
+    auto &L = w.layers;
+    L.push_back(conv("conv1_1", 3, 64, 3, 224, LayerKind::ConvFirst));
+    L.push_back(conv("conv1_2", 64, 64, 3, 224));
+    L.push_back(conv("conv2_1", 64, 128, 3, 112));
+    L.push_back(conv("conv2_2", 128, 128, 3, 112));
+    L.push_back(conv("conv3_1", 128, 256, 3, 56));
+    L.push_back(conv("conv3_2", 256, 256, 3, 56));
+    L.push_back(conv("conv3_3", 256, 256, 3, 56));
+    L.push_back(conv("conv4_1", 256, 512, 3, 28));
+    L.push_back(conv("conv4_2", 512, 512, 3, 28));
+    L.push_back(conv("conv4_3", 512, 512, 3, 28));
+    L.push_back(conv("conv5_1", 512, 512, 3, 14));
+    L.push_back(conv("conv5_2", 512, 512, 3, 14));
+    L.push_back(conv("conv5_3", 512, 512, 3, 14));
+    L.push_back(fc("fc6", 1, 25088, 4096));
+    L.push_back(fc("fc7", 1, 4096, 4096));
+    L.push_back(fc("fc8", 1, 4096, 1000));
+    return w;
+}
+
+Workload
+resnet18()
+{
+    Workload w;
+    w.name = "ResNet18";
+    auto &L = w.layers;
+    L.push_back(conv("conv1", 3, 64, 7, 112, LayerKind::ConvFirst));
+    for (int b = 0; b < 2; ++b) {
+        L.push_back(conv("l1." + std::to_string(b) + ".c1", 64, 64, 3,
+                         56));
+        L.push_back(conv("l1." + std::to_string(b) + ".c2", 64, 64, 3,
+                         56));
+    }
+    L.push_back(conv("l2.0.c1", 64, 128, 3, 28));
+    L.push_back(conv("l2.0.c2", 128, 128, 3, 28));
+    L.push_back(conv("l2.0.down", 64, 128, 1, 28));
+    L.push_back(conv("l2.1.c1", 128, 128, 3, 28));
+    L.push_back(conv("l2.1.c2", 128, 128, 3, 28));
+    L.push_back(conv("l3.0.c1", 128, 256, 3, 14));
+    L.push_back(conv("l3.0.c2", 256, 256, 3, 14));
+    L.push_back(conv("l3.0.down", 128, 256, 1, 14));
+    L.push_back(conv("l3.1.c1", 256, 256, 3, 14));
+    L.push_back(conv("l3.1.c2", 256, 256, 3, 14));
+    L.push_back(conv("l4.0.c1", 256, 512, 3, 7));
+    L.push_back(conv("l4.0.c2", 512, 512, 3, 7));
+    L.push_back(conv("l4.0.down", 256, 512, 1, 7));
+    L.push_back(conv("l4.1.c1", 512, 512, 3, 7));
+    L.push_back(conv("l4.1.c2", 512, 512, 3, 7));
+    L.push_back(fc("fc", 1, 512, 1000));
+    return w;
+}
+
+Workload
+resnet50()
+{
+    Workload w;
+    w.name = "ResNet50";
+    auto &L = w.layers;
+    L.push_back(conv("conv1", 3, 64, 7, 112, LayerKind::ConvFirst));
+    const struct { int blocks, in, mid, out, hw; } stages[] = {
+        {3, 64, 64, 256, 56},
+        {4, 256, 128, 512, 28},
+        {6, 512, 256, 1024, 14},
+        {3, 1024, 512, 2048, 7},
+    };
+    int stage_idx = 0;
+    for (const auto &s : stages) {
+        ++stage_idx;
+        for (int b = 0; b < s.blocks; ++b) {
+            const std::string p = "l" + std::to_string(stage_idx) + "." +
+                                  std::to_string(b);
+            const int in_ch = b == 0 ? s.in : s.out;
+            L.push_back(conv(p + ".c1", in_ch, s.mid, 1, s.hw));
+            L.push_back(conv(p + ".c2", s.mid, s.mid, 3, s.hw));
+            L.push_back(conv(p + ".c3", s.mid, s.out, 1, s.hw));
+            if (b == 0)
+                L.push_back(conv(p + ".down", s.in, s.out, 1, s.hw));
+        }
+    }
+    L.push_back(fc("fc", 1, 2048, 1000));
+    return w;
+}
+
+Workload
+inceptionV3()
+{
+    // Condensed Inception-V3: the stem plus representative mixed
+    // blocks at each spatial resolution with the published channel
+    // splits; totals land within a few percent of the 5.7 GMACs model.
+    Workload w;
+    w.name = "InceptionV3";
+    auto &L = w.layers;
+    L.push_back(conv("stem.c1", 3, 32, 3, 149, LayerKind::ConvFirst));
+    L.push_back(conv("stem.c2", 32, 32, 3, 147));
+    L.push_back(conv("stem.c3", 32, 64, 3, 147));
+    L.push_back(conv("stem.c4", 64, 80, 1, 73));
+    L.push_back(conv("stem.c5", 80, 192, 3, 71));
+    for (int b = 0; b < 3; ++b) {
+        const std::string p = "mixed5" + std::to_string(b);
+        const int in_ch = b == 0 ? 192 : 288;
+        L.push_back(conv(p + ".b1x1", in_ch, 64, 1, 35));
+        L.push_back(conv(p + ".b5x5", in_ch, 64, 5, 35));
+        L.push_back(conv(p + ".b3x3a", in_ch, 96, 3, 35));
+        L.push_back(conv(p + ".b3x3b", 96, 96, 3, 35));
+        L.push_back(conv(p + ".pool", in_ch, 64, 1, 35));
+    }
+    for (int b = 0; b < 4; ++b) {
+        const std::string p = "mixed6" + std::to_string(b);
+        L.push_back(conv(p + ".b1x1", 768, 192, 1, 17));
+        L.push_back(conv(p + ".b7x1", 768, 192, 7, 17));
+        L.push_back(conv(p + ".b1x7", 192, 192, 7, 17));
+        L.push_back(conv(p + ".pool", 768, 192, 1, 17));
+    }
+    for (int b = 0; b < 2; ++b) {
+        const std::string p = "mixed7" + std::to_string(b);
+        L.push_back(conv(p + ".b1x1", 1280, 320, 1, 8));
+        L.push_back(conv(p + ".b3x3", 1280, 384, 3, 8));
+        L.push_back(conv(p + ".b3x3d", 384, 384, 3, 8));
+        L.push_back(conv(p + ".pool", 1280, 192, 1, 8));
+    }
+    L.push_back(fc("fc", 1, 2048, 1000));
+    return w;
+}
+
+Workload
+vitBase()
+{
+    Workload w;
+    w.name = "ViT";
+    w.isTransformer = true;
+    auto &L = w.layers;
+    // Patch embedding: 224/16 = 14x14 = 196 tokens + cls, D = 768.
+    const int64_t T = 197, D = 768, FF = 3072;
+    L.push_back(fc("patch_embed", T - 1, 16 * 16 * 3, D,
+                   LayerKind::Fc));
+    for (int b = 0; b < 12; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
+    L.push_back(fc("head", 1, D, 1000));
+    // ViT activations: GELU outputs are Laplace-ish, attention outputs
+    // carry milder outliers than BERT's.
+    for (Layer &l : L)
+        if (l.kind == LayerKind::Attention)
+            l.actDist = DistFamily::Laplace;
+    return w;
+}
+
+Workload
+bertBase(const std::string &task)
+{
+    Workload w;
+    w.name = "BERT-" + task;
+    w.isTransformer = true;
+    auto &L = w.layers;
+    const int64_t T = 128, D = 768, FF = 3072;
+    for (int b = 0; b < 12; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
+    const int64_t classes = task == "MNLI" ? 3 : 2;
+    L.push_back(fc("pooler", 1, D, D));
+    L.push_back(fc("head", 1, D, classes));
+    return w;
+}
+
+std::vector<Workload>
+evaluationSuite()
+{
+    return {vgg16(),        resnet18(),        resnet50(),
+            inceptionV3(),  vitBase(),         bertBase("MNLI"),
+            bertBase("CoLA"), bertBase("SST-2")};
+}
+
+Tensor
+sampleWeightTensor(const Layer &l, Rng &rng, int64_t max_elems)
+{
+    const int64_t n = std::min<int64_t>(l.weightElems(), max_elems);
+    return rng.tensor(Shape{n}, l.weightDist, 0.05f);
+}
+
+Tensor
+sampleActTensor(const Layer &l, Rng &rng, int64_t max_elems)
+{
+    const int64_t n = std::min<int64_t>(l.actElems(), max_elems);
+    if (l.actDist == DistFamily::LaplaceOutlier)
+        return rng.laplaceOutlierTensor(Shape{n}, 1.0f, 0.01, 8.0f);
+    return rng.tensor(Shape{n}, l.actDist);
+}
+
+} // namespace workloads
+} // namespace ant

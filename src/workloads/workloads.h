@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Layer tables of the six DNN workloads the paper evaluates (Table IV):
+ * VGG16, ResNet-18, ResNet-50, Inception-V3, ViT-B/16 and BERT-Base.
+ * Shapes are the published architectures; each conv/FC layer is recorded
+ * as the GEMM it lowers to (M x K x N) so the cycle-level simulator and
+ * the average-bit accounting can consume them uniformly.
+ */
+
+#ifndef ANT_WORKLOADS_WORKLOADS_H
+#define ANT_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace ant {
+namespace workloads {
+
+/** Kind of layer, which fixes the expected tensor distributions. */
+enum class LayerKind {
+    ConvFirst, //!< first conv: uniform-ish input activations
+    Conv,      //!< inner conv
+    Fc,        //!< fully connected / projection
+    Attention, //!< transformer QK/PV projections (outlier activations)
+};
+
+/** One layer lowered to a GEMM: out[M,N] += in[M,K] * w[K,N]. */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    int64_t m = 0; //!< output spatial x batch rows (per batch item)
+    int64_t k = 0; //!< reduction length
+    int64_t n = 0; //!< output channels
+    DistFamily weightDist = DistFamily::WeightLike;
+    DistFamily actDist = DistFamily::HalfGaussian;
+
+    int64_t macs() const { return m * k * n; }
+    int64_t weightElems() const { return k * n; }
+    int64_t actElems() const { return m * k; }
+    int64_t outElems() const { return m * n; }
+};
+
+/** A whole network: named list of layers. */
+struct Workload
+{
+    std::string name;
+    bool isTransformer = false;
+    std::vector<Layer> layers;
+
+    int64_t totalMacs() const;
+    int64_t totalWeights() const;
+};
+
+/** The paper's evaluated models (Table IV). */
+Workload vgg16();
+Workload resnet18();
+Workload resnet50();
+Workload inceptionV3();
+Workload vitBase();
+/** BERT-Base encoder; the GLUE task only changes the tiny head. */
+Workload bertBase(const std::string &task = "MNLI");
+
+/** All eight evaluation workloads of Fig. 13 in paper order. */
+std::vector<Workload> evaluationSuite();
+
+/**
+ * Synthesize a tensor with the layer's weight (or activation)
+ * distribution at a bounded sample size; used by the type-selection
+ * and average-bit analyses that only depend on value distributions.
+ */
+Tensor sampleWeightTensor(const Layer &l, Rng &rng,
+                          int64_t max_elems = 16384);
+Tensor sampleActTensor(const Layer &l, Rng &rng,
+                       int64_t max_elems = 16384);
+
+} // namespace workloads
+} // namespace ant
+
+#endif // ANT_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the baseline quantizers (OLAccel, GOBO, BiScaled) the
+ * paper compares against.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+TEST(OlAccel, OutliersKeptAtHighPrecision)
+{
+    Rng rng(41);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{8192}, 1.0f, 0.02, 12.0f);
+    const BaselineResult r = olaccelQuantize(t, 4, 0.03, true);
+    EXPECT_NEAR(r.outlierRatio, 0.03, 0.01);
+    // The largest element must be preserved exactly (outlier path).
+    int64_t arg = 0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        if (std::fabs(t[i]) > std::fabs(t[arg])) arg = i;
+    EXPECT_FLOAT_EQ(r.dequant[arg], t[arg]);
+    // Average bits reflect the mixed 4/16-bit storage.
+    EXPECT_GT(r.avgBits, 4.0);
+    EXPECT_LT(r.avgBits, 5.0);
+}
+
+TEST(OlAccel, BeatsPlainInt4OnOutlierData)
+{
+    Rng rng(42);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{8192}, 1.0f, 0.02, 12.0f);
+    QuantConfig cfg;
+    cfg.type = makeInt(4, true);
+    const double int4 = quantize(t, cfg).mse;
+    const BaselineResult r = olaccelQuantize(t, 4, 0.03, true);
+    EXPECT_LT(r.mse, int4);
+}
+
+TEST(Gobo, ClustersBulkKeepsOutliers)
+{
+    Rng rng(43);
+    const Tensor t = rng.tensor(Shape{8192}, DistFamily::WeightLike);
+    const BaselineResult r = goboQuantize(t, 3);
+    EXPECT_GT(r.outlierRatio, 0.0);
+    EXPECT_LT(r.outlierRatio, 0.05);
+    EXPECT_GT(r.avgBits, 3.0);
+    EXPECT_LT(r.avgBits, 4.5);
+    EXPECT_LT(r.mse, 0.2); // clustering fits the bulk well
+}
+
+TEST(Gobo, MoreBitsImprove)
+{
+    Rng rng(44);
+    const Tensor t = rng.tensor(Shape{8192}, DistFamily::Gaussian);
+    const double m3 = goboQuantize(t, 3).mse;
+    const double m4 = goboQuantize(t, 4).mse;
+    EXPECT_LT(m4, m3);
+}
+
+TEST(BiScaled, TwoScalesBeatOneOnLongTail)
+{
+    Rng rng(45);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{8192}, 1.0f, 0.03, 10.0f);
+    // Single-scale int6 with max calibration (BiScaled's base case).
+    QuantConfig cfg;
+    cfg.type = makeInt(6, true);
+    cfg.scaleMode = ScaleMode::MaxCalib;
+    const double single = quantize(t, cfg).mse;
+    const BaselineResult r = biscaledQuantize(t, 6, true);
+    EXPECT_LT(r.mse, single);
+    EXPECT_GT(r.avgBits, 6.0); // mask overhead
+}
+
+TEST(BiScaled, DegenerateInputs)
+{
+    const Tensor z = Tensor::zeros(Shape{64});
+    const BaselineResult r = biscaledQuantize(z, 6, true);
+    for (int64_t i = 0; i < z.numel(); ++i)
+        EXPECT_FLOAT_EQ(r.dequant[i], 0.0f);
+}
+
+TEST(Baselines, AntFlintCompetitiveAtFewerBits)
+{
+    // The qualitative Table I story: ANT reaches OLAccel-like MSE with
+    // fixed-length 4-bit storage (no 16-bit outlier path).
+    Rng rng(46);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::WeightLike);
+    QuantConfig cfg;
+    cfg.type = makeFlint(4, true);
+    const double ant = quantize(t, cfg).mse;
+    const BaselineResult ol = olaccelQuantize(t, 4, 0.03, true);
+    EXPECT_LT(ant, 3.0 * ol.mse);
+}
+
+} // namespace
+} // namespace ant

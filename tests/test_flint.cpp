@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the flint codec (paper Sec. IV-A, Algorithm 1, Table II).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/flint.h"
+
+namespace ant {
+namespace flint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Golden value table: paper Table II (4-bit unsigned flint, bias folded
+// into the scale, so we check the raw integer grid).
+// ---------------------------------------------------------------------
+TEST(Flint, TableIIGoldenValues)
+{
+    const std::map<uint32_t, int64_t> golden = {
+        {0b0000, 0},  {0b0001, 1},  {0b0010, 2},  {0b0011, 3},
+        {0b0100, 4},  {0b0101, 5},  {0b0110, 6},  {0b0111, 7},
+        {0b1100, 8},  {0b1101, 10}, {0b1110, 12}, {0b1111, 14},
+        {0b1010, 16}, {0b1011, 24}, {0b1001, 32}, {0b1000, 64},
+    };
+    for (const auto &[code, value] : golden)
+        EXPECT_EQ(decodeToInteger(code, 4), value)
+            << "code " << code;
+}
+
+TEST(Flint, TableIIExponentFields)
+{
+    // Exponent value (with bias -1 applied as in Table II) per interval.
+    const struct { uint32_t code; int interval; int man_bits; } rows[] = {
+        {0b0001, 1, 0}, {0b0010, 2, 1}, {0b0100, 3, 2}, {0b1100, 4, 2},
+        {0b1010, 5, 1}, {0b1001, 6, 0}, {0b1000, 7, 0},
+    };
+    for (const auto &r : rows) {
+        const Fields f = decodeFields(r.code, 4);
+        EXPECT_FALSE(f.zero);
+        EXPECT_EQ(f.interval, r.interval) << "code " << r.code;
+        EXPECT_EQ(f.manBits, r.man_bits) << "code " << r.code;
+    }
+    EXPECT_TRUE(decodeFields(0, 4).zero);
+}
+
+TEST(Flint, MaxIntegerMatchesPaper)
+{
+    // "the 4-bit unsigned flint type has the value range of
+    //  [0, 2^(2x4-2) = 64]"
+    EXPECT_EQ(maxInteger(4), 64);
+    EXPECT_EQ(maxInteger(3), 16);
+    EXPECT_EQ(maxInteger(8), 16384);
+}
+
+// ---------------------------------------------------------------------
+// Paper worked example: decimal 11 encodes to 1110 (value 12).
+// ---------------------------------------------------------------------
+TEST(Flint, PaperEncodingExample)
+{
+    EXPECT_EQ(encodeInteger(11, 4), 0b1110u);
+    EXPECT_EQ(decodeToInteger(0b1110, 4), 12);
+    // And via the full Algorithm 1 path with unit scale:
+    EXPECT_EQ(quantEncode(11.0, 4, 1.0), 0b1110u);
+}
+
+// ---------------------------------------------------------------------
+// Roundtrip: every representable integer encodes to itself.
+// ---------------------------------------------------------------------
+class FlintWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlintWidth, RoundtripRepresentable)
+{
+    const int n = GetParam();
+    for (uint32_t c = 0; c < (1u << n); ++c) {
+        const int64_t v = decodeToInteger(c, n);
+        EXPECT_EQ(decodeToInteger(encodeInteger(v, n), n), v)
+            << "n=" << n << " code=" << c;
+    }
+}
+
+TEST_P(FlintWidth, CodesAreUnique)
+{
+    const int n = GetParam();
+    std::set<int64_t> seen;
+    for (uint32_t c = 0; c < (1u << n); ++c)
+        seen.insert(decodeToInteger(c, n));
+    EXPECT_EQ(seen.size(), size_t{1} << n)
+        << "duplicate values at width " << n;
+}
+
+TEST_P(FlintWidth, EncodeIsNearestOnIntegerGrid)
+{
+    // Property: for every integer v in range, |encode(v) - v| is within
+    // half the local grid step (Algorithm 1 mantissa rounding).
+    const int n = GetParam();
+    const auto table = valueTable(n);
+    for (int64_t v = 0; v <= maxInteger(n); ++v) {
+        const int64_t got = decodeToInteger(encodeInteger(v, n), n);
+        // Nearest value in the table by scanning.
+        int64_t best = table[0];
+        for (int64_t tv : table)
+            if (std::llabs(tv - v) < std::llabs(best - v)) best = tv;
+        EXPECT_LE(std::llabs(got - v), std::llabs(best - v))
+            << "v=" << v << " n=" << n;
+    }
+}
+
+TEST_P(FlintWidth, ValueTableSortedAndCoversRange)
+{
+    const int n = GetParam();
+    const auto table = valueTable(n);
+    EXPECT_EQ(table.front(), 0);
+    EXPECT_EQ(table.back(), maxInteger(n));
+    for (size_t i = 1; i < table.size(); ++i)
+        EXPECT_LT(table[i - 1], table[i]);
+}
+
+TEST_P(FlintWidth, MantissaBitsPartitionCodeSpace)
+{
+    // Sum over intervals of 2^manBits plus the zero code = 2^n codes.
+    const int n = GetParam();
+    int64_t total = 1; // zero code
+    for (int i = 1; i <= 2 * n - 1; ++i)
+        total += int64_t{1} << mantissaBits(n, i);
+    EXPECT_EQ(total, int64_t{1} << n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FlintWidth,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// Signed flint (Eq. 7-8): sign + (n-1)-bit magnitude.
+// ---------------------------------------------------------------------
+TEST(FlintSigned, FourBitGrid)
+{
+    // Signed 4-bit flint = sign + 3-bit magnitude {0,1,2,3,4,6,8,16}.
+    std::set<int64_t> values;
+    for (uint32_t c = 0; c < 16; ++c)
+        values.insert(decodeSignedToInteger(c, 4));
+    const std::set<int64_t> expect = {-16, -8, -6, -4, -3, -2, -1, 0,
+                                      1,   2,  3,  4,  6,  8,  16};
+    EXPECT_EQ(values, expect);
+}
+
+TEST(FlintSigned, RoundtripAllWidths)
+{
+    for (int n = 3; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const int64_t v = decodeSignedToInteger(c, n);
+            EXPECT_EQ(decodeSignedToInteger(encodeSignedInteger(v, n), n),
+                      v)
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+TEST(FlintSigned, NegativeZeroAliases)
+{
+    const int n = 4;
+    EXPECT_EQ(decodeSignedToInteger(1u << (n - 1), n), 0);
+}
+
+// ---------------------------------------------------------------------
+// Int-based decode (Table III).
+// ---------------------------------------------------------------------
+TEST(FlintIntBased, TableIIIGolden)
+{
+    const struct { uint32_t code; int64_t base; int exp; } rows[] = {
+        {0b0000, 0, 0},  {0b0111, 7, 0},  {0b1100, 8, 0},
+        {0b1111, 14, 0}, {0b1010, 4, 2},  {0b1011, 6, 2},
+        {0b1001, 2, 4},  {0b1000, 1, 6},
+    };
+    for (const auto &r : rows) {
+        const IntDecode d = decodeIntBased(r.code, 4);
+        EXPECT_EQ(d.baseInt, r.base) << "code " << r.code;
+        EXPECT_EQ(d.exp, r.exp) << "code " << r.code;
+    }
+}
+
+TEST(FlintIntBased, MatchesFunctionalDecodeAllWidths)
+{
+    for (int n = 2; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const IntDecode d = decodeIntBased(c, n);
+            EXPECT_EQ(d.baseInt << d.exp, decodeToInteger(c, n))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Float-based decode (Eq. 3-4); paper example: 1110 -> exp 4, frac 0.5.
+// ---------------------------------------------------------------------
+TEST(FlintFloatBased, PaperExample)
+{
+    const FloatDecode d = decodeFloatBased(0b1110, 4);
+    EXPECT_FALSE(d.zero);
+    EXPECT_EQ(d.exp, 4);
+    EXPECT_DOUBLE_EQ(d.fraction, 0.5);
+    // 2^(4-1) * 1.5 = 12.
+    EXPECT_DOUBLE_EQ(std::ldexp(1.0 + d.fraction, d.exp - 1), 12.0);
+}
+
+TEST(FlintFloatBased, MatchesFunctionalDecodeAllWidths)
+{
+    for (int n = 2; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const FloatDecode d = decodeFloatBased(c, n);
+            const double v =
+                d.zero ? 0.0 : std::ldexp(1.0 + d.fraction, d.exp - 1);
+            EXPECT_DOUBLE_EQ(v,
+                             static_cast<double>(decodeToInteger(c, n)))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 1 scale handling and clamping.
+// ---------------------------------------------------------------------
+TEST(FlintQuantEncode, ClampsToRange)
+{
+    EXPECT_EQ(decodeToInteger(quantEncode(1e9, 4, 1.0), 4), 64);
+    EXPECT_EQ(decodeToInteger(quantEncode(-5.0, 4, 1.0), 4), 0);
+    EXPECT_EQ(decodeToInteger(quantEncode(0.0, 4, 1.0), 4), 0);
+}
+
+TEST(FlintQuantEncode, ScaleDividesBeforeRounding)
+{
+    // 22 with scale 2 quantizes like 11 with scale 1 -> code 1110.
+    EXPECT_EQ(quantEncode(22.0, 4, 2.0), 0b1110u);
+}
+
+TEST(FlintQuantEncode, MantissaOverflowCarriesToNextInterval)
+{
+    // 15 -> interval 4, m = round((15/8-1)*4) = 4 overflows 2 bits and
+    // must carry to 16 (interval 5), not wrap to 8.
+    EXPECT_EQ(decodeToInteger(encodeInteger(15, 4), 4), 16);
+    // 63 -> interval 6 (m=round((63/32-1)*1)=1 overflow) -> 64.
+    EXPECT_EQ(decodeToInteger(encodeInteger(63, 4), 4), 64);
+}
+
+TEST(FlintQuantEncode, RejectsOutOfRange)
+{
+    EXPECT_THROW(encodeInteger(-1, 4), std::invalid_argument);
+    EXPECT_THROW(encodeInteger(65, 4), std::invalid_argument);
+    EXPECT_THROW(encodeInteger(1, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace flint
+} // namespace ant

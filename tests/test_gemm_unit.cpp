@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integration tests for the functional TypeFusion GEMM: the hardware
+ * path (codes -> decoders -> integer MACs -> rescale) must reproduce
+ * the software fake-quantization path bit-exactly, for every operand
+ * type pairing and granularity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/gemm_unit.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace hw {
+namespace {
+
+/** Software reference: fake-quantize both operands, then matmulBT. */
+Tensor
+referenceGemm(const Tensor &act, const Tensor &weight,
+              const QuantConfig &ac, const QuantConfig &wc)
+{
+    const Tensor qa = fakeQuantize(act, ac);
+    const Tensor qw = fakeQuantize(weight, wc);
+    return ops::matmulBT(qa, qw);
+}
+
+QuantConfig
+cfg(TypePtr t, Granularity g = Granularity::PerTensor)
+{
+    QuantConfig c;
+    c.type = std::move(t);
+    c.granularity = g;
+    return c;
+}
+
+class GemmTypes
+    : public ::testing::TestWithParam<std::tuple<TypeKind, TypeKind>>
+{
+  protected:
+    static TypePtr
+    make(TypeKind k, bool is_signed)
+    {
+        switch (k) {
+          case TypeKind::Int: return makeInt(4, is_signed);
+          case TypeKind::PoT: return makePoT(4, is_signed);
+          case TypeKind::Flint: return makeFlint(4, is_signed);
+          default: return nullptr;
+        }
+    }
+};
+
+TEST_P(GemmTypes, HardwarePathMatchesSoftwarePath)
+{
+    const auto [ak, wk] = GetParam();
+    Rng rng(static_cast<uint64_t>(ak) * 17 +
+            static_cast<uint64_t>(wk) + 3);
+    const Tensor act =
+        rng.tensor(Shape{6, 32}, DistFamily::HalfGaussian);
+    const Tensor w = rng.tensor(Shape{5, 32}, DistFamily::WeightLike,
+                                0.1f);
+
+    const QuantConfig ac = cfg(make(ak, false));
+    const QuantConfig wc = cfg(make(wk, true));
+
+    const Tensor hw_out = quantizedLinear(act, w, ac, wc);
+    const Tensor sw_out = referenceGemm(act, w, ac, wc);
+    ASSERT_EQ(hw_out.shape(), sw_out.shape());
+    for (int64_t i = 0; i < hw_out.numel(); ++i)
+        EXPECT_NEAR(hw_out[i], sw_out[i],
+                    1e-4f * std::max(1.0f, std::fabs(sw_out[i])))
+            << typeKindName(ak) << "x" << typeKindName(wk) << " @" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairings, GemmTypes,
+    ::testing::Combine(::testing::Values(TypeKind::Int, TypeKind::PoT,
+                                         TypeKind::Flint),
+                       ::testing::Values(TypeKind::Int, TypeKind::PoT,
+                                         TypeKind::Flint)),
+    [](const auto &info) {
+        return std::string(typeKindName(std::get<0>(info.param))) +
+               "_x_" + typeKindName(std::get<1>(info.param));
+    });
+
+TEST(GemmUnit, PerChannelWeightsMatchReference)
+{
+    Rng rng(9);
+    const Tensor act = rng.tensor(Shape{4, 16}, DistFamily::Gaussian);
+    Tensor w{Shape{6, 16}};
+    for (int64_t r = 0; r < 6; ++r)
+        for (int64_t c = 0; c < 16; ++c)
+            w[r * 16 + c] =
+                rng.gaussian() * 0.05f * static_cast<float>(1 << r);
+
+    const QuantConfig ac = cfg(makeFlint(4, true));
+    const QuantConfig wc =
+        cfg(makeFlint(4, true), Granularity::PerChannel);
+    const Tensor hw_out = quantizedLinear(act, w, ac, wc);
+    const Tensor sw_out = referenceGemm(act, w, ac, wc);
+    for (int64_t i = 0; i < hw_out.numel(); ++i)
+        EXPECT_NEAR(hw_out[i], sw_out[i],
+                    1e-4f * std::max(1.0f, std::fabs(sw_out[i])));
+}
+
+TEST(GemmUnit, StatsCountDecodesAndMacs)
+{
+    Rng rng(10);
+    const Tensor act = rng.tensor(Shape{3, 8}, DistFamily::Gaussian);
+    const Tensor w = rng.tensor(Shape{4, 8}, DistFamily::Gaussian);
+    GemmStats stats;
+    (void)quantizedLinear(act, w, cfg(makeFlint(4, true)),
+                          cfg(makeFlint(4, true)), &stats);
+    EXPECT_EQ(stats.macs, 3 * 4 * 8);
+    // Weights decoded once at preload + one boundary decode per
+    // streamed activation element.
+    EXPECT_EQ(stats.decodes, 4 * 8 + 3 * 8);
+}
+
+TEST(GemmUnit, StorageIsFixedLengthAligned)
+{
+    Rng rng(11);
+    const Tensor w = rng.tensor(Shape{8, 16}, DistFamily::Gaussian);
+    const QuantizedMatrix q(w, makeFlint(4, true), {0.1});
+    EXPECT_EQ(q.storageBits(), 8 * 16 * 4);
+    // Dequantize stays within the scaled grid range.
+    const Tensor d = q.dequantize();
+    const double bound = 0.1 * makeFlint(4, true)->maxValue() + 1e-6;
+    for (int64_t i = 0; i < d.numel(); ++i)
+        EXPECT_LE(std::fabs(static_cast<double>(d[i])), bound);
+}
+
+TEST(GemmUnit, RejectsInvalidConfigs)
+{
+    Rng rng(12);
+    const Tensor a = rng.tensor(Shape{2, 4}, DistFamily::Gaussian);
+    const Tensor w = rng.tensor(Shape{2, 5}, DistFamily::Gaussian);
+    // Float operands need the float PE.
+    EXPECT_THROW(QuantizedMatrix(a, makeFloat(2, 1, true), {1.0}),
+                 std::invalid_argument);
+    // K mismatch.
+    const QuantizedMatrix qa(a, makeInt(4, true), {1.0});
+    const QuantizedMatrix qw(w, makeInt(4, true), {1.0});
+    EXPECT_THROW(typeFusionGemm(qa, qw), std::invalid_argument);
+    // Per-channel activations are not supported.
+    const QuantizedMatrix qpc(a, makeInt(4, true), {1.0, 2.0});
+    const QuantizedMatrix qok(
+        Tensor{Shape{3, 4}}, makeInt(4, true), {1.0});
+    EXPECT_THROW(typeFusionGemm(qpc, qok), std::invalid_argument);
+}
+
+TEST(GemmUnit, MixedPrecisionEightBitPath)
+{
+    // 8-bit int operands through the same functional unit (the fused
+    // PE mode of Fig. 8 computes identical integer products).
+    Rng rng(13);
+    const Tensor act = rng.tensor(Shape{4, 12}, DistFamily::Gaussian);
+    const Tensor w = rng.tensor(Shape{3, 12}, DistFamily::Gaussian);
+    const QuantConfig c8 = cfg(makeInt(8, true));
+    const Tensor hw_out = quantizedLinear(act, w, c8, c8);
+    const Tensor sw_out = referenceGemm(act, w, c8, c8);
+    for (int64_t i = 0; i < hw_out.numel(); ++i)
+        EXPECT_NEAR(hw_out[i], sw_out[i],
+                    1e-4f * std::max(1.0f, std::fabs(sw_out[i])));
+}
+
+} // namespace
+} // namespace hw
+} // namespace ant

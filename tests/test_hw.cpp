@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the gate-level hardware models: LZD, TypeFusion decoders
+ * (Figs. 5-6), MAC units (Figs. 7-8), and the area model (Table VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flint.h"
+#include "core/numeric_type.h"
+#include "hw/area_model.h"
+#include "hw/decoder.h"
+#include "hw/mac.h"
+
+namespace ant {
+namespace hw {
+namespace {
+
+// ---------------------------------------------------------------------
+// LZD
+// ---------------------------------------------------------------------
+TEST(Lzd, MatchesNaiveForAllInputs)
+{
+    for (int w = 1; w <= 10; ++w) {
+        for (uint32_t v = 0; v < (1u << w); ++v) {
+            int naive = 0;
+            for (int b = w - 1; b >= 0 && !((v >> b) & 1u); --b) ++naive;
+            const LzdResult r = lzdTree(v, w);
+            EXPECT_EQ(r.count, naive) << "w=" << w << " v=" << v;
+            EXPECT_EQ(r.valid, v != 0);
+        }
+    }
+}
+
+TEST(Lzd, CostModelMonotone)
+{
+    EXPECT_LT(lzdGateCount(3), lzdGateCount(7));
+    EXPECT_EQ(lzdDepth(1), 0);
+    EXPECT_EQ(lzdDepth(2), 1);
+    EXPECT_EQ(lzdDepth(3), 2);
+    EXPECT_EQ(lzdDepth(8), 3);
+}
+
+// ---------------------------------------------------------------------
+// Int-based decoder (Fig. 6) vs the functional codec.
+// ---------------------------------------------------------------------
+TEST(IntDecoder, MatchesCodecUnsignedAllWidths)
+{
+    for (int n = 2; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const IntOperand op = decodeFlintIntUnsigned(c, n);
+            EXPECT_EQ(intOperandValue(op), flint::decodeToInteger(c, n))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+TEST(IntDecoder, MatchesCodecSignedAllWidths)
+{
+    for (int n = 3; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const IntOperand op = decodeFlintIntSigned(c, n);
+            EXPECT_EQ(intOperandValue(op),
+                      flint::decodeSignedToInteger(c, n))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+TEST(IntDecoder, AgreesWithReferenceDecomposition)
+{
+    for (uint32_t c = 0; c < 16; ++c) {
+        const flint::IntDecode ref = flint::decodeIntBased(c, 4);
+        const IntOperand op = decodeFlintIntUnsigned(c, 4);
+        EXPECT_EQ(op.baseInt, ref.baseInt);
+        EXPECT_EQ(op.exp, ref.exp);
+    }
+}
+
+TEST(IntDecoder, IntAndPoTOperands)
+{
+    // Int operand: identity, exp 0.
+    for (uint32_t c = 0; c < 16; ++c) {
+        const IntOperand op = decodeIntOperand(c, 4, PeType::Int, false);
+        EXPECT_EQ(op.baseInt, static_cast<int32_t>(c));
+        EXPECT_EQ(op.exp, 0);
+    }
+    // Signed int: two's complement with symmetric clamp.
+    EXPECT_EQ(decodeIntOperand(0b1111, 4, PeType::Int, true).baseInt, -1);
+    EXPECT_EQ(decodeIntOperand(0b1000, 4, PeType::Int, true).baseInt, -7);
+    // PoT: base 1, exponent = code - 1.
+    const auto p = makePoT(4, false);
+    for (uint32_t c = 0; c < 16; ++c) {
+        const IntOperand op = decodeIntOperand(c, 4, PeType::PoT, false);
+        EXPECT_DOUBLE_EQ(static_cast<double>(intOperandValue(op)),
+                         p->codeValue(c));
+    }
+}
+
+TEST(IntDecoder, SignedPoTOperands)
+{
+    const auto p = makePoT(4, true);
+    for (uint32_t c = 0; c < 16; ++c) {
+        const IntOperand op = decodeIntOperand(c, 4, PeType::PoT, true);
+        EXPECT_DOUBLE_EQ(static_cast<double>(intOperandValue(op)),
+                         p->codeValue(c))
+            << "code " << c;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Float-based decoder (Fig. 5).
+// ---------------------------------------------------------------------
+TEST(FloatDecoder, PaperExample1110)
+{
+    // 1110 -> exponent 4 + LZD(110)=4, mantissa 110<<1 = 100 (0.5).
+    const FloatOperand op = decodeFlintFloatUnsigned(0b1110, 4);
+    EXPECT_EQ(op.exp, 4);
+    EXPECT_EQ(op.mantissa, 0b100u);
+    EXPECT_DOUBLE_EQ(floatOperandValue(op), 12.0);
+}
+
+TEST(FloatDecoder, MatchesCodecUnsignedAllWidths)
+{
+    for (int n = 2; n <= 8; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const FloatOperand op = decodeFlintFloatUnsigned(c, n);
+            EXPECT_DOUBLE_EQ(floatOperandValue(op),
+                             static_cast<double>(
+                                 flint::decodeToInteger(c, n)))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+TEST(FloatDecoder, SignedAttachesSign)
+{
+    for (int n = 3; n <= 6; ++n) {
+        for (uint32_t c = 0; c < (1u << n); ++c) {
+            const FloatOperand op = decodeFlintFloatSigned(c, n);
+            EXPECT_DOUBLE_EQ(floatOperandValue(op),
+                             static_cast<double>(
+                                 flint::decodeSignedToInteger(c, n)))
+                << "n=" << n << " code=" << c;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TypeFusion MAC (Fig. 7): exhaustive product checks.
+// ---------------------------------------------------------------------
+TEST(Mac, FlintTimesFlintUnsignedExhaustive)
+{
+    for (uint32_t a = 0; a < 16; ++a) {
+        for (uint32_t b = 0; b < 16; ++b) {
+            const IntOperand oa = decodeFlintIntUnsigned(a, 4);
+            const IntOperand ob = decodeFlintIntUnsigned(b, 4);
+            EXPECT_EQ(IntFlintMac::multiply(oa, ob),
+                      flint::decodeToInteger(a, 4) *
+                          flint::decodeToInteger(b, 4));
+        }
+    }
+}
+
+TEST(Mac, MixedTypeProductsExhaustive)
+{
+    // Input activation flint x weight PoT, and every other pairing the
+    // TypeFusion PE supports (Sec. V intro).
+    const auto i4 = makeInt(4, true);
+    const auto p4 = makePoT(4, true);
+    const auto f4 = makeFlint(4, true);
+    const struct { PeType t; const NumericType *ref; } types[] = {
+        {PeType::Int, i4.get()},
+        {PeType::PoT, p4.get()},
+        {PeType::Flint, f4.get()},
+    };
+    for (const auto &ta : types) {
+        for (const auto &tb : types) {
+            for (uint32_t a = 0; a < 16; ++a) {
+                for (uint32_t b = 0; b < 16; ++b) {
+                    const IntOperand oa =
+                        decodeIntOperand(a, 4, ta.t, true);
+                    const IntOperand ob =
+                        decodeIntOperand(b, 4, tb.t, true);
+                    const double expect =
+                        ta.ref->codeValue(a) * tb.ref->codeValue(b);
+                    EXPECT_DOUBLE_EQ(
+                        static_cast<double>(
+                            IntFlintMac::multiply(oa, ob)),
+                        expect)
+                        << typeKindName(ta.ref->kind()) << "x"
+                        << typeKindName(tb.ref->kind()) << " a=" << a
+                        << " b=" << b;
+                }
+            }
+        }
+    }
+}
+
+TEST(Mac, AccumulatorSumsProducts)
+{
+    IntFlintMac mac(4);
+    // Dot product of flint vectors [1,12,24] . [2,3,16].
+    mac.mac(0b0001, PeType::Flint, false, 0b0010, PeType::Flint, false);
+    mac.mac(0b1110, PeType::Flint, false, 0b0011, PeType::Flint, false);
+    mac.mac(0b1011, PeType::Flint, false, 0b1010, PeType::Flint, false);
+    EXPECT_EQ(mac.accumulator(), 1 * 2 + 12 * 3 + 24 * 16);
+    mac.reset();
+    EXPECT_EQ(mac.accumulator(), 0);
+}
+
+// ---------------------------------------------------------------------
+// 8-bit fusion (Fig. 8).
+// ---------------------------------------------------------------------
+TEST(Mac, FusedInt8UnsignedExhaustive)
+{
+    for (int32_t a = 0; a < 256; ++a)
+        for (int32_t b = 0; b < 256; ++b)
+            EXPECT_EQ(fusedInt8Multiply(a, b, false),
+                      static_cast<int64_t>(a) * b)
+                << a << "*" << b;
+}
+
+TEST(Mac, FusedInt8SignedExhaustive)
+{
+    for (int32_t a = -128; a < 128; ++a)
+        for (int32_t b = -128; b < 128; ++b)
+            EXPECT_EQ(fusedInt8Multiply(a, b, true),
+                      static_cast<int64_t>(a) * b)
+                << a << "*" << b;
+}
+
+TEST(Mac, DecompositionFields)
+{
+    IntOperand hi, lo;
+    decomposeInt8(0xAB, false, hi, lo);
+    EXPECT_EQ(hi.baseInt, 0xA);
+    EXPECT_EQ(hi.exp, 4);
+    EXPECT_EQ(lo.baseInt, 0xB);
+    EXPECT_EQ(lo.exp, 0);
+    decomposeInt8(-1, true, hi, lo); // 0xFF
+    EXPECT_EQ(hi.baseInt, -1);
+    EXPECT_EQ(lo.baseInt, 0xF);
+}
+
+// ---------------------------------------------------------------------
+// Area model (Tables I & VII).
+// ---------------------------------------------------------------------
+TEST(AreaModel, AntOverheadMatchesTableI)
+{
+    // Table I reports 0.2% decoder overhead for ANT; our model computes
+    // 128 * 4.9 um^2 over 4096 * 79.57 um^2 = 0.19%.
+    const DesignConfig c = designConfig(Design::AntOS);
+    EXPECT_NEAR(overheadRatio(c), 0.002, 0.0005);
+}
+
+TEST(AreaModel, IsoAreaCoresMatchTableVII)
+{
+    // All compute cores land at ~0.32-0.33 mm^2.
+    for (Design d : {Design::AntOS, Design::BitFusion, Design::OLAccel,
+                     Design::BiScaled, Design::AdaFloat}) {
+        const double a = coreAreaMm2(designConfig(d));
+        EXPECT_GT(a, 0.31) << designName(d);
+        EXPECT_LT(a, 0.335) << designName(d);
+    }
+}
+
+TEST(AreaModel, OverheadOrderingMatchesTableI)
+{
+    // Int/BitFusion ~ 0 < ANT (0.2%) < BiScaled (7.1%) < OLAccel (71%).
+    const double ant = overheadRatio(designConfig(Design::AntOS));
+    const double bf = overheadRatio(designConfig(Design::BitFusion));
+    const double bs = overheadRatio(designConfig(Design::BiScaled));
+    const double ol = overheadRatio(designConfig(Design::OLAccel));
+    EXPECT_LE(bf, ant);
+    EXPECT_LT(ant, bs);
+    EXPECT_LT(bs, ol);
+}
+
+TEST(AreaModel, TableVIIRowsPresent)
+{
+    const auto rows = tableVII();
+    ASSERT_GE(rows.size(), 6u);
+    EXPECT_EQ(rows[0].architecture, "ANT-OS");
+    EXPECT_EQ(rows[0].count, 128);
+    EXPECT_EQ(rows[1].count, 4096);
+}
+
+TEST(AreaModel, EnergyConstantsOrdering)
+{
+    const EnergyModel &e = defaultEnergyModel();
+    EXPECT_LT(e.mac4, e.mac8);
+    EXPECT_LT(e.mac8, e.mac16Float);
+    EXPECT_LT(e.bufferPerBit, e.dramPerBit);
+    EXPECT_LT(e.decodeOp, e.mac4);
+}
+
+} // namespace
+} // namespace hw
+} // namespace ant

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the layer-wise mixed-precision controller (Sec. IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mixed_precision.h"
+
+namespace ant {
+namespace {
+
+/** A synthetic "model": accuracy rises as noisy layers get 8 bits. */
+struct FakeModel
+{
+    std::vector<double> layer_noise;    //!< MSE contribution at 4 bits
+    std::vector<LayerPrecision> prec;
+
+    double
+    accuracy() const
+    {
+        double loss = 0.0;
+        for (size_t i = 0; i < layer_noise.size(); ++i)
+            if (prec[i] == LayerPrecision::Ant4) loss += layer_noise[i];
+        return 1.0 - loss;
+    }
+};
+
+MixedPrecisionHooks
+hooksFor(FakeModel &m, int *tune_calls = nullptr)
+{
+    MixedPrecisionHooks h;
+    h.applyAndTune = [&m, tune_calls](const std::vector<LayerPrecision> &p) {
+        m.prec = p;
+        if (tune_calls) ++*tune_calls;
+    };
+    h.evaluate = [&m] { return m.accuracy(); };
+    h.layerMse = [&m] {
+        std::vector<double> v;
+        for (size_t i = 0; i < m.layer_noise.size(); ++i)
+            v.push_back(m.prec[i] == LayerPrecision::Ant4
+                            ? m.layer_noise[i]
+                            : 0.0);
+        return v;
+    };
+    return h;
+}
+
+TEST(MixedPrecision, NoEscalationWhenAlreadyAccurate)
+{
+    FakeModel m{{0.001, 0.002, 0.001}, {}};
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 1.0;
+    cfg.threshold = 0.01;
+    const auto res = runMixedPrecision(3, cfg, hooksFor(m));
+    EXPECT_TRUE(res.converged);
+    EXPECT_DOUBLE_EQ(fourBitRatio(res.precision), 1.0);
+    EXPECT_EQ(res.history.size(), 1u);
+}
+
+TEST(MixedPrecision, EscalatesWorstLayerFirst)
+{
+    FakeModel m{{0.002, 0.05, 0.001, 0.03}, {}};
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 1.0;
+    cfg.threshold = 0.01;
+    const auto res = runMixedPrecision(4, cfg, hooksFor(m));
+    EXPECT_TRUE(res.converged);
+    // Layers 1 and 3 (noise 0.05, 0.03) must be the ones escalated.
+    EXPECT_EQ(res.precision[1], LayerPrecision::Int8);
+    EXPECT_EQ(res.precision[3], LayerPrecision::Int8);
+    EXPECT_EQ(res.precision[0], LayerPrecision::Ant4);
+    EXPECT_EQ(res.precision[2], LayerPrecision::Ant4);
+    ASSERT_GE(res.history.size(), 2u);
+    EXPECT_EQ(res.history[1].layer, 1); // worst first
+}
+
+TEST(MixedPrecision, StopsWhenAllLayersEightBit)
+{
+    FakeModel m{{0.5, 0.5}, {}};
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 2.0; // unreachable
+    cfg.threshold = 0.0;
+    const auto res = runMixedPrecision(2, cfg, hooksFor(m));
+    EXPECT_FALSE(res.converged);
+    EXPECT_DOUBLE_EQ(fourBitRatio(res.precision), 0.0);
+}
+
+TEST(MixedPrecision, RespectsRoundBudget)
+{
+    FakeModel m{{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}, {}};
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 1.0;
+    cfg.threshold = 0.0;
+    cfg.maxRounds = 2;
+    const auto res = runMixedPrecision(6, cfg, hooksFor(m));
+    int eight = 0;
+    for (auto p : res.precision)
+        if (p == LayerPrecision::Int8) ++eight;
+    EXPECT_EQ(eight, 2);
+}
+
+TEST(MixedPrecision, TunesAfterEveryEscalation)
+{
+    FakeModel m{{0.05, 0.05}, {}};
+    int tune_calls = 0;
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 1.0;
+    cfg.threshold = 0.02;
+    const auto res = runMixedPrecision(2, cfg, hooksFor(m, &tune_calls));
+    // Initial apply + one per escalation.
+    EXPECT_EQ(tune_calls, static_cast<int>(res.history.size()));
+}
+
+TEST(MixedPrecision, MissingHooksThrow)
+{
+    MixedPrecisionConfig cfg;
+    EXPECT_THROW(runMixedPrecision(2, cfg, MixedPrecisionHooks{}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

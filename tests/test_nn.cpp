@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Tests for the NN substrate: autograd correctness (numerical
+ * gradient checks), modules, datasets, training, and the QAT hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/models.h"
+#include "nn/qat.h"
+#include "nn/transformer.h"
+
+namespace ant {
+namespace nn {
+namespace {
+
+/** Numerical vs analytical gradient for a scalar-valued graph. */
+void
+checkGrad(const std::function<Var(const Var &)> &fn, Tensor x0,
+          double tol = 2e-2)
+{
+    Var x = variable(x0, true);
+    Var y = fn(x);
+    backward(y);
+    const Tensor analytic = x->grad;
+
+    const float eps = 1e-3f;
+    for (int64_t i = 0; i < x0.numel(); ++i) {
+        Tensor xp = x0, xm = x0;
+        xp[i] += eps;
+        xm[i] -= eps;
+        const float yp = fn(variable(xp, false))->value[0];
+        const float ym = fn(variable(xm, false))->value[0];
+        const double num = (yp - ym) / (2.0 * eps);
+        EXPECT_NEAR(analytic[i], num,
+                    tol * std::max(1.0, std::fabs(num)))
+            << "element " << i;
+    }
+}
+
+/** Reduce to scalar by summing (via matmul with ones). */
+Var
+sumAll(const Var &v)
+{
+    const int64_t m = v->value.dim(0), n = v->value.dim(1);
+    Var ones_r = constant(Tensor::ones(Shape{n, 1}));
+    Var col = matmul(v, ones_r); // [m,1]
+    Var ones_l = constant(Tensor::ones(Shape{1, m}));
+    return matmul(ones_l, col); // [1,1]
+}
+
+TEST(Autograd, LinearGradient)
+{
+    Rng rng(1);
+    const Tensor w0 = rng.tensor(Shape{3, 4}, DistFamily::Gaussian);
+    const Tensor x0 = rng.tensor(Shape{2, 4}, DistFamily::Gaussian);
+    checkGrad(
+        [&](const Var &x) {
+            Var w = constant(w0);
+            return sumAll(linear(x, w, nullptr));
+        },
+        x0);
+}
+
+TEST(Autograd, ReluGeluTanhGradients)
+{
+    Rng rng(2);
+    const Tensor x0 = rng.tensor(Shape{1, 6}, DistFamily::Gaussian);
+    checkGrad([](const Var &x) { return sumAll(relu(x)); }, x0);
+    checkGrad([](const Var &x) { return sumAll(gelu(x)); }, x0);
+    checkGrad([](const Var &x) { return sumAll(tanhV(x)); }, x0);
+}
+
+TEST(Autograd, SoftmaxGradient)
+{
+    Rng rng(3);
+    const Tensor x0 = rng.tensor(Shape{2, 5}, DistFamily::Gaussian);
+    const Tensor w0 = rng.tensor(Shape{5, 1}, DistFamily::Gaussian);
+    checkGrad(
+        [&](const Var &x) {
+            // weighted sum so the softmax grad isn't trivially zero
+            return sumAll(matmul(softmaxRows(x), constant(w0)));
+        },
+        x0);
+}
+
+TEST(Autograd, LayerNormGradient)
+{
+    Rng rng(4);
+    const Tensor x0 = rng.tensor(Shape{2, 6}, DistFamily::Gaussian);
+    const Tensor w0 = rng.tensor(Shape{6, 1}, DistFamily::Gaussian);
+    checkGrad(
+        [&](const Var &x) {
+            Var g = constant(Tensor::ones(Shape{6}));
+            Var b = constant(Tensor::zeros(Shape{6}));
+            return sumAll(matmul(layerNorm(x, g, b), constant(w0)));
+        },
+        x0, 5e-2);
+}
+
+TEST(Autograd, Conv2dGradient)
+{
+    Rng rng(5);
+    const Tensor x0 = rng.tensor(Shape{1, 2, 5, 5}, DistFamily::Gaussian);
+    const Tensor w0 = rng.tensor(Shape{2, 2, 3, 3}, DistFamily::Gaussian);
+    checkGrad(
+        [&](const Var &x) {
+            Var y = conv2d(x, constant(w0), 1, 1);
+            const int64_t b = y->value.dim(0);
+            return sumAll(reshape(y, Shape{b, y->value.numel() / b}));
+        },
+        x0, 5e-2);
+}
+
+TEST(Autograd, CrossEntropyGradient)
+{
+    Rng rng(6);
+    const Tensor x0 = rng.tensor(Shape{3, 4}, DistFamily::Gaussian);
+    const std::vector<int> labels{1, 0, 3};
+    checkGrad([&](const Var &x) { return crossEntropy(x, labels); },
+              x0);
+}
+
+TEST(Autograd, SliceConcatTransposeGradients)
+{
+    Rng rng(7);
+    const Tensor x0 = rng.tensor(Shape{4, 3}, DistFamily::Gaussian);
+    const Tensor w0 = rng.tensor(Shape{3, 1}, DistFamily::Gaussian);
+    checkGrad(
+        [&](const Var &x) {
+            Var a = sliceRows(x, 0, 2);
+            Var b = sliceRows(x, 2, 4);
+            Var c = concatRows({b, a});
+            return sumAll(matmul(c, constant(w0)));
+        },
+        x0);
+    checkGrad(
+        [&](const Var &x) {
+            Var t = transpose(transpose(x));
+            return sumAll(matmul(t, constant(w0)));
+        },
+        x0);
+    checkGrad(
+        [&](const Var &x) {
+            Var c = concatCols({sliceCols(x, 2, 3), sliceCols(x, 0, 2)});
+            return sumAll(matmul(c, constant(w0)));
+        },
+        x0);
+}
+
+TEST(Autograd, FakeQuantSTEPassesGradInRange)
+{
+    Tensor x0{Shape{1, 3}, {0.4f, 5.0f, -0.2f}};
+    Var x = variable(x0, true);
+    Tensor q = x0;
+    q[0] = 0.5f; // quantized forward value differs
+    Var y = fakeQuantSTE(x, q, -1.0f, 1.0f);
+    EXPECT_FLOAT_EQ(y->value[0], 0.5f);
+    backward(sumAll(y));
+    EXPECT_FLOAT_EQ(x->grad[0], 1.0f);  // inside range: pass
+    EXPECT_FLOAT_EQ(x->grad[1], 0.0f);  // clipped: blocked
+    EXPECT_FLOAT_EQ(x->grad[2], 1.0f);
+}
+
+TEST(Autograd, EmbeddingGradAccumulates)
+{
+    Tensor table{Shape{4, 2}};
+    Var tv = variable(table, true);
+    Var e = embedding(tv, {1, 1, 3});
+    backward(sumAll(e));
+    EXPECT_FLOAT_EQ(tv->grad[1 * 2 + 0], 2.0f); // id 1 used twice
+    EXPECT_FLOAT_EQ(tv->grad[3 * 2 + 0], 1.0f);
+    EXPECT_FLOAT_EQ(tv->grad[0], 0.0f);
+}
+
+// ---------------------------------------------------------------------
+// Datasets
+// ---------------------------------------------------------------------
+TEST(Dataset, ClusterShapesAndDeterminism)
+{
+    const Dataset a = makeClusterDataset(4, 8, 100, 50, 9);
+    const Dataset b = makeClusterDataset(4, 8, 100, 50, 9);
+    EXPECT_EQ(a.trainX.shape(), (Shape{100, 8}));
+    EXPECT_EQ(a.testSize(), 50);
+    EXPECT_LT(ops::mse(a.trainX, b.trainX), 1e-12);
+}
+
+TEST(Dataset, TokenTasksBalancedAndSized)
+{
+    for (TokenTask t : {TokenTask::EntailLike, TokenTask::GrammarLike,
+                        TokenTask::SentimentLike}) {
+        const Dataset ds = makeTokenDataset(t, 300, 100, 5);
+        EXPECT_EQ(ds.trainSize(), 300);
+        EXPECT_TRUE(ds.isToken);
+        std::vector<int> counts(static_cast<size_t>(ds.numClasses), 0);
+        for (int y : ds.trainY) {
+            ASSERT_GE(y, 0);
+            ASSERT_LT(y, ds.numClasses);
+            ++counts[static_cast<size_t>(y)];
+        }
+        for (int c : counts) EXPECT_GT(c, 0);
+        for (const auto &s : ds.trainTok) {
+            EXPECT_EQ(static_cast<int>(s.size()), ds.seqLen);
+            for (int tok : s) {
+                EXPECT_GE(tok, 0);
+                EXPECT_LT(tok, ds.vocab);
+            }
+        }
+    }
+}
+
+TEST(Dataset, BatchSlicing)
+{
+    const Dataset ds = makeTextureImageDataset(4, 50, 20, 3);
+    const Batch b = ds.batch(1, 16, true);
+    EXPECT_EQ(b.x.dim(0), 16);
+    EXPECT_EQ(b.labels.size(), 16u);
+    const Batch last = ds.batch(3, 16, true); // 50 -> last batch of 2
+    EXPECT_EQ(last.x.dim(0), 2);
+    EXPECT_THROW(ds.batch(9, 16, true), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------
+// Training + QAT integration
+// ---------------------------------------------------------------------
+TEST(Training, MlpLearnsClusters)
+{
+    const Dataset ds = makeClusterDataset(3, 8, 300, 150, 10);
+    auto m = buildMlp(8, 3, 11);
+    TrainConfig tc;
+    tc.epochs = 6;
+    tc.lr = 0.05f;
+    trainClassifier(*m, ds, tc);
+    EXPECT_GT(evaluateAccuracy(*m, ds), 0.9);
+}
+
+TEST(Training, AdamLearnsToo)
+{
+    const Dataset ds = makeClusterDataset(3, 8, 300, 150, 10);
+    auto m = buildMlp(8, 3, 12);
+    TrainConfig tc;
+    tc.epochs = 6;
+    tc.lr = 0.005f;
+    tc.useAdam = true;
+    trainClassifier(*m, ds, tc);
+    EXPECT_GT(evaluateAccuracy(*m, ds), 0.9);
+}
+
+TEST(Qat, CalibrationSelectsTypesEverywhere)
+{
+    const Dataset ds = makeClusterDataset(3, 8, 200, 100, 13);
+    auto m = buildMlp(8, 3, 14);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.lr = 0.05f;
+    trainClassifier(*m, ds, tc);
+    QatConfig qc;
+    qc.combo = Combo::IPF;
+    configureQuant(*m, qc);
+    calibrateQuant(*m, ds, qc);
+    for (QuantLayer *l : m->quantLayers()) {
+        EXPECT_TRUE(l->weightQ.calibrated()) << l->name();
+        EXPECT_TRUE(l->actQ.calibrated()) << l->name();
+        EXPECT_GT(l->quantMseMetric(), 0.0) << l->name();
+    }
+    const auto types = layerWeightTypes(*m);
+    EXPECT_EQ(types.size(), m->quantLayers().size());
+}
+
+TEST(Qat, DisableRestoresFp32Exactly)
+{
+    const Dataset ds = makeClusterDataset(3, 8, 200, 100, 15);
+    auto m = buildMlp(8, 3, 16);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.lr = 0.05f;
+    trainClassifier(*m, ds, tc);
+    const double fp32 = evaluateAccuracy(*m, ds);
+    QatConfig qc;
+    configureQuant(*m, qc);
+    calibrateQuant(*m, ds, qc);
+    disableQuant(*m);
+    EXPECT_DOUBLE_EQ(evaluateAccuracy(*m, ds), fp32);
+}
+
+TEST(Qat, EightBitPtqBeatsFourBitPtq)
+{
+    const Dataset ds = makeTextureImageDataset(10, 300, 150, 17, 0.8f);
+    auto m = buildResNetStyle(10, false, 18);
+    TrainConfig tc;
+    tc.epochs = 8;
+    tc.lr = 0.01f;
+    trainClassifier(*m, ds, tc);
+    double acc[2];
+    int i = 0;
+    for (int bits : {4, 8}) {
+        QatConfig qc;
+        qc.combo = Combo::IPF;
+        qc.bits = bits;
+        qc.weightGranularity = Granularity::PerTensor;
+        configureQuant(*m, qc);
+        calibrateQuant(*m, ds, qc);
+        acc[i++] = evaluateAccuracy(*m, ds);
+        disableQuant(*m);
+    }
+    EXPECT_GE(acc[1] + 1e-9, acc[0]);
+}
+
+TEST(Qat, FourBitWeightRatioWeighting)
+{
+    auto m = buildMlp(8, 3, 19);
+    const auto layers = m->quantLayers();
+    std::vector<LayerPrecision> prec(layers.size(),
+                                     LayerPrecision::Ant4);
+    EXPECT_DOUBLE_EQ(fourBitWeightRatio(*m, prec), 1.0);
+    prec[0] = LayerPrecision::Int8;
+    const double r = fourBitWeightRatio(*m, prec);
+    EXPECT_LT(r, 1.0);
+    EXPECT_GT(r, 0.0);
+}
+
+TEST(Transformer, BlockShapesAndBackward)
+{
+    Rng rng(20);
+    TransformerBlock blk(16, 2, 32, 4, rng, "tb");
+    const Tensor x0 = rng.tensor(Shape{8, 16}, DistFamily::Gaussian);
+    Var x = variable(x0, true);
+    Var y = blk.forward(x);
+    EXPECT_EQ(y->value.shape(), (Shape{8, 16}));
+    // Backward runs and touches every parameter.
+    Var loss = crossEntropy(sliceRows(y, 0, 2), {0, 1});
+    backward(loss);
+    std::vector<Param *> ps;
+    blk.collectParams(ps);
+    int with_grad = 0;
+    for (Param *p : ps)
+        if (p->var->grad.numel() == p->var->value.numel()) ++with_grad;
+    EXPECT_EQ(with_grad, static_cast<int>(ps.size()));
+    EXPECT_EQ(blk.quantLayers().size(), 6u);
+}
+
+} // namespace
+} // namespace nn
+} // namespace ant

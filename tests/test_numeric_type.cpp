@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the primitive numeric types and their value grids (Sec. IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/numeric_type.h"
+
+namespace ant {
+namespace {
+
+TEST(IntType, UnsignedGrid)
+{
+    const auto t = makeInt(4, false);
+    EXPECT_EQ(t->grid().size(), 16u);
+    EXPECT_DOUBLE_EQ(t->minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(t->maxValue(), 15.0);
+    EXPECT_EQ(t->name(), "uint4");
+}
+
+TEST(IntType, SignedSymmetricGrid)
+{
+    const auto t = makeInt(4, true);
+    // -8 clamps onto -7: 15 unique values.
+    EXPECT_EQ(t->grid().size(), 15u);
+    EXPECT_DOUBLE_EQ(t->minValue(), -7.0);
+    EXPECT_DOUBLE_EQ(t->maxValue(), 7.0);
+}
+
+TEST(FloatType, E3M1UnsignedGrid)
+{
+    const auto t = makeFloat(3, 1, false);
+    EXPECT_EQ(t->bits(), 4);
+    const std::set<double> got(t->grid().begin(), t->grid().end());
+    // Subnormals {0, 0.5}; normals (1+m/2)*2^(e-1) for e=1..7.
+    const std::set<double> expect = {0, 0.5, 1, 1.5, 2,  3,  4,  6,
+                                     8, 12,  16, 24, 32, 48, 64, 96};
+    EXPECT_EQ(got, expect);
+}
+
+TEST(FloatType, SignedFourBitEqualsPoT)
+{
+    // Paper Fig. 14: "signed 4-bit float and PoT are identical".
+    const auto f = makeDefaultFloat(4, true);
+    const auto p = makePoT(4, true);
+    EXPECT_EQ(f->grid(), p->grid());
+}
+
+TEST(PoTType, UnsignedGrid)
+{
+    const auto t = makePoT(4, false);
+    ASSERT_EQ(t->grid().size(), 16u);
+    EXPECT_DOUBLE_EQ(t->grid()[0], 0.0);
+    EXPECT_DOUBLE_EQ(t->grid()[1], 1.0);
+    EXPECT_DOUBLE_EQ(t->grid()[15], std::ldexp(1.0, 14));
+}
+
+TEST(PoTType, SignedGrid)
+{
+    const auto t = makePoT(4, true);
+    const std::set<double> got(t->grid().begin(), t->grid().end());
+    const std::set<double> expect = {-64, -32, -16, -8, -4, -2, -1, 0,
+                                     1,   2,   4,   8,  16, 32, 64};
+    EXPECT_EQ(got, expect);
+}
+
+TEST(FlintType, MatchesCodecGrid)
+{
+    const auto t = makeFlint(4, false);
+    EXPECT_EQ(t->grid().size(), 16u);
+    EXPECT_DOUBLE_EQ(t->maxValue(), 64.0);
+    const auto s = makeFlint(4, true);
+    EXPECT_DOUBLE_EQ(s->maxValue(), 16.0);
+    EXPECT_DOUBLE_EQ(s->minValue(), -16.0);
+}
+
+TEST(NumericType, QuantizeValueIsNearest)
+{
+    const auto t = makeFlint(4, false);
+    EXPECT_DOUBLE_EQ(t->quantizeValue(11.0), 12.0); // ties away: 10 vs 12
+    EXPECT_DOUBLE_EQ(t->quantizeValue(8.9), 8.0);
+    EXPECT_DOUBLE_EQ(t->quantizeValue(9.1), 10.0);
+    EXPECT_DOUBLE_EQ(t->quantizeValue(100.0), 64.0); // clamp high
+    EXPECT_DOUBLE_EQ(t->quantizeValue(-3.0), 0.0);   // clamp low
+}
+
+TEST(NumericType, QuantizeIdempotent)
+{
+    for (const auto &t : {makeInt(4, true), makeFlint(4, true),
+                          makePoT(4, true), makeDefaultFloat(4, true)}) {
+        for (const double v : t->grid())
+            EXPECT_DOUBLE_EQ(t->quantizeValue(v), v) << t->name();
+    }
+}
+
+TEST(NumericType, EncodeNearestReturnsMatchingCode)
+{
+    const auto t = makeFlint(4, false);
+    for (double x : {0.2, 1.4, 5.7, 9.0, 20.0, 63.0}) {
+        const uint32_t c = t->encodeNearest(x);
+        EXPECT_DOUBLE_EQ(t->codeValue(c), t->quantizeValue(x));
+    }
+}
+
+TEST(Combos, CandidateListsMatchPaper)
+{
+    EXPECT_EQ(comboCandidates(Combo::INT, 4, true).size(), 1u);
+    EXPECT_EQ(comboCandidates(Combo::IP, 4, true).size(), 2u);
+    EXPECT_EQ(comboCandidates(Combo::FIP, 4, true).size(), 3u);
+    EXPECT_EQ(comboCandidates(Combo::IPF, 4, true).size(), 3u);
+    EXPECT_EQ(comboCandidates(Combo::FIPF, 4, true).size(), 4u);
+
+    // IP-F contains flint but no float.
+    bool has_flint = false, has_float = false;
+    for (const auto &t : comboCandidates(Combo::IPF, 4, true)) {
+        has_flint |= t->kind() == TypeKind::Flint;
+        has_float |= t->kind() == TypeKind::Float;
+    }
+    EXPECT_TRUE(has_flint);
+    EXPECT_FALSE(has_float);
+    EXPECT_STREQ(comboName(Combo::IPF), "IP-F");
+}
+
+TEST(Combos, EightBitTypesExist)
+{
+    for (const auto &t : comboCandidates(Combo::FIPF, 8, true)) {
+        EXPECT_EQ(t->bits(), 8);
+        EXPECT_GE(t->grid().size(), 100u) << t->name();
+    }
+}
+
+} // namespace
+} // namespace ant

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Parameterized property tests sweeping bit widths, signedness, type
+ * kinds and distribution families — the cross-cutting invariants of
+ * the ANT framework that single-case unit tests cannot cover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/flint.h"
+#include "core/type_selector.h"
+#include "hw/decoder.h"
+#include "hw/mac.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+// ---------------------------------------------------------------------
+// Type-level invariants over (kind, bits, signedness).
+// ---------------------------------------------------------------------
+using TypeParam3 = std::tuple<TypeKind, int, bool>;
+
+class AllTypes : public ::testing::TestWithParam<TypeParam3>
+{
+  protected:
+    TypePtr
+    make() const
+    {
+        const auto [kind, bits, sgn] = GetParam();
+        switch (kind) {
+          case TypeKind::Int: return makeInt(bits, sgn);
+          case TypeKind::Float: return makeDefaultFloat(bits, sgn);
+          case TypeKind::PoT: return makePoT(bits, sgn);
+          case TypeKind::Flint: return makeFlint(bits, sgn);
+        }
+        return nullptr;
+    }
+};
+
+TEST_P(AllTypes, GridSortedUniqueAndBounded)
+{
+    const TypePtr t = make();
+    const auto &g = t->grid();
+    ASSERT_FALSE(g.empty());
+    for (size_t i = 1; i < g.size(); ++i)
+        EXPECT_LT(g[i - 1], g[i]) << t->name();
+    EXPECT_LE(static_cast<int>(g.size()), t->codeCount());
+    if (t->isSigned()) {
+        EXPECT_LT(t->minValue(), 0.0) << t->name();
+        // Symmetric grids: min == -max.
+        EXPECT_DOUBLE_EQ(t->minValue(), -t->maxValue()) << t->name();
+    } else {
+        EXPECT_DOUBLE_EQ(t->minValue(), 0.0) << t->name();
+    }
+}
+
+TEST_P(AllTypes, ZeroIsRepresentable)
+{
+    const TypePtr t = make();
+    EXPECT_DOUBLE_EQ(t->quantizeValue(0.0), 0.0) << t->name();
+}
+
+TEST_P(AllTypes, QuantizeIsIdempotentAndNearest)
+{
+    const TypePtr t = make();
+    const auto &g = t->grid();
+    for (double v : g)
+        EXPECT_DOUBLE_EQ(t->quantizeValue(v), v) << t->name();
+    // Midpoint probes: result is one of the two neighbours.
+    for (size_t i = 1; i < g.size(); ++i) {
+        const double mid = 0.5 * (g[i - 1] + g[i]);
+        const double q = t->quantizeValue(mid);
+        EXPECT_TRUE(q == g[i - 1] || q == g[i])
+            << t->name() << " mid " << mid;
+    }
+}
+
+TEST_P(AllTypes, CodesDecodeWithinRange)
+{
+    const TypePtr t = make();
+    for (int c = 0; c < t->codeCount(); ++c) {
+        const double v = t->codeValue(static_cast<uint32_t>(c));
+        EXPECT_GE(v, t->minValue()) << t->name();
+        EXPECT_LE(v, t->maxValue()) << t->name();
+    }
+}
+
+TEST_P(AllTypes, EncodeNearestConsistent)
+{
+    const TypePtr t = make();
+    Rng rng(77);
+    for (int i = 0; i < 200; ++i) {
+        const double x =
+            rng.gaussian(0.0f, static_cast<float>(t->maxValue()));
+        const uint32_t c = t->encodeNearest(x);
+        EXPECT_DOUBLE_EQ(t->codeValue(c), t->quantizeValue(x))
+            << t->name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllTypes,
+    ::testing::Combine(::testing::Values(TypeKind::Int, TypeKind::Float,
+                                         TypeKind::PoT,
+                                         TypeKind::Flint),
+                       ::testing::Values(3, 4, 5, 6, 8),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<TypeParam3> &info) {
+        return std::string(typeKindName(std::get<0>(info.param))) +
+               std::to_string(std::get<1>(info.param)) +
+               (std::get<2>(info.param) ? "s" : "u");
+    });
+
+// ---------------------------------------------------------------------
+// Quantizer invariants over (bits, distribution).
+// ---------------------------------------------------------------------
+using QuantParam = std::tuple<int, DistFamily>;
+
+class QuantSweep : public ::testing::TestWithParam<QuantParam> {};
+
+TEST_P(QuantSweep, SelectionIsArgminAndMonotoneInBits)
+{
+    const auto [bits, fam] = GetParam();
+    Rng rng(static_cast<uint64_t>(bits) * 131 +
+            static_cast<uint64_t>(fam));
+    const Tensor t = rng.tensor(Shape{4096}, fam);
+
+    const TypeSelection sel = selectType(t, Combo::FIPF, bits, true);
+    for (const CandidateScore &s : sel.scores)
+        EXPECT_LE(sel.result.mse, s.mse + 1e-15)
+            << distFamilyName(fam) << " bits=" << bits;
+
+    if (bits < 8) {
+        const TypeSelection wider =
+            selectType(t, Combo::FIPF, bits + 1, true);
+        EXPECT_LE(wider.result.mse, sel.result.mse * 1.02)
+            << distFamilyName(fam) << " bits=" << bits;
+    }
+}
+
+TEST_P(QuantSweep, DequantWithinClipRange)
+{
+    const auto [bits, fam] = GetParam();
+    Rng rng(static_cast<uint64_t>(bits) * 53 +
+            static_cast<uint64_t>(fam) + 7);
+    const Tensor t = rng.tensor(Shape{2048}, fam);
+    QuantConfig cfg;
+    cfg.type = makeFlint(bits, true);
+    const QuantResult r = quantize(t, cfg);
+    const double bound = cfg.type->maxValue() * r.scales[0] + 1e-6;
+    for (int64_t i = 0; i < r.dequant.numel(); ++i)
+        EXPECT_LE(std::fabs(static_cast<double>(r.dequant[i])), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantSweep,
+    ::testing::Combine(::testing::Values(3, 4, 6, 8),
+                       ::testing::Values(DistFamily::Uniform,
+                                         DistFamily::Gaussian,
+                                         DistFamily::WeightLike,
+                                         DistFamily::Laplace,
+                                         DistFamily::LaplaceOutlier)),
+    [](const ::testing::TestParamInfo<QuantParam> &info) {
+        std::string n = std::string("b") +
+                        std::to_string(std::get<0>(info.param)) + "_" +
+                        distFamilyName(std::get<1>(info.param));
+        for (char &c : n)
+            if (c == '-' || c == '+') c = '_';
+        return n;
+    });
+
+// ---------------------------------------------------------------------
+// Hardware/codec equivalence over widths (both decoders, MAC).
+// ---------------------------------------------------------------------
+class WidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WidthSweep, DecodersAgreeWithCodecEverywhere)
+{
+    const int n = GetParam();
+    for (uint32_t c = 0; c < (1u << n); ++c) {
+        const int64_t ref = flint::decodeToInteger(c, n);
+        EXPECT_EQ(hw::intOperandValue(hw::decodeFlintIntUnsigned(c, n)),
+                  ref);
+        EXPECT_DOUBLE_EQ(
+            hw::floatOperandValue(hw::decodeFlintFloatUnsigned(c, n)),
+            static_cast<double>(ref));
+    }
+}
+
+TEST_P(WidthSweep, MacExhaustiveFlintProducts)
+{
+    const int n = GetParam();
+    if (n > 6) GTEST_SKIP() << "quadratic sweep capped at 6 bits";
+    for (uint32_t a = 0; a < (1u << n); ++a)
+        for (uint32_t b = 0; b < (1u << n); ++b) {
+            const auto oa = hw::decodeFlintIntUnsigned(a, n);
+            const auto ob = hw::decodeFlintIntUnsigned(b, n);
+            EXPECT_EQ(hw::IntFlintMac::multiply(oa, ob),
+                      flint::decodeToInteger(a, n) *
+                          flint::decodeToInteger(b, n));
+        }
+}
+
+TEST_P(WidthSweep, SignedDecoderReuse)
+{
+    // Eq. 7-8: the signed decoder is the (n-1)-bit unsigned decoder
+    // plus a two's-complement stage.
+    const int n = GetParam();
+    for (uint32_t c = 0; c < (1u << n); ++c) {
+        const auto op = hw::decodeFlintIntSigned(c, n);
+        const uint32_t mag = c & ((1u << (n - 1)) - 1u);
+        const auto ref = hw::decodeFlintIntUnsigned(mag, n - 1);
+        EXPECT_EQ(std::abs(op.baseInt), std::abs(ref.baseInt));
+        EXPECT_EQ(op.exp, ref.exp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// flint mantissa allocation matches value frequency (the Fig. 3 claim).
+// ---------------------------------------------------------------------
+TEST(FlintShape, MantissaDensityTracksGaussianMass)
+{
+    // The relative step size (step / value) of the 4-bit flint grid is
+    // smallest in the mid-range intervals where a scaled Gaussian has
+    // the most mass, and largest at the extremes.
+    const auto t = makeFlint(4, false);
+    const auto &g = t->grid();
+    const auto rel_step = [&](size_t i) {
+        return (g[i + 1] - g[i]) / g[i + 1];
+    };
+    // Mid interval (4..8) has finer relative steps than the top (32..64).
+    EXPECT_LT(rel_step(4), rel_step(g.size() - 2));
+}
+
+} // namespace
+} // namespace ant

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the quantize/dequantize operator (Eq. 2), scale search, and
+ * granularities (Sec. II-B, IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/quantizer.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+QuantConfig
+cfgOf(TypePtr t, ScaleMode m = ScaleMode::MseSearch,
+      Granularity g = Granularity::PerTensor)
+{
+    QuantConfig c;
+    c.type = std::move(t);
+    c.scaleMode = m;
+    c.granularity = g;
+    return c;
+}
+
+TEST(Quantizer, ExactRepresentationIsLossless)
+{
+    // A tensor holding scaled grid values quantizes with zero error.
+    const auto type = makeFlint(4, false);
+    const double s = 0.125;
+    Tensor t{Shape{16}};
+    int64_t i = 0;
+    for (double v : type->grid()) t[i++] = static_cast<float>(v * s);
+    QuantConfig cfg = cfgOf(type, ScaleMode::MaxCalib);
+    const QuantResult r = quantize(t, cfg);
+    EXPECT_NEAR(r.mse, 0.0, 1e-12);
+    EXPECT_NEAR(r.scales[0], s, 1e-9);
+}
+
+TEST(Quantizer, MseSearchNeverWorseThanMaxCalib)
+{
+    Rng rng(11);
+    for (DistFamily f : {DistFamily::Gaussian, DistFamily::Laplace,
+                         DistFamily::Uniform}) {
+        const Tensor t = rng.tensor(Shape{4096}, f);
+        for (const auto &type :
+             {makeInt(4, true), makeFlint(4, true), makePoT(4, true)}) {
+            QuantConfig cmax = cfgOf(type, ScaleMode::MaxCalib);
+            QuantConfig csearch = cfgOf(type, ScaleMode::MseSearch);
+            const double e_max = quantize(t, cmax).mse;
+            const double e_search = quantize(t, csearch).mse;
+            EXPECT_LE(e_search, e_max + 1e-12)
+                << type->name() << " on " << distFamilyName(f);
+        }
+    }
+}
+
+TEST(Quantizer, PerChannelNotWorseThanPerTensorOnWeights)
+{
+    Rng rng(12);
+    // Per-channel weight quantization (Sec. II-B): channels with very
+    // different ranges.
+    Tensor w{Shape{8, 64}};
+    for (int64_t c = 0; c < 8; ++c) {
+        const float scale = 0.1f * static_cast<float>(1 << c);
+        for (int64_t k = 0; k < 64; ++k)
+            w[c * 64 + k] = rng.gaussian() * scale;
+    }
+    const auto type = makeInt(4, true);
+    const double per_tensor =
+        quantize(w, cfgOf(type, ScaleMode::MseSearch,
+                          Granularity::PerTensor))
+            .mse;
+    const double per_channel =
+        quantize(w, cfgOf(type, ScaleMode::MseSearch,
+                          Granularity::PerChannel))
+            .mse;
+    EXPECT_LT(per_channel, per_tensor);
+}
+
+TEST(Quantizer, PerChannelScaleCount)
+{
+    Rng rng(13);
+    const Tensor w = rng.tensor(Shape{6, 10}, DistFamily::Gaussian);
+    const QuantResult r = quantize(
+        w, cfgOf(makeInt(4, true), ScaleMode::MseSearch,
+                 Granularity::PerChannel));
+    EXPECT_EQ(r.scales.size(), 6u);
+}
+
+TEST(Quantizer, ZeroTensorIsFixpoint)
+{
+    const Tensor z = Tensor::zeros(Shape{32});
+    const QuantResult r = quantize(z, cfgOf(makeFlint(4, true)));
+    EXPECT_DOUBLE_EQ(r.mse, 0.0);
+    for (int64_t i = 0; i < z.numel(); ++i)
+        EXPECT_FLOAT_EQ(r.dequant[i], 0.0f);
+}
+
+TEST(Quantizer, UnsignedTypeOnReluActivations)
+{
+    Rng rng(14);
+    const Tensor a = rng.tensor(Shape{4096}, DistFamily::HalfGaussian);
+    const QuantResult r = quantize(a, cfgOf(makeFlint(4, false)));
+    EXPECT_GT(r.scales[0], 0.0);
+    for (int64_t i = 0; i < a.numel(); ++i)
+        EXPECT_GE(r.dequant[i], 0.0f);
+    EXPECT_LT(r.mse, ops::mse(a, Tensor::zeros(a.shape())));
+}
+
+TEST(Quantizer, PowerOfTwoScaleIsPowerOfTwo)
+{
+    Rng rng(15);
+    const Tensor t = rng.tensor(Shape{2048}, DistFamily::Gaussian);
+    const QuantResult r = quantize(
+        t, cfgOf(makeFloat(4, 3, true), ScaleMode::PowerOfTwo));
+    const double lg = std::log2(r.scales[0]);
+    EXPECT_NEAR(lg, std::round(lg), 1e-9);
+}
+
+TEST(Quantizer, MoreBitsReduceMse)
+{
+    Rng rng(16);
+    const Tensor t = rng.tensor(Shape{4096}, DistFamily::Gaussian);
+    double prev = 1e30;
+    for (int bits : {3, 4, 5, 6, 8}) {
+        const double e = quantize(t, cfgOf(makeInt(bits, true))).mse;
+        EXPECT_LT(e, prev) << "bits=" << bits;
+        prev = e;
+    }
+}
+
+TEST(Quantizer, FlintBeatsIntAndPoTOnWeightLikeGaussian)
+{
+    // The paper's central intra-tensor claim (Fig. 3 / Fig. 14): on the
+    // Gaussian-like tensors of trained DNNs (leptokurtic, moderate
+    // tail) 4-bit flint has lower MSE than both 4-bit int and PoT.
+    Rng rng(17);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::WeightLike);
+    const double e_flint = quantize(t, cfgOf(makeFlint(4, true))).mse;
+    const double e_int = quantize(t, cfgOf(makeInt(4, true))).mse;
+    const double e_pot = quantize(t, cfgOf(makePoT(4, true))).mse;
+    EXPECT_LT(e_flint, e_int);
+    EXPECT_LT(e_flint, e_pot);
+}
+
+TEST(Quantizer, FlintCompetitiveOnPureGaussian)
+{
+    // On an exactly-Gaussian tensor, optimally clipped int4 can edge
+    // out flint4 slightly; flint stays within a small factor and still
+    // dominates PoT. (Real weight tensors are heavier-tailed, where
+    // flint wins -- see FlintBeatsIntAndPoTOnWeightLikeGaussian.)
+    Rng rng(17);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::Gaussian);
+    const double e_flint = quantize(t, cfgOf(makeFlint(4, true))).mse;
+    const double e_int = quantize(t, cfgOf(makeInt(4, true))).mse;
+    const double e_pot = quantize(t, cfgOf(makePoT(4, true))).mse;
+    EXPECT_LT(e_flint, 1.5 * e_int);
+    EXPECT_LT(e_flint, e_pot);
+}
+
+TEST(Quantizer, IntBestOnUniform)
+{
+    // Inter-tensor adaptivity (Fig. 1 left): int wins on uniform data.
+    Rng rng(18);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::Uniform);
+    const double e_int = quantize(t, cfgOf(makeInt(4, false))).mse;
+    const double e_pot = quantize(t, cfgOf(makePoT(4, false))).mse;
+    const double e_flint = quantize(t, cfgOf(makeFlint(4, false))).mse;
+    EXPECT_LT(e_int, e_pot);
+    EXPECT_LE(e_int, e_flint);
+}
+
+TEST(Quantizer, PoTBestOnLongTail)
+{
+    // Fig. 1 right: PoT suits Laplace-like long-tail distributions
+    // better than int at 4 bits.
+    Rng rng(19);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{16384}, 1.0f, 0.02, 12.0f);
+    const double e_int = quantize(t, cfgOf(makeInt(4, true))).mse;
+    const double e_pot = quantize(t, cfgOf(makePoT(4, true))).mse;
+    EXPECT_LT(e_pot, e_int);
+}
+
+TEST(Quantizer, InvalidConfigThrows)
+{
+    QuantConfig cfg; // null type
+    EXPECT_THROW(quantize(Tensor::zeros(Shape{4}), cfg),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

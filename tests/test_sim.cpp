@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the workload tables, quantization planner, and the
+ * cycle-level accelerator simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/accelerator.h"
+
+namespace ant {
+namespace sim {
+namespace {
+
+using hw::Design;
+
+// ---------------------------------------------------------------------
+// Workload tables
+// ---------------------------------------------------------------------
+TEST(Workloads, PublishedMacCounts)
+{
+    // Per-image MAC counts of the published models (1 GMAC tolerance
+    // bands): VGG16 ~15.5G, ResNet18 ~1.8G, ResNet50 ~4.1G.
+    const double vgg = static_cast<double>(
+        workloads::vgg16().totalMacs());
+    EXPECT_NEAR(vgg / 1e9, 15.4, 1.0);
+    const double r18 = static_cast<double>(
+        workloads::resnet18().totalMacs());
+    EXPECT_NEAR(r18 / 1e9, 1.8, 0.3);
+    const double r50 = static_cast<double>(
+        workloads::resnet50().totalMacs());
+    EXPECT_NEAR(r50 / 1e9, 4.1, 0.6);
+}
+
+TEST(Workloads, PublishedWeightCounts)
+{
+    // VGG16 ~138M params (conv+fc weights), BERT-Base encoder ~85M.
+    EXPECT_NEAR(static_cast<double>(
+                    workloads::vgg16().totalWeights()) / 1e6,
+                138.0, 8.0);
+    EXPECT_NEAR(static_cast<double>(
+                    workloads::bertBase("MNLI").totalWeights()) / 1e6,
+                85.0, 5.0);
+}
+
+TEST(Workloads, SuiteHasEightEntries)
+{
+    const auto suite = workloads::evaluationSuite();
+    ASSERT_EQ(suite.size(), 8u);
+    EXPECT_EQ(suite[0].name, "VGG16");
+    EXPECT_EQ(suite[7].name, "BERT-SST-2");
+    for (const auto &w : suite) {
+        EXPECT_FALSE(w.layers.empty()) << w.name;
+        for (const auto &l : w.layers) {
+            EXPECT_GT(l.m, 0);
+            EXPECT_GT(l.k, 0);
+            EXPECT_GT(l.n, 0);
+        }
+    }
+}
+
+TEST(Workloads, FirstLayerMarkedUniform)
+{
+    const auto w = workloads::resnet18();
+    EXPECT_EQ(w.layers[0].kind, workloads::LayerKind::ConvFirst);
+    EXPECT_EQ(w.layers[0].actDist, DistFamily::Uniform);
+}
+
+// ---------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------
+TEST(Planner, RatiosAreAPartition)
+{
+    for (Design d : {Design::AntOS, Design::BitFusion, Design::OLAccel,
+                     Design::BiScaled, Design::AdaFloat}) {
+        const QuantPlan p = planWorkload(workloads::resnet18(), d);
+        const double sum = p.ratioFlint4 + p.ratioPot4 + p.ratioInt4 +
+                           p.ratioInt8 + p.ratioOther;
+        EXPECT_NEAR(sum, 1.0, 1e-9) << hw::designName(d);
+        EXPECT_EQ(p.layers.size(), workloads::resnet18().layers.size());
+    }
+}
+
+TEST(Planner, AntUsesFlintAndLowerBitsThanBitFusion)
+{
+    const auto w = workloads::bertBase("MNLI");
+    const QuantPlan ant = planWorkload(w, Design::AntOS);
+    const QuantPlan bf = planWorkload(w, Design::BitFusion);
+    EXPECT_GT(ant.ratioFlint4 + ant.ratioPot4, 0.5);
+    EXPECT_LT(ant.avgBits, bf.avgBits);
+    EXPECT_GT(ant.ratioPot4, 0.0); // transformer acts pick PoT
+}
+
+TEST(Planner, AntAvgBitsNearPaper)
+{
+    // Table I: ANT averages 4.23 bits across the suite; allow a band.
+    double sum = 0.0;
+    const auto suite = workloads::evaluationSuite();
+    for (const auto &w : suite)
+        sum += planWorkload(w, Design::AntOS).avgBits;
+    const double avg = sum / static_cast<double>(suite.size());
+    EXPECT_GT(avg, 3.9);
+    EXPECT_LT(avg, 5.0);
+}
+
+TEST(Planner, FixedFormatsHaveFixedBits)
+{
+    const auto w = workloads::resnet18();
+    EXPECT_NEAR(planWorkload(w, Design::BiScaled).avgBits, 6.0, 0.3);
+    EXPECT_NEAR(planWorkload(w, Design::AdaFloat).avgBits, 8.0, 0.01);
+    EXPECT_NEAR(planWorkload(w, Design::Int8).avgBits, 8.0, 0.01);
+}
+
+TEST(Planner, OLAccelKeepsFirstLayerEightBit)
+{
+    const QuantPlan p =
+        planWorkload(workloads::resnet18(), Design::OLAccel);
+    EXPECT_EQ(p.layers.front().weightBits, 8);
+    EXPECT_EQ(p.layers[2].weightBits, 4);
+    EXPECT_GT(p.layers[2].outlierRatio, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------
+TEST(Simulator, CyclesMatchClosedFormOnDivisibleTile)
+{
+    workloads::Layer l;
+    l.name = "unit";
+    l.m = 64;
+    l.k = 128;
+    l.n = 64;
+    LayerPlan p; // 4-bit everywhere
+    SimConfig cfg = SimConfig::forDesign(Design::AntOS, 1);
+    ASSERT_EQ(cfg.rows, 64);
+    ASSERT_EQ(cfg.cols, 64);
+    const LayerResult r = simulateLayer(l, p, cfg);
+    // One output tile: K + R + C fill cycles.
+    EXPECT_EQ(r.computeCycles, 128 + 64 + 64);
+}
+
+TEST(Simulator, EightBitModeQuartersThroughput)
+{
+    workloads::Layer l;
+    l.m = 128;
+    l.k = 256;
+    l.n = 128;
+    SimConfig cfg = SimConfig::forDesign(Design::AntOS, 1);
+    LayerPlan p4;
+    LayerPlan p8;
+    p8.actBits = p8.weightBits = 8;
+    const auto c4 = simulateLayer(l, p4, cfg).computeCycles;
+    const auto c8 = simulateLayer(l, p8, cfg).computeCycles;
+    // 2x2 PE fusion: 4x fewer PEs -> ~4x the tiles.
+    EXPECT_GT(c8, 3 * c4);
+    EXPECT_LT(c8, 5 * c4);
+}
+
+TEST(Simulator, EnergyPositiveAndAdditive)
+{
+    const auto w = workloads::resnet18();
+    const SimResult r = runDesign(w, Design::AntOS);
+    EXPECT_GT(r.energyDram, 0.0);
+    EXPECT_GT(r.energyBuffer, 0.0);
+    EXPECT_GT(r.energyCore, 0.0);
+    EXPECT_GT(r.energyStatic, 0.0);
+    double sum_cycles = 0.0;
+    for (const auto &lr : r.layers)
+        sum_cycles += static_cast<double>(lr.cycles);
+    EXPECT_DOUBLE_EQ(sum_cycles, static_cast<double>(r.cycles));
+}
+
+TEST(Simulator, BatchScalesCycles)
+{
+    const auto w = workloads::resnet18();
+    const SimResult b1 = runDesign(w, Design::AntOS, 16);
+    const SimResult b2 = runDesign(w, Design::AntOS, 64);
+    EXPECT_GT(b2.cycles, 2 * b1.cycles);
+}
+
+TEST(Simulator, AntBeatsBaselinesAtIsoArea)
+{
+    // The headline Fig. 13 orderings on a CNN and a Transformer.
+    for (const auto &w : {workloads::resnet18(),
+                          workloads::bertBase("MNLI")}) {
+        const SimResult ant = runDesign(w, Design::AntOS);
+        const SimResult bf = runDesign(w, Design::BitFusion);
+        const SimResult ol = runDesign(w, Design::OLAccel);
+        const SimResult af = runDesign(w, Design::AdaFloat);
+        EXPECT_LT(ant.cycles, bf.cycles) << w.name;
+        EXPECT_LT(ant.cycles, ol.cycles) << w.name;
+        EXPECT_LT(ant.cycles, af.cycles) << w.name;
+        EXPECT_LT(ant.energyTotal(), bf.energyTotal()) << w.name;
+        EXPECT_LT(ant.energyTotal(), af.energyTotal()) << w.name;
+    }
+}
+
+TEST(Simulator, WsUsesMoreBufferEnergyThanOs)
+{
+    // Paper Sec. VII-D: ANT-WS needs more buffer accesses for the
+    // high-precision partial sums.
+    const auto w = workloads::resnet18();
+    const SimResult os = runDesign(w, Design::AntOS);
+    const SimResult ws = runDesign(w, Design::AntWS);
+    EXPECT_GT(ws.energyBuffer, os.energyBuffer);
+}
+
+} // namespace
+} // namespace sim
+} // namespace ant

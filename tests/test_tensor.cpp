@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the tensor substrate: shapes, ops, RNG families, statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "tensor/stats.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace {
+
+TEST(Shape, Basics)
+{
+    const Shape s{2, 3, 4};
+    EXPECT_EQ(s.ndim(), 3);
+    EXPECT_EQ(s.numel(), 24);
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.str(), "[2, 3, 4]");
+    EXPECT_EQ(s, (Shape{2, 3, 4}));
+    EXPECT_NE(s, (Shape{2, 3}));
+}
+
+TEST(Tensor, ConstructAndAccess)
+{
+    Tensor t{Shape{2, 3}};
+    EXPECT_EQ(t.numel(), 6);
+    t.at({1, 2}) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at({1, 2}), 5.0f);
+    EXPECT_FLOAT_EQ(t[5], 5.0f);
+    EXPECT_FLOAT_EQ(t.sum(), 5.0f);
+    EXPECT_FLOAT_EQ(t.max(), 5.0f);
+    EXPECT_FLOAT_EQ(t.min(), 0.0f);
+}
+
+TEST(Tensor, FactoriesAndReshape)
+{
+    const Tensor o = Tensor::ones(Shape{4});
+    EXPECT_FLOAT_EQ(o.sum(), 4.0f);
+    const Tensor l = Tensor::linspace(0.0f, 1.0f, 5);
+    EXPECT_FLOAT_EQ(l[2], 0.5f);
+    const Tensor r = o.reshaped(Shape{2, 2});
+    EXPECT_EQ(r.shape(), (Shape{2, 2}));
+    EXPECT_THROW(o.reshaped(Shape{3}), std::invalid_argument);
+}
+
+TEST(Tensor, AbsMaxAndFinite)
+{
+    Tensor t{Shape{3}};
+    t[0] = -7.0f;
+    t[1] = 2.0f;
+    EXPECT_FLOAT_EQ(t.absMax(), 7.0f);
+    EXPECT_TRUE(t.allFinite());
+    t[2] = std::numeric_limits<float>::infinity();
+    EXPECT_FALSE(t.allFinite());
+}
+
+TEST(Ops, MatmulAgainstManual)
+{
+    Tensor a{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+    Tensor b{Shape{3, 2}, {7, 8, 9, 10, 11, 12}};
+    const Tensor c = ops::matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+    EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+    EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(Ops, MatmulVariantsAgree)
+{
+    Rng rng(1);
+    const Tensor a = rng.tensor(Shape{5, 7}, DistFamily::Gaussian);
+    const Tensor b = rng.tensor(Shape{7, 4}, DistFamily::Gaussian);
+    const Tensor c = ops::matmul(a, b);
+
+    // B^T variant.
+    Tensor bt{Shape{4, 7}};
+    for (int64_t i = 0; i < 7; ++i)
+        for (int64_t j = 0; j < 4; ++j)
+            bt.at({j, i}) = b.at({i, j});
+    const Tensor c2 = ops::matmulBT(a, bt);
+    EXPECT_LT(ops::mse(c, c2), 1e-10);
+
+    // A^T variant.
+    Tensor at{Shape{7, 5}};
+    for (int64_t i = 0; i < 5; ++i)
+        for (int64_t j = 0; j < 7; ++j)
+            at.at({j, i}) = a.at({i, j});
+    const Tensor c3 = ops::matmulAT(at, b);
+    EXPECT_LT(ops::mse(c, c3), 1e-10);
+}
+
+TEST(Ops, Conv2dMatchesDirectSum)
+{
+    Rng rng(2);
+    const Tensor x = rng.tensor(Shape{1, 2, 5, 5}, DistFamily::Gaussian);
+    const Tensor w = rng.tensor(Shape{3, 2, 3, 3}, DistFamily::Gaussian);
+    const Tensor y = ops::conv2d(x, w, 1, 1);
+    ASSERT_EQ(y.shape(), (Shape{1, 3, 5, 5}));
+
+    // Check one output element by direct summation.
+    double acc = 0.0;
+    const int oy = 2, ox = 3, oc = 1;
+    for (int c = 0; c < 2; ++c)
+        for (int ky = 0; ky < 3; ++ky)
+            for (int kx = 0; kx < 3; ++kx) {
+                const int iy = oy - 1 + ky, ix = ox - 1 + kx;
+                if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+                acc += x.at({0, c, iy, ix}) * w.at({oc, c, ky, kx});
+            }
+    EXPECT_NEAR(y.at({0, oc, oy, ox}), acc, 1e-4);
+}
+
+TEST(Ops, Im2colCol2imRoundtripShape)
+{
+    Rng rng(3);
+    const Tensor x = rng.tensor(Shape{2, 3, 8, 8}, DistFamily::Gaussian);
+    const Tensor cols = ops::im2col(x, 3, 1, 1);
+    EXPECT_EQ(cols.shape(), (Shape{2 * 8 * 8, 3 * 3 * 3}));
+    const Tensor back = ops::col2im(cols, x.shape(), 3, 1, 1);
+    EXPECT_EQ(back.shape(), x.shape());
+    // Interior pixels are hit 9 times by a 3x3/stride-1/pad-1 kernel.
+    EXPECT_NEAR(back.at({0, 0, 4, 4}), 9.0f * x.at({0, 0, 4, 4}), 1e-4);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(4);
+    const Tensor a = rng.tensor(Shape{6, 10}, DistFamily::Gaussian, 3.0f);
+    const Tensor s = ops::softmaxRows(a);
+    for (int64_t i = 0; i < 6; ++i) {
+        double sum = 0.0;
+        for (int64_t j = 0; j < 10; ++j) {
+            sum += s.at({i, j});
+            EXPECT_GE(s.at({i, j}), 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, ReluGeluBehaviour)
+{
+    Tensor t{Shape{3}, {-2.0f, 0.0f, 2.0f}};
+    const Tensor r = ops::relu(t);
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[2], 2.0f);
+    const Tensor g = ops::gelu(t);
+    EXPECT_NEAR(g[0], -0.0454f, 1e-3); // gelu(-2)
+    EXPECT_NEAR(g[2], 1.9546f, 1e-3);  // gelu(2)
+    EXPECT_FLOAT_EQ(g[1], 0.0f);
+}
+
+TEST(Ops, PoolingShapesAndValues)
+{
+    Tensor x{Shape{1, 1, 4, 4}};
+    for (int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+    const Tensor m = ops::maxPool2d(x, 2, 2);
+    EXPECT_EQ(m.shape(), (Shape{1, 1, 2, 2}));
+    EXPECT_FLOAT_EQ(m.at({0, 0, 0, 0}), 5.0f);
+    EXPECT_FLOAT_EQ(m.at({0, 0, 1, 1}), 15.0f);
+    const Tensor g = ops::globalAvgPool(x);
+    EXPECT_EQ(g.shape(), (Shape{1, 1}));
+    EXPECT_FLOAT_EQ(g[0], 7.5f);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    const Tensor ta = a.tensor(Shape{100}, DistFamily::Gaussian);
+    const Tensor tb = b.tensor(Shape{100}, DistFamily::Gaussian);
+    EXPECT_LT(ops::mse(ta, tb), 1e-12);
+}
+
+TEST(Rng, FamiliesHaveExpectedShape)
+{
+    Rng rng(7);
+    const int64_t n = 20000;
+    const TensorStats g =
+        computeStats(rng.tensor(Shape{n}, DistFamily::Gaussian));
+    const TensorStats l =
+        computeStats(rng.tensor(Shape{n}, DistFamily::Laplace));
+    const TensorStats u =
+        computeStats(rng.tensor(Shape{n}, DistFamily::Uniform));
+    // Excess kurtosis: uniform -1.2, gaussian 0, laplace 3.
+    EXPECT_NEAR(u.kurtosis, -1.2, 0.15);
+    EXPECT_NEAR(g.kurtosis, 0.0, 0.25);
+    EXPECT_NEAR(l.kurtosis, 3.0, 0.8);
+    EXPECT_EQ(classifyDistribution(u), "uniform-like");
+    EXPECT_EQ(classifyDistribution(g), "gaussian-like");
+    EXPECT_EQ(classifyDistribution(l), "laplace-like");
+}
+
+TEST(Rng, OutlierTensorHasHeavierTail)
+{
+    Rng rng(8);
+    const Tensor t = rng.laplaceOutlierTensor(Shape{20000}, 1.0f, 0.01,
+                                              10.0f);
+    const TensorStats s = computeStats(t);
+    EXPECT_GT(s.kurtosis, 5.0);
+    EXPECT_GT(s.outlierRatio, 0.0);
+}
+
+TEST(Stats, PercentileAndHistogram)
+{
+    Tensor t{Shape{100}};
+    for (int64_t i = 0; i < 100; ++i) t[i] = static_cast<float>(i);
+    EXPECT_NEAR(absPercentile(t, 50.0), 50.0, 1.0);
+    EXPECT_NEAR(absPercentile(t, 99.0), 99.0, 1.0);
+    const auto h = histogram(t, 0.0, 100.0, 10);
+    for (int64_t c : h) EXPECT_EQ(c, 10);
+}
+
+TEST(Stats, MseBasics)
+{
+    Tensor a{Shape{2}, {1.0f, 2.0f}};
+    Tensor b{Shape{2}, {2.0f, 4.0f}};
+    EXPECT_DOUBLE_EQ(ops::mse(a, b), (1.0 + 4.0) / 2.0);
+    EXPECT_THROW(ops::mse(a, Tensor{Shape{3}}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

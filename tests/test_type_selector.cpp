@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for ANT type selection (Algorithm 2) and its inter-tensor
+ * adaptivity claims (Sec. IV-B, Fig. 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/type_selector.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+TEST(TypeSelector, ReturnsArgminOfScores)
+{
+    Rng rng(21);
+    const Tensor t = rng.tensor(Shape{8192}, DistFamily::Gaussian);
+    const TypeSelection sel =
+        selectType(t, Combo::FIPF, 4, true);
+    ASSERT_EQ(sel.scores.size(), 4u);
+    for (const CandidateScore &s : sel.scores)
+        EXPECT_LE(sel.result.mse, s.mse + 1e-15) << s.type->name();
+    ASSERT_NE(sel.type, nullptr);
+}
+
+TEST(TypeSelector, PicksFlintForWeightLikeGaussian)
+{
+    Rng rng(22);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::WeightLike);
+    const TypeSelection sel = selectType(t, Combo::IPF, 4, true);
+    EXPECT_EQ(sel.type->kind(), TypeKind::Flint);
+}
+
+TEST(TypeSelector, PicksIntForUniform)
+{
+    Rng rng(23);
+    const Tensor t = rng.tensor(Shape{16384}, DistFamily::Uniform);
+    const TypeSelection sel = selectType(t, Combo::IPF, 4, false);
+    EXPECT_EQ(sel.type->kind(), TypeKind::Int);
+}
+
+TEST(TypeSelector, PicksPoTForStrongOutliers)
+{
+    Rng rng(24);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{16384}, 1.0f, 0.03, 25.0f);
+    const TypeSelection sel = selectType(t, Combo::IP, 4, true);
+    EXPECT_EQ(sel.type->kind(), TypeKind::PoT);
+}
+
+TEST(TypeSelector, MoreCandidatesNeverHurt)
+{
+    // Adding primitives can only decrease the achieved MSE (Fig. 10).
+    Rng rng(25);
+    for (DistFamily f : {DistFamily::Gaussian, DistFamily::Laplace,
+                         DistFamily::Uniform,
+                         DistFamily::LaplaceOutlier}) {
+        const Tensor t = rng.tensor(Shape{8192}, f);
+        const double e_int =
+            selectType(t, Combo::INT, 4, true).result.mse;
+        const double e_ip = selectType(t, Combo::IP, 4, true).result.mse;
+        const double e_ipf =
+            selectType(t, Combo::IPF, 4, true).result.mse;
+        const double e_fipf =
+            selectType(t, Combo::FIPF, 4, true).result.mse;
+        EXPECT_LE(e_ip, e_int + 1e-15) << distFamilyName(f);
+        EXPECT_LE(e_ipf, e_ip + 1e-15) << distFamilyName(f);
+        EXPECT_LE(e_fipf, e_ipf + 1e-15) << distFamilyName(f);
+    }
+}
+
+TEST(TypeSelector, EmptyCandidateListThrows)
+{
+    QuantConfig cfg;
+    EXPECT_THROW(selectType(Tensor::zeros(Shape{4}), {}, cfg),
+                 std::invalid_argument);
+}
+
+TEST(TypeSelector, ScoresCoverAllCandidates)
+{
+    Rng rng(26);
+    const Tensor t = rng.tensor(Shape{1024}, DistFamily::Gaussian);
+    const auto cands = comboCandidates(Combo::FIPF, 4, true);
+    QuantConfig cfg;
+    const TypeSelection sel = selectType(t, cands, cfg);
+    ASSERT_EQ(sel.scores.size(), cands.size());
+    for (size_t i = 0; i < cands.size(); ++i)
+        EXPECT_EQ(sel.scores[i].type->name(), cands[i]->name());
+}
+
+} // namespace
+} // namespace ant

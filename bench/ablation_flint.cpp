@@ -1,6 +1,6 @@
 /**
  * @file
- * Ablations on the design choices DESIGN.md calls out:
+ * Ablations on the reproduction's key design choices (docs/reproducing.md):
  *  1. first-one encoding vs fixed exponent/mantissa splits (minifloat)
  *     at equal bit width, across distribution families;
  *  2. Algorithm-1 hardware encoding (two-step rounding) vs ideal

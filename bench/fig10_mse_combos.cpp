@@ -4,8 +4,8 @@
  * combinations (Int / IP / FIP / IP-F / FIP-F) on the eight evaluation
  * workloads, normalized to the Int-only combo.
  *
- * Per the DESIGN.md substitution, tensors come from the published layer
- * tables with distribution families matched to the paper's Fig. 1
+ * Per the docs/reproducing.md substitution, tensors come from the
+ * published layer tables with distribution families matched to the paper's Fig. 1
  * characterization (weights Gaussian-like, CNN activations half-
  * Gaussian, Transformer activations Laplace with outliers).
  */

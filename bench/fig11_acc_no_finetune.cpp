@@ -7,7 +7,7 @@
  * Expected shape: losses shrink (or stay equal) as primitives are
  * added; at this model scale the CNN stand-ins are more robust to
  * 4-bit PTQ than their ImageNet counterparts (documented in
- * EXPERIMENTS.md), so the absolute losses are smaller than the
+ * docs/reproducing.md), so the absolute losses are smaller than the
  * paper's.
  */
 

@@ -101,3 +101,5 @@ BM_SimulateResnet18(benchmark::State &state)
 BENCHMARK(BM_SimulateResnet18);
 
 } // namespace
+
+BENCHMARK_MAIN();

@@ -2,8 +2,8 @@
  * @file
  * Reproduces paper Table V: ANT (IP-F) vs BiScaled under 6-bit
  * post-training quantization (no fine-tuning) on CNN classifiers.
- * Models are the trained stand-ins of DESIGN.md; the claim under test
- * is the *ordering* — ANT's inter/intra-tensor adaptivity loses less
+ * Models are the trained stand-ins of docs/reproducing.md; the claim
+ * under test is the *ordering* — ANT's inter/intra-tensor adaptivity loses less
  * accuracy than BiScaled's two-scale scheme at equal bits.
  */
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Synthetic datasets standing in for ImageNet and GLUE (see DESIGN.md
+ * Synthetic datasets standing in for ImageNet and GLUE (see
+ * docs/reproducing.md
  * substitution table). Each generator produces a deterministic,
  * learnable task whose trained models exhibit the tensor distribution
  * families the paper's experiments depend on.
@@ -72,7 +73,7 @@ Dataset makeTextureImageDataset(int classes, int64_t n_train,
                                 int64_t n_test, uint64_t seed,
                                 float noise = 0.35f);
 
-/** GLUE-analogue token tasks (see DESIGN.md). */
+/** GLUE-analogue token tasks (see docs/reproducing.md). */
 enum class TokenTask {
     EntailLike,   //!< 3-class premise/hypothesis overlap (MNLI stand-in)
     GrammarLike,  //!< 2-class token-order acceptability (CoLA stand-in)

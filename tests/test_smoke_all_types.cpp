@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Build-wiring smoke test: instantiate every registered numeric type —
+ * all factories across their legal bit widths plus every combo candidate
+ * list — and round-trip a tensor through the Quantizer with each one.
+ * Guards the CMake/CTest plumbing end-to-end: if the library links and
+ * this passes, the full type zoo is alive.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/quantizer.h"
+#include "core/type_selector.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+/** Every constructible type across the legal factory ranges. */
+std::vector<TypePtr>
+allRegisteredTypes()
+{
+    std::vector<TypePtr> types;
+    for (bool sgn : {false, true}) {
+        for (int bits = 2; bits <= 8; ++bits) {
+            types.push_back(makeInt(bits, sgn));
+            types.push_back(makePoT(bits, sgn));
+            // Signed flint wraps an unsigned (bits-1)-bit magnitude.
+            if (!sgn || bits >= 3) types.push_back(makeFlint(bits, sgn));
+            if (bits >= 3) types.push_back(makeDefaultFloat(bits, sgn));
+        }
+    }
+    return types;
+}
+
+TEST(SmokeAllTypes, GridsAreSortedUniqueAndSized)
+{
+    for (const TypePtr &t : allRegisteredTypes()) {
+        SCOPED_TRACE(t->name());
+        const std::vector<double> &g = t->grid();
+        ASSERT_FALSE(g.empty());
+        EXPECT_LE(static_cast<int>(g.size()), t->codeCount());
+        for (size_t i = 1; i < g.size(); ++i) EXPECT_LT(g[i - 1], g[i]);
+        EXPECT_DOUBLE_EQ(t->minValue(), g.front());
+        EXPECT_DOUBLE_EQ(t->maxValue(), g.back());
+        if (t->isSigned())
+            EXPECT_DOUBLE_EQ(t->minValue(), -t->maxValue());
+        else
+            EXPECT_DOUBLE_EQ(t->minValue(), 0.0);
+    }
+}
+
+TEST(SmokeAllTypes, EncodeNearestMatchesQuantizeValue)
+{
+    for (const TypePtr &t : allRegisteredTypes()) {
+        SCOPED_TRACE(t->name());
+        const double top = t->maxValue();
+        for (int i = -20; i <= 20; ++i) {
+            const double x = top * static_cast<double>(i) / 10.0;
+            EXPECT_DOUBLE_EQ(t->codeValue(t->encodeNearest(x)),
+                             t->quantizeValue(x));
+        }
+    }
+}
+
+TEST(SmokeAllTypes, QuantizerRoundTripsEveryType)
+{
+    Rng rng(7);
+    const Tensor signedIn = rng.tensor(Shape{4, 256}, DistFamily::WeightLike);
+    const Tensor unsignedIn =
+        rng.tensor(Shape{4, 256}, DistFamily::HalfGaussian);
+
+    for (const TypePtr &t : allRegisteredTypes()) {
+        SCOPED_TRACE(t->name());
+        const Tensor &in = t->isSigned() ? signedIn : unsignedIn;
+
+        QuantConfig cfg;
+        cfg.type = t;
+        cfg.granularity = Granularity::PerTensor;
+        cfg.scaleMode = ScaleMode::MaxCalib;
+        const QuantResult qr = quantize(in, cfg);
+
+        ASSERT_EQ(qr.dequant.numel(), in.numel());
+        ASSERT_EQ(qr.scales.size(), 1u);
+        EXPECT_TRUE(std::isfinite(qr.mse));
+        EXPECT_GE(qr.mse, 0.0);
+
+        // Every output lies inside the scaled representable range.
+        const double s = qr.scales[0];
+        for (int64_t i = 0; i < qr.dequant.numel(); ++i) {
+            const double v = qr.dequant.data()[i];
+            EXPECT_GE(v, s * t->minValue() - 1e-6);
+            EXPECT_LE(v, s * t->maxValue() + 1e-6);
+        }
+
+        // Grid points are fixed points: re-quantizing changes nothing.
+        const QuantResult again = quantize(qr.dequant, cfg);
+        for (int64_t i = 0; i < qr.dequant.numel(); ++i)
+            EXPECT_NEAR(again.dequant.data()[i], qr.dequant.data()[i],
+                        1e-5);
+    }
+}
+
+TEST(SmokeAllTypes, ComboCandidatesQuantizeWithMseSearch)
+{
+    Rng rng(11);
+    const Tensor in = rng.tensor(Shape{1024}, DistFamily::WeightLike);
+
+    for (Combo c : {Combo::INT, Combo::IP, Combo::FIP, Combo::IPF,
+                    Combo::FIPF}) {
+        for (int bits : {4, 8}) {
+            for (const TypePtr &t : comboCandidates(c, bits, true)) {
+                SCOPED_TRACE(std::string(comboName(c)) + "/" + t->name());
+                QuantConfig cfg;
+                cfg.type = t;
+                cfg.scaleMode = ScaleMode::MseSearch;
+                const QuantResult qr = quantize(in, cfg);
+                EXPECT_TRUE(std::isfinite(qr.mse));
+
+                // The MSE-searched scale is never worse than max calib.
+                QuantConfig calib = cfg;
+                calib.scaleMode = ScaleMode::MaxCalib;
+                EXPECT_LE(qr.mse, quantize(in, calib).mse + 1e-12);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace ant

@@ -2,11 +2,22 @@
  * @file
  * google-benchmark microbenchmarks for the ANT kernels: flint codec,
  * decoders, MAC, quantizer, type selection, and the cycle simulator.
+ *
+ * The MseSearchPerChannel pair tracks the batched-engine speedup: the
+ * Scalar variant re-implements the pre-engine reference path (virtual
+ * quantizeValue per element, one full tensor walk per candidate scale)
+ * and the Batched variant is the shipping quantize() on the compiled
+ * kernel + histogram sketch. CI stores both in BENCH_micro_codec.json;
+ * items_per_second is elements/s, so ns/elem = 1e9 / items_per_second.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/flint.h"
+#include "core/quant_kernel.h"
 #include "core/quantizer.h"
 #include "core/type_selector.h"
 #include "hw/decoder.h"
@@ -16,6 +27,47 @@
 namespace {
 
 using namespace ant;
+
+/** Pre-engine scalar reference: exact MSE per candidate, virtual calls. */
+double
+scalarQuantMse(const float *in, int64_t n, const NumericType &type,
+               double scale)
+{
+    if (scale <= 0.0) return 0.0;
+    const double inv = 1.0 / scale;
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double q = type.quantizeValue(in[i] * inv) * scale;
+        const double d = q - in[i];
+        err += d * d;
+    }
+    return n ? err / static_cast<double>(n) : 0.0;
+}
+
+double
+scalarSearchScale(const float *in, int64_t n, const NumericType &type,
+                  const QuantConfig &cfg)
+{
+    double amax = 0.0;
+    for (int64_t i = 0; i < n; ++i)
+        amax = std::max(amax, std::fabs(static_cast<double>(in[i])));
+    if (amax == 0.0) return 0.0;
+    const double full = amax / type.maxValue();
+    double best_s = full;
+    double best_e = scalarQuantMse(in, n, type, full);
+    const int steps = std::max(2, cfg.searchSteps);
+    for (int i = 0; i < steps; ++i) {
+        const double r = cfg.searchLo +
+                         (1.0 - cfg.searchLo) * i /
+                             static_cast<double>(steps - 1);
+        const double e = scalarQuantMse(in, n, type, full * r);
+        if (e < best_e) {
+            best_e = e;
+            best_s = full * r;
+        }
+    }
+    return best_s;
+}
 
 void
 BM_FlintEncode(benchmark::State &state)
@@ -76,6 +128,93 @@ BM_QuantizeTensor(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_QuantizeTensor)->Arg(1024)->Arg(16384);
+
+// The acceptance case of the engine refactor: per-channel MSE scale
+// search over a weight matrix, scalar reference vs batched engine.
+
+constexpr int64_t kChannels = 64;
+constexpr int64_t kChunk = 4096;
+
+void
+BM_MseSearchPerChannelScalar(benchmark::State &state)
+{
+    Rng rng(3);
+    const Tensor t = rng.tensor(Shape{kChannels, kChunk},
+                                DistFamily::WeightLike);
+    const auto type = makeFlint(4, true);
+    QuantConfig cfg;
+    cfg.type = type;
+    for (auto _ : state) {
+        Tensor out{t.shape()};
+        double err = 0.0;
+        for (int64_t c = 0; c < kChannels; ++c) {
+            const float *in = t.data() + c * kChunk;
+            const double s =
+                scalarSearchScale(in, kChunk, *type, cfg);
+            const double inv = s > 0 ? 1.0 / s : 0.0;
+            for (int64_t i = 0; i < kChunk; ++i) {
+                const double q =
+                    type->quantizeValue(in[i] * inv) * s;
+                out.data()[c * kChunk + i] = static_cast<float>(q);
+                const double d = q - in[i];
+                err += d * d;
+            }
+        }
+        benchmark::DoNotOptimize(err);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_MseSearchPerChannelScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_MseSearchPerChannelBatched(benchmark::State &state)
+{
+    Rng rng(3);
+    const Tensor t = rng.tensor(Shape{kChannels, kChunk},
+                                DistFamily::WeightLike);
+    QuantConfig cfg;
+    cfg.type = makeFlint(4, true);
+    cfg.granularity = Granularity::PerChannel;
+    for (auto _ : state) {
+        const QuantResult r = quantize(t, cfg);
+        benchmark::DoNotOptimize(r.mse);
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_MseSearchPerChannelBatched)->Unit(benchmark::kMillisecond);
+
+void
+BM_QuantizeBatchKernel(benchmark::State &state)
+{
+    Rng rng(4);
+    const Tensor t = rng.tensor(Shape{state.range(0)},
+                                DistFamily::WeightLike);
+    const auto type = makeFlint(4, true);
+    const QuantKernel kernel(*type);
+    Tensor out{t.shape()};
+    const double s = 0.02;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernel.quantizeBatch(
+            t.data(), out.data(), t.numel(), s));
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QuantizeBatchKernel)->Arg(16384);
+
+void
+BM_QuantizeScalarReference(benchmark::State &state)
+{
+    Rng rng(4);
+    const Tensor t = rng.tensor(Shape{state.range(0)},
+                                DistFamily::WeightLike);
+    const auto type = makeFlint(4, true);
+    const double s = 0.02;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            scalarQuantMse(t.data(), t.numel(), *type, s));
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QuantizeScalarReference)->Arg(16384);
 
 void
 BM_TypeSelection(benchmark::State &state)

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "core/quant_kernel.h"
 #include "tensor/ops.h"
 
 namespace ant {
@@ -33,8 +34,9 @@ olaccelQuantize(const Tensor &t, int normal_bits, double outlier_frac,
 
     // Normal values: low-bit int over [-thresh, thresh] (or [0,thresh]).
     const auto type = makeInt(normal_bits, is_signed);
+    const QuantKernel kernel(*type);
     const double scale =
-        thresh > 0 ? thresh / type->maxValue() : 0.0;
+        thresh > 0 ? thresh / kernel.maxValue() : 0.0;
 
     int64_t outliers = 0;
     double err = 0.0;
@@ -45,7 +47,7 @@ olaccelQuantize(const Tensor &t, int normal_bits, double outlier_frac,
             q = t[i];
             ++outliers;
         } else if (scale > 0) {
-            q = type->quantizeValue(t[i] / scale) * scale;
+            q = kernel.quantizeValue(t[i] / scale) * scale;
         } else {
             q = 0.0;
         }
@@ -159,6 +161,7 @@ biscaledQuantize(const Tensor &t, int bits, bool is_signed, int shift)
     if (n == 0) return r;
 
     const auto type = makeInt(bits, is_signed);
+    const QuantKernel kernel(*type);
     const double amax = [&] {
         double m = 0.0;
         for (int64_t i = 0; i < n; ++i)
@@ -169,9 +172,9 @@ biscaledQuantize(const Tensor &t, int bits, bool is_signed, int shift)
 
     // Coarse scale covers the full range; fine scale is 2^shift finer
     // and covers the dense body (BiScaled's "two scale factors").
-    const double coarse = amax / type->maxValue();
+    const double coarse = amax / kernel.maxValue();
     const double fine = coarse / std::ldexp(1.0, shift);
-    const double fine_range = fine * type->maxValue();
+    const double fine_range = fine * kernel.maxValue();
 
     double err = 0.0;
     int64_t tail = 0;
@@ -179,7 +182,7 @@ biscaledQuantize(const Tensor &t, int bits, bool is_signed, int shift)
         const bool in_body = std::fabs(t[i]) <= fine_range;
         const double s = in_body ? fine : coarse;
         if (!in_body) ++tail;
-        const double q = type->quantizeValue(t[i] / s) * s;
+        const double q = kernel.quantizeValue(t[i] / s) * s;
         r.dequant[i] = static_cast<float>(q);
         const double d = q - t[i];
         err += d * d;

@@ -18,34 +18,46 @@ runMixedPrecision(int num_layers, const MixedPrecisionConfig &cfg,
 
     hooks.applyAndTune(res.precision);
     double metric = hooks.evaluate();
-    res.history.push_back({-1, metric, 0});
+    res.history.push_back({-1, metric, 0, {}});
 
+    const int batch = std::max(1, cfg.escalatePerRound);
     int rounds = 0;
     while (metric < cfg.baselineMetric - cfg.threshold &&
            rounds < cfg.maxRounds) {
-        // Escalate the 4-bit layer with the greatest MSE (Sec. IV-C).
+        // Escalate the 4-bit layer(s) with the greatest MSE (Sec. IV-C),
+        // worst first; ties keep the earlier layer, matching the
+        // original one-at-a-time scan.
         const std::vector<double> mses = hooks.layerMse();
-        int worst = -1;
-        double worst_mse = -1.0;
-        for (int i = 0; i < num_layers; ++i) {
-            if (res.precision[static_cast<size_t>(i)] !=
+        std::vector<int> four_bit;
+        for (int i = 0; i < num_layers; ++i)
+            if (res.precision[static_cast<size_t>(i)] ==
                 LayerPrecision::Ant4)
-                continue;
-            if (mses[static_cast<size_t>(i)] > worst_mse) {
-                worst_mse = mses[static_cast<size_t>(i)];
-                worst = i;
-            }
-        }
-        if (worst < 0) break; // everything already 8-bit
+                four_bit.push_back(i);
+        if (four_bit.empty()) break; // everything already 8-bit
 
-        res.precision[static_cast<size_t>(worst)] = LayerPrecision::Int8;
+        std::stable_sort(four_bit.begin(), four_bit.end(),
+                         [&](int a, int b) {
+                             return mses[static_cast<size_t>(a)] >
+                                    mses[static_cast<size_t>(b)];
+                         });
+        four_bit.resize(std::min<size_t>(four_bit.size(),
+                                         static_cast<size_t>(batch)));
+        for (int layer : four_bit)
+            res.precision[static_cast<size_t>(layer)] =
+                LayerPrecision::Int8;
+
         hooks.applyAndTune(res.precision);
         metric = hooks.evaluate();
 
         int eight = 0;
         for (LayerPrecision p : res.precision)
             if (p == LayerPrecision::Int8) ++eight;
-        res.history.push_back({worst, metric, eight});
+        EscalationStep step;
+        step.layer = four_bit.front();
+        step.metric = metric;
+        step.eightBitLayers = eight;
+        step.layers = four_bit;
+        res.history.push_back(std::move(step));
         ++rounds;
     }
 

@@ -28,9 +28,11 @@ enum class LayerPrecision {
 /** One escalation step in the controller's history. */
 struct EscalationStep
 {
-    int layer = -1;       //!< layer escalated this round (-1 for round 0)
+    int layer = -1;       //!< worst layer escalated (-1 for round 0)
     double metric = 0.0;  //!< model metric after fine-tuning this round
     int eightBitLayers = 0;
+    /** All layers escalated this round (empty for round 0). */
+    std::vector<int> layers;
 };
 
 /** Final mixed-precision assignment. */
@@ -59,6 +61,13 @@ struct MixedPrecisionConfig
     double baselineMetric = 0.0; //!< full-precision reference
     double threshold = 0.01;     //!< allowed drop (absolute)
     int maxRounds = 32;          //!< escalation budget
+
+    /**
+     * Layers escalated per round (batched escalation). 1 reproduces the
+     * paper's one-at-a-time loop; larger values trade re-tuning rounds
+     * for possibly overshooting the minimal 8-bit set.
+     */
+    int escalatePerRound = 1;
 };
 
 /**

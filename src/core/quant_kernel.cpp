@@ -1,0 +1,189 @@
+#include "core/quant_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ant {
+
+QuantKernel::QuantKernel(const NumericType &type)
+    : type_(&type), grid_(type.grid()), lo_(type.minValue()),
+      hi_(type.maxValue()), signed_(type.isSigned())
+{
+    // Code of each grid point: the first matching code, replicating
+    // encodeNearest's linear scan. Iterating codes in ascending order
+    // and keeping only the first hit per grid point gives the same
+    // answer in O(codeCount log grid).
+    codes_.assign(grid_.size(), 0);
+    std::vector<bool> assigned(grid_.size(), false);
+    for (uint32_t c = 0;
+         c < static_cast<uint32_t>(type.codeCount()); ++c) {
+        const double v = type.codeValue(c);
+        const size_t i = static_cast<size_t>(
+            std::lower_bound(grid_.begin(), grid_.end(), v) -
+            grid_.begin());
+        if (!assigned[i]) {
+            assigned[i] = true;
+            codes_[i] = c;
+        }
+    }
+
+    magGrid_.reserve(grid_.size());
+    for (double v : grid_)
+        if (v >= 0.0) magGrid_.push_back(v);
+
+    // Bucket table accelerating lowerBound: ~4 buckets per grid point
+    // keeps the forward scan at a step or two.
+    const double span = hi_ - lo_;
+    if (grid_.size() >= 2 && span > 0.0 && std::isfinite(span)) {
+        bucketCount_ = static_cast<int64_t>(grid_.size()) * 4;
+        invStep_ = static_cast<double>(bucketCount_) / span;
+        start_.assign(static_cast<size_t>(bucketCount_) + 1, 0);
+        size_t i = 0;
+        for (int64_t b = 0; b <= bucketCount_; ++b) {
+            while (i < grid_.size() && bucketOf(grid_[i]) < b) ++i;
+            start_[static_cast<size_t>(b)] =
+                static_cast<uint16_t>(i);
+        }
+    }
+}
+
+double
+QuantKernel::quantizeBatch(const float *in, float *out, int64_t n,
+                           double scale) const
+{
+    if (scale <= 0.0 || !std::isfinite(scale)) {
+        // Degenerate (all-zero) input: pass through zeros.
+        double err = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            if (out) out[i] = 0.0f;
+            err += static_cast<double>(in[i]) * in[i];
+        }
+        return n ? err / static_cast<double>(n) : 0.0;
+    }
+    const double inv = 1.0 / scale;
+    double err = 0.0;
+    if (out) {
+        for (int64_t i = 0; i < n; ++i) {
+            const double q = quantizeValue(in[i] * inv) * scale;
+            out[i] = static_cast<float>(q);
+            const double d = q - in[i];
+            err += d * d;
+        }
+    } else {
+        for (int64_t i = 0; i < n; ++i) {
+            const double q = quantizeValue(in[i] * inv) * scale;
+            const double d = q - in[i];
+            err += d * d;
+        }
+    }
+    return n ? err / static_cast<double>(n) : 0.0;
+}
+
+void
+QuantKernel::encodeBatch(const float *in, uint32_t *out, int64_t n,
+                         double scale) const
+{
+    const double inv =
+        (scale > 0.0 && std::isfinite(scale)) ? 1.0 / scale : 0.0;
+    const double *g = grid_.data();
+    for (int64_t i = 0; i < n; ++i) {
+        const double x = in[i] * inv;
+        size_t idx;
+        if (x <= lo_) {
+            idx = 0;
+        } else if (x >= hi_) {
+            idx = grid_.size() - 1;
+        } else {
+            const size_t first = lowerBound(g, x);
+            idx = (x - g[first - 1] < g[first] - x) ? first - 1 : first;
+        }
+        out[i] = codes_[idx];
+    }
+}
+
+MagnitudeHistogram::MagnitudeHistogram(const float *in, int64_t n,
+                                       bool is_signed, int bins)
+    : bins_(std::max(1, bins)), n_(n)
+{
+    double m = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double v =
+            is_signed ? std::fabs(static_cast<double>(in[i]))
+                      : std::max(0.0, static_cast<double>(in[i]));
+        m = std::max(m, v);
+    }
+    amax_ = m;
+
+    cnt_.assign(static_cast<size_t>(bins_) + 1, 0.0);
+    sum_.assign(static_cast<size_t>(bins_) + 1, 0.0);
+    sumsq_.assign(static_cast<size_t>(bins_) + 1, 0.0);
+    if (empty()) return;
+
+    invWidth_ = static_cast<double>(bins_) / amax_;
+    for (int64_t i = 0; i < n; ++i) {
+        const double x = in[i];
+        double v;
+        if (is_signed) {
+            v = std::fabs(x);
+        } else if (x < 0.0) {
+            // Unsigned grids clamp negatives to 0: error x^2 at every
+            // scale, so it never affects the ranking.
+            constErr_ += x * x;
+            continue;
+        } else {
+            v = x;
+        }
+        const size_t b = static_cast<size_t>(
+            std::min(static_cast<double>(bins_ - 1), v * invWidth_));
+        cnt_[b + 1] += 1.0;
+        sum_[b + 1] += v;
+        sumsq_[b + 1] += v * v;
+    }
+    for (size_t b = 1; b <= static_cast<size_t>(bins_); ++b) {
+        cnt_[b] += cnt_[b - 1];
+        sum_[b] += sum_[b - 1];
+        sumsq_[b] += sumsq_[b - 1];
+    }
+}
+
+double
+MagnitudeHistogram::approxMse(const QuantKernel &kernel,
+                              double scale) const
+{
+    if (n_ == 0) return 0.0;
+    if (empty() || scale <= 0.0 || !std::isfinite(scale))
+        return (sumsq_[static_cast<size_t>(bins_)] + constErr_) /
+               static_cast<double>(n_);
+
+    const std::vector<double> &g = kernel.magGrid();
+    const size_t K = g.size();
+    double err = constErr_;
+    size_t b0 = 0;
+    for (size_t i = 0; i < K; ++i) {
+        // Magnitudes quantizing to q = g[i]*scale extend up to the
+        // midpoint with the next grid level (or infinity at the top).
+        size_t b1;
+        if (i + 1 < K) {
+            const double t = 0.5 * (g[i] + g[i + 1]) * scale;
+            b1 = static_cast<size_t>(std::min(
+                static_cast<double>(bins_),
+                std::max(0.0, t * invWidth_)));
+            b1 = std::max(b1, b0);
+        } else {
+            b1 = static_cast<size_t>(bins_);
+        }
+        if (b1 > b0) {
+            const double C = cnt_[b1] - cnt_[b0];
+            if (C != 0.0) {
+                const double q = g[i] * scale;
+                err += q * q * C - 2.0 * q * (sum_[b1] - sum_[b0]) +
+                       (sumsq_[b1] - sumsq_[b0]);
+            }
+            b0 = b1;
+        }
+        if (b0 == static_cast<size_t>(bins_)) break;
+    }
+    return err / static_cast<double>(n_);
+}
+
+} // namespace ant

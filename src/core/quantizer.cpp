@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <stdexcept>
+
+#include "core/quant_kernel.h"
+#include "tensor/parallel.h"
 
 namespace ant {
 
@@ -10,30 +15,13 @@ double
 quantizeWithScale(const float *in, float *out, int64_t n,
                   const NumericType &type, double scale)
 {
-    if (scale <= 0.0 || !std::isfinite(scale)) {
-        // Degenerate (all-zero) input: pass through zeros.
-        double err = 0.0;
-        for (int64_t i = 0; i < n; ++i) {
-            if (out) out[i] = 0.0f;
-            err += static_cast<double>(in[i]) * in[i];
-        }
-        return n ? err / static_cast<double>(n) : 0.0;
-    }
-    const double inv = 1.0 / scale;
-    double err = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-        const double q = type.quantizeValue(in[i] * inv) * scale;
-        if (out) out[i] = static_cast<float>(q);
-        const double d = q - in[i];
-        err += d * d;
-    }
-    return n ? err / static_cast<double>(n) : 0.0;
+    return QuantKernel(type).quantizeBatch(in, out, n, scale);
 }
 
 double
 quantMse(const float *in, int64_t n, const NumericType &type, double scale)
 {
-    return quantizeWithScale(in, nullptr, n, type, scale);
+    return QuantKernel(type).mseBatch(in, n, scale);
 }
 
 namespace {
@@ -51,26 +39,107 @@ rangeAbsMax(const float *in, int64_t n, bool is_signed)
     return m;
 }
 
-} // namespace
+/**
+ * Candidate scales of the MseSearch sweep, in the reference evaluation
+ * order: the unclipped scale first, then the clip-ratio grid (whose last
+ * entry repeats the unclipped scale at r = 1.0).
+ */
+std::vector<double>
+candidateScales(const QuantConfig &cfg, double full)
+{
+    const int steps = std::max(2, cfg.searchSteps);
+    std::vector<double> s;
+    s.reserve(static_cast<size_t>(steps) + 1);
+    s.push_back(full);
+    for (int i = 0; i < steps; ++i) {
+        const double r = cfg.searchLo +
+                         (1.0 - cfg.searchLo) * i /
+                             static_cast<double>(steps - 1);
+        s.push_back(full * r);
+    }
+    return s;
+}
+
+/** Argmin by exact MSE over a subset of candidates, in index order. */
+double
+argminExact(const QuantKernel &kernel, const float *in, int64_t n,
+            const std::vector<double> &scales,
+            const std::vector<size_t> &subset)
+{
+    double best_s = scales[subset.front()];
+    double best_e = std::numeric_limits<double>::infinity();
+    for (size_t idx : subset) {
+        const double e = kernel.mseBatch(in, n, scales[idx]);
+        if (e < best_e) {
+            best_e = e;
+            best_s = scales[idx];
+        }
+    }
+    return best_s;
+}
 
 double
-searchScale(const float *in, int64_t n, const NumericType &type,
-            const QuantConfig &cfg)
+searchScaleKernel(const QuantKernel &kernel, const float *in, int64_t n,
+                  const QuantConfig &cfg)
 {
-    const double amax = rangeAbsMax(in, n, type.isSigned());
+    if (cfg.scaleMode == ScaleMode::MseSearch &&
+        cfg.exactness != SearchExactness::Exact) {
+        // Sketch path: one histogram pass replaces the per-candidate
+        // tensor walks; absmax falls out of the same pass.
+        MagnitudeHistogram hist(in, n, kernel.isSigned(), cfg.histBins);
+        if (hist.absMax() == 0.0) return 0.0;
+        const double full = hist.absMax() / kernel.maxValue();
+        const std::vector<double> scales = candidateScales(cfg, full);
+
+        std::vector<size_t> order(scales.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::vector<double> sketch(scales.size());
+        for (size_t i = 0; i < scales.size(); ++i)
+            sketch[i] = hist.approxMse(kernel, scales[i]);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return sketch[a] < sketch[b];
+                         });
+
+        if (cfg.exactness == SearchExactness::Sketch)
+            return scales[order.front()];
+
+        // Refined: re-score the sketch's top-K exactly, always keeping
+        // the unclipped scale in the pool so MseSearch can never end up
+        // worse than MaxCalib.
+        const size_t k = static_cast<size_t>(
+            std::clamp(cfg.refineTopK, 1,
+                       static_cast<int>(scales.size())));
+        std::vector<size_t> subset(order.begin(),
+                                   order.begin() +
+                                       static_cast<int64_t>(k));
+        subset.push_back(0);
+        std::sort(subset.begin(), subset.end());
+        subset.erase(std::unique(subset.begin(), subset.end()),
+                     subset.end());
+        return argminExact(kernel, in, n, scales, subset);
+    }
+
+    const double amax = rangeAbsMax(in, n, kernel.isSigned());
     if (amax == 0.0) return 0.0;
-    const double full = amax / type.maxValue();
+    const double full = amax / kernel.maxValue();
 
     if (cfg.scaleMode == ScaleMode::MaxCalib) return full;
 
     if (cfg.scaleMode == ScaleMode::PowerOfTwo) {
         // AdaptiveFloat: the scale (exponent bias) is a power of two.
-        const int k0 = static_cast<int>(std::ceil(std::log2(full)));
+        // Guard the log against zero/denormal `full` (absmax can be many
+        // orders of magnitude below the type's maxValue) and keep the
+        // exponent inside ldexp's normal range.
+        const double fnorm =
+            std::max(full, std::numeric_limits<double>::min());
+        const int k0 = std::clamp(
+            static_cast<int>(std::ceil(std::log2(fnorm))), -1021, 1023);
         double best_s = std::ldexp(1.0, k0);
-        double best_e = quantMse(in, n, type, best_s);
+        double best_e = kernel.mseBatch(in, n, best_s);
         for (int k = k0 - 3; k <= k0 + 1; ++k) {
             const double s = std::ldexp(1.0, k);
-            const double e = quantMse(in, n, type, s);
+            const double e = kernel.mseBatch(in, n, s);
             if (e < best_e) {
                 best_e = e;
                 best_s = s;
@@ -79,35 +148,51 @@ searchScale(const float *in, int64_t n, const NumericType &type,
         return best_s;
     }
 
-    // MseSearch: clip ratios in [searchLo, 1.0].
-    double best_s = full;
-    double best_e = quantMse(in, n, type, full);
-    const int steps = std::max(2, cfg.searchSteps);
-    for (int i = 0; i < steps; ++i) {
-        const double r = cfg.searchLo +
-                         (1.0 - cfg.searchLo) * i /
-                             static_cast<double>(steps - 1);
-        const double s = full * r;
-        const double e = quantMse(in, n, type, s);
-        if (e < best_e) {
-            best_e = e;
-            best_s = s;
-        }
-    }
-    return best_s;
+    // Exact MseSearch: every clip ratio scored by a full tensor walk.
+    const std::vector<double> scales = candidateScales(cfg, full);
+    std::vector<size_t> all(scales.size());
+    std::iota(all.begin(), all.end(), size_t{0});
+    return argminExact(kernel, in, n, scales, all);
 }
 
+} // namespace
+
+double
+searchScale(const float *in, int64_t n, const NumericType &type,
+            const QuantConfig &cfg)
+{
+    return searchScaleKernel(QuantKernel(type), in, n, cfg);
+}
+
+double
+searchScale(const float *in, int64_t n, const QuantKernel &kernel,
+            const QuantConfig &cfg)
+{
+    return searchScaleKernel(kernel, in, n, cfg);
+}
+
+namespace {
+
 QuantResult
-quantize(const Tensor &t, const QuantConfig &cfg)
+quantizeImpl(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
 {
     if (!cfg.type) throw std::invalid_argument("quantize: null type");
+    const QuantKernel kernel(*cfg.type);
     QuantResult r;
-    r.dequant = Tensor{t.shape()};
+    if (with_dequant) r.dequant = Tensor{t.shape()};
+    float *out_base = with_dequant ? r.dequant.data() : nullptr;
 
-    if (cfg.granularity == Granularity::PerTensor || t.ndim() < 2) {
-        const double s = searchScale(t.data(), t.numel(), *cfg.type, cfg);
-        r.mse = quantizeWithScale(t.data(), r.dequant.data(), t.numel(),
-                                  *cfg.type, s);
+    // PerChannel needs a channel axis: 0-D/1-D tensors fall back to
+    // PerTensor, reported via appliedGranularity.
+    const bool per_channel =
+        cfg.granularity == Granularity::PerChannel && t.ndim() >= 2;
+    r.appliedGranularity =
+        per_channel ? Granularity::PerChannel : Granularity::PerTensor;
+
+    if (!per_channel) {
+        const double s =
+            searchScaleKernel(kernel, t.data(), t.numel(), cfg);
+        r.mse = kernel.quantizeBatch(t.data(), out_base, t.numel(), s);
         r.scales.push_back(s);
         return r;
     }
@@ -115,17 +200,37 @@ quantize(const Tensor &t, const QuantConfig &cfg)
     // Per-channel along dim 0 (output channels for weight tensors).
     const int64_t channels = t.dim(0);
     const int64_t chunk = t.numel() / channels;
+    r.scales.assign(static_cast<size_t>(channels), 0.0);
+    std::vector<double> errs(static_cast<size_t>(channels), 0.0);
+    parallelFor(channels, [&](int64_t b, int64_t e) {
+        for (int64_t c = b; c < e; ++c) {
+            const float *in = t.data() + c * chunk;
+            float *out = out_base ? out_base + c * chunk : nullptr;
+            const double s = searchScaleKernel(kernel, in, chunk, cfg);
+            errs[static_cast<size_t>(c)] =
+                kernel.quantizeBatch(in, out, chunk, s) *
+                static_cast<double>(chunk);
+            r.scales[static_cast<size_t>(c)] = s;
+        }
+    });
     double err = 0.0;
-    for (int64_t c = 0; c < channels; ++c) {
-        const float *in = t.data() + c * chunk;
-        float *out = r.dequant.data() + c * chunk;
-        const double s = searchScale(in, chunk, *cfg.type, cfg);
-        err += quantizeWithScale(in, out, chunk, *cfg.type, s) *
-               static_cast<double>(chunk);
-        r.scales.push_back(s);
-    }
+    for (double e : errs) err += e;
     r.mse = err / static_cast<double>(t.numel());
     return r;
+}
+
+} // namespace
+
+QuantResult
+quantize(const Tensor &t, const QuantConfig &cfg)
+{
+    return quantizeImpl(t, cfg, /*with_dequant=*/true);
+}
+
+QuantResult
+quantizeScored(const Tensor &t, const QuantConfig &cfg)
+{
+    return quantizeImpl(t, cfg, /*with_dequant=*/false);
 }
 
 Tensor

@@ -3,6 +3,13 @@
  * The generalized quantize/dequantize operator of Eq. 2 with scale-factor
  * search by MSE minimization (range clipping, Sec. IV-C), per-tensor and
  * per-channel granularities.
+ *
+ * Since the batched-engine refactor the hot paths run on
+ * core/quant_kernel.h: a compiled per-type kernel for element loops and a
+ * magnitude-histogram sketch that ranks the clip-ratio sweep in O(grid)
+ * per candidate scale. The final quantization pass is always exact and
+ * bit-identical to the scalar reference; QuantConfig::exactness controls
+ * how much of the *search* may rely on the sketch.
  */
 
 #ifndef ANT_CORE_QUANTIZER_H
@@ -14,6 +21,8 @@
 #include "tensor/tensor.h"
 
 namespace ant {
+
+class QuantKernel;
 
 /** Quantization granularity (Sec. II-B). */
 enum class Granularity {
@@ -29,6 +38,19 @@ enum class ScaleMode {
                 //!< (AdaptiveFloat's tensor-wise exponent bias)
 };
 
+/**
+ * Exactness knob of the MseSearch sweep. Every mode ends with an exact
+ * quantization pass at the chosen scale; they differ in how candidates
+ * are *ranked*.
+ */
+enum class SearchExactness {
+    Exact,   //!< exact MSE for every candidate scale (reference path)
+    Refined, //!< histogram sketch ranks all candidates; the top
+             //!< refineTopK (plus the unclipped scale) are re-scored
+             //!< exactly and the argmin is taken among those
+    Sketch,  //!< trust the sketch ranking outright (fastest)
+};
+
 /** Configuration of one quantization op. */
 struct QuantConfig
 {
@@ -37,6 +59,11 @@ struct QuantConfig
     ScaleMode scaleMode = ScaleMode::MseSearch;
     int searchSteps = 40;     //!< clip-ratio grid points for MseSearch
     double searchLo = 0.30;   //!< smallest clip ratio explored
+
+    /** Sketch-vs-exact trade-off of the MseSearch sweep. */
+    SearchExactness exactness = SearchExactness::Refined;
+    int histBins = 1024;      //!< sketch resolution over [0, absmax]
+    int refineTopK = 4;       //!< exact re-scores in Refined mode
 };
 
 /** Result of quantizing a tensor. */
@@ -45,6 +72,14 @@ struct QuantResult
     Tensor dequant;             //!< fake-quantized tensor (same shape)
     std::vector<double> scales; //!< one entry (per-tensor) or C entries
     double mse = 0.0;           //!< mean squared error vs the input
+
+    /**
+     * Granularity actually applied. PerChannel requests on tensors with
+     * fewer than 2 dimensions fall back to PerTensor (there is no
+     * channel axis to split); this field makes that fallback explicit
+     * instead of silent — check it when the request was PerChannel.
+     */
+    Granularity appliedGranularity = Granularity::PerTensor;
 };
 
 /**
@@ -65,8 +100,26 @@ double quantMse(const float *in, int64_t n, const NumericType &type,
 double searchScale(const float *in, int64_t n, const NumericType &type,
                    const QuantConfig &cfg);
 
+/**
+ * Kernel-reusing overload for hot callers that search many ranges of
+ * the same type (per-channel/per-row loops): compile the QuantKernel
+ * once and pass it here instead of paying construction per call.
+ * cfg.type is ignored.
+ */
+double searchScale(const float *in, int64_t n, const QuantKernel &kernel,
+                   const QuantConfig &cfg);
+
 /** Quantize a whole tensor according to @p cfg. */
 QuantResult quantize(const Tensor &t, const QuantConfig &cfg);
+
+/**
+ * Score-only variant of quantize(): identical scale search and exact
+ * MSE accounting, but the dequant tensor is not materialized
+ * (QuantResult::dequant stays empty). For sweeps that only rank
+ * configurations — selectType uses it so a candidate sweep holds one
+ * dequant tensor, not one per candidate.
+ */
+QuantResult quantizeScored(const Tensor &t, const QuantConfig &cfg);
 
 /** Convenience: fake-quantized tensor only. */
 Tensor fakeQuantize(const Tensor &t, const QuantConfig &cfg);

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/parallel.h"
+
 namespace ant {
 
 TypeSelection
@@ -12,19 +14,34 @@ selectType(const Tensor &t, const std::vector<TypePtr> &candidates,
     if (candidates.empty())
         throw std::invalid_argument("selectType: empty candidate list");
 
+    // Candidates are independent: fan a score-only sweep out over the
+    // pool (no dequant tensors materialized), then produce the full
+    // result for the winner alone. Any per-channel parallelism inside
+    // runs inline on the same workers.
+    const int64_t m = static_cast<int64_t>(candidates.size());
+    std::vector<double> mses(candidates.size());
+    parallelFor(m, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            QuantConfig cfg = base_cfg;
+            cfg.type = candidates[static_cast<size_t>(i)];
+            mses[static_cast<size_t>(i)] = quantizeScored(t, cfg).mse;
+        }
+    });
+
     TypeSelection sel;
     double best = std::numeric_limits<double>::infinity();
-    for (const TypePtr &cand : candidates) {
-        QuantConfig cfg = base_cfg;
-        cfg.type = cand;
-        QuantResult r = quantize(t, cfg);
-        sel.scores.push_back({cand, r.mse});
-        if (r.mse < best) {
-            best = r.mse;
-            sel.type = cand;
-            sel.result = std::move(r);
+    size_t best_i = 0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        sel.scores.push_back({candidates[i], mses[i]});
+        if (mses[i] < best) {
+            best = mses[i];
+            best_i = i;
         }
     }
+    sel.type = candidates[best_i];
+    QuantConfig cfg = base_cfg;
+    cfg.type = sel.type;
+    sel.result = quantize(t, cfg); // deterministic: same scales/MSE
     return sel;
 }
 

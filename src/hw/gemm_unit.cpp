@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/quant_kernel.h"
+
 namespace ant {
 namespace hw {
 
@@ -34,15 +36,11 @@ QuantizedMatrix::QuantizedMatrix(const Tensor &t, const TypePtr &type,
         throw std::invalid_argument(
             "QuantizedMatrix: need 1 or rows scales");
     codes_.resize(static_cast<size_t>(rows_ * cols_));
-    for (int64_t r = 0; r < rows_; ++r) {
-        const double s = scaleOfRow(r);
-        const double inv = s > 0 ? 1.0 / s : 0.0;
-        for (int64_t c = 0; c < cols_; ++c) {
-            const double u = t[r * cols_ + c] * inv;
-            codes_[static_cast<size_t>(r * cols_ + c)] =
-                type_->encodeNearest(u);
-        }
-    }
+    const QuantKernel kernel(*type_);
+    for (int64_t r = 0; r < rows_; ++r)
+        kernel.encodeBatch(t.data() + r * cols_,
+                           codes_.data() + r * cols_, cols_,
+                           scaleOfRow(r));
 }
 
 Tensor
@@ -118,10 +116,12 @@ quantizedLinear(const Tensor &act, const Tensor &weight,
 
     std::vector<double> ws;
     if (weight_cfg.granularity == Granularity::PerChannel) {
+        // Compile the kernel once for the whole per-row sweep.
+        const QuantKernel wk(*weight_cfg.type);
         const int64_t chunk = weight.numel() / weight.dim(0);
         for (int64_t r = 0; r < weight.dim(0); ++r)
             ws.push_back(searchScale(weight.data() + r * chunk, chunk,
-                                     *weight_cfg.type, weight_cfg));
+                                     wk, weight_cfg));
     } else {
         ws.push_back(searchScale(weight.data(), weight.numel(),
                                  *weight_cfg.type, weight_cfg));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/quant_kernel.h"
+
 namespace ant {
 namespace nn {
 
@@ -59,23 +61,25 @@ QuantState::apply(const Tensor &t)
     if (!calibrated())
         throw std::logic_error("QuantState: apply before calibrate");
     Tensor out{t.shape()};
+    // One compiled kernel serves every channel of this forward pass.
+    const QuantKernel kernel(*type);
     if (granularity == Granularity::PerChannel && t.ndim() >= 2 &&
         scales.size() == static_cast<size_t>(t.dim(0))) {
         const int64_t channels = t.dim(0);
         const int64_t chunk = t.numel() / channels;
         double err = 0.0;
         for (int64_t c = 0; c < channels; ++c)
-            err += quantizeWithScale(t.data() + c * chunk,
-                                     out.data() + c * chunk, chunk, *type,
-                                     scales[static_cast<size_t>(c)]) *
+            err += kernel.quantizeBatch(
+                       t.data() + c * chunk, out.data() + c * chunk,
+                       chunk, scales[static_cast<size_t>(c)]) *
                    static_cast<double>(chunk);
         lastMse = err / static_cast<double>(t.numel());
     } else {
         // Per-tensor (the scale searched at calibration time is kept;
         // the tensor distribution is assumed stable, Sec. IV-C).
         const double s = scales.empty() ? 0.0 : scales[0];
-        lastMse = quantizeWithScale(t.data(), out.data(), t.numel(),
-                                    *type, s);
+        lastMse = kernel.quantizeBatch(t.data(), out.data(), t.numel(),
+                                       s);
     }
     return out;
 }

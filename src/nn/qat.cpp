@@ -2,10 +2,29 @@
 
 #include <algorithm>
 
+#include "tensor/parallel.h"
+
 namespace ant {
 namespace nn {
 
 namespace {
+
+/**
+ * Weight calibration (Algorithm 2 per layer) is embarrassingly
+ * parallel: each layer owns its QuantState, so fan the loop out over
+ * the engine's pool. The candidate sweep inside each selectType then
+ * runs inline on the same worker.
+ */
+void
+calibrateWeightsParallel(const std::vector<QuantLayer *> &layers)
+{
+    parallelFor(static_cast<int64_t>(layers.size()),
+                [&](int64_t b, int64_t e) {
+                    for (int64_t i = b; i < e; ++i)
+                        layers[static_cast<size_t>(i)]
+                            ->calibrateWeights();
+                });
+}
 
 /** Candidate list for one layer at one precision. */
 std::vector<TypePtr>
@@ -58,7 +77,7 @@ calibrateQuant(Classifier &model, const Dataset &ds,
 {
     const std::vector<QuantLayer *> layers = model.quantLayers();
     // Weights: directly from current values.
-    for (QuantLayer *l : layers) l->calibrateWeights();
+    calibrateWeightsParallel(layers);
 
     if (!cfg.quantActs) return;
 
@@ -136,7 +155,7 @@ runQatExperiment(Classifier &model, const Dataset &ds,
 
     trainClassifier(model, ds, finetune);
     // Re-run weight calibration so MSE stats reflect tuned weights.
-    for (QuantLayer *l : model.quantLayers()) l->calibrateWeights();
+    calibrateWeightsParallel(model.quantLayers());
     r.qatAccuracy = evaluateAccuracy(model, ds);
 
     const auto mses = layerQuantMses(model);
@@ -161,8 +180,7 @@ runAnt48(Classifier &model, const Dataset &ds, const QatConfig &cfg,
         [&](const std::vector<LayerPrecision> &prec) {
             applyPrecisionAssignment(model, prec, cfg, ds);
             trainClassifier(model, ds, finetune);
-            for (QuantLayer *l : model.quantLayers())
-                l->calibrateWeights();
+            calibrateWeightsParallel(model.quantLayers());
         };
     hooks.evaluate = [&] { return evaluateAccuracy(model, ds); };
     hooks.layerMse = [&] { return layerQuantMses(model); };

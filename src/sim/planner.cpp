@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/baselines.h"
+#include "tensor/parallel.h"
 
 namespace ant {
 namespace sim {
@@ -41,6 +42,22 @@ chooseType(const Tensor &t, Combo combo, int bits, bool is_signed)
     return c;
 }
 
+/** Distribution-matched tensors of one layer, sampled up front. */
+struct LayerSample
+{
+    Tensor wt;
+    Tensor at;
+    bool actSigned = true;
+};
+
+/** Type/bit accounting of one layer, reduced serially afterwards. */
+struct LayerAccount
+{
+    double flint = 0, pot = 0, int4 = 0, int8 = 0, other = 0, total = 0;
+    double bitSum = 0.0;
+    int64_t elems = 0;
+};
+
 } // namespace
 
 QuantPlan
@@ -51,41 +68,58 @@ planWorkload(const workloads::Workload &w, hw::Design design,
     QuantPlan plan;
     plan.design = design;
 
-    // Two accountings: type *ratios* are per tensor (the paper's
-    // Fig. 13 top counts tensors; only OLAccel, being element-wise, is
-    // counted per element), while avgBits is element-weighted (the
-    // "average bit of once memory access" of Table I).
-    double cnt_flint = 0, cnt_pot = 0, cnt_int4 = 0;
-    double cnt_int8 = 0, cnt_other = 0, cnt_total = 0;
-    double bit_sum = 0.0;
-    int64_t elems_total = 0;
+    const int64_t num_layers = static_cast<int64_t>(w.layers.size());
     const bool element_wise = design == hw::Design::OLAccel;
 
+    // Sampling consumes the RNG stream in layer order, so it stays
+    // serial (and deterministic); the expensive per-layer planning below
+    // then fans out over the pool.
+    std::vector<LayerSample> samples;
+    samples.reserve(w.layers.size());
     for (const workloads::Layer &l : w.layers) {
-        const Tensor wt = workloads::sampleWeightTensor(l, rng);
-        const Tensor at = workloads::sampleActTensor(l, rng);
-        const bool act_signed = l.actDist != DistFamily::HalfGaussian &&
-                                l.actDist != DistFamily::HalfLaplace &&
-                                l.actDist != DistFamily::Uniform;
-        LayerPlan lp;
+        LayerSample s;
+        s.wt = workloads::sampleWeightTensor(l, rng);
+        s.at = workloads::sampleActTensor(l, rng);
+        s.actSigned = l.actDist != DistFamily::HalfGaussian &&
+                      l.actDist != DistFamily::HalfLaplace &&
+                      l.actDist != DistFamily::Uniform;
+        samples.push_back(std::move(s));
+    }
 
+    plan.layers.assign(w.layers.size(), LayerPlan{});
+    std::vector<LayerAccount> accounts(w.layers.size());
+
+    parallelFor(num_layers, [&](int64_t lb, int64_t le) {
+      for (int64_t li = lb; li < le; ++li) {
+        const workloads::Layer &l = w.layers[static_cast<size_t>(li)];
+        const LayerSample &smp = samples[static_cast<size_t>(li)];
+        const Tensor &wt = smp.wt;
+        const Tensor &at = smp.at;
+        const bool act_signed = smp.actSigned;
+        LayerPlan lp;
+        LayerAccount &acc = accounts[static_cast<size_t>(li)];
+
+        // Two accountings: type *ratios* are per tensor (the paper's
+        // Fig. 13 top counts tensors; only OLAccel, being element-wise,
+        // is counted per element), while avgBits is element-weighted
+        // (the "average bit of once memory access" of Table I).
         const auto account = [&](const std::string &type, int bits,
                                  int64_t n) {
-            elems_total += n;
-            bit_sum += static_cast<double>(bits) * n;
+            acc.elems += n;
+            acc.bitSum += static_cast<double>(bits) * n;
             const double unit =
                 element_wise ? static_cast<double>(n) : 1.0;
-            cnt_total += unit;
+            acc.total += unit;
             if (type.find("flint") != std::string::npos)
-                cnt_flint += unit;
+                acc.flint += unit;
             else if (type.find("pot") != std::string::npos)
-                cnt_pot += unit;
+                acc.pot += unit;
             else if (bits == 4)
-                cnt_int4 += unit;
+                acc.int4 += unit;
             else if (bits == 8 && type.find("int") != std::string::npos)
-                cnt_int8 += unit;
+                acc.int8 += unit;
             else
-                cnt_other += unit;
+                acc.other += unit;
         };
 
         switch (design) {
@@ -138,7 +172,7 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             // Element-wise 4-bit with 16-bit outliers; the first (and
             // last) layer stays 8-bit per the original paper.
             const bool first_or_last =
-                &l == &w.layers.front() || &l == &w.layers.back();
+                li == 0 || li == num_layers - 1;
             const int nb = first_or_last ? 8 : 4;
             const BaselineResult rw = olaccelQuantize(wt, nb, 0.03,
                                                       true);
@@ -191,12 +225,12 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             lp.actType = "fp16";
             lp.outlierRatio = rw.outlierRatio;
             lp.snr = tensorVariance(wt) / std::max(1e-12, rw.mse);
-            bit_sum += rw.avgBits * static_cast<double>(
-                                        l.weightElems()) +
-                       16.0 * static_cast<double>(l.actElems());
-            elems_total += l.weightElems() + l.actElems();
-            cnt_other += 2;
-            cnt_total += 2;
+            acc.bitSum += rw.avgBits * static_cast<double>(
+                                           l.weightElems()) +
+                          16.0 * static_cast<double>(l.actElems());
+            acc.elems += l.weightElems() + l.actElems();
+            acc.other += 2;
+            acc.total += 2;
             break;
           }
           case hw::Design::Int8: {
@@ -207,7 +241,24 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             break;
           }
         }
-        plan.layers.push_back(lp);
+        plan.layers[static_cast<size_t>(li)] = std::move(lp);
+      }
+    });
+
+    // Serial layer-order reduction keeps the totals deterministic.
+    double cnt_flint = 0, cnt_pot = 0, cnt_int4 = 0;
+    double cnt_int8 = 0, cnt_other = 0, cnt_total = 0;
+    double bit_sum = 0.0;
+    int64_t elems_total = 0;
+    for (const LayerAccount &acc : accounts) {
+        cnt_flint += acc.flint;
+        cnt_pot += acc.pot;
+        cnt_int4 += acc.int4;
+        cnt_int8 += acc.int8;
+        cnt_other += acc.other;
+        cnt_total += acc.total;
+        bit_sum += acc.bitSum;
+        elems_total += acc.elems;
     }
 
     if (cnt_total > 0) {

@@ -1,0 +1,209 @@
+#include "tensor/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ant {
+
+namespace {
+
+/** True on pool workers and inside a parallelFor chunk on the caller. */
+thread_local bool t_inParallel = false;
+
+int
+defaultThreads()
+{
+    if (const char *env = std::getenv("ANT_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0) return v;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc ? static_cast<int>(hc) : 1;
+}
+
+/** Persistent workers draining a shared FIFO of chunk tasks. */
+class Pool
+{
+  public:
+    Pool() : target_(defaultThreads()) { spawn(); }
+
+    ~Pool()
+    {
+        shutdown();
+    }
+
+    static Pool &
+    instance()
+    {
+        static Pool pool;
+        return pool;
+    }
+
+    int
+    threads()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return target_;
+    }
+
+    void
+    resize(int n)
+    {
+        if (n <= 0) n = defaultThreads();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (n == target_) return;
+        }
+        shutdown();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = false;
+            target_ = n;
+        }
+        spawn();
+    }
+
+    void
+    submit(std::function<void()> fn)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            tasks_.push(std::move(fn));
+        }
+        cv_.notify_one();
+    }
+
+  private:
+    void
+    spawn()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (int i = 0; i < target_ - 1; ++i)
+            workers_.emplace_back([this] { work(); });
+    }
+
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &t : workers_) t.join();
+        workers_.clear();
+    }
+
+    void
+    work()
+    {
+        t_inParallel = true; // workers never fan out again
+        for (;;) {
+            std::function<void()> fn;
+            {
+                std::unique_lock<std::mutex> lk(mu_);
+                cv_.wait(lk,
+                         [this] { return stop_ || !tasks_.empty(); });
+                if (stop_) return;
+                fn = std::move(tasks_.front());
+                tasks_.pop();
+            }
+            fn();
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    int target_;
+    bool stop_ = false;
+};
+
+} // namespace
+
+int
+parallelThreads()
+{
+    return Pool::instance().threads();
+}
+
+void
+setParallelThreads(int n)
+{
+    Pool::instance().resize(n);
+}
+
+void
+parallelFor(int64_t n, const std::function<void(int64_t, int64_t)> &body,
+            int64_t grain)
+{
+    if (n <= 0) return;
+    grain = std::max<int64_t>(1, grain);
+    const int threads = parallelThreads();
+    if (threads <= 1 || t_inParallel || n <= grain) {
+        const bool was = t_inParallel;
+        t_inParallel = true;
+        try {
+            body(0, n);
+        } catch (...) {
+            t_inParallel = was;
+            throw;
+        }
+        t_inParallel = was;
+        return;
+    }
+
+    const int64_t max_chunks = (n + grain - 1) / grain;
+    const int64_t chunks =
+        std::min<int64_t>(static_cast<int64_t>(threads), max_chunks);
+    const int64_t step = (n + chunks - 1) / chunks;
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done = 0;
+    std::exception_ptr first_error;
+    int64_t submitted = 0;
+
+    Pool &pool = Pool::instance();
+    for (int64_t b = step; b < n; b += step) {
+        const int64_t e = std::min(n, b + step);
+        ++submitted;
+        pool.submit([&, b, e] {
+            try {
+                body(b, e);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                ++done;
+            }
+            done_cv.notify_one();
+        });
+    }
+
+    // The caller runs the first chunk; nested fan-out goes inline.
+    t_inParallel = true;
+    try {
+        body(0, std::min(n, step));
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!first_error) first_error = std::current_exception();
+    }
+    t_inParallel = false;
+
+    std::unique_lock<std::mutex> lk(mu);
+    done_cv.wait(lk, [&] { return done == submitted; });
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace ant

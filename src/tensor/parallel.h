@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal persistent thread pool with a blocked-range `parallelFor`.
+ *
+ * The quantization engine fans out over channels, candidate types, and
+ * workload layers; all three loops funnel through parallelFor so the
+ * whole stack shares one pool. Nested parallelFor calls (e.g. a
+ * per-channel loop inside a per-candidate sweep) run inline on the
+ * calling worker, so nesting is safe and never deadlocks.
+ *
+ * Determinism: the loop body receives disjoint index ranges and callers
+ * reduce per-index partial results in index order, so results are
+ * bitwise identical regardless of thread count.
+ */
+
+#ifndef ANT_TENSOR_PARALLEL_H
+#define ANT_TENSOR_PARALLEL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace ant {
+
+/**
+ * Number of threads the global pool uses. Defaults to the ANT_THREADS
+ * environment variable when set, else std::thread::hardware_concurrency.
+ */
+int parallelThreads();
+
+/**
+ * Resize the global pool to @p n threads (1 = fully serial). @p n <= 0
+ * restores the default. Must not be called concurrently with a running
+ * parallelFor.
+ */
+void setParallelThreads(int n);
+
+/**
+ * Run @p body over [0, n) split into contiguous chunks, blocking until
+ * every chunk finished. Runs inline (single chunk) when the pool has one
+ * thread, when n <= @p grain, or when already inside a parallelFor.
+ * The first exception thrown by any chunk is rethrown to the caller.
+ */
+void parallelFor(int64_t n,
+                 const std::function<void(int64_t, int64_t)> &body,
+                 int64_t grain = 1);
+
+} // namespace ant
+
+#endif // ANT_TENSOR_PARALLEL_H

@@ -119,5 +119,48 @@ TEST(MixedPrecision, MissingHooksThrow)
                  std::invalid_argument);
 }
 
+TEST(MixedPrecision, BatchedEscalationTakesWorstLayersPerRound)
+{
+    FakeModel m{{0.002, 0.05, 0.001, 0.03, 0.04, 0.0005}, {}};
+    MixedPrecisionConfig cfg;
+    cfg.baselineMetric = 1.0;
+    cfg.threshold = 0.01;
+    cfg.escalatePerRound = 2;
+    const auto res = runMixedPrecision(6, cfg, hooksFor(m));
+    EXPECT_TRUE(res.converged);
+    // Round 1 escalates the two worst layers (1: 0.05, 4: 0.04);
+    // the residual 0.0335 still misses the threshold, so round 2
+    // escalates the next two (3: 0.03, 0: 0.002).
+    ASSERT_EQ(res.history.size(), 3u);
+    EXPECT_EQ(res.history[1].layer, 1);
+    ASSERT_EQ(res.history[1].layers.size(), 2u);
+    EXPECT_EQ(res.history[1].layers[0], 1);
+    EXPECT_EQ(res.history[1].layers[1], 4);
+    ASSERT_EQ(res.history[2].layers.size(), 2u);
+    EXPECT_EQ(res.history[2].layers[0], 3);
+    EXPECT_EQ(res.history[2].layers[1], 0);
+    EXPECT_EQ(res.precision[2], LayerPrecision::Ant4);
+    EXPECT_EQ(res.precision[5], LayerPrecision::Ant4);
+}
+
+TEST(MixedPrecision, BatchedEscalationMatchesSequentialSet)
+{
+    // With a batch of 2, the same layers end up at 8 bits as with the
+    // one-at-a-time loop (in fewer tuning rounds) for monotone noise.
+    FakeModel seq{{0.05, 0.04, 0.001, 0.0005}, {}};
+    FakeModel bat{{0.05, 0.04, 0.001, 0.0005}, {}};
+    MixedPrecisionConfig c1;
+    c1.baselineMetric = 1.0;
+    c1.threshold = 0.01;
+    MixedPrecisionConfig c2 = c1;
+    c2.escalatePerRound = 2;
+    const auto r1 = runMixedPrecision(4, c1, hooksFor(seq));
+    const auto r2 = runMixedPrecision(4, c2, hooksFor(bat));
+    EXPECT_TRUE(r1.converged);
+    EXPECT_TRUE(r2.converged);
+    EXPECT_EQ(r1.precision, r2.precision);
+    EXPECT_LT(r2.history.size(), r1.history.size());
+}
+
 } // namespace
 } // namespace ant

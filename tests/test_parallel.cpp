@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the tensor/parallel thread pool underneath the quantization
+ * engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/parallel.h"
+
+namespace ant {
+namespace {
+
+/** Restores the default pool size when a test returns. */
+struct PoolGuard
+{
+    explicit PoolGuard(int n) { setParallelThreads(n); }
+    ~PoolGuard() { setParallelThreads(0); }
+};
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    PoolGuard guard(4);
+    const int64_t n = 10007; // prime: uneven chunking
+    std::vector<int> hits(static_cast<size_t>(n), 0);
+    parallelFor(n, [&](int64_t b, int64_t e) {
+        ASSERT_LE(b, e);
+        for (int64_t i = b; i < e; ++i)
+            ++hits[static_cast<size_t>(i)];
+    });
+    for (int64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << i;
+}
+
+TEST(Parallel, SerialWhenSingleThread)
+{
+    PoolGuard guard(1);
+    EXPECT_EQ(parallelThreads(), 1);
+    int calls = 0;
+    parallelFor(1000, [&](int64_t b, int64_t e) {
+        ++calls;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 1000);
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, NestedFanOutRunsInline)
+{
+    PoolGuard guard(4);
+    std::atomic<int64_t> total{0};
+    parallelFor(8, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+            // The inner loop must execute fully (inline) on this worker.
+            int64_t inner = 0;
+            parallelFor(100, [&](int64_t ib, int64_t ie) {
+                inner += ie - ib;
+            });
+            total += inner;
+        }
+    });
+    EXPECT_EQ(total.load(), 8 * 100);
+}
+
+TEST(Parallel, PropagatesFirstException)
+{
+    PoolGuard guard(4);
+    EXPECT_THROW(
+        parallelFor(64,
+                    [&](int64_t b, int64_t) {
+                        if (b == 0)
+                            throw std::runtime_error("chunk failed");
+                    }),
+        std::runtime_error);
+}
+
+TEST(Parallel, GrainForcesInlineExecution)
+{
+    PoolGuard guard(4);
+    int calls = 0;
+    parallelFor(
+        100, [&](int64_t, int64_t) { ++calls; }, /*grain=*/1000);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop)
+{
+    int calls = 0;
+    parallelFor(0, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(Parallel, ResultsIndependentOfThreadCount)
+{
+    // Bitwise determinism: per-index writes make the reduction order
+    // fixed regardless of pool size.
+    const int64_t n = 4096;
+    std::vector<double> a(static_cast<size_t>(n)),
+        b(static_cast<size_t>(n));
+    {
+        PoolGuard guard(1);
+        parallelFor(n, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                a[static_cast<size_t>(i)] =
+                    std::sin(static_cast<double>(i)) * 0.37;
+        });
+    }
+    {
+        PoolGuard guard(7);
+        parallelFor(n, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i)
+                b[static_cast<size_t>(i)] =
+                    std::sin(static_cast<double>(i)) * 0.37;
+        });
+    }
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace ant

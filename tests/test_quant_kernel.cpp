@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Golden parity suite for the batched quantization engine: the compiled
+ * QuantKernel must be bit-exact with the scalar NumericType reference
+ * path for every registered type, signedness, bit width, scale mode and
+ * granularity, and the histogram-refined scale search must reproduce the
+ * exact sweep on representative tensors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/quant_kernel.h"
+#include "core/type_selector.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+/** Every type the candidate lists can produce, at 4 and 8 bits. */
+std::vector<TypePtr>
+registeredTypes()
+{
+    std::vector<TypePtr> out;
+    for (int bits : {4, 8}) {
+        for (bool is_signed : {false, true}) {
+            out.push_back(makeInt(bits, is_signed));
+            out.push_back(makePoT(bits, is_signed));
+            out.push_back(makeFlint(bits, is_signed));
+            out.push_back(makeDefaultFloat(bits, is_signed));
+        }
+    }
+    out.push_back(makeFloat(4, 3, true)); // AdaptiveFloat's E4M3
+    return out;
+}
+
+/**
+ * Adversarial inputs: random draws plus exact grid points, midpoints
+ * between adjacent grid points (the tie rule), clamp extremes and zero.
+ */
+std::vector<float>
+adversarialValues(const NumericType &type, double scale)
+{
+    Rng rng(97);
+    std::vector<float> v;
+    for (int i = 0; i < 512; ++i)
+        v.push_back(rng.gaussian(0.0f, static_cast<float>(
+                                           scale * type.maxValue())));
+    for (double g : type.grid()) {
+        v.push_back(static_cast<float>(g * scale));
+        v.push_back(std::nextafter(static_cast<float>(g * scale),
+                                   std::numeric_limits<float>::max()));
+    }
+    const auto &grid = type.grid();
+    for (size_t i = 0; i + 1 < grid.size(); ++i)
+        v.push_back(static_cast<float>(0.5 * (grid[i] + grid[i + 1]) *
+                                       scale));
+    v.push_back(0.0f);
+    v.push_back(1e30f);
+    v.push_back(-1e30f);
+    v.push_back(1e-30f);
+    v.push_back(-1e-30f);
+    return v;
+}
+
+/** The pre-engine scalar reference: virtual calls, element at a time. */
+double
+scalarQuantizeWithScale(const float *in, float *out, int64_t n,
+                        const NumericType &type, double scale)
+{
+    if (scale <= 0.0 || !std::isfinite(scale)) {
+        double err = 0.0;
+        for (int64_t i = 0; i < n; ++i) {
+            if (out) out[i] = 0.0f;
+            err += static_cast<double>(in[i]) * in[i];
+        }
+        return n ? err / static_cast<double>(n) : 0.0;
+    }
+    const double inv = 1.0 / scale;
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double q = type.quantizeValue(in[i] * inv) * scale;
+        if (out) out[i] = static_cast<float>(q);
+        const double d = q - in[i];
+        err += d * d;
+    }
+    return n ? err / static_cast<double>(n) : 0.0;
+}
+
+/** The pre-engine scalar scale search (exact sweep, original order). */
+double
+scalarSearchScale(const float *in, int64_t n, const NumericType &type,
+                  const QuantConfig &cfg)
+{
+    double amax = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const double v =
+            type.isSigned() ? std::fabs(static_cast<double>(in[i]))
+                            : std::max(0.0,
+                                       static_cast<double>(in[i]));
+        amax = std::max(amax, v);
+    }
+    if (amax == 0.0) return 0.0;
+    const double full = amax / type.maxValue();
+    if (cfg.scaleMode == ScaleMode::MaxCalib) return full;
+    if (cfg.scaleMode == ScaleMode::PowerOfTwo) {
+        const int k0 = static_cast<int>(std::ceil(std::log2(full)));
+        double best_s = std::ldexp(1.0, k0);
+        double best_e = scalarQuantizeWithScale(in, nullptr, n, type,
+                                                best_s);
+        for (int k = k0 - 3; k <= k0 + 1; ++k) {
+            const double s = std::ldexp(1.0, k);
+            const double e =
+                scalarQuantizeWithScale(in, nullptr, n, type, s);
+            if (e < best_e) {
+                best_e = e;
+                best_s = s;
+            }
+        }
+        return best_s;
+    }
+    double best_s = full;
+    double best_e = scalarQuantizeWithScale(in, nullptr, n, type, full);
+    const int steps = std::max(2, cfg.searchSteps);
+    for (int i = 0; i < steps; ++i) {
+        const double r = cfg.searchLo +
+                         (1.0 - cfg.searchLo) * i /
+                             static_cast<double>(steps - 1);
+        const double s = full * r;
+        const double e = scalarQuantizeWithScale(in, nullptr, n, type, s);
+        if (e < best_e) {
+            best_e = e;
+            best_s = s;
+        }
+    }
+    return best_s;
+}
+
+TEST(QuantKernel, BatchBitExactWithScalarReference)
+{
+    for (const TypePtr &type : registeredTypes()) {
+        for (double scale : {1.0, 0.0371, 17.5}) {
+            const std::vector<float> in =
+                adversarialValues(*type, scale);
+            const int64_t n = static_cast<int64_t>(in.size());
+            const QuantKernel kernel(*type);
+
+            std::vector<float> got(in.size()), want(in.size());
+            const double mse_got =
+                kernel.quantizeBatch(in.data(), got.data(), n, scale);
+            const double mse_want = scalarQuantizeWithScale(
+                in.data(), want.data(), n, *type, scale);
+
+            EXPECT_EQ(mse_got, mse_want) << type->name();
+            for (size_t i = 0; i < in.size(); ++i) {
+                // Bitwise comparison: NaN-free and catches -0 vs +0.
+                uint32_t gb, wb;
+                std::memcpy(&gb, &got[i], 4);
+                std::memcpy(&wb, &want[i], 4);
+                EXPECT_EQ(gb, wb)
+                    << type->name() << " scale=" << scale
+                    << " x=" << in[i];
+            }
+        }
+    }
+}
+
+TEST(QuantKernel, BatchHandlesDegenerateScale)
+{
+    const auto type = makeInt(4, true);
+    const QuantKernel kernel(*type);
+    const std::vector<float> in = {1.0f, -2.0f, 0.5f};
+    std::vector<float> got(in.size()), want(in.size());
+    for (double s : {0.0, -1.0,
+                     std::numeric_limits<double>::infinity()}) {
+        const double g =
+            kernel.quantizeBatch(in.data(), got.data(), 3, s);
+        const double w =
+            scalarQuantizeWithScale(in.data(), want.data(), 3, *type, s);
+        EXPECT_EQ(g, w);
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(QuantKernel, EncodeBatchMatchesEncodeNearest)
+{
+    for (const TypePtr &type : registeredTypes()) {
+        const double scale = 0.217;
+        const std::vector<float> in = adversarialValues(*type, scale);
+        const QuantKernel kernel(*type);
+        std::vector<uint32_t> codes(in.size());
+        kernel.encodeBatch(in.data(), codes.data(),
+                           static_cast<int64_t>(in.size()), scale);
+        // Same reciprocal-multiply convention as the quantize path.
+        const double inv = 1.0 / scale;
+        for (size_t i = 0; i < in.size(); ++i)
+            EXPECT_EQ(codes[i], type->encodeNearest(in[i] * inv))
+                << type->name() << " x=" << in[i];
+    }
+}
+
+TEST(QuantKernel, SearchScaleExactMatchesLegacyAllModes)
+{
+    Rng rng(31);
+    for (DistFamily f : {DistFamily::Gaussian, DistFamily::WeightLike,
+                         DistFamily::LaplaceOutlier,
+                         DistFamily::HalfLaplace}) {
+        const Tensor t = rng.tensor(Shape{2048}, f);
+        for (const TypePtr &type : registeredTypes()) {
+            for (ScaleMode m : {ScaleMode::MaxCalib,
+                                ScaleMode::MseSearch,
+                                ScaleMode::PowerOfTwo}) {
+                QuantConfig cfg;
+                cfg.type = type;
+                cfg.scaleMode = m;
+                cfg.exactness = SearchExactness::Exact;
+                const double got =
+                    searchScale(t.data(), t.numel(), *type, cfg);
+                const double want = scalarSearchScale(
+                    t.data(), t.numel(), *type, cfg);
+                EXPECT_EQ(got, want)
+                    << type->name() << " " << distFamilyName(f)
+                    << " mode=" << static_cast<int>(m);
+            }
+        }
+    }
+}
+
+TEST(QuantKernel, RefinedSearchMatchesExactPerTensor)
+{
+    Rng rng(32);
+    for (DistFamily f : {DistFamily::Gaussian, DistFamily::WeightLike,
+                         DistFamily::Laplace,
+                         DistFamily::LaplaceOutlier,
+                         DistFamily::Uniform, DistFamily::HalfLaplace}) {
+        const Tensor t = rng.tensor(Shape{4096}, f);
+        for (const TypePtr &type :
+             {makeInt(4, true), makePoT(4, true), makeFlint(4, true),
+              makeDefaultFloat(4, true), makeInt(8, true),
+              makeFlint(8, true)}) {
+            QuantConfig exact;
+            exact.type = type;
+            exact.exactness = SearchExactness::Exact;
+            QuantConfig refined = exact;
+            refined.exactness = SearchExactness::Refined;
+            const double s_exact =
+                searchScale(t.data(), t.numel(), *type, exact);
+            const double s_refined =
+                searchScale(t.data(), t.numel(), *type, refined);
+            EXPECT_EQ(s_exact, s_refined)
+                << type->name() << " " << distFamilyName(f);
+        }
+    }
+}
+
+TEST(QuantKernel, SelectTypeParity64x256PerChannelFipf)
+{
+    // The acceptance scenario: Algorithm 2 with the full FIP-F candidate
+    // list, per-channel MSE search over a 64x256 weight tensor. The
+    // default (sketch-refined) engine must agree with the pre-refactor
+    // exact reference on the winning type, every per-channel scale, and
+    // the achieved MSE.
+    Rng rng(33);
+    const Tensor t = rng.tensor(Shape{64, 256}, DistFamily::WeightLike);
+
+    QuantConfig exact;
+    exact.granularity = Granularity::PerChannel;
+    exact.exactness = SearchExactness::Exact;
+    QuantConfig refined = exact;
+    refined.exactness = SearchExactness::Refined;
+
+    const auto cands = comboCandidates(Combo::FIPF, 4, true);
+    const TypeSelection a = selectType(t, cands, exact);
+    const TypeSelection b = selectType(t, cands, refined);
+
+    ASSERT_NE(a.type, nullptr);
+    ASSERT_NE(b.type, nullptr);
+    EXPECT_EQ(a.type->name(), b.type->name());
+    ASSERT_EQ(a.result.scales.size(), 64u);
+    ASSERT_EQ(b.result.scales.size(), 64u);
+    for (size_t c = 0; c < a.result.scales.size(); ++c)
+        EXPECT_EQ(a.result.scales[c], b.result.scales[c]) << "ch " << c;
+    EXPECT_EQ(a.result.mse, b.result.mse);
+    EXPECT_EQ(a.result.appliedGranularity, Granularity::PerChannel);
+}
+
+TEST(QuantKernel, SketchModeNearExactQuality)
+{
+    // Sketch-only mode trades exactness for speed: its chosen scale's
+    // true MSE must stay within a few percent of the exact optimum.
+    Rng rng(34);
+    const Tensor t = rng.tensor(Shape{8192}, DistFamily::WeightLike);
+    for (const TypePtr &type : {makeInt(4, true), makeFlint(4, true)}) {
+        QuantConfig exact;
+        exact.type = type;
+        exact.exactness = SearchExactness::Exact;
+        QuantConfig sketch = exact;
+        sketch.exactness = SearchExactness::Sketch;
+        const double s_exact =
+            searchScale(t.data(), t.numel(), *type, exact);
+        const double s_sketch =
+            searchScale(t.data(), t.numel(), *type, sketch);
+        const double e_exact =
+            quantMse(t.data(), t.numel(), *type, s_exact);
+        const double e_sketch =
+            quantMse(t.data(), t.numel(), *type, s_sketch);
+        EXPECT_LE(e_sketch, e_exact * 1.05) << type->name();
+    }
+}
+
+TEST(QuantKernel, PerChannelQuantizeParityAllExactness)
+{
+    // quantize() end to end: per-tensor and per-channel results of the
+    // refined engine match the exact path bit for bit on this tensor.
+    Rng rng(35);
+    const Tensor t = rng.tensor(Shape{16, 512}, DistFamily::Gaussian);
+    for (Granularity g :
+         {Granularity::PerTensor, Granularity::PerChannel}) {
+        for (const TypePtr &type :
+             {makeInt(4, true), makeFlint(4, true)}) {
+            QuantConfig exact;
+            exact.type = type;
+            exact.granularity = g;
+            exact.exactness = SearchExactness::Exact;
+            QuantConfig refined = exact;
+            refined.exactness = SearchExactness::Refined;
+            const QuantResult a = quantize(t, exact);
+            const QuantResult b = quantize(t, refined);
+            ASSERT_EQ(a.scales.size(), b.scales.size());
+            for (size_t i = 0; i < a.scales.size(); ++i)
+                EXPECT_EQ(a.scales[i], b.scales[i]);
+            EXPECT_EQ(a.mse, b.mse);
+            for (int64_t i = 0; i < t.numel(); ++i)
+                EXPECT_EQ(a.dequant[i], b.dequant[i]);
+        }
+    }
+}
+
+TEST(QuantKernel, HistogramApproxMseTracksExact)
+{
+    // The sketch is ranking-quality: on a smooth tensor its MSE estimate
+    // should sit within a few percent of the exact value at any scale.
+    Rng rng(36);
+    const Tensor t = rng.tensor(Shape{8192}, DistFamily::Gaussian);
+    const auto type = makeFlint(4, true);
+    const QuantKernel kernel(*type);
+    const MagnitudeHistogram hist(t.data(), t.numel(), true, 1024);
+    const double full = hist.absMax() / kernel.maxValue();
+    for (double r : {0.4, 0.7, 1.0}) {
+        const double s = full * r;
+        const double approx = hist.approxMse(kernel, s);
+        const double exact = kernel.mseBatch(t.data(), t.numel(), s);
+        EXPECT_NEAR(approx, exact, exact * 0.05 + 1e-12) << "r=" << r;
+    }
+}
+
+} // namespace
+} // namespace ant

@@ -193,5 +193,82 @@ TEST(Quantizer, InvalidConfigThrows)
                  std::invalid_argument);
 }
 
+TEST(Quantizer, PerChannelOn1DFallsBackExplicitly)
+{
+    // A 1-D tensor has no channel axis: the PerChannel request falls
+    // back to PerTensor, and the result says so instead of silently
+    // returning a single scale.
+    Rng rng(41);
+    const Tensor t = rng.tensor(Shape{256}, DistFamily::Gaussian);
+    const QuantResult r = quantize(
+        t, cfgOf(makeInt(4, true), ScaleMode::MseSearch,
+                 Granularity::PerChannel));
+    EXPECT_EQ(r.appliedGranularity, Granularity::PerTensor);
+    EXPECT_EQ(r.scales.size(), 1u);
+
+    // The same request on a 2-D tensor reports PerChannel.
+    const Tensor w = rng.tensor(Shape{4, 64}, DistFamily::Gaussian);
+    const QuantResult rw = quantize(
+        w, cfgOf(makeInt(4, true), ScaleMode::MseSearch,
+                 Granularity::PerChannel));
+    EXPECT_EQ(rw.appliedGranularity, Granularity::PerChannel);
+    EXPECT_EQ(rw.scales.size(), 4u);
+}
+
+TEST(Quantizer, PowerOfTwoSafeOnTinyMagnitudes)
+{
+    // Guard of the log2(absmax / maxValue) exponent: near-denormal
+    // inputs must produce a finite positive power-of-two scale, not an
+    // infinite/NaN exponent.
+    Tensor t{Shape{8}};
+    for (int64_t i = 0; i < 8; ++i)
+        t[i] = (i % 2 ? -1.0f : 1.0f) * 1e-44f * static_cast<float>(i + 1);
+    const QuantResult r = quantize(
+        t, cfgOf(makeFloat(4, 3, true), ScaleMode::PowerOfTwo));
+    ASSERT_EQ(r.scales.size(), 1u);
+    EXPECT_TRUE(std::isfinite(r.scales[0]));
+    EXPECT_GT(r.scales[0], 0.0);
+    EXPECT_TRUE(std::isfinite(r.mse));
+    const double lg = std::log2(r.scales[0]);
+    EXPECT_NEAR(lg, std::round(lg), 1e-9);
+}
+
+TEST(Quantizer, AdaptiveFloatWindowPinsChosenExponent)
+{
+    // AdaptiveFloat (Sec. II-D): the power-of-two scale is an exponent
+    // bias searched in the window [k0-3, k0+1] around the absmax-fitting
+    // exponent k0 = ceil(log2(absmax / maxValue)). Pin the chosen
+    // exponent against an independent exact scan of that window, with a
+    // narrow-dynamic-range minifloat on which clipping strictly wins.
+    Rng rng(42);
+    const Tensor t = rng.tensor(Shape{2048}, DistFamily::Gaussian);
+    const auto type = makeFloat(2, 1, true); // E2M1: narrow range
+    const QuantConfig cfg =
+        cfgOf(type, ScaleMode::PowerOfTwo);
+    const double s = searchScale(t.data(), t.numel(), *type, cfg);
+
+    double amax = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        amax = std::max(amax, std::fabs(static_cast<double>(t[i])));
+    const int k0 = static_cast<int>(
+        std::ceil(std::log2(amax / type->maxValue())));
+    int best_k = k0;
+    double best_e = quantMse(t.data(), t.numel(), *type,
+                             std::ldexp(1.0, k0));
+    for (int k = k0 - 3; k <= k0 + 1; ++k) {
+        const double e = quantMse(t.data(), t.numel(), *type,
+                                  std::ldexp(1.0, k));
+        if (e < best_e) {
+            best_e = e;
+            best_k = k;
+        }
+    }
+    EXPECT_EQ(s, std::ldexp(1.0, best_k));
+    // Regression pin: with this seed a clipped exponent strictly below
+    // the absmax-fitting k0 wins, so the window search matters — a
+    // search that always returned k0 would fail here.
+    EXPECT_LT(best_k, k0);
+}
+
 } // namespace
 } // namespace ant

@@ -19,6 +19,7 @@
 #include "core/flint.h"
 #include "core/quant_kernel.h"
 #include "core/quantizer.h"
+#include "core/type_registry.h"
 #include "core/type_selector.h"
 #include "hw/decoder.h"
 #include "hw/mac.h"
@@ -215,6 +216,34 @@ BM_QuantizeScalarReference(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * t.numel());
 }
 BENCHMARK(BM_QuantizeScalarReference)->Arg(16384);
+
+// Registry cache vs per-call compilation: what every quantize() /
+// selectType() call used to pay per type before the kernel cache.
+
+void
+BM_KernelConstruction(benchmark::State &state)
+{
+    const auto type = makeFlint(8, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(QuantKernel(*type));
+}
+BENCHMARK(BM_KernelConstruction);
+
+void
+BM_KernelCacheHit(benchmark::State &state)
+{
+    const auto type = parseType("flint8");
+    for (auto _ : state) benchmark::DoNotOptimize(cachedKernel(type));
+}
+BENCHMARK(BM_KernelCacheHit);
+
+void
+BM_ParseTypeCached(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(parseType("flint4"));
+}
+BENCHMARK(BM_ParseTypeCached);
 
 void
 BM_TypeSelection(benchmark::State &state)

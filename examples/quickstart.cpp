@@ -2,16 +2,19 @@
  * @file
  * Quickstart: quantize tensors with the ANT framework.
  *
- * Shows the three core API layers:
- *  1. numeric types and their value grids (flint/int/PoT/float),
+ * Shows the four public API layers:
+ *  1. numeric types named by registry spec strings (type_registry.h),
  *  2. the quantizer with MSE-optimal scale search (Eq. 2),
  *  3. automatic type selection (Algorithm 2) on tensors with
- *     different distributions.
+ *     different distributions,
+ *  4. the serializable quantization recipe that freezes the result.
  */
 
 #include <cstdio>
 
 #include "core/flint.h"
+#include "core/recipe.h"
+#include "core/type_registry.h"
 #include "core/type_selector.h"
 #include "tensor/random.h"
 
@@ -20,9 +23,11 @@ main()
 {
     using namespace ant;
 
-    // 1. A 4-bit unsigned flint type and its 16 representable values.
-    const TypePtr f4 = makeFlint(4, false);
-    std::printf("4-bit unsigned flint grid:");
+    // 1. Types are named by spec strings: "flint4u" is the 4-bit
+    // unsigned flint; parseType resolves it through the process-wide
+    // registry (one shared instance, one compiled kernel).
+    const TypePtr f4 = parseType("flint4u");
+    std::printf("%s grid:", f4->spec().c_str());
     for (double v : f4->grid()) std::printf(" %g", v);
     std::printf("\n");
 
@@ -39,12 +44,12 @@ main()
     const Tensor weights =
         rng.tensor(Shape{64, 256}, DistFamily::WeightLike, 0.05f);
     QuantConfig cfg;
-    cfg.type = makeFlint(4, true);
+    cfg.type = parseType("flint4");
     cfg.granularity = Granularity::PerChannel;
     const QuantResult qr = quantize(weights, cfg);
-    std::printf("\nper-channel flint4 weight quantization: MSE %.3e "
+    std::printf("\nper-channel %s weight quantization: MSE %.3e "
                 "(%zu channel scales)\n",
-                qr.mse, qr.scales.size());
+                cfg.type->spec().c_str(), qr.mse, qr.scales.size());
 
     // 3. Let Algorithm 2 pick the best type per distribution.
     const struct { DistFamily f; const char *what; } tensors[] = {
@@ -53,14 +58,38 @@ main()
         {DistFamily::LaplaceOutlier, "BERT-like activations"},
     };
     std::printf("\nAlgorithm 2 type selection (IP-F candidates):\n");
+    QuantRecipe recipe;
+    recipe.model = "quickstart";
     for (const auto &t : tensors) {
         const Tensor x = rng.tensor(Shape{8192}, t.f);
         const TypeSelection sel = selectType(x, Combo::IPF, 4, true);
         std::printf("  %-24s -> %-7s (MSE %.4f; candidates:",
-                    t.what, sel.type->name().c_str(), sel.result.mse);
+                    t.what, sel.type->spec().c_str(), sel.result.mse);
         for (const CandidateScore &s : sel.scores)
-            std::printf(" %s=%.4f", s.type->name().c_str(), s.mse);
+            std::printf(" %s=%.4f", s.type->spec().c_str(), s.mse);
         std::printf(")\n");
+
+        // Freeze each decision into the recipe artifact.
+        LayerRecipe lr;
+        lr.layer = t.what;
+        lr.act.enabled = true;
+        lr.act.typeSpec = sel.type->spec();
+        lr.act.bits = sel.type->bits();
+        lr.act.scales = sel.result.scales;
+        recipe.layers.push_back(lr);
     }
+
+    // 4. The recipe serializes to JSON and loads back bit-exactly, so
+    // a calibration computed offline replays in a serving process
+    // without recalibration (see nn::calibrateQuant / nn::applyRecipe
+    // for the whole-model flow).
+    const QuantRecipe loaded = QuantRecipe::fromJson(recipe.toJson());
+    std::printf("\nrecipe round-trip: %zu layers, %s\n",
+                loaded.layers.size(),
+                loaded == recipe ? "bit-exact" : "MISMATCH");
+    for (const LayerRecipe &lr : loaded.layers)
+        std::printf("  %-24s -> %-7s scale %.6g\n", lr.layer.c_str(),
+                    lr.act.typeSpec.c_str(),
+                    lr.act.scales.empty() ? 0.0 : lr.act.scales[0]);
     return 0;
 }

@@ -1,0 +1,326 @@
+#include "core/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/type_registry.h"
+
+namespace ant {
+
+Observer::Observer(ObserverConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.binsPerOctave < 1)
+        throw std::invalid_argument(
+            "ObserverConfig.binsPerOctave: must be >= 1");
+    if (cfg_.minExp >= cfg_.maxExp)
+        throw std::invalid_argument(
+            "ObserverConfig: minExp must be < maxExp");
+    const size_t nbins =
+        static_cast<size_t>(cfg_.maxExp - cfg_.minExp + 1) *
+        static_cast<size_t>(cfg_.binsPerOctave);
+    cnt_.assign(nbins, 0.0);
+    sum_.assign(nbins, 0.0);
+    sumsq_.assign(nbins, 0.0);
+}
+
+size_t
+Observer::binOf(double v) const
+{
+    // v > 0: v = f * 2^e with f in [0.5, 1), i.e. v lies in octave
+    // e-1; the fractional position 2f-1 in [0, 1) picks the sub-bin.
+    int e;
+    const double f = std::frexp(v, &e);
+    const int octave = e - 1;
+    if (octave < cfg_.minExp) return 0;
+    if (octave > cfg_.maxExp) return bins() - 1;
+    const int sub = std::min(
+        cfg_.binsPerOctave - 1,
+        static_cast<int>((2.0 * f - 1.0) *
+                         static_cast<double>(cfg_.binsPerOctave)));
+    return static_cast<size_t>(octave - cfg_.minExp) *
+               static_cast<size_t>(cfg_.binsPerOctave) +
+           static_cast<size_t>(sub);
+}
+
+double
+Observer::thresholdPos(double t) const
+{
+    // Fractional bin position of a decision threshold: floor(pos) is
+    // the bin containing t and frac(pos) the position of t inside it,
+    // so a region bound splits its boundary bin proportionally (the
+    // mass is treated as uniform within the bin) instead of assigning
+    // the whole bin to one side. Monotone and consistent with binOf.
+    if (!(t > 0.0)) return 0.0;
+    if (!std::isfinite(t)) return static_cast<double>(bins());
+    int e;
+    const double f = std::frexp(t, &e);
+    const int octave = e - 1;
+    if (octave < cfg_.minExp) return 0.0;
+    if (octave > cfg_.maxExp) return static_cast<double>(bins());
+    const double sub = std::min(
+        static_cast<double>(cfg_.binsPerOctave),
+        (2.0 * f - 1.0) * static_cast<double>(cfg_.binsPerOctave));
+    return static_cast<double>(octave - cfg_.minExp) *
+               static_cast<double>(cfg_.binsPerOctave) +
+           sub;
+}
+
+void
+Observer::observe(const float *x, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        const double raw = static_cast<double>(x[i]);
+        double v;
+        if (cfg_.isSigned) {
+            v = std::fabs(raw);
+        } else if (raw < 0.0) {
+            // Unsigned grids clamp negatives to zero: error raw^2 at
+            // every scale — scale-independent, so tracked separately.
+            constErr_ += raw * raw;
+            ++n_;
+            continue;
+        } else {
+            v = raw;
+        }
+        ++n_;
+        if (v == 0.0) continue; // zero quantizes to zero at any scale
+        amax_ = std::max(amax_, v);
+        const size_t b = binOf(v);
+        cnt_[b] += 1.0;
+        sum_[b] += v;
+        sumsq_[b] += v * v;
+    }
+    if (n > 0) prefixDirty_ = true;
+}
+
+void
+Observer::observe(const Tensor &t)
+{
+    observe(t.data(), t.numel());
+}
+
+void
+Observer::observe(const Tensor &t, int channel_dim)
+{
+    if (channel_dim < 0 || channel_dim >= t.ndim())
+        throw std::invalid_argument(
+            "Observer::observe: channel_dim out of range");
+    const int64_t channels = t.dim(channel_dim);
+    if (chanAmax_.empty())
+        chanAmax_.assign(static_cast<size_t>(channels), 0.0);
+    else if (static_cast<int64_t>(chanAmax_.size()) != channels)
+        throw std::invalid_argument(
+            "Observer::observe: channel count changed between batches");
+
+    // Row-major: index = (outer * channels + c) * inner + j.
+    int64_t inner = 1;
+    for (int d = channel_dim + 1; d < t.ndim(); ++d) inner *= t.dim(d);
+    const int64_t outer = t.numel() / (channels * inner);
+    for (int64_t o = 0; o < outer; ++o)
+        for (int64_t c = 0; c < channels; ++c) {
+            const float *p = t.data() + (o * channels + c) * inner;
+            double m = chanAmax_[static_cast<size_t>(c)];
+            for (int64_t j = 0; j < inner; ++j) {
+                const double v =
+                    cfg_.isSigned
+                        ? std::fabs(static_cast<double>(p[j]))
+                        : std::max(0.0, static_cast<double>(p[j]));
+                m = std::max(m, v);
+            }
+            chanAmax_[static_cast<size_t>(c)] = m;
+        }
+    observe(t.data(), t.numel());
+}
+
+void
+Observer::reset()
+{
+    n_ = 0;
+    amax_ = 0.0;
+    constErr_ = 0.0;
+    std::fill(cnt_.begin(), cnt_.end(), 0.0);
+    std::fill(sum_.begin(), sum_.end(), 0.0);
+    std::fill(sumsq_.begin(), sumsq_.end(), 0.0);
+    chanAmax_.clear();
+    prefixDirty_ = true;
+}
+
+void
+Observer::merge(const Observer &other)
+{
+    if (cfg_.isSigned != other.cfg_.isSigned ||
+        cfg_.binsPerOctave != other.cfg_.binsPerOctave ||
+        cfg_.minExp != other.cfg_.minExp ||
+        cfg_.maxExp != other.cfg_.maxExp)
+        throw std::invalid_argument(
+            "Observer::merge: mismatched ObserverConfig");
+    n_ += other.n_;
+    amax_ = std::max(amax_, other.amax_);
+    constErr_ += other.constErr_;
+    for (size_t b = 0; b < bins(); ++b) {
+        cnt_[b] += other.cnt_[b];
+        sum_[b] += other.sum_[b];
+        sumsq_[b] += other.sumsq_[b];
+    }
+    if (!other.chanAmax_.empty()) {
+        if (chanAmax_.empty())
+            chanAmax_ = other.chanAmax_;
+        else if (chanAmax_.size() != other.chanAmax_.size())
+            throw std::invalid_argument(
+                "Observer::merge: mismatched channel counts");
+        else
+            for (size_t c = 0; c < chanAmax_.size(); ++c)
+                chanAmax_[c] = std::max(chanAmax_[c],
+                                        other.chanAmax_[c]);
+    }
+    prefixDirty_ = true;
+}
+
+void
+Observer::refreshPrefix() const
+{
+    if (!prefixDirty_) return;
+    const size_t nb = bins();
+    pcnt_.assign(nb + 1, 0.0);
+    psum_.assign(nb + 1, 0.0);
+    psumsq_.assign(nb + 1, 0.0);
+    for (size_t b = 0; b < nb; ++b) {
+        pcnt_[b + 1] = pcnt_[b] + cnt_[b];
+        psum_[b + 1] = psum_[b] + sum_[b];
+        psumsq_[b + 1] = psumsq_[b] + sumsq_[b];
+    }
+    prefixDirty_ = false;
+}
+
+double
+Observer::approxMse(const QuantKernel &kernel, double scale) const
+{
+    if (n_ == 0) return 0.0;
+    refreshPrefix();
+    if (empty() || scale <= 0.0 || !std::isfinite(scale))
+        return (psumsq_[bins()] + constErr_) / static_cast<double>(n_);
+
+    // Same region logic as MagnitudeHistogram::approxMse — magnitudes
+    // up to the midpoint threshold between adjacent grid levels
+    // quantize to the lower level — but with fractional region bounds:
+    // a boundary bin's aggregates are split proportionally between the
+    // two levels, so the only residual error is within-bin covariance
+    // in the O(grid) boundary bins.
+    const auto at = [&](const std::vector<double> &prefix,
+                        const std::vector<double> &per_bin,
+                        double pos) {
+        const size_t b = static_cast<size_t>(pos);
+        if (b >= bins()) return prefix[bins()];
+        return prefix[b] + (pos - static_cast<double>(b)) * per_bin[b];
+    };
+
+    const std::vector<double> &g = kernel.magGrid();
+    const size_t K = g.size();
+    const double end = static_cast<double>(bins());
+    double err = constErr_;
+    double b0 = 0.0;
+    for (size_t i = 0; i < K; ++i) {
+        double b1;
+        if (i + 1 < K) {
+            const double t = 0.5 * (g[i] + g[i + 1]) * scale;
+            b1 = std::max(thresholdPos(t), b0);
+        } else {
+            b1 = end;
+        }
+        if (b1 > b0) {
+            const double C = at(pcnt_, cnt_, b1) - at(pcnt_, cnt_, b0);
+            if (C != 0.0) {
+                const double q = g[i] * scale;
+                err += q * q * C -
+                       2.0 * q *
+                           (at(psum_, sum_, b1) - at(psum_, sum_, b0)) +
+                       (at(psumsq_, sumsq_, b1) -
+                        at(psumsq_, sumsq_, b0));
+            }
+            b0 = b1;
+        }
+        if (b0 >= end) break;
+    }
+    return err / static_cast<double>(n_);
+}
+
+double
+Observer::searchScaleKernel(const QuantKernel &kernel,
+                            const QuantConfig &cfg) const
+{
+    if (empty()) return 0.0;
+    const double full = amax_ / kernel.maxValue();
+    if (cfg.scaleMode == ScaleMode::MaxCalib) return full;
+
+    if (cfg.scaleMode == ScaleMode::PowerOfTwo) {
+        // Same exponent window as the in-memory search (quantizer.cpp),
+        // scored by the sketch.
+        const double fnorm =
+            std::max(full, std::numeric_limits<double>::min());
+        const int k0 = std::clamp(
+            static_cast<int>(std::ceil(std::log2(fnorm))), -1021, 1023);
+        double best_s = std::ldexp(1.0, k0);
+        double best_e = approxMse(kernel, best_s);
+        for (int k = k0 - 3; k <= k0 + 1; ++k) {
+            const double s = std::ldexp(1.0, k);
+            const double e = approxMse(kernel, s);
+            if (e < best_e) {
+                best_e = e;
+                best_s = s;
+            }
+        }
+        return best_s;
+    }
+
+    const std::vector<double> scales = candidateScales(cfg, full);
+    double best_s = scales.front();
+    double best_e = std::numeric_limits<double>::infinity();
+    for (double s : scales) {
+        const double e = approxMse(kernel, s);
+        if (e < best_e) {
+            best_e = e;
+            best_s = s;
+        }
+    }
+    return best_s;
+}
+
+double
+Observer::searchScale(const NumericType &type,
+                      const QuantConfig &cfg) const
+{
+    return searchScaleKernel(
+        *TypeRegistry::instance().kernelFor(type), cfg);
+}
+
+ObserverSelection
+Observer::selectType(const std::vector<TypePtr> &candidates,
+                     const QuantConfig &base_cfg) const
+{
+    if (candidates.empty())
+        throw std::invalid_argument(
+            "Observer::selectType: empty candidate list");
+    base_cfg.validate(/*require_type=*/false);
+
+    ObserverSelection sel;
+    double best = std::numeric_limits<double>::infinity();
+    for (const TypePtr &cand : candidates) {
+        const KernelPtr kernel = cachedKernel(cand);
+        QuantConfig cfg = base_cfg;
+        cfg.type = cand;
+        const double s = searchScaleKernel(*kernel, cfg);
+        const double e = approxMse(*kernel, s);
+        sel.scores.push_back({cand, e});
+        if (e < best) {
+            best = e;
+            sel.type = cand;
+            sel.scale = s;
+            sel.mse = e;
+        }
+    }
+    return sel;
+}
+
+} // namespace ant

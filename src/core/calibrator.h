@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Streaming calibration observers.
+ *
+ * An Observer accumulates a fixed-binning magnitude sketch (plus the
+ * exact absmax, element count, and optional per-channel absmax
+ * partials) over arbitrarily many batches, then answers
+ * searchScale/selectType queries from the merged sketch — no
+ * concatenated calibration tensor is ever materialized, so a server can
+ * calibrate from a rolling traffic sample in O(bins) memory.
+ *
+ * Unlike MagnitudeHistogram (quant_kernel.h), whose linear binning is
+ * relative to one tensor's absmax, the observer bins log-domain:
+ * each power-of-two octave is split into binsPerOctave linear sub-bins,
+ * so the binning is independent of the data seen so far. That makes
+ * accumulation order-exact: observing batches b1, b2, ... produces
+ * bit-identical state to observing their concatenation, which is what
+ * pins streaming calibration to the single-pass reference
+ * (tests/test_calibrator.cpp).
+ */
+
+#ifndef ANT_CORE_CALIBRATOR_H
+#define ANT_CORE_CALIBRATOR_H
+
+#include <vector>
+
+#include "core/quant_kernel.h"
+#include "core/type_selector.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+
+/** Static configuration of one Observer. */
+struct ObserverConfig
+{
+    /**
+     * Magnitude convention of the sketch: |x| for signed target grids,
+     * max(0, x) for unsigned grids (negatives then clamp to zero and
+     * contribute a scale-independent error term). Must match the
+     * signedness of the types later queried.
+     */
+    bool isSigned = true;
+
+    /**
+     * Linear sub-bins per power-of-two octave. The default gives the
+     * sketch enough resolution that its scale picks coincide with the
+     * exact in-memory sweep on every distribution family in the test
+     * matrix (tests/test_calibrator.cpp); halving it starts to flip
+     * near-tied candidates in flat MSE valleys.
+     */
+    int binsPerOctave = 128;
+
+    /** Octave clamp range: magnitudes below 2^minExp fall into the
+     *  first bin, magnitudes in [2^maxExp, 2^(maxExp+1)) into the last. */
+    int minExp = -44;
+    int maxExp = 20;
+};
+
+/** Outcome of an Algorithm 2 query answered from the sketch. */
+struct ObserverSelection
+{
+    TypePtr type;    //!< argmin sketch-MSE candidate
+    double scale = 0.0;
+    double mse = 0.0; //!< sketch MSE at the chosen (type, scale)
+    std::vector<CandidateScore> scores; //!< sketch MSE per candidate
+};
+
+/**
+ * Streaming magnitude observer.
+ *
+ * Not thread-safe: use one observer per tensor role and merge() shards
+ * if batches are observed concurrently. Queries (const methods) may be
+ * interleaved with further observe() calls; each query reflects
+ * everything observed so far.
+ */
+class Observer
+{
+  public:
+    explicit Observer(ObserverConfig cfg = ObserverConfig{});
+
+    const ObserverConfig &config() const { return cfg_; }
+
+    /** Accumulate a flat range into the sketch. */
+    void observe(const float *x, int64_t n);
+
+    /** Accumulate a whole tensor. */
+    void observe(const Tensor &t);
+
+    /**
+     * Accumulate a tensor and track per-channel absmax partials along
+     * @p channel_dim (e.g. 1 for NCHW activations). The sketch itself
+     * stays per-tensor; the partials support per-channel MaxCalib
+     * replay and range diagnostics without buffering activations.
+     */
+    void observe(const Tensor &t, int channel_dim);
+
+    /** Total elements observed (including zeros and clamped values). */
+    int64_t count() const { return n_; }
+
+    /** Largest magnitude observed so far (exact, not binned). */
+    double absMax() const { return amax_; }
+
+    /** Per-channel absmax partials (empty unless the channel-tracking
+     *  observe overload was used). */
+    const std::vector<double> &channelAbsMax() const { return chanAmax_; }
+
+    /** True when nothing useful has been observed (no data, or all
+     *  zero / all clamped-to-zero). */
+    bool empty() const { return n_ == 0 || amax_ == 0.0; }
+
+    /** Forget everything (config is kept). */
+    void reset();
+
+    /**
+     * Fold another observer's accumulation into this one. Both must
+     * share an identical ObserverConfig. Merging shards is associative
+     * but, being floating-point, not bit-order-independent — merge in a
+     * fixed shard order for reproducible results.
+     */
+    void merge(const Observer &other);
+
+    /**
+     * Sketch MSE of quantizing everything observed with @p kernel at
+     * @p scale. O(bins + grid), independent of count().
+     */
+    double approxMse(const QuantKernel &kernel, double scale) const;
+
+    /**
+     * Scale search answered from the sketch: the same candidate set as
+     * the in-memory search (candidateScales), every candidate scored
+     * via approxMse, first strict argmin wins — mirroring the exact
+     * sweep's tie-breaking. MaxCalib and PowerOfTwo modes are
+     * supported; cfg.exactness is ignored (there is no buffered data
+     * to re-score, the sketch is all three modes' evidence).
+     */
+    double searchScale(const NumericType &type,
+                       const QuantConfig &cfg) const;
+
+    /**
+     * Algorithm 2 from the sketch: rank every candidate by its
+     * best-scale sketch MSE and return the argmin with its scale.
+     * @p base_cfg.type is ignored.
+     */
+    ObserverSelection selectType(const std::vector<TypePtr> &candidates,
+                                 const QuantConfig &base_cfg) const;
+
+  private:
+    size_t binOf(double v) const;
+    double thresholdPos(double t) const;
+    size_t bins() const { return cnt_.size(); }
+    double searchScaleKernel(const QuantKernel &kernel,
+                             const QuantConfig &cfg) const;
+    void refreshPrefix() const;
+
+    ObserverConfig cfg_;
+    int64_t n_ = 0;
+    double amax_ = 0.0;
+    double constErr_ = 0.0; //!< clamp error of negatives, unsigned mode
+    std::vector<double> cnt_, sum_, sumsq_; //!< per-bin accumulators
+    std::vector<double> chanAmax_;
+
+    // Prefix tables derived from the accumulators, rebuilt lazily on
+    // query after new observations (pcnt_[i] = count in bins [0, i)).
+    mutable bool prefixDirty_ = true;
+    mutable std::vector<double> pcnt_, psum_, psumsq_;
+};
+
+} // namespace ant
+
+#endif // ANT_CORE_CALIBRATOR_H

@@ -29,6 +29,23 @@ NumericType::setCodeValues(std::vector<double> values)
     grid_.erase(std::unique(grid_.begin(), grid_.end()), grid_.end());
 }
 
+std::string
+NumericType::spec() const
+{
+    std::string s;
+    if (kind_ == TypeKind::Float) {
+        // The float spec carries the exact field split, not the width:
+        // E3M0 and E4M3 at the same bit count are different grids.
+        const auto &f = static_cast<const FloatType &>(*this);
+        s = "float_e" + std::to_string(f.expBits()) + "m" +
+            std::to_string(f.manBits());
+    } else {
+        s = std::string(typeKindName(kind_)) + std::to_string(bits_);
+    }
+    if (!signed_) s += 'u';
+    return s;
+}
+
 double
 NumericType::quantizeValue(double x) const
 {
@@ -137,6 +154,11 @@ FlintType::FlintType(int bits, bool is_signed)
                   std::string(is_signed ? "flint" : "uflint") +
                       std::to_string(bits))
 {
+    // Guard before the 2^bits table allocation: the codec itself only
+    // supports [2,12], and parseType makes this reachable from
+    // untrusted spec strings.
+    if (bits < 2 || bits > 12)
+        throw std::invalid_argument("FlintType: bits in [2,12]");
     std::vector<double> vals(size_t{1} << bits);
     for (uint32_t c = 0; c < (1u << bits); ++c) {
         vals[c] = is_signed

@@ -46,6 +46,15 @@ class NumericType
     bool isSigned() const { return signed_; }
     const std::string &name() const { return name_; }
 
+    /**
+     * Canonical registry spec string: `"int4"`, `"int8u"`, `"pot4u"`,
+     * `"flint4"`, `"float_e4m3"` — the kind, the width (or exact
+     * exponent/mantissa split for floats), and a trailing `u` for
+     * unsigned. Round-trips through parseType (type_registry.h):
+     * `parseType(t.spec())` rebuilds an equal type.
+     */
+    std::string spec() const;
+
     /** Number of distinct codes, 2^bits. */
     int codeCount() const { return 1 << bits_; }
 
@@ -144,6 +153,10 @@ TypePtr makeFlint(int bits, bool is_signed);
  * Default b-bit float used by the ANT candidate lists: 3 exponent bits
  * for 4-bit types (so the signed 4-bit float is E3M0 and coincides with
  * the signed 4-bit PoT, as noted in the paper's Fig. 14 discussion).
+ * The grids coinciding does NOT make the types interchangeable — their
+ * hardware decoders and spec strings differ; the type registry
+ * (type_registry.h) keys by spec ("float_e3m0" vs "pot4") precisely so
+ * lookups never silently alias one to the other.
  */
 TypePtr makeDefaultFloat(int bits, bool is_signed);
 

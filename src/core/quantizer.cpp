@@ -7,21 +7,47 @@
 #include <stdexcept>
 
 #include "core/quant_kernel.h"
+#include "core/type_registry.h"
 #include "tensor/parallel.h"
 
 namespace ant {
+
+void
+QuantConfig::validate(bool require_type) const
+{
+    if (require_type && !type)
+        throw std::invalid_argument("QuantConfig.type: null");
+    if (type && (type->bits() < 2 || type->bits() > 8))
+        throw std::invalid_argument(
+            "QuantConfig.type: bits outside [2,8] (got " +
+            std::to_string(type->bits()) + " for " + type->spec() + ")");
+    if (searchSteps < 1)
+        throw std::invalid_argument(
+            "QuantConfig.searchSteps: must be >= 1 (got " +
+            std::to_string(searchSteps) + ")");
+    if (histBins < 2)
+        throw std::invalid_argument(
+            "QuantConfig.histBins: must be >= 2 (got " +
+            std::to_string(histBins) + ")");
+    if (!(searchLo > 0.0 && searchLo <= 1.0))
+        throw std::invalid_argument(
+            "QuantConfig.searchLo: must be in (0,1] (got " +
+            std::to_string(searchLo) + ")");
+}
 
 double
 quantizeWithScale(const float *in, float *out, int64_t n,
                   const NumericType &type, double scale)
 {
-    return QuantKernel(type).quantizeBatch(in, out, n, scale);
+    return TypeRegistry::instance().kernelFor(type)->quantizeBatch(
+        in, out, n, scale);
 }
 
 double
 quantMse(const float *in, int64_t n, const NumericType &type, double scale)
 {
-    return QuantKernel(type).mseBatch(in, n, scale);
+    return TypeRegistry::instance().kernelFor(type)->mseBatch(in, n,
+                                                              scale);
 }
 
 namespace {
@@ -37,27 +63,6 @@ rangeAbsMax(const float *in, int64_t n, bool is_signed)
         m = std::max(m, v);
     }
     return m;
-}
-
-/**
- * Candidate scales of the MseSearch sweep, in the reference evaluation
- * order: the unclipped scale first, then the clip-ratio grid (whose last
- * entry repeats the unclipped scale at r = 1.0).
- */
-std::vector<double>
-candidateScales(const QuantConfig &cfg, double full)
-{
-    const int steps = std::max(2, cfg.searchSteps);
-    std::vector<double> s;
-    s.reserve(static_cast<size_t>(steps) + 1);
-    s.push_back(full);
-    for (int i = 0; i < steps; ++i) {
-        const double r = cfg.searchLo +
-                         (1.0 - cfg.searchLo) * i /
-                             static_cast<double>(steps - 1);
-        s.push_back(full * r);
-    }
-    return s;
 }
 
 /** Argmin by exact MSE over a subset of candidates, in index order. */
@@ -157,11 +162,28 @@ searchScaleKernel(const QuantKernel &kernel, const float *in, int64_t n,
 
 } // namespace
 
+std::vector<double>
+candidateScales(const QuantConfig &cfg, double full)
+{
+    const int steps = std::max(2, cfg.searchSteps);
+    std::vector<double> s;
+    s.reserve(static_cast<size_t>(steps) + 1);
+    s.push_back(full);
+    for (int i = 0; i < steps; ++i) {
+        const double r = cfg.searchLo +
+                         (1.0 - cfg.searchLo) * i /
+                             static_cast<double>(steps - 1);
+        s.push_back(full * r);
+    }
+    return s;
+}
+
 double
 searchScale(const float *in, int64_t n, const NumericType &type,
             const QuantConfig &cfg)
 {
-    return searchScaleKernel(QuantKernel(type), in, n, cfg);
+    return searchScaleKernel(*TypeRegistry::instance().kernelFor(type),
+                             in, n, cfg);
 }
 
 double
@@ -176,8 +198,12 @@ namespace {
 QuantResult
 quantizeImpl(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
 {
-    if (!cfg.type) throw std::invalid_argument("quantize: null type");
-    const QuantKernel kernel(*cfg.type);
+    cfg.validate();
+    // One registry lookup replaces per-call kernel compilation: every
+    // channel (and every repeat call for the same type) shares the
+    // cached kernel.
+    const KernelPtr kernel_ptr = cachedKernel(cfg.type);
+    const QuantKernel &kernel = *kernel_ptr;
     QuantResult r;
     if (with_dequant) r.dequant = Tensor{t.shape()};
     float *out_base = with_dequant ? r.dequant.data() : nullptr;

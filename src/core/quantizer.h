@@ -64,6 +64,15 @@ struct QuantConfig
     SearchExactness exactness = SearchExactness::Refined;
     int histBins = 1024;      //!< sketch resolution over [0, absmax]
     int refineTopK = 4;       //!< exact re-scores in Refined mode
+
+    /**
+     * Reject out-of-range fields with std::invalid_argument naming the
+     * offending field: null type (unless @p require_type is false —
+     * selectType ignores the field), type bits outside [2, 8],
+     * searchSteps < 1, histBins < 2, searchLo outside (0, 1]. Called
+     * at the quantize/selectType entry points.
+     */
+    void validate(bool require_type = true) const;
 };
 
 /** Result of quantizing a tensor. */
@@ -92,6 +101,15 @@ double quantizeWithScale(const float *in, float *out, int64_t n,
 /** MSE of quantizing the range with the given scale, no output. */
 double quantMse(const float *in, int64_t n, const NumericType &type,
                 double scale);
+
+/**
+ * Candidate scales of the MseSearch sweep, in the reference evaluation
+ * order: the unclipped scale (@p full) first, then the clip-ratio grid
+ * (whose last entry repeats the unclipped scale at r = 1.0). Shared by
+ * the in-memory search here and the streaming calibrator so both rank
+ * the identical candidate set.
+ */
+std::vector<double> candidateScales(const QuantConfig &cfg, double full);
 
 /**
  * Search the scale minimizing MSE for a flat range (ArgminMSE of

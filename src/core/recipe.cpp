@@ -1,0 +1,501 @@
+#include "core/recipe.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace ant {
+
+const char *
+granularityName(Granularity g)
+{
+    switch (g) {
+      case Granularity::PerTensor: return "per_tensor";
+      case Granularity::PerChannel: return "per_channel";
+    }
+    return "?";
+}
+
+const char *
+scaleModeName(ScaleMode m)
+{
+    switch (m) {
+      case ScaleMode::MaxCalib: return "max_calib";
+      case ScaleMode::MseSearch: return "mse_search";
+      case ScaleMode::PowerOfTwo: return "power_of_two";
+    }
+    return "?";
+}
+
+Granularity
+parseGranularity(const std::string &s)
+{
+    if (s == "per_tensor") return Granularity::PerTensor;
+    if (s == "per_channel") return Granularity::PerChannel;
+    throw std::invalid_argument("parseGranularity(\"" + s + "\")");
+}
+
+ScaleMode
+parseScaleMode(const std::string &s)
+{
+    if (s == "max_calib") return ScaleMode::MaxCalib;
+    if (s == "mse_search") return ScaleMode::MseSearch;
+    if (s == "power_of_two") return ScaleMode::PowerOfTwo;
+    throw std::invalid_argument("parseScaleMode(\"" + s + "\")");
+}
+
+bool
+operator==(const TensorRecipe &a, const TensorRecipe &b)
+{
+    return a.enabled == b.enabled && a.typeSpec == b.typeSpec &&
+           a.bits == b.bits && a.granularity == b.granularity &&
+           a.scaleMode == b.scaleMode && a.scales == b.scales;
+}
+
+bool
+operator==(const LayerRecipe &a, const LayerRecipe &b)
+{
+    return a.layer == b.layer && a.weight == b.weight && a.act == b.act;
+}
+
+bool
+operator==(const QuantRecipe &a, const QuantRecipe &b)
+{
+    return a.model == b.model && a.layers == b.layers;
+}
+
+// ---------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr const char *kFormatTag = "ant-quant-recipe-v1";
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** max_digits10 form: parses back to the identical double. */
+void
+writeDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void
+writeTensorRecipe(std::string &out, const TensorRecipe &t,
+                  const char *indent)
+{
+    out += "{\n";
+    out += indent;
+    out += "  \"enabled\": ";
+    out += t.enabled ? "true" : "false";
+    out += ",\n";
+    out += indent;
+    out += "  \"type\": ";
+    writeEscaped(out, t.typeSpec);
+    out += ",\n";
+    out += indent;
+    out += "  \"bits\": " + std::to_string(t.bits) + ",\n";
+    out += indent;
+    out += "  \"granularity\": ";
+    writeEscaped(out, granularityName(t.granularity));
+    out += ",\n";
+    out += indent;
+    out += "  \"scale_mode\": ";
+    writeEscaped(out, scaleModeName(t.scaleMode));
+    out += ",\n";
+    out += indent;
+    out += "  \"scales\": [";
+    for (size_t i = 0; i < t.scales.size(); ++i) {
+        if (i) out += ", ";
+        writeDouble(out, t.scales[i]);
+    }
+    out += "]\n";
+    out += indent;
+    out += "}";
+}
+
+// ---------------------------------------------------------------------
+// JSON parser (minimal, recursive descent)
+// ---------------------------------------------------------------------
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonPtr> items;
+    std::map<std::string, JsonPtr> fields;
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &src) : s_(src) {}
+
+    JsonPtr
+    parse()
+    {
+        JsonPtr v = value();
+        skipWs();
+        if (pos_ != s_.size()) fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::invalid_argument(
+            "QuantRecipe JSON: " + why + " at offset " +
+            std::to_string(pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonPtr
+    value()
+    {
+        // Recipes nest three levels deep; anything past this bound is
+        // a corrupt (or hostile) file, rejected before the recursive
+        // descent can exhaust the stack.
+        if (depth_ >= kMaxDepth) fail("nesting too deep");
+        ++depth_;
+        JsonPtr v;
+        const char c = peek();
+        if (c == '{')
+            v = object();
+        else if (c == '[')
+            v = array();
+        else if (c == '"')
+            v = string();
+        else if (c == 't' || c == 'f')
+            v = boolean();
+        else if (c == 'n')
+            v = null();
+        else
+            v = number();
+        --depth_;
+        return v;
+    }
+
+    JsonPtr
+    object()
+    {
+        expect('{');
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Object;
+        if (consume('}')) return v;
+        do {
+            JsonPtr key = string();
+            expect(':');
+            v->fields[key->text] = value();
+        } while (consume(','));
+        expect('}');
+        return v;
+    }
+
+    JsonPtr
+    array()
+    {
+        expect('[');
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Array;
+        if (consume(']')) return v;
+        do {
+            v->items.push_back(value());
+        } while (consume(','));
+        expect(']');
+        return v;
+    }
+
+    JsonPtr
+    string()
+    {
+        expect('"');
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= s_.size()) fail("unterminated string");
+            const char c = s_[pos_++];
+            if (c == '"') break;
+            if (c == '\\') {
+                if (pos_ >= s_.size()) fail("bad escape");
+                const char e = s_[pos_++];
+                switch (e) {
+                  case '"': v->text += '"'; break;
+                  case '\\': v->text += '\\'; break;
+                  case '/': v->text += '/'; break;
+                  case 'n': v->text += '\n'; break;
+                  case 't': v->text += '\t'; break;
+                  case 'r': v->text += '\r'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = s_[pos_ + static_cast<size_t>(i)];
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(h)))
+                            fail("bad \\u escape");
+                        code = code * 16 +
+                               static_cast<unsigned>(
+                                   h <= '9'   ? h - '0'
+                                   : h <= 'F' ? h - 'A' + 10
+                                              : h - 'a' + 10);
+                    }
+                    pos_ += 4;
+                    if (code > 0x7f)
+                        fail("non-ASCII \\u escape unsupported");
+                    v->text += static_cast<char>(code);
+                    break;
+                  }
+                  default: fail("unknown escape");
+                }
+            } else {
+                v->text += c;
+            }
+        }
+        return v;
+    }
+
+    JsonPtr
+    boolean()
+    {
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Bool;
+        if (s_.compare(pos_, 4, "true") == 0) {
+            v->boolean = true;
+            pos_ += 4;
+        } else if (s_.compare(pos_, 5, "false") == 0) {
+            v->boolean = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonPtr
+    null()
+    {
+        if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+        pos_ += 4;
+        return std::make_shared<JsonValue>();
+    }
+
+    JsonPtr
+    number()
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        const std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size()) fail("bad number");
+        auto v = std::make_shared<JsonValue>();
+        v->kind = JsonValue::Kind::Number;
+        v->number = d;
+        return v;
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+const JsonValue &
+field(const JsonValue &obj, const std::string &name)
+{
+    if (obj.kind != JsonValue::Kind::Object)
+        throw std::invalid_argument("QuantRecipe JSON: expected object");
+    const auto it = obj.fields.find(name);
+    if (it == obj.fields.end())
+        throw std::invalid_argument(
+            "QuantRecipe JSON: missing field \"" + name + "\"");
+    return *it->second;
+}
+
+std::string
+stringField(const JsonValue &obj, const std::string &name)
+{
+    const JsonValue &v = field(obj, name);
+    if (v.kind != JsonValue::Kind::String)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: field \"" + name + "\" must be a string");
+    return v.text;
+}
+
+TensorRecipe
+tensorFromJson(const JsonValue &obj)
+{
+    TensorRecipe t;
+    const JsonValue &en = field(obj, "enabled");
+    if (en.kind != JsonValue::Kind::Bool)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: \"enabled\" must be a bool");
+    t.enabled = en.boolean;
+    t.typeSpec = stringField(obj, "type");
+    const JsonValue &bits = field(obj, "bits");
+    if (bits.kind != JsonValue::Kind::Number)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: \"bits\" must be a number");
+    t.bits = static_cast<int>(bits.number);
+    t.granularity = parseGranularity(stringField(obj, "granularity"));
+    t.scaleMode = parseScaleMode(stringField(obj, "scale_mode"));
+    const JsonValue &scales = field(obj, "scales");
+    if (scales.kind != JsonValue::Kind::Array)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: \"scales\" must be an array");
+    for (const JsonPtr &s : scales.items) {
+        if (s->kind != JsonValue::Kind::Number)
+            throw std::invalid_argument(
+                "QuantRecipe JSON: scales must be numbers");
+        t.scales.push_back(s->number);
+    }
+    return t;
+}
+
+} // namespace
+
+std::string
+QuantRecipe::toJson() const
+{
+    std::string out;
+    out += "{\n  \"format\": ";
+    writeEscaped(out, kFormatTag);
+    out += ",\n  \"model\": ";
+    writeEscaped(out, model);
+    out += ",\n  \"layers\": [";
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerRecipe &l = layers[i];
+        out += i ? ",\n    {\n" : "\n    {\n";
+        out += "      \"layer\": ";
+        writeEscaped(out, l.layer);
+        out += ",\n      \"weight\": ";
+        writeTensorRecipe(out, l.weight, "      ");
+        out += ",\n      \"act\": ";
+        writeTensorRecipe(out, l.act, "      ");
+        out += "\n    }";
+    }
+    out += layers.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+QuantRecipe
+QuantRecipe::fromJson(const std::string &json)
+{
+    const JsonPtr root = JsonParser(json).parse();
+    const std::string fmt = stringField(*root, "format");
+    if (fmt != kFormatTag)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: unknown format \"" + fmt + "\"");
+    QuantRecipe r;
+    r.model = stringField(*root, "model");
+    const JsonValue &layers = field(*root, "layers");
+    if (layers.kind != JsonValue::Kind::Array)
+        throw std::invalid_argument(
+            "QuantRecipe JSON: \"layers\" must be an array");
+    for (const JsonPtr &lv : layers.items) {
+        LayerRecipe l;
+        l.layer = stringField(*lv, "layer");
+        l.weight = tensorFromJson(field(*lv, "weight"));
+        l.act = tensorFromJson(field(*lv, "act"));
+        r.layers.push_back(std::move(l));
+    }
+    return r;
+}
+
+void
+QuantRecipe::saveFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("QuantRecipe: cannot open " + path);
+    const std::string json = toJson();
+    f.write(json.data(), static_cast<std::streamsize>(json.size()));
+    if (!f) throw std::runtime_error("QuantRecipe: write failed: " + path);
+}
+
+QuantRecipe
+QuantRecipe::loadFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("QuantRecipe: cannot open " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return fromJson(ss.str());
+}
+
+} // namespace ant

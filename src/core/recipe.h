@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Serializable quantization recipes: the durable plan artifact of the
+ * serving story. A QuantRecipe captures, per layer, the frozen
+ * quantization of both tensor roles — type spec string, bit width,
+ * granularity, scale mode, and the calibrated scale factors — so a
+ * calibration computed offline replays bit-identically on live traffic
+ * without recalibration (nn::applyRecipe), and a planner's
+ * per-accelerator decisions can ship as configuration
+ * (sim::toRecipe).
+ *
+ * The on-disk form is JSON with a small hand-rolled writer/parser (no
+ * dependency). Scales are printed with max_digits10 precision, so every
+ * double round-trips bit-exactly: save -> load -> apply reproduces the
+ * original quantized tensors bit for bit (tests/test_recipe.cpp).
+ */
+
+#ifndef ANT_CORE_RECIPE_H
+#define ANT_CORE_RECIPE_H
+
+#include <string>
+#include <vector>
+
+#include "core/quantizer.h"
+
+namespace ant {
+
+/** Readable names used in the JSON encoding. */
+const char *granularityName(Granularity g);
+const char *scaleModeName(ScaleMode m);
+Granularity parseGranularity(const std::string &s);
+ScaleMode parseScaleMode(const std::string &s);
+
+/** Frozen quantization of one tensor role (weight or activation). */
+struct TensorRecipe
+{
+    bool enabled = false;
+    std::string typeSpec;  //!< registry spec (type_registry.h); empty
+                           //!< when the role is uncalibrated/disabled
+    int bits = 0;          //!< width; redundant with the spec, kept so
+                           //!< tooling needn't parse specs
+    Granularity granularity = Granularity::PerTensor;
+    ScaleMode scaleMode = ScaleMode::MseSearch;
+    std::vector<double> scales; //!< 1 (per-tensor) or C (per-channel)
+};
+
+bool operator==(const TensorRecipe &a, const TensorRecipe &b);
+inline bool
+operator!=(const TensorRecipe &a, const TensorRecipe &b)
+{
+    return !(a == b);
+}
+
+/** One layer's pair of tensor-role recipes. */
+struct LayerRecipe
+{
+    std::string layer; //!< layer name, network order
+    TensorRecipe weight;
+    TensorRecipe act;
+};
+
+bool operator==(const LayerRecipe &a, const LayerRecipe &b);
+inline bool
+operator!=(const LayerRecipe &a, const LayerRecipe &b)
+{
+    return !(a == b);
+}
+
+/** The whole-model quantization artifact. */
+struct QuantRecipe
+{
+    std::string model; //!< producing model/workload name (informative)
+    std::vector<LayerRecipe> layers;
+
+    /** Serialize to the JSON document described in the file header. */
+    std::string toJson() const;
+
+    /** Parse a document produced by toJson (or written by hand).
+     *  Throws std::invalid_argument with a location hint on malformed
+     *  input. */
+    static QuantRecipe fromJson(const std::string &json);
+
+    /** Write toJson() to @p path (throws std::runtime_error on I/O
+     *  failure). */
+    void saveFile(const std::string &path) const;
+
+    /** Read and parse @p path. */
+    static QuantRecipe loadFile(const std::string &path);
+};
+
+bool operator==(const QuantRecipe &a, const QuantRecipe &b);
+inline bool
+operator!=(const QuantRecipe &a, const QuantRecipe &b)
+{
+    return !(a == b);
+}
+
+} // namespace ant
+
+#endif // ANT_CORE_RECIPE_H

@@ -1,0 +1,246 @@
+#include "core/type_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ant {
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &spec, const char *why)
+{
+    throw std::invalid_argument("parseType(\"" + spec + "\"): " + why);
+}
+
+/** Parse the decimal run at @p pos; advances @p pos past it. */
+int
+parseNumber(const std::string &spec, size_t &pos)
+{
+    const size_t start = pos;
+    int v = 0;
+    while (pos < spec.size() &&
+           std::isdigit(static_cast<unsigned char>(spec[pos]))) {
+        v = v * 10 + (spec[pos] - '0');
+        if (v > 99) badSpec(spec, "number out of range");
+        ++pos;
+    }
+    if (pos == start) badSpec(spec, "expected a number");
+    return v;
+}
+
+/**
+ * Build a fresh instance for a spec. Factory errors (e.g. width out of
+ * range) surface as std::invalid_argument from the type constructors.
+ */
+TypePtr
+buildType(const std::string &spec)
+{
+    // Trailing 'u' selects unsigned; the rest is kind + width fields.
+    std::string body = spec;
+    bool is_signed = true;
+    if (!body.empty() && body.back() == 'u') {
+        is_signed = false;
+        body.pop_back();
+    }
+
+    const auto starts = [&](const char *p) {
+        return body.rfind(p, 0) == 0;
+    };
+
+    size_t pos;
+    if (starts("float_e")) {
+        pos = 7;
+        const int e = parseNumber(body, pos);
+        if (pos >= body.size() || body[pos] != 'm')
+            badSpec(spec, "expected 'm<mantissa bits>'");
+        ++pos;
+        const int m = parseNumber(body, pos);
+        if (pos != body.size()) badSpec(spec, "trailing characters");
+        return makeFloat(e, m, is_signed);
+    }
+    if (starts("float")) {
+        pos = 5;
+        const int bits = parseNumber(body, pos);
+        if (pos != body.size()) badSpec(spec, "trailing characters");
+        return makeDefaultFloat(bits, is_signed);
+    }
+    if (starts("flint")) {
+        pos = 5;
+        const int bits = parseNumber(body, pos);
+        if (pos != body.size()) badSpec(spec, "trailing characters");
+        return makeFlint(bits, is_signed);
+    }
+    if (starts("int")) {
+        pos = 3;
+        const int bits = parseNumber(body, pos);
+        if (pos != body.size()) badSpec(spec, "trailing characters");
+        return makeInt(bits, is_signed);
+    }
+    if (starts("pot")) {
+        pos = 3;
+        const int bits = parseNumber(body, pos);
+        if (pos != body.size()) badSpec(spec, "trailing characters");
+        return makePoT(bits, is_signed);
+    }
+    badSpec(spec, "unknown type kind");
+}
+
+} // namespace
+
+bool
+typesEqual(const NumericType &a, const NumericType &b)
+{
+    return a.kind() == b.kind() && a.bits() == b.bits() &&
+           a.isSigned() == b.isSigned() && a.grid() == b.grid();
+}
+
+TypeRegistry &
+TypeRegistry::instance()
+{
+    static TypeRegistry reg;
+    return reg;
+}
+
+TypeRegistry::TypeRegistry()
+{
+    // Pre-register the standard catalog: every factory family at the
+    // ANT bit widths, both signednesses, plus the serving-relevant
+    // wider floats. Lazy registration covers everything else.
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto put = [&](const TypePtr &t) {
+        entries_.emplace(
+            t->spec(),
+            Entry{t, std::make_shared<const QuantKernel>(*t)});
+    };
+    for (bool sgn : {true, false}) {
+        for (int bits : {4, 8}) {
+            put(makeInt(bits, sgn));
+            put(makePoT(bits, sgn));
+            put(makeFlint(bits, sgn));
+            put(makeDefaultFloat(bits, sgn));
+        }
+    }
+    put(makeFloat(5, 10, true)); // fp16 (activation passthrough plans)
+}
+
+const TypeRegistry::Entry &
+TypeRegistry::resolve(const std::string &spec)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(spec);
+        if (it != entries_.end()) return it->second;
+    }
+    // Construct outside the lock (factories can throw / do real work),
+    // then race-tolerantly insert: the first writer wins. Entries are
+    // never erased, so the returned reference stays valid.
+    TypePtr fresh = buildType(spec);
+    const std::string canonical = fresh->spec();
+    KernelPtr kernel = std::make_shared<const QuantKernel>(*fresh);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [cit, inserted] = entries_.emplace(
+        canonical, Entry{std::move(fresh), std::move(kernel)});
+    (void)inserted;
+    if (spec == canonical) return cit->second;
+    // Alias spec (e.g. "float4" -> "float_e3m0"): share the canonical
+    // entry so both spellings resolve to one TypePtr and one kernel.
+    const auto [ait, alias_inserted] = entries_.emplace(spec, cit->second);
+    (void)alias_inserted;
+    return ait->second;
+}
+
+TypePtr
+TypeRegistry::type(const std::string &spec)
+{
+    return resolve(spec).type;
+}
+
+KernelPtr
+TypeRegistry::kernel(const std::string &spec)
+{
+    return resolve(spec).kernel;
+}
+
+KernelPtr
+TypeRegistry::kernel(const TypePtr &type)
+{
+    if (!type)
+        throw std::invalid_argument("TypeRegistry::kernel: null type");
+    const Entry &e = resolve(type->spec());
+    if (typesEqual(*e.type, *type)) return e.kernel;
+    // Same spec, different grid: a custom NumericType subclass shadows
+    // a registered spec. Serve it a private kernel instead of the
+    // cached one; the shared_ptr aliasing keeps the type alive.
+    return KernelPtr(new QuantKernel(*type),
+                     [type](const QuantKernel *k) { delete k; });
+}
+
+KernelPtr
+TypeRegistry::kernelFor(const NumericType &type)
+{
+    const std::string spec = type.spec();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = entries_.find(spec);
+        if (it != entries_.end() && typesEqual(*it->second.type, type))
+            return it->second.kernel;
+    }
+    // Borrowed instance the registry cannot own: either an unregistered
+    // spec or a grid mismatch. The kernel borrows @p type, so it is
+    // only valid while the caller's reference lives — do not cache.
+    return std::make_shared<const QuantKernel>(type);
+}
+
+std::vector<std::string>
+TypeRegistry::specs() const
+{
+    std::vector<std::string> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.reserve(entries_.size());
+        for (const auto &kv : entries_) out.push_back(kv.first);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+TypePtr
+parseType(const std::string &spec)
+{
+    return TypeRegistry::instance().type(spec);
+}
+
+bool
+isValidTypeSpec(const std::string &spec)
+{
+    try {
+        (void)buildType(spec);
+        return true;
+    } catch (const std::invalid_argument &) {
+        return false;
+    }
+}
+
+KernelPtr
+cachedKernel(const TypePtr &type)
+{
+    return TypeRegistry::instance().kernel(type);
+}
+
+TypePtr
+withSignedness(const TypePtr &type, bool is_signed)
+{
+    if (!type)
+        throw std::invalid_argument("withSignedness: null type");
+    if (type->isSigned() == is_signed) return type;
+    std::string spec = type->spec();
+    if (!is_signed)
+        spec += 'u';
+    else
+        spec.pop_back(); // signed <- drop the trailing 'u'
+    return parseType(spec);
+}
+
+} // namespace ant

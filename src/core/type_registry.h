@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Process-wide numeric-type registry: canonical spec strings, a
+ * parseType that rebuilds any registered type from its spec, and a
+ * cache of compiled QuantKernels so hot paths never pay per-call kernel
+ * construction.
+ *
+ * Spec grammar (NumericType::spec() emits exactly these):
+ *
+ *   int<b>[u]          uniform int, b in [2,16]        "int4", "int8u"
+ *   pot<b>[u]          power-of-two, b in [2,8]        "pot4", "pot4u"
+ *   flint<b>[u]        flint composite                 "flint4"
+ *   float_e<E>m<M>[u]  minifloat with the exact split  "float_e4m3"
+ *   float<b>[u]        alias: the default b-bit float  "float4" -> E3M0
+ *
+ * A trailing `u` means unsigned; everything else is signed. The
+ * registry is keyed by canonical spec, so types whose *grids* coincide
+ * but whose identities differ stay distinct entries: `"float4"`
+ * (= float_e3m0) and `"pot4"` share the same signed 4-bit grid (the
+ * paper's Fig. 14 observation) yet resolve to separate TypePtrs with
+ * their own names, kinds, and kernels — the aliasing pitfall noted at
+ * makeDefaultFloat cannot occur through the registry.
+ */
+
+#ifndef ANT_CORE_TYPE_REGISTRY_H
+#define ANT_CORE_TYPE_REGISTRY_H
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/numeric_type.h"
+#include "core/quant_kernel.h"
+
+namespace ant {
+
+/** Shared handle to a compiled, cached QuantKernel. */
+using KernelPtr = std::shared_ptr<const QuantKernel>;
+
+/**
+ * Structural equality: same kind, width, signedness, and value grid.
+ * (Pointer identity is the wrong test — the registry deliberately keeps
+ * distinct entries for grid-coincident types like float4 vs pot4.)
+ */
+bool typesEqual(const NumericType &a, const NumericType &b);
+
+/**
+ * The process-wide registry. Thread-safe; all lookups share one
+ * instance so a spec string resolves to the same TypePtr (and the same
+ * compiled kernel) everywhere in the process.
+ */
+class TypeRegistry
+{
+  public:
+    static TypeRegistry &instance();
+
+    /**
+     * Resolve a spec string to its cached TypePtr, constructing and
+     * registering the type on first use. Throws std::invalid_argument
+     * on malformed specs.
+     */
+    TypePtr type(const std::string &spec);
+
+    /** Cached compiled kernel for a spec (registers on first use). */
+    KernelPtr kernel(const std::string &spec);
+
+    /**
+     * Cached kernel for an existing type, keyed by type->spec(). On a
+     * cache hit the cached grid is verified against @p type
+     * (typesEqual); a custom NumericType whose grid differs from the
+     * registered spec gets a private non-cached kernel instead of a
+     * silently wrong one.
+     */
+    KernelPtr kernel(const TypePtr &type);
+
+    /**
+     * Kernel for a borrowed type the caller cannot share ownership of.
+     * Cache hit on matching spec+grid; otherwise a fresh kernel that
+     * borrows @p type (valid only while @p type lives) is returned and
+     * NOT cached.
+     */
+    KernelPtr kernelFor(const NumericType &type);
+
+    /** Specs registered so far, sorted (the standard catalog + lazily
+     *  added ones). */
+    std::vector<std::string> specs() const;
+
+  private:
+    TypeRegistry();
+
+    struct Entry
+    {
+        TypePtr type;
+        KernelPtr kernel;
+    };
+
+    /** Lookup-or-insert under the lock; misses build the canonical
+     *  instance by parsing @p spec. */
+    const Entry &resolve(const std::string &spec);
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+/**
+ * Parse a spec string into its registered type (see the grammar above).
+ * Repeated calls return the same TypePtr. Throws std::invalid_argument
+ * on malformed specs, naming the offending input.
+ */
+TypePtr parseType(const std::string &spec);
+
+/** True when @p spec parses (no registry mutation on failure). */
+bool isValidTypeSpec(const std::string &spec);
+
+/** Cached compiled kernel for a registered/registrable type. */
+KernelPtr cachedKernel(const TypePtr &type);
+
+/** The same type with the requested signedness (same kind, width, and
+ *  float field split); returns @p type itself when it already matches. */
+TypePtr withSignedness(const TypePtr &type, bool is_signed);
+
+} // namespace ant
+
+#endif // ANT_CORE_TYPE_REGISTRY_H

@@ -13,11 +13,13 @@ selectType(const Tensor &t, const std::vector<TypePtr> &candidates,
 {
     if (candidates.empty())
         throw std::invalid_argument("selectType: empty candidate list");
+    base_cfg.validate(/*require_type=*/false); // type is ignored here
 
     // Candidates are independent: fan a score-only sweep out over the
     // pool (no dequant tensors materialized), then produce the full
     // result for the winner alone. Any per-channel parallelism inside
-    // runs inline on the same workers.
+    // runs inline on the same workers; the per-candidate kernels come
+    // from the registry cache, so the sweep compiles nothing.
     const int64_t m = static_cast<int64_t>(candidates.size());
     std::vector<double> mses(candidates.size());
     parallelFor(m, [&](int64_t b, int64_t e) {

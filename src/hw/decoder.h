@@ -19,6 +19,8 @@
 #define ANT_HW_DECODER_H
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "core/numeric_type.h"
 #include "hw/lzd.h"
@@ -73,7 +75,16 @@ double floatOperandValue(const FloatOperand &op);
 inline int64_t
 intOperandValue(const IntOperand &op)
 {
-    return static_cast<int64_t>(op.baseInt) << op.exp;
+    // base * 2^exp; written as a multiply because left-shifting a
+    // negative base is undefined behaviour in C++17 (the hardware
+    // shifter is two's-complement, which the multiply reproduces for
+    // every exponent the 64-bit datapath can hold). Exponents past
+    // the datapath are a modeling error, not a silent wrap.
+    if (op.exp < 0 || op.exp > 62)
+        throw std::overflow_error(
+            "intOperandValue: exponent " + std::to_string(op.exp) +
+            " exceeds the 64-bit integer datapath");
+    return static_cast<int64_t>(op.baseInt) * (int64_t{1} << op.exp);
 }
 
 /** Gate-count estimate of an n-bit int-based flint decoder. */

@@ -29,13 +29,23 @@ class IntFlintMac
   public:
     explicit IntFlintMac(int bits = 4) : bits_(bits) {}
 
-    /** Product of two decoded operands: (ia*ib) << (ea+eb). */
+    /** Product of two decoded operands: (ia*ib) * 2^(ea+eb). */
     static int64_t
     multiply(const IntOperand &a, const IntOperand &b)
     {
         const int64_t ic = static_cast<int64_t>(a.baseInt) * b.baseInt;
         const int ec = a.exp + b.exp;
-        return ic << ec;
+        // Multiply instead of `ic << ec`: shifting a negative product
+        // is UB in C++17, while the two's-complement result the
+        // hardware barrel shifter produces equals this multiply. A
+        // combined exponent past the 64-bit datapath is a modeling
+        // error and fails loudly rather than wrapping.
+        if (ec < 0 || ec > 62)
+            throw std::overflow_error(
+                "IntFlintMac::multiply: combined exponent " +
+                std::to_string(ec) +
+                " exceeds the 64-bit integer datapath");
+        return ic * (int64_t{1} << ec);
     }
 
     /** Decode both operand codes and multiply-accumulate one pair. */

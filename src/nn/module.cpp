@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/quant_kernel.h"
+#include "core/type_registry.h"
 
 namespace ant {
 namespace nn {
@@ -17,13 +18,12 @@ void
 QuantState::observe(const Tensor &t)
 {
     if (!observing) return;
-    // Strided subsample keeps the buffer bounded while covering the
-    // whole tensor.
-    const int64_t stride =
-        std::max<int64_t>(1, t.numel() * 4 / static_cast<int64_t>(kMaxObs));
-    for (int64_t i = 0; i < t.numel() && obs_.size() < kMaxObs;
-         i += stride)
-        obs_.push_back(t[i]);
+    if (!obs_) {
+        ObserverConfig oc;
+        oc.isSigned = isSigned;
+        obs_ = std::make_unique<Observer>(oc);
+    }
+    obs_->observe(t);
 }
 
 void
@@ -33,6 +33,7 @@ QuantState::calibrate(const Tensor &t)
         throw std::invalid_argument("QuantState: no candidates");
     QuantConfig cfg;
     cfg.granularity = granularity;
+    cfg.scaleMode = scaleMode;
     const TypeSelection sel = selectType(t, candidates, cfg);
     type = sel.type;
     scales = sel.result.scales;
@@ -42,16 +43,20 @@ QuantState::calibrate(const Tensor &t)
 void
 QuantState::finalizeFromObservations()
 {
-    if (obs_.empty())
+    if (!obs_ || obs_->count() == 0)
         throw std::logic_error("QuantState: no observations collected");
-    Tensor t{Shape{static_cast<int64_t>(obs_.size())},
-             std::vector<float>(obs_.begin(), obs_.end())};
-    // Activations are always per-tensor (Sec. II-B).
-    const Granularity saved = granularity;
-    granularity = Granularity::PerTensor;
-    calibrate(t);
-    granularity = saved;
-    obs_.clear();
+    if (candidates.empty())
+        throw std::invalid_argument("QuantState: no candidates");
+    // Activations are always per-tensor (Sec. II-B); Algorithm 2 is
+    // answered from the merged sketch of every batch streamed through.
+    QuantConfig cfg;
+    cfg.granularity = Granularity::PerTensor;
+    cfg.scaleMode = scaleMode;
+    const ObserverSelection sel = obs_->selectType(candidates, cfg);
+    type = sel.type;
+    scales = {sel.scale};
+    lastMse = sel.mse;
+    obs_.reset();
     observing = false;
 }
 
@@ -61,8 +66,20 @@ QuantState::apply(const Tensor &t)
     if (!calibrated())
         throw std::logic_error("QuantState: apply before calibrate");
     Tensor out{t.shape()};
-    // One compiled kernel serves every channel of this forward pass.
-    const QuantKernel kernel(*type);
+    // The registry's cached kernel serves every channel of this (and
+    // every other) forward pass — nothing is compiled per call.
+    const KernelPtr kernel_ptr = cachedKernel(type);
+    const QuantKernel &kernel = *kernel_ptr;
+    // A per-channel state must carry one scale per channel (or the
+    // single scale of the documented 1-D fallback). Anything else —
+    // e.g. a recipe calibrated on a different-width layer — would
+    // silently quantize every channel with scales[0]; fail instead.
+    if (granularity == Granularity::PerChannel && t.ndim() >= 2 &&
+        scales.size() != static_cast<size_t>(t.dim(0)) &&
+        scales.size() != 1)
+        throw std::logic_error(
+            "QuantState: " + std::to_string(scales.size()) +
+            " scales for " + std::to_string(t.dim(0)) + " channels");
     if (granularity == Granularity::PerChannel && t.ndim() >= 2 &&
         scales.size() == static_cast<size_t>(t.dim(0))) {
         const int64_t channels = t.dim(0);

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/calibrator.h"
 #include "core/type_selector.h"
 #include "nn/autograd.h"
 #include "tensor/random.h"
@@ -41,6 +42,7 @@ class QuantState
     bool enabled = false;
     bool isSigned = true;
     Granularity granularity = Granularity::PerTensor;
+    ScaleMode scaleMode = ScaleMode::MseSearch; //!< calibration search
     std::vector<TypePtr> candidates; //!< Algorithm 2 candidate list
 
     /** Chosen type and scales after calibrate(). */
@@ -48,17 +50,29 @@ class QuantState
     std::vector<double> scales;
     double lastMse = 0.0;
 
-    /** Calibration-observation buffer (activations). */
+    /** Calibration-observation flag (activations). */
     bool observing = false;
 
-    /** Record calibration samples (subsampled to bound memory). */
+    /**
+     * Stream a calibration batch into the observer sketch. Every
+     * element is accumulated (no subsampling — the streaming observer
+     * is O(bins) regardless of how much traffic flows through).
+     */
     void observe(const Tensor &t);
 
     /** Run Algorithm 2 on the observed/provided data; freeze type. */
     void calibrate(const Tensor &t);
 
-    /** Finalize from the observation buffer. */
+    /**
+     * Finalize from the streamed observations: Algorithm 2 answered
+     * from the merged sketch (core/calibrator.h), then the observer is
+     * discarded. No concatenated activation tensor is ever built.
+     */
     void finalizeFromObservations();
+
+    /** The live observer (null outside calibration), e.g. for merging
+     *  shards or reading absmax diagnostics. */
+    const Observer *observer() const { return obs_.get(); }
 
     /**
      * Fake-quantize @p t with the frozen configuration; also refreshes
@@ -73,8 +87,7 @@ class QuantState
     bool calibrated() const { return static_cast<bool>(type); }
 
   private:
-    std::vector<float> obs_;
-    static constexpr size_t kMaxObs = 16384;
+    std::unique_ptr<Observer> obs_;
 };
 
 /** Base class of all layers. */

@@ -1,7 +1,9 @@
 #include "nn/qat.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "core/type_registry.h"
 #include "tensor/parallel.h"
 
 namespace ant {
@@ -31,7 +33,16 @@ std::vector<TypePtr>
 candidatesFor(const QatConfig &cfg, LayerPrecision prec, bool is_signed)
 {
     if (prec == LayerPrecision::Int8)
-        return {makeInt(8, is_signed)};
+        return {parseType(is_signed ? "int8" : "int8u")};
+    if (!cfg.candidateSpecs.empty()) {
+        // Explicit spec-string list: resolve through the registry and
+        // adapt each entry's signedness to the tensor role.
+        std::vector<TypePtr> out;
+        out.reserve(cfg.candidateSpecs.size());
+        for (const std::string &spec : cfg.candidateSpecs)
+            out.push_back(withSignedness(parseType(spec), is_signed));
+        return out;
+    }
     return comboCandidates(cfg.combo, cfg.bits, is_signed);
 }
 
@@ -71,7 +82,27 @@ disableQuant(Classifier &model)
     }
 }
 
-void
+namespace {
+
+/** One tensor role's frozen state as a TensorRecipe. */
+TensorRecipe
+tensorRecipeOf(const QuantState &q)
+{
+    TensorRecipe t;
+    t.enabled = q.enabled;
+    if (q.calibrated()) {
+        t.typeSpec = q.type->spec();
+        t.bits = q.type->bits();
+        t.scales = q.scales;
+    }
+    t.granularity = q.granularity;
+    t.scaleMode = q.scaleMode;
+    return t;
+}
+
+} // namespace
+
+QuantRecipe
 calibrateQuant(Classifier &model, const Dataset &ds,
                const QatConfig &cfg)
 {
@@ -79,16 +110,88 @@ calibrateQuant(Classifier &model, const Dataset &ds,
     // Weights: directly from current values.
     calibrateWeightsParallel(layers);
 
-    if (!cfg.quantActs) return;
+    if (cfg.quantActs) {
+        // Activations: stream a calibration forward pass with
+        // quantization masked off through the layer observers, then
+        // finalize (Algorithm 2 from each merged sketch).
+        for (QuantLayer *l : layers) l->actQ.observing = true;
+        const int64_t bs = 32;
+        const int64_t n =
+            std::min<int64_t>(cfg.calibSamples, ds.trainSize());
+        for (int64_t b = 0; b * bs < n; ++b)
+            (void)model.forward(ds.batch(b, bs, true));
+        for (QuantLayer *l : layers) l->actQ.finalizeFromObservations();
+    }
+    return extractRecipe(model);
+}
 
-    // Activations: observe a calibration forward pass with
-    // quantization masked off, then finalize (Algorithm 2 per tensor).
-    for (QuantLayer *l : layers) l->actQ.observing = true;
-    const int64_t bs = 32;
-    const int64_t n = std::min<int64_t>(cfg.calibSamples, ds.trainSize());
-    for (int64_t b = 0; b * bs < n; ++b)
-        (void)model.forward(ds.batch(b, bs, true));
-    for (QuantLayer *l : layers) l->actQ.finalizeFromObservations();
+QuantRecipe
+extractRecipe(Classifier &model)
+{
+    QuantRecipe r;
+    r.model = model.name();
+    for (QuantLayer *l : model.quantLayers()) {
+        LayerRecipe lr;
+        lr.layer = l->name();
+        lr.weight = tensorRecipeOf(l->weightQ);
+        lr.act = tensorRecipeOf(l->actQ);
+        r.layers.push_back(std::move(lr));
+    }
+    return r;
+}
+
+namespace {
+
+/** Install one role's recipe onto a live QuantState. */
+void
+applyTensorRecipe(QuantState &q, const TensorRecipe &t,
+                  const std::string &where)
+{
+    q.enabled = t.enabled;
+    q.granularity = t.granularity;
+    q.scaleMode = t.scaleMode;
+    q.observing = false;
+    if (t.typeSpec.empty()) {
+        q.type = nullptr;
+        q.scales.clear();
+        return;
+    }
+    q.type = parseType(t.typeSpec); // throws on unknown specs
+    if (q.type->bits() != t.bits && t.bits != 0)
+        throw std::invalid_argument(
+            "applyRecipe: " + where + ": bits " +
+            std::to_string(t.bits) + " contradict spec " + t.typeSpec);
+    if (t.enabled && t.scales.empty())
+        throw std::invalid_argument(
+            "applyRecipe: " + where + ": enabled role has no frozen "
+            "scales — a type-only plan (e.g. sim::toRecipe) must be "
+            "calibrated before it can replay");
+    q.isSigned = q.type->isSigned();
+    q.scales = t.scales;
+}
+
+} // namespace
+
+void
+applyRecipe(Classifier &model, const QuantRecipe &recipe)
+{
+    const std::vector<QuantLayer *> layers = model.quantLayers();
+    if (layers.size() != recipe.layers.size())
+        throw std::invalid_argument(
+            "applyRecipe: model has " + std::to_string(layers.size()) +
+            " quant layers, recipe has " +
+            std::to_string(recipe.layers.size()));
+    for (size_t i = 0; i < layers.size(); ++i) {
+        const LayerRecipe &lr = recipe.layers[i];
+        if (!lr.layer.empty() && lr.layer != layers[i]->name())
+            throw std::invalid_argument(
+                "applyRecipe: layer " + std::to_string(i) + " is \"" +
+                layers[i]->name() + "\" but recipe says \"" + lr.layer +
+                "\"");
+        applyTensorRecipe(layers[i]->weightQ, lr.weight,
+                          lr.layer + ".weight");
+        applyTensorRecipe(layers[i]->actQ, lr.act, lr.layer + ".act");
+    }
 }
 
 std::vector<double>

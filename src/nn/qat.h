@@ -9,6 +9,7 @@
 #define ANT_NN_QAT_H
 
 #include "core/mixed_precision.h"
+#include "core/recipe.h"
 #include "nn/trainer.h"
 
 namespace ant {
@@ -23,6 +24,14 @@ struct QatConfig
     bool quantActs = true;
     Granularity weightGranularity = Granularity::PerChannel;
     int64_t calibSamples = 128; //!< ~100 samples per the paper
+
+    /**
+     * Explicit candidate list as registry spec strings (type_registry.h),
+     * e.g. {"int4", "pot4", "flint4"}. When non-empty this overrides
+     * combo/bits; each spec's signedness is adapted per tensor role
+     * (weights signed, activations as the layer observed them).
+     */
+    std::vector<std::string> candidateSpecs;
 };
 
 /**
@@ -37,10 +46,32 @@ void disableQuant(Classifier &model);
 
 /**
  * Run Algorithm 2 everywhere: weights immediately from their values;
- * activations by observing a calibration pass over @p ds train data.
+ * activations by streaming a calibration pass over @p ds train data
+ * through the layer observers (no activation tensors are buffered).
+ * Returns the resulting frozen plan as a serializable QuantRecipe —
+ * save it with QuantRecipe::saveFile and replay it later with
+ * applyRecipe to skip recalibration entirely.
  */
-void calibrateQuant(Classifier &model, const Dataset &ds,
-                    const QatConfig &cfg);
+QuantRecipe calibrateQuant(Classifier &model, const Dataset &ds,
+                           const QatConfig &cfg);
+
+/**
+ * Snapshot the model's current frozen quantization state (types,
+ * scales, granularities) as a recipe. Layers whose roles are
+ * uncalibrated are recorded as disabled.
+ */
+QuantRecipe extractRecipe(Classifier &model);
+
+/**
+ * Install a recipe onto a configured model: every layer's types and
+ * scales are frozen exactly as recorded — no calibration pass, no data
+ * needed, and the quantized tensors reproduce the recipe-producing
+ * run bit for bit. Throws std::invalid_argument when the recipe does
+ * not match the model (layer count/name mismatch, unknown type spec)
+ * or when an enabled role carries no frozen scales (type-only planner
+ * recipes must go through calibration, not replay).
+ */
+void applyRecipe(Classifier &model, const QuantRecipe &recipe);
 
 /** Per-layer quantization MSE (weight + activation), network order. */
 std::vector<double> layerQuantMses(Classifier &model);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/baselines.h"
+#include "core/type_registry.h"
 #include "tensor/parallel.h"
 
 namespace ant {
@@ -36,10 +37,18 @@ chooseType(const Tensor &t, Combo combo, int bits, bool is_signed)
 {
     const TypeSelection sel = selectType(t, combo, bits, is_signed);
     TensorChoice c;
-    c.type = sel.type->name();
+    c.type = sel.type->spec(); // registry spec: parses back to the type
     const double var = tensorVariance(t);
     c.snr = sel.result.mse > 0 ? var / sel.result.mse : 1e12;
     return c;
+}
+
+/** Spec of the uniform int escalation target at @p bits. */
+std::string
+intSpec(int bits, bool is_signed)
+{
+    return std::string("int") + std::to_string(bits) +
+           (is_signed ? "" : "u");
 }
 
 /** Distribution-matched tensors of one layer, sampled up front. */
@@ -67,6 +76,7 @@ planWorkload(const workloads::Workload &w, hw::Design design,
     Rng rng(seed);
     QuantPlan plan;
     plan.design = design;
+    plan.workload = w.name;
 
     const int64_t num_layers = static_cast<int64_t>(w.layers.size());
     const bool element_wise = design == hw::Design::OLAccel;
@@ -97,26 +107,30 @@ planWorkload(const workloads::Workload &w, hw::Design design,
         const Tensor &at = smp.at;
         const bool act_signed = smp.actSigned;
         LayerPlan lp;
+        lp.layer = l.name;
         LayerAccount &acc = accounts[static_cast<size_t>(li)];
 
         // Two accountings: type *ratios* are per tensor (the paper's
         // Fig. 13 top counts tensors; only OLAccel, being element-wise,
         // is counted per element), while avgBits is element-weighted
         // (the "average bit of once memory access" of Table I).
-        const auto account = [&](const std::string &type, int bits,
+        // Classification parses the spec through the registry instead
+        // of substring-matching mangled names.
+        const auto account = [&](const std::string &spec, int bits,
                                  int64_t n) {
             acc.elems += n;
             acc.bitSum += static_cast<double>(bits) * n;
             const double unit =
                 element_wise ? static_cast<double>(n) : 1.0;
             acc.total += unit;
-            if (type.find("flint") != std::string::npos)
+            const TypeKind kind = parseType(spec)->kind();
+            if (kind == TypeKind::Flint)
                 acc.flint += unit;
-            else if (type.find("pot") != std::string::npos)
+            else if (kind == TypeKind::PoT)
                 acc.pot += unit;
-            else if (bits == 4)
+            else if (kind == TypeKind::Int && bits == 4)
                 acc.int4 += unit;
-            else if (bits == 8 && type.find("int") != std::string::npos)
+            else if (kind == TypeKind::Int && bits == 8)
                 acc.int8 += unit;
             else
                 acc.other += unit;
@@ -136,14 +150,14 @@ planWorkload(const workloads::Workload &w, hw::Design design,
                 lp.weightType = cw.type;
             } else {
                 lp.weightBits = 8;
-                lp.weightType = "int8";
+                lp.weightType = intSpec(8, true);
             }
             if (ca.snr >= snr_target) {
                 lp.actBits = 4;
                 lp.actType = ca.type;
             } else {
                 lp.actBits = 8;
-                lp.actType = "int8";
+                lp.actType = intSpec(8, act_signed);
             }
             account(lp.weightType, lp.weightBits, l.weightElems());
             account(lp.actType, lp.actBits, l.actElems());
@@ -160,10 +174,11 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             const TensorChoice ca =
                 chooseType(at, Combo::INT, 4, act_signed);
             lp.snr = std::min(cw.snr, ca.snr);
+            lp.scheme = "bitfusion";
             lp.weightBits = cw.snr >= bf_target ? 4 : 8;
             lp.actBits = ca.snr >= bf_target ? 4 : 8;
-            lp.weightType = lp.weightBits == 4 ? "int4" : "int8";
-            lp.actType = lp.actBits == 4 ? "int4" : "int8";
+            lp.weightType = intSpec(lp.weightBits, true);
+            lp.actType = intSpec(lp.actBits, act_signed);
             account(lp.weightType, lp.weightBits, l.weightElems());
             account(lp.actType, lp.actBits, l.actElems());
             break;
@@ -180,40 +195,48 @@ planWorkload(const workloads::Workload &w, hw::Design design,
                 olaccelQuantize(at, nb, 0.03, act_signed);
             lp.weightBits = nb;
             lp.actBits = nb;
-            lp.weightType = lp.actType =
-                "olaccel" + std::to_string(nb);
+            lp.scheme = "olaccel";
+            // The storage grid of the inliers; outliers ride separately
+            // at fp16 and are accounted below.
+            lp.weightType = intSpec(nb, true);
+            lp.actType = intSpec(nb, act_signed);
             lp.outlierRatio = (rw.outlierRatio + ra.outlierRatio) / 2;
             lp.snr = tensorVariance(wt) / std::max(1e-12, rw.mse);
             const auto acc_ol = [&](const BaselineResult &r,
+                                    const std::string &spec,
                                     int64_t n) {
                 const int64_t outl = static_cast<int64_t>(
                     r.outlierRatio * static_cast<double>(n));
-                account("int", nb, n - outl);
-                account("fp16", 16, outl);
+                account(spec, nb, n - outl);
+                account("float_e5m10", 16, outl);
             };
-            acc_ol(rw, l.weightElems());
-            acc_ol(ra, l.actElems());
+            acc_ol(rw, lp.weightType, l.weightElems());
+            acc_ol(ra, lp.actType, l.actElems());
             break;
           }
           case hw::Design::BiScaled: {
             const BaselineResult rw = biscaledQuantize(wt, 6, true);
             lp.weightBits = lp.actBits = 6;
-            lp.weightType = lp.actType = "biscaled6";
+            lp.scheme = "biscaled";
+            // Two-scale scheme over a 6-bit int storage grid.
+            lp.weightType = intSpec(6, true);
+            lp.actType = intSpec(6, act_signed);
             lp.snr = tensorVariance(wt) / std::max(1e-12, rw.mse);
-            account("biscaled", 6, l.weightElems());
-            account("biscaled", 6, l.actElems());
+            account(lp.weightType, 6, l.weightElems());
+            account(lp.actType, 6, l.actElems());
             break;
           }
           case hw::Design::AdaFloat: {
             lp.weightBits = lp.actBits = 8;
-            lp.weightType = lp.actType = "adafloat8";
+            lp.scheme = "adafloat";
             QuantConfig cfg;
             cfg.type = makeFloat(4, 3, true);
             cfg.scaleMode = ScaleMode::PowerOfTwo;
+            lp.weightType = lp.actType = cfg.type->spec(); // float_e4m3
             lp.snr = tensorVariance(wt) /
                      std::max(1e-12, quantize(wt, cfg).mse);
-            account("adafloat", 8, l.weightElems());
-            account("adafloat", 8, l.actElems());
+            account(lp.weightType, 8, l.weightElems());
+            account(lp.actType, 8, l.actElems());
             break;
           }
           case hw::Design::GOBO: {
@@ -221,8 +244,11 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             const BaselineResult rw = goboQuantize(wt, 3);
             lp.weightBits = 4; // ~3.04-4.04 effective, storage-rounded
             lp.actBits = 16;
-            lp.weightType = "gobo";
-            lp.actType = "fp16";
+            lp.scheme = "gobo";
+            // Storage grids: 4-bit codes index the weight dictionary,
+            // activations pass through at fp16.
+            lp.weightType = intSpec(4, true);
+            lp.actType = "float_e5m10";
             lp.outlierRatio = rw.outlierRatio;
             lp.snr = tensorVariance(wt) / std::max(1e-12, rw.mse);
             acc.bitSum += rw.avgBits * static_cast<double>(
@@ -235,9 +261,11 @@ planWorkload(const workloads::Workload &w, hw::Design design,
           }
           case hw::Design::Int8: {
             lp.weightBits = lp.actBits = 8;
-            lp.weightType = lp.actType = "int8";
-            account("int8", 8, l.weightElems());
-            account("int8", 8, l.actElems());
+            lp.scheme = "int8";
+            lp.weightType = intSpec(8, true);
+            lp.actType = intSpec(8, act_signed);
+            account(lp.weightType, 8, l.weightElems());
+            account(lp.actType, 8, l.actElems());
             break;
           }
         }
@@ -271,6 +299,25 @@ planWorkload(const workloads::Workload &w, hw::Design design,
     if (elems_total)
         plan.avgBits = bit_sum / static_cast<double>(elems_total);
     return plan;
+}
+
+QuantRecipe
+toRecipe(const QuantPlan &plan)
+{
+    QuantRecipe r;
+    r.model = plan.workload;
+    for (const LayerPlan &lp : plan.layers) {
+        LayerRecipe lr;
+        lr.layer = lp.layer;
+        lr.weight.enabled = true;
+        lr.weight.typeSpec = lp.weightType;
+        lr.weight.bits = lp.weightBits;
+        lr.act.enabled = true;
+        lr.act.typeSpec = lp.actType;
+        lr.act.bits = lp.actBits;
+        r.layers.push_back(std::move(lr));
+    }
+    return r;
 }
 
 } // namespace sim

@@ -13,6 +13,7 @@
 #ifndef ANT_SIM_PLANNER_H
 #define ANT_SIM_PLANNER_H
 
+#include "core/recipe.h"
 #include "core/type_selector.h"
 #include "hw/area_model.h"
 #include "workloads/workloads.h"
@@ -20,13 +21,25 @@
 namespace ant {
 namespace sim {
 
-/** Chosen precision of one layer on one design. */
+/**
+ * Chosen precision of one layer on one design.
+ *
+ * actType/weightType are registry spec strings (type_registry.h):
+ * every emitted value parses back to an equal type via parseType, so a
+ * plan can be serialized and replayed. For composite baseline schemes
+ * (OLAccel/BiScaled/GOBO) the spec names the layer's *storage grid*
+ * (inlier int grid, two-scale int width, fp16 activations) and
+ * `scheme` carries the scheme label that used to be mangled into the
+ * type string.
+ */
 struct LayerPlan
 {
+    std::string layer;         //!< workload layer name
     int actBits = 4;
     int weightBits = 4;
     std::string actType = "int4";
     std::string weightType = "int4";
+    std::string scheme = "ant"; //!< design scheme label (display only)
     double outlierRatio = 0.0; //!< element-wise outliers (OLAccel)
     double snr = 0.0;          //!< proxy accuracy signal
 };
@@ -35,6 +48,7 @@ struct LayerPlan
 struct QuantPlan
 {
     hw::Design design;
+    std::string workload; //!< planned workload's name
     std::vector<LayerPlan> layers;
 
     /** Element-weighted ratios over weight+activation tensors. */
@@ -55,6 +69,15 @@ struct QuantPlan
  */
 QuantPlan planWorkload(const workloads::Workload &w, hw::Design design,
                        uint64_t seed = 1234, double snr_target = 25.0);
+
+/**
+ * Export a plan as a serializable QuantRecipe: one LayerRecipe per
+ * layer carrying the chosen type specs and widths. Planner recipes
+ * record the *type plan* (specs/bits/granularity) with no frozen
+ * scales — scales come from calibration against real traffic
+ * (nn::calibrateQuant), the planner only fixes formats.
+ */
+QuantRecipe toRecipe(const QuantPlan &plan);
 
 } // namespace sim
 } // namespace ant

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the streaming calibration observer: batch-order exactness,
+ * agreement with the single-pass reference search, shard merging,
+ * per-channel partials, and edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibrator.h"
+#include "core/type_registry.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace {
+
+/** The distributions x types the calibration paths actually see. */
+const DistFamily kDists[] = {
+    DistFamily::WeightLike,
+    DistFamily::Gaussian,
+    DistFamily::Laplace,
+    DistFamily::LaplaceOutlier,
+};
+
+std::vector<TypePtr>
+signedCandidates()
+{
+    return {parseType("int4"), parseType("pot4"), parseType("flint4")};
+}
+
+TEST(Observer, StreamingEqualsSingleShot)
+{
+    // Observing batches b1..bN must leave bit-identical state to
+    // observing their concatenation: the log-domain binning is
+    // independent of the data seen so far, and accumulation order is
+    // the stream order either way.
+    Rng rng(61);
+    const Tensor all = rng.tensor(Shape{8192}, DistFamily::WeightLike);
+
+    Observer streamed;
+    const int64_t chunk = 1000; // deliberately not a divisor of 8192
+    for (int64_t off = 0; off < all.numel(); off += chunk)
+        streamed.observe(all.data() + off,
+                         std::min<int64_t>(chunk, all.numel() - off));
+
+    Observer single;
+    single.observe(all);
+
+    EXPECT_EQ(streamed.count(), single.count());
+    EXPECT_DOUBLE_EQ(streamed.absMax(), single.absMax());
+    QuantConfig cfg;
+    for (const TypePtr &t : signedCandidates()) {
+        SCOPED_TRACE(t->spec());
+        const KernelPtr k = cachedKernel(t);
+        for (double s : {0.01, 0.02, 0.05})
+            EXPECT_DOUBLE_EQ(streamed.approxMse(*k, s),
+                             single.approxMse(*k, s));
+        EXPECT_DOUBLE_EQ(streamed.searchScale(*t, cfg),
+                         single.searchScale(*t, cfg));
+    }
+}
+
+TEST(Observer, NBatchCalibrationMatchesConcatenatedExactPass)
+{
+    // The merge pin: calibrating from N batches picks the same scale
+    // as one concatenated in-memory pass at SearchExactness::Exact.
+    Rng rng(62);
+    for (DistFamily f : kDists) {
+        const Tensor all = rng.tensor(Shape{12288}, f);
+
+        Observer obs;
+        const int64_t batches = 6;
+        const int64_t bs = all.numel() / batches;
+        for (int64_t b = 0; b < batches; ++b)
+            obs.observe(all.data() + b * bs, bs);
+
+        QuantConfig exact;
+        exact.exactness = SearchExactness::Exact;
+        for (const TypePtr &t : signedCandidates()) {
+            SCOPED_TRACE(std::string(distFamilyName(f)) + "/" +
+                         t->spec());
+            const double s_stream = obs.searchScale(*t, exact);
+            const double s_concat =
+                searchScale(all.data(), all.numel(), *t, exact);
+            EXPECT_DOUBLE_EQ(s_stream, s_concat);
+        }
+    }
+}
+
+TEST(Observer, SelectTypeMatchesConcatenatedSelectType)
+{
+    Rng rng(63);
+    for (DistFamily f : kDists) {
+        SCOPED_TRACE(distFamilyName(f));
+        const Tensor all = rng.tensor(Shape{12288}, f);
+
+        Observer obs;
+        for (int64_t b = 0; b < 4; ++b)
+            obs.observe(all.data() + b * (all.numel() / 4),
+                        all.numel() / 4);
+
+        QuantConfig cfg;
+        cfg.exactness = SearchExactness::Exact;
+        const ObserverSelection sketch =
+            obs.selectType(signedCandidates(), cfg);
+        const TypeSelection exact =
+            selectType(all, signedCandidates(), cfg);
+        ASSERT_NE(sketch.type, nullptr);
+        EXPECT_EQ(sketch.type->spec(), exact.type->spec());
+        ASSERT_EQ(sketch.scores.size(), exact.scores.size());
+        // Sketch MSEs track the exact per-candidate MSEs closely.
+        for (size_t i = 0; i < sketch.scores.size(); ++i)
+            EXPECT_NEAR(sketch.scores[i].mse, exact.scores[i].mse,
+                        0.05 * exact.scores[i].mse + 1e-12)
+                << sketch.scores[i].type->spec();
+    }
+}
+
+TEST(Observer, MergeEqualsSequentialQueries)
+{
+    Rng rng(64);
+    const Tensor all = rng.tensor(Shape{8192}, DistFamily::Gaussian);
+    const int64_t half = all.numel() / 2;
+
+    Observer seq;
+    seq.observe(all);
+
+    Observer shard1, shard2;
+    shard1.observe(all.data(), half);
+    shard2.observe(all.data() + half, half);
+    shard1.merge(shard2);
+
+    EXPECT_EQ(shard1.count(), seq.count());
+    EXPECT_DOUBLE_EQ(shard1.absMax(), seq.absMax());
+    QuantConfig cfg;
+    for (const TypePtr &t : signedCandidates()) {
+        SCOPED_TRACE(t->spec());
+        // Merging reorders floating-point accumulation, so allow only
+        // ulp-level drift in the scored MSEs; the chosen scale must
+        // agree outright on non-degenerate data.
+        EXPECT_EQ(shard1.searchScale(*t, cfg),
+                  seq.searchScale(*t, cfg));
+    }
+}
+
+TEST(Observer, MergeRejectsMismatchedConfigs)
+{
+    ObserverConfig a, b;
+    b.binsPerOctave = 32;
+    Observer oa(a), ob(b);
+    EXPECT_THROW(oa.merge(ob), std::invalid_argument);
+}
+
+TEST(Observer, UnsignedModeClampsNegatives)
+{
+    // Unsigned grids clamp negatives to zero: they contribute a
+    // scale-independent error term and never drive absmax.
+    Observer obs(ObserverConfig{false, 64, -44, 20});
+    const float data[] = {-4.0f, -1.0f, 0.5f, 1.0f, 2.0f};
+    obs.observe(data, 5);
+    EXPECT_EQ(obs.count(), 5);
+    EXPECT_DOUBLE_EQ(obs.absMax(), 2.0);
+
+    const TypePtr t = parseType("int4u");
+    QuantConfig cfg;
+    cfg.scaleMode = ScaleMode::MaxCalib;
+    const double s = obs.searchScale(*t, cfg);
+    EXPECT_DOUBLE_EQ(s, 2.0 / t->maxValue());
+    // Sketch MSE includes the (-4)^2 + (-1)^2 clamp error.
+    const double mse = obs.approxMse(*cachedKernel(t), s);
+    EXPECT_GE(mse, (16.0 + 1.0) / 5.0 - 1e-12);
+}
+
+TEST(Observer, PerChannelPartialsTrackAbsMax)
+{
+    Rng rng(65);
+    const Tensor b1 = rng.tensor(Shape{4, 32}, DistFamily::Gaussian);
+    const Tensor b2 = rng.tensor(Shape{4, 32}, DistFamily::Gaussian);
+
+    Observer obs;
+    obs.observe(b1, /*channel_dim=*/0);
+    obs.observe(b2, /*channel_dim=*/0);
+
+    const auto &cam = obs.channelAbsMax();
+    ASSERT_EQ(cam.size(), 4u);
+    for (int64_t c = 0; c < 4; ++c) {
+        double m = 0.0;
+        for (int64_t j = 0; j < 32; ++j) {
+            m = std::max(m, std::fabs(
+                                static_cast<double>(b1[c * 32 + j])));
+            m = std::max(m, std::fabs(
+                                static_cast<double>(b2[c * 32 + j])));
+        }
+        EXPECT_DOUBLE_EQ(cam[static_cast<size_t>(c)], m) << "ch " << c;
+    }
+    // Channel-count changes between batches are an error.
+    const Tensor bad = rng.tensor(Shape{5, 32}, DistFamily::Gaussian);
+    EXPECT_THROW(obs.observe(bad, 0), std::invalid_argument);
+}
+
+TEST(Observer, EmptyAndZeroInputsAreSafe)
+{
+    Observer obs;
+    EXPECT_TRUE(obs.empty());
+    QuantConfig cfg;
+    EXPECT_DOUBLE_EQ(obs.searchScale(*parseType("int4"), cfg), 0.0);
+
+    const Tensor z = Tensor::zeros(Shape{64});
+    obs.observe(z);
+    EXPECT_EQ(obs.count(), 64);
+    EXPECT_TRUE(obs.empty()) << "all-zero data has no scale to find";
+    EXPECT_DOUBLE_EQ(obs.searchScale(*parseType("int4"), cfg), 0.0);
+
+    const ObserverSelection sel =
+        obs.selectType(signedCandidates(), cfg);
+    ASSERT_NE(sel.type, nullptr);
+    EXPECT_DOUBLE_EQ(sel.scale, 0.0);
+}
+
+TEST(Observer, ResetForgetsEverything)
+{
+    Rng rng(66);
+    Observer obs;
+    obs.observe(rng.tensor(Shape{1024}, DistFamily::Gaussian));
+    EXPECT_FALSE(obs.empty());
+    obs.reset();
+    EXPECT_TRUE(obs.empty());
+    EXPECT_EQ(obs.count(), 0);
+    EXPECT_DOUBLE_EQ(obs.absMax(), 0.0);
+}
+
+TEST(Observer, PowerOfTwoQueriesPickPowerOfTwoScales)
+{
+    Rng rng(67);
+    Observer obs;
+    obs.observe(rng.tensor(Shape{4096}, DistFamily::Gaussian));
+    QuantConfig cfg;
+    cfg.scaleMode = ScaleMode::PowerOfTwo;
+    const double s =
+        obs.searchScale(*parseType("float_e4m3"), cfg);
+    ASSERT_GT(s, 0.0);
+    const double lg = std::log2(s);
+    EXPECT_NEAR(lg, std::round(lg), 1e-9);
+}
+
+TEST(Observer, BadConfigsThrow)
+{
+    ObserverConfig bad;
+    bad.binsPerOctave = 0;
+    EXPECT_THROW(Observer{bad}, std::invalid_argument);
+    ObserverConfig swapped;
+    swapped.minExp = 5;
+    swapped.maxExp = -5;
+    EXPECT_THROW(Observer{swapped}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

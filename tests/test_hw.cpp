@@ -19,6 +19,33 @@ namespace hw {
 namespace {
 
 // ---------------------------------------------------------------------
+// Integer datapath width guard
+// ---------------------------------------------------------------------
+TEST(IntDatapath, OversizedExponentsFailLoudly)
+{
+    // value = base * 2^exp models a 64-bit datapath: exponents the
+    // datapath cannot hold (large PoT codes) must throw, not shift by
+    // >= 64 (UB) or silently wrap.
+    IntOperand ok;
+    ok.baseInt = -1;
+    ok.exp = 62;
+    EXPECT_EQ(intOperandValue(ok), -(int64_t{1} << 62));
+
+    IntOperand wide;
+    wide.baseInt = 1;
+    wide.exp = 199;
+    EXPECT_THROW((void)intOperandValue(wide), std::overflow_error);
+
+    IntOperand a, b;
+    a.baseInt = b.baseInt = 1;
+    a.exp = b.exp = 40; // 80 combined
+    EXPECT_THROW((void)IntFlintMac::multiply(a, b),
+                 std::overflow_error);
+    b.exp = 20; // 60 combined: fine
+    EXPECT_EQ(IntFlintMac::multiply(a, b), int64_t{1} << 60);
+}
+
+// ---------------------------------------------------------------------
 // LZD
 // ---------------------------------------------------------------------
 TEST(Lzd, MatchesNaiveForAllInputs)

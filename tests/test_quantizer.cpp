@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "core/quantizer.h"
+#include "core/type_selector.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
 
@@ -190,6 +191,61 @@ TEST(Quantizer, InvalidConfigThrows)
 {
     QuantConfig cfg; // null type
     EXPECT_THROW(quantize(Tensor::zeros(Shape{4}), cfg),
+                 std::invalid_argument);
+}
+
+TEST(Quantizer, ValidateNamesTheOffendingField)
+{
+    const auto thrownFieldContains = [](const QuantConfig &cfg,
+                                        const std::string &field,
+                                        bool require_type = true) {
+        try {
+            cfg.validate(require_type);
+        } catch (const std::invalid_argument &e) {
+            return std::string(e.what()).find(field) !=
+                   std::string::npos;
+        }
+        return false;
+    };
+
+    QuantConfig good;
+    good.type = makeInt(4, true);
+    EXPECT_NO_THROW(good.validate());
+
+    QuantConfig null_type;
+    EXPECT_TRUE(thrownFieldContains(null_type, "type"));
+    // selectType ignores cfg.type, so its entry point relaxes only
+    // the null check — other fields still validate.
+    EXPECT_NO_THROW(null_type.validate(/*require_type=*/false));
+
+    QuantConfig wide = good;
+    wide.type = makeInt(16, true);
+    EXPECT_TRUE(thrownFieldContains(wide, "bits"));
+    EXPECT_TRUE(thrownFieldContains(wide, "bits", false))
+        << "a present type is always range-checked";
+
+    QuantConfig steps = good;
+    steps.searchSteps = 0;
+    EXPECT_TRUE(thrownFieldContains(steps, "searchSteps"));
+
+    QuantConfig bins = good;
+    bins.histBins = 1;
+    EXPECT_TRUE(thrownFieldContains(bins, "histBins"));
+
+    for (double lo : {0.0, -0.25, 1.5}) {
+        QuantConfig bad_lo = good;
+        bad_lo.searchLo = lo;
+        EXPECT_TRUE(thrownFieldContains(bad_lo, "searchLo")) << lo;
+    }
+
+    // The entry points enforce it.
+    Rng rng(40);
+    const Tensor t = rng.tensor(Shape{64}, DistFamily::Gaussian);
+    QuantConfig bad = good;
+    bad.searchSteps = -3;
+    EXPECT_THROW(quantize(t, bad), std::invalid_argument);
+    EXPECT_THROW(quantizeScored(t, bad), std::invalid_argument);
+    EXPECT_THROW(selectType(t, {makeInt(4, true)}, bad),
                  std::invalid_argument);
 }
 

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the type registry: spec-string round-trips, parse errors,
+ * kernel caching, and the float4/pot4 aliasing pitfall.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/type_registry.h"
+
+namespace ant {
+namespace {
+
+void
+expectEqualTypes(const NumericType &a, const NumericType &b)
+{
+    EXPECT_EQ(a.kind(), b.kind());
+    EXPECT_EQ(a.bits(), b.bits());
+    EXPECT_EQ(a.isSigned(), b.isSigned());
+    EXPECT_EQ(a.grid(), b.grid());
+    EXPECT_TRUE(typesEqual(a, b));
+}
+
+TEST(TypeRegistry, SpecRoundTripsEveryFamilyAtEveryWidth)
+{
+    // The satellite matrix: every factory family x {signed, unsigned}
+    // x {4, 8} bits. spec() -> parseType must rebuild an equal type.
+    for (bool sgn : {true, false}) {
+        for (int bits : {4, 8}) {
+            const std::vector<TypePtr> family = {
+                makeInt(bits, sgn),
+                makePoT(bits, sgn),
+                makeFlint(bits, sgn),
+                makeDefaultFloat(bits, sgn),
+            };
+            for (const TypePtr &t : family) {
+                SCOPED_TRACE(t->name() + " spec=" + t->spec());
+                const TypePtr back = parseType(t->spec());
+                ASSERT_NE(back, nullptr);
+                expectEqualTypes(*t, *back);
+                EXPECT_EQ(back->spec(), t->spec());
+            }
+        }
+    }
+}
+
+TEST(TypeRegistry, SpecRoundTripsEveryRegisteredSpec)
+{
+    for (const std::string &spec : TypeRegistry::instance().specs()) {
+        SCOPED_TRACE(spec);
+        const TypePtr t = parseType(spec);
+        ASSERT_NE(t, nullptr);
+        // Canonical entries round-trip to themselves; alias entries
+        // (e.g. "float4") resolve to the same instance as their
+        // canonical spelling.
+        expectEqualTypes(*t, *parseType(t->spec()));
+        EXPECT_EQ(parseType(t->spec()).get(), t.get());
+    }
+}
+
+TEST(TypeRegistry, CanonicalSpecExamples)
+{
+    EXPECT_EQ(makeInt(4, true)->spec(), "int4");
+    EXPECT_EQ(makeInt(8, false)->spec(), "int8u");
+    EXPECT_EQ(makeFlint(4, true)->spec(), "flint4");
+    EXPECT_EQ(makePoT(4, false)->spec(), "pot4u");
+    EXPECT_EQ(makeFloat(4, 3, true)->spec(), "float_e4m3");
+    EXPECT_EQ(makeFloat(3, 1, false)->spec(), "float_e3m1u");
+}
+
+TEST(TypeRegistry, ParseReturnsTheSameInstance)
+{
+    // The registry is process-wide: repeated parses share one TypePtr.
+    EXPECT_EQ(parseType("flint4").get(), parseType("flint4").get());
+    EXPECT_EQ(parseType("int8u").get(), parseType("int8u").get());
+}
+
+TEST(TypeRegistry, FloatAliasResolvesToDefaultFloat)
+{
+    // "float<b>" is sugar for the ANT default b-bit float layout.
+    const TypePtr f4 = parseType("float4");
+    expectEqualTypes(*f4, *makeDefaultFloat(4, true));
+    const TypePtr f8u = parseType("float8u");
+    expectEqualTypes(*f8u, *makeDefaultFloat(8, false));
+}
+
+TEST(TypeRegistry, Float4AndPot4AreDistinctDespiteEqualGrids)
+{
+    // The aliasing pitfall at makeDefaultFloat: the signed 4-bit
+    // default float (E3M0) and the signed 4-bit PoT share one value
+    // grid (paper Fig. 14), but the registry must keep them distinct
+    // named entries — never hand one out for the other.
+    const TypePtr f = parseType("float4");
+    const TypePtr p = parseType("pot4");
+    ASSERT_NE(f, nullptr);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(f->grid(), p->grid()); // the Fig. 14 coincidence
+    EXPECT_NE(f.get(), p.get());
+    EXPECT_NE(f->kind(), p->kind());
+    EXPECT_NE(f->name(), p->name());
+    EXPECT_NE(f->spec(), p->spec());
+    EXPECT_FALSE(typesEqual(*f, *p)) << "kind must break the tie";
+
+    // The cached kernels are likewise per-entry, not per-grid.
+    const KernelPtr kf = TypeRegistry::instance().kernel("float4");
+    const KernelPtr kp = TypeRegistry::instance().kernel("pot4");
+    EXPECT_NE(kf.get(), kp.get());
+    EXPECT_EQ(&kf->type(), TypeRegistry::instance().type("float4").get());
+    EXPECT_EQ(&kp->type(), p.get());
+}
+
+TEST(TypeRegistry, KernelCacheReturnsSharedInstance)
+{
+    const TypePtr t = parseType("flint4");
+    const KernelPtr a = cachedKernel(t);
+    const KernelPtr b = cachedKernel(t);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get()) << "kernel must be compiled once";
+    EXPECT_EQ(a.get(),
+              TypeRegistry::instance().kernel("flint4").get());
+}
+
+TEST(TypeRegistry, KernelForBorrowedInstanceMatchesCache)
+{
+    // A locally constructed type with a registered spec gets the
+    // cached kernel (grids match) ...
+    const IntType local(4, true);
+    const KernelPtr k = TypeRegistry::instance().kernelFor(local);
+    EXPECT_EQ(k.get(), TypeRegistry::instance().kernel("int4").get());
+
+    // ... and the kernel is bit-identical to a private compilation.
+    const QuantKernel priv(local);
+    for (double x : {-9.0, -3.3, -0.4, 0.0, 0.6, 2.5, 11.0})
+        EXPECT_DOUBLE_EQ(k->quantizeValue(x), priv.quantizeValue(x));
+}
+
+TEST(TypeRegistry, LazySpecsRegisterOnFirstUse)
+{
+    // int6 is not in the standard catalog; first parse registers it.
+    const TypePtr t = parseType("int6");
+    EXPECT_EQ(t->bits(), 6);
+    EXPECT_EQ(t->kind(), TypeKind::Int);
+    const auto specs = TypeRegistry::instance().specs();
+    EXPECT_NE(std::find(specs.begin(), specs.end(), "int6"),
+              specs.end());
+}
+
+TEST(TypeRegistry, MalformedSpecsThrow)
+{
+    for (const char *bad :
+         {"", "int", "intx", "int4x", "4int", "float_e", "float_e4",
+          "float_e4m", "float_em3", "pot", "flintu", "uint4", "int99",
+          "upot4", "bfloat16", "int4 "}) {
+        SCOPED_TRACE(bad);
+        EXPECT_THROW((void)parseType(bad), std::invalid_argument);
+        EXPECT_FALSE(isValidTypeSpec(bad));
+    }
+    EXPECT_TRUE(isValidTypeSpec("int4"));
+    EXPECT_TRUE(isValidTypeSpec("float_e4m3u"));
+}
+
+TEST(TypeRegistry, WithSignednessFlipsAndPreservesLayout)
+{
+    const TypePtr s = parseType("flint4");
+    const TypePtr u = withSignedness(s, false);
+    EXPECT_EQ(u->spec(), "flint4u");
+    EXPECT_EQ(withSignedness(u, true).get(), s.get());
+    EXPECT_EQ(withSignedness(s, true).get(), s.get());
+
+    // Floats keep their exact exponent/mantissa split.
+    EXPECT_EQ(withSignedness(parseType("float_e4m3"), false)->spec(),
+              "float_e4m3u");
+}
+
+TEST(TypeRegistry, OutOfRangeWidthsThrow)
+{
+    EXPECT_THROW((void)parseType("pot9"), std::invalid_argument);
+    EXPECT_THROW((void)parseType("int17"), std::invalid_argument);
+    EXPECT_THROW((void)parseType("float_e9m2"), std::invalid_argument);
+    // Flint widths are guarded *before* the 2^bits grid allocation:
+    // specs are parsed from untrusted recipe files, and an unguarded
+    // "flint33" would try to materialize a multi-gigabyte table.
+    EXPECT_THROW((void)parseType("flint13"), std::invalid_argument);
+    EXPECT_THROW((void)parseType("flint33"), std::invalid_argument);
+    EXPECT_THROW((void)parseType("flint99u"), std::invalid_argument);
+    EXPECT_THROW(FlintType(33, true), std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

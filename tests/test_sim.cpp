@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/type_registry.h"
 #include "sim/accelerator.h"
 
 namespace ant {
@@ -109,6 +110,40 @@ TEST(Planner, FixedFormatsHaveFixedBits)
     EXPECT_NEAR(planWorkload(w, Design::BiScaled).avgBits, 6.0, 0.3);
     EXPECT_NEAR(planWorkload(w, Design::AdaFloat).avgBits, 8.0, 0.01);
     EXPECT_NEAR(planWorkload(w, Design::Int8).avgBits, 8.0, 0.01);
+}
+
+TEST(Planner, EveryEmittedTypeSpecParsesBack)
+{
+    // LayerPlan.actType/weightType are registry spec strings: every
+    // emitted value must parse back to an equal type whose width
+    // matches the plan's bit decision — across every design, including
+    // the composite baselines (their storage grids).
+    const auto w = workloads::resnet18();
+    for (Design d :
+         {Design::AntOS, Design::AntWS, Design::BitFusion,
+          Design::OLAccel, Design::BiScaled, Design::AdaFloat,
+          Design::GOBO, Design::Int8}) {
+        const QuantPlan p = planWorkload(w, d);
+        ASSERT_EQ(p.layers.size(), w.layers.size());
+        for (const LayerPlan &lp : p.layers) {
+            SCOPED_TRACE(std::string(hw::designName(d)) + "/" +
+                         lp.layer + " w=" + lp.weightType +
+                         " a=" + lp.actType);
+            const TypePtr wt = parseType(lp.weightType);
+            ASSERT_NE(wt, nullptr);
+            EXPECT_EQ(wt->spec(), lp.weightType);
+            EXPECT_TRUE(typesEqual(*wt, *parseType(wt->spec())));
+            const TypePtr at = parseType(lp.actType);
+            ASSERT_NE(at, nullptr);
+            EXPECT_EQ(at->spec(), lp.actType);
+            EXPECT_TRUE(typesEqual(*at, *parseType(at->spec())));
+            // The plan's bit decision matches the spec'd storage grid.
+            EXPECT_EQ(at->bits(), lp.actBits);
+            EXPECT_EQ(wt->bits(), lp.weightBits);
+            EXPECT_FALSE(lp.scheme.empty());
+            EXPECT_FALSE(lp.layer.empty());
+        }
+    }
 }
 
 TEST(Planner, OLAccelKeepsFirstLayerEightBit)

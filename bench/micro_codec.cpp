@@ -185,6 +185,86 @@ BM_MseSearchPerChannelBatched(benchmark::State &state)
 }
 BENCHMARK(BM_MseSearchPerChannelBatched)->Unit(benchmark::kMillisecond);
 
+// Per-group granularity sweep (the LLM-style M-ANT axis): int4 MSE
+// scale search over a transformer-activation fixture (Laplace body,
+// sparse far outliers — the distribution that makes one per-tensor
+// scale collapse at 4 bits) at group sizes 64/128/256, vs the
+// per-channel and per-tensor references. The "mse" counter carries the
+// quantization MSE of each configuration so the accuracy-vs-overhead
+// trade-off rides along with the timings in BENCH_micro_codec.json.
+
+constexpr int64_t kActRows = 64;    //!< batch*tokens rows
+constexpr int64_t kActFeatures = 3072; //!< GPT-style FFN width
+
+Tensor
+transformerActFixture()
+{
+    Rng rng(7);
+    return rng.laplaceOutlierTensor(Shape{kActRows, kActFeatures}, 1.0f,
+                                    0.01, 8.0f);
+}
+
+void
+BM_GroupSizeSweepInt4(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = state.range(0);
+    QuantResult r;
+    for (auto _ : state) {
+        r = quantize(t, cfg);
+        benchmark::DoNotOptimize(r.mse);
+    }
+    state.counters["mse"] = r.mse;
+    state.counters["scales"] = static_cast<double>(r.scales.size());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_GroupSizeSweepInt4)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GroupSizeSweepInt4PerChannel(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerChannel;
+    QuantResult r;
+    for (auto _ : state) {
+        r = quantize(t, cfg);
+        benchmark::DoNotOptimize(r.mse);
+    }
+    state.counters["mse"] = r.mse;
+    state.counters["scales"] = static_cast<double>(r.scales.size());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_GroupSizeSweepInt4PerChannel)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GroupSizeSweepInt4PerTensor(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerTensor;
+    QuantResult r;
+    for (auto _ : state) {
+        r = quantize(t, cfg);
+        benchmark::DoNotOptimize(r.mse);
+    }
+    state.counters["mse"] = r.mse;
+    state.counters["scales"] = static_cast<double>(r.scales.size());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_GroupSizeSweepInt4PerTensor)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_QuantizeBatchKernel(benchmark::State &state)
 {

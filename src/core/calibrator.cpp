@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/type_registry.h"
 
@@ -293,6 +294,200 @@ Observer::searchScale(const NumericType &type,
 {
     return searchScaleKernel(
         *TypeRegistry::instance().kernelFor(type), cfg);
+}
+
+// ---------------------------------------------------------------------
+// GroupObserver
+// ---------------------------------------------------------------------
+
+GroupObserver::GroupObserver(int64_t group_size, ObserverConfig cfg)
+    : gs_(group_size), cfg_(cfg)
+{
+    if (gs_ < 1)
+        throw std::invalid_argument(
+            "GroupObserver: group_size must be >= 1 (got " +
+            std::to_string(gs_) + ")");
+}
+
+const Observer &
+GroupObserver::group(int64_t g) const
+{
+    if (g < 0 || g >= groups())
+        throw std::invalid_argument(
+            "GroupObserver::group: index out of range");
+    return obs_[static_cast<size_t>(g)];
+}
+
+int64_t
+GroupObserver::count() const
+{
+    int64_t n = 0;
+    for (const Observer &o : obs_) n += o.count();
+    return n;
+}
+
+bool
+GroupObserver::empty() const
+{
+    for (const Observer &o : obs_)
+        if (!o.empty()) return false;
+    return true;
+}
+
+void
+GroupObserver::reset()
+{
+    dim_ = 0;
+    obs_.clear();
+}
+
+void
+GroupObserver::merge(const GroupObserver &other)
+{
+    if (gs_ != other.gs_)
+        throw std::invalid_argument(
+            "GroupObserver::merge: mismatched group size");
+    // Config equality is a precondition on every branch — including
+    // the empty-side adoption below, where the per-sketch
+    // Observer::merge check would otherwise never run.
+    if (cfg_.isSigned != other.cfg_.isSigned ||
+        cfg_.binsPerOctave != other.cfg_.binsPerOctave ||
+        cfg_.minExp != other.cfg_.minExp ||
+        cfg_.maxExp != other.cfg_.maxExp)
+        throw std::invalid_argument(
+            "GroupObserver::merge: mismatched ObserverConfig");
+    if (other.dim_ == 0) return; // nothing observed on the other side
+    if (dim_ == 0) {
+        dim_ = other.dim_;
+        obs_ = other.obs_;
+        return;
+    }
+    if (dim_ != other.dim_)
+        throw std::invalid_argument(
+            "GroupObserver::merge: mismatched feature dimension");
+    for (size_t g = 0; g < obs_.size(); ++g) obs_[g].merge(other.obs_[g]);
+}
+
+void
+GroupObserver::observe(const Tensor &t)
+{
+    if (t.ndim() < 1 || t.numel() == 0)
+        throw std::invalid_argument(
+            "GroupObserver::observe: empty tensor");
+    const int64_t d = t.dim(t.ndim() - 1);
+    if (dim_ == 0) {
+        dim_ = d;
+        const int64_t g = (d + gs_ - 1) / gs_;
+        obs_.assign(static_cast<size_t>(g), Observer(cfg_));
+    } else if (dim_ != d) {
+        throw std::invalid_argument(
+            "GroupObserver::observe: feature dim changed between "
+            "batches (" +
+            std::to_string(dim_) + " -> " + std::to_string(d) + ")");
+    }
+    const int64_t rows = t.numel() / d;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *row = t.data() + r * d;
+        for (int64_t g = 0; g < groups(); ++g) {
+            const int64_t off = g * gs_;
+            obs_[static_cast<size_t>(g)].observe(
+                row + off, std::min(gs_, d - off));
+        }
+    }
+}
+
+std::vector<double>
+GroupObserver::searchScales(const NumericType &type,
+                            const QuantConfig &cfg) const
+{
+    const KernelPtr kernel = TypeRegistry::instance().kernelFor(type);
+    std::vector<double> s;
+    s.reserve(obs_.size());
+    for (const Observer &o : obs_) s.push_back(o.searchScale(*kernel, cfg));
+    return s;
+}
+
+GroupObserverSelection
+GroupObserver::selectType(const std::vector<TypePtr> &candidates,
+                          const QuantConfig &base_cfg,
+                          GroupTypeMode mode) const
+{
+    if (candidates.empty())
+        throw std::invalid_argument(
+            "GroupObserver::selectType: empty candidate list");
+    base_cfg.validate(/*require_type=*/false);
+    if (dim_ == 0)
+        throw std::logic_error(
+            "GroupObserver::selectType: nothing observed");
+
+    const size_t ng = obs_.size();
+    GroupObserverSelection sel;
+    sel.groupSize = gs_;
+    sel.groups = static_cast<int64_t>(ng);
+    sel.types.assign(ng, nullptr);
+    sel.scales.assign(ng, 0.0);
+
+    std::vector<KernelPtr> kernels;
+    kernels.reserve(candidates.size());
+    for (const TypePtr &c : candidates) kernels.push_back(cachedKernel(c));
+
+    // Per-candidate per-group (scale, sketch MSE) grids, computed once.
+    std::vector<std::vector<double>> cand_s(candidates.size()),
+        cand_e(candidates.size());
+    for (size_t k = 0; k < candidates.size(); ++k) {
+        cand_s[k].assign(ng, 0.0);
+        cand_e[k].assign(ng, 0.0);
+        for (size_t g = 0; g < ng; ++g) {
+            const double s =
+                obs_[g].searchScale(*kernels[k], base_cfg);
+            cand_s[k][g] = s;
+            cand_e[k][g] = obs_[g].approxMse(*kernels[k], s);
+        }
+    }
+
+    double total_n = 0.0;
+    for (const Observer &o : obs_)
+        total_n += static_cast<double>(o.count());
+
+    double err_sum = 0.0;
+    if (mode == GroupTypeMode::PerGroup) {
+        for (size_t g = 0; g < ng; ++g) {
+            double best = std::numeric_limits<double>::infinity();
+            size_t best_k = 0;
+            for (size_t k = 0; k < candidates.size(); ++k)
+                if (cand_e[k][g] < best) {
+                    best = cand_e[k][g];
+                    best_k = k;
+                }
+            sel.types[g] = candidates[best_k];
+            sel.scales[g] = cand_s[best_k][g];
+            err_sum += cand_e[best_k][g] *
+                       static_cast<double>(obs_[g].count());
+        }
+    } else {
+        // Shared (and PerChannel, which degenerates to it here): one
+        // type minimizing the element-weighted sketch MSE over all
+        // groups; scales stay per group.
+        double best = std::numeric_limits<double>::infinity();
+        size_t best_k = 0;
+        for (size_t k = 0; k < candidates.size(); ++k) {
+            double e = 0.0;
+            for (size_t g = 0; g < ng; ++g)
+                e += cand_e[k][g] *
+                     static_cast<double>(obs_[g].count());
+            if (e < best) {
+                best = e;
+                best_k = k;
+            }
+        }
+        for (size_t g = 0; g < ng; ++g) {
+            sel.types[g] = candidates[best_k];
+            sel.scales[g] = cand_s[best_k][g];
+        }
+        err_sum = best;
+    }
+    sel.mse = total_n > 0.0 ? err_sum / total_n : 0.0;
+    return sel;
 }
 
 ObserverSelection

@@ -136,6 +136,14 @@ class Observer
     double searchScale(const NumericType &type,
                        const QuantConfig &cfg) const;
 
+    /** Kernel-reusing overload for callers sweeping many observers
+     *  with the same type (GroupObserver); cfg.type is ignored. */
+    double
+    searchScale(const QuantKernel &kernel, const QuantConfig &cfg) const
+    {
+        return searchScaleKernel(kernel, cfg);
+    }
+
     /**
      * Algorithm 2 from the sketch: rank every candidate by its
      * best-scale sketch MSE and return the argmin with its scale.
@@ -163,6 +171,91 @@ class Observer
     // query after new observations (pcnt_[i] = count in bins [0, i)).
     mutable bool prefixDirty_ = true;
     mutable std::vector<double> pcnt_, psum_, psumsq_;
+};
+
+/** Outcome of a per-group Algorithm 2 query answered from sketches. */
+struct GroupObserverSelection
+{
+    int64_t groupSize = 0;      //!< configured group length
+    int64_t groups = 0;         //!< groups tiling the feature dim
+    std::vector<TypePtr> types; //!< argmin type per group
+    std::vector<double> scales; //!< searched scale per group
+    double mse = 0.0;           //!< element-weighted sketch MSE
+};
+
+/**
+ * Streaming per-group magnitude observer (Granularity::PerGroup for
+ * activations): groups tile the *innermost* (feature) dimension in
+ * contiguous runs of groupSize, shared across rows — the layout a
+ * GPT-style linear layer needs for static per-group activation scales.
+ * One Observer sketch per group; every batch streamed in splits each
+ * row across the group sketches, so accumulation inherits the
+ * order-exactness of Observer. The feature dimension is fixed by the
+ * first observe() call (a later batch with a different innermost dim
+ * throws). Like Observer, not thread-safe; merge() shards instead.
+ */
+class GroupObserver
+{
+  public:
+    explicit GroupObserver(int64_t group_size,
+                           ObserverConfig cfg = ObserverConfig{});
+
+    int64_t groupSize() const { return gs_; }
+
+    /** Innermost dimension seen so far (0 before the first batch). */
+    int64_t featureDim() const { return dim_; }
+
+    /** Group sketches allocated (0 before the first batch). */
+    int64_t groups() const { return static_cast<int64_t>(obs_.size()); }
+
+    /** One group's sketch, for diagnostics or custom queries. */
+    const Observer &group(int64_t g) const;
+
+    /** Total elements observed across all groups. */
+    int64_t count() const;
+
+    /** True when no group has observed anything useful. */
+    bool empty() const;
+
+    /** Forget everything, including the feature dimension. */
+    void reset();
+
+    /** Fold another group observer's sketches into this one. Both must
+     *  share group size, observer config, and (once seen) feature
+     *  dimension. */
+    void merge(const GroupObserver &other);
+
+    /**
+     * Accumulate a batch: the tensor's innermost dimension is the
+     * feature axis; every leading dimension is flattened into rows.
+     * Group g sketches columns [g*groupSize, (g+1)*groupSize) of every
+     * row (the last group is ragged when groupSize does not divide the
+     * feature dim).
+     */
+    void observe(const Tensor &t);
+
+    /** Per-group scale search for one fixed type (cfg.type ignored). */
+    std::vector<double> searchScales(const NumericType &type,
+                                     const QuantConfig &cfg) const;
+
+    /**
+     * Per-group Algorithm 2 from the sketches. GroupTypeMode::Shared
+     * picks one type for all groups (argmin of the element-weighted
+     * sketch MSE summed over groups); PerGroup runs the argmin
+     * independently per group. PerChannel is meaningless here — the
+     * group axis already is the innermost one — and is treated as
+     * Shared. @p base_cfg.type is ignored.
+     */
+    GroupObserverSelection
+    selectType(const std::vector<TypePtr> &candidates,
+               const QuantConfig &base_cfg,
+               GroupTypeMode mode = GroupTypeMode::PerGroup) const;
+
+  private:
+    int64_t gs_;
+    int64_t dim_ = 0;
+    ObserverConfig cfg_;
+    std::vector<Observer> obs_;
 };
 
 } // namespace ant

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/parallel.h"
 
 namespace ant {
 
@@ -99,6 +103,69 @@ QuantKernel::encodeBatch(const float *in, uint32_t *out, int64_t n,
         }
         out[i] = codes_[idx];
     }
+}
+
+namespace {
+
+int64_t
+checkGroupLayout(const char *who, int64_t n, int64_t group_size,
+                 size_t scale_count)
+{
+    if (group_size < 1)
+        throw std::invalid_argument(std::string(who) +
+                                    ": group_size must be >= 1 (got " +
+                                    std::to_string(group_size) + ")");
+    const int64_t groups = (n + group_size - 1) / group_size;
+    if (static_cast<int64_t>(scale_count) != groups)
+        throw std::invalid_argument(
+            std::string(who) + ": " + std::to_string(scale_count) +
+            " scales for " + std::to_string(groups) + " groups (n=" +
+            std::to_string(n) + ", group_size=" +
+            std::to_string(group_size) + ")");
+    return groups;
+}
+
+} // namespace
+
+double
+QuantKernel::quantizeGroups(const float *in, float *out, int64_t n,
+                            int64_t group_size,
+                            const std::vector<double> &scales) const
+{
+    const int64_t groups = checkGroupLayout(
+        "QuantKernel::quantizeGroups", n, group_size, scales.size());
+    if (groups == 0) return 0.0;
+    std::vector<double> errs(static_cast<size_t>(groups), 0.0);
+    parallelFor(groups, [&](int64_t b, int64_t e) {
+        for (int64_t g = b; g < e; ++g) {
+            const int64_t off = g * group_size;
+            const int64_t len = std::min(group_size, n - off);
+            errs[static_cast<size_t>(g)] =
+                quantizeBatch(in + off, out ? out + off : nullptr, len,
+                              scales[static_cast<size_t>(g)]) *
+                static_cast<double>(len);
+        }
+    });
+    double err = 0.0;
+    for (double e : errs) err += e;
+    return err / static_cast<double>(n);
+}
+
+void
+QuantKernel::encodeGroups(const float *in, uint32_t *out, int64_t n,
+                          int64_t group_size,
+                          const std::vector<double> &scales) const
+{
+    const int64_t groups = checkGroupLayout(
+        "QuantKernel::encodeGroups", n, group_size, scales.size());
+    parallelFor(groups, [&](int64_t b, int64_t e) {
+        for (int64_t g = b; g < e; ++g) {
+            const int64_t off = g * group_size;
+            const int64_t len = std::min(group_size, n - off);
+            encodeBatch(in + off, out + off, len,
+                        scales[static_cast<size_t>(g)]);
+        }
+    });
 }
 
 MagnitudeHistogram::MagnitudeHistogram(const float *in, int64_t n,

@@ -85,6 +85,27 @@ class QuantKernel
                      double scale) const;
 
     /**
+     * Group-strided quantize (Granularity::PerGroup): the flat range is
+     * split into contiguous groups of @p group_size elements (the last
+     * group is ragged when group_size does not divide @p n), group g
+     * quantized with scales[g]. @p scales must hold exactly
+     * ceil(n / group_size) entries. Groups fan out over the engine's
+     * thread pool; each group's elements are bit-exact with
+     * quantizeBatch on that slice, and the returned MSE is the
+     * deterministic group-index-order reduction over @p n elements.
+     * @p out may be null (MSE only) or alias @p in.
+     */
+    double quantizeGroups(const float *in, float *out, int64_t n,
+                          int64_t group_size,
+                          const std::vector<double> &scales) const;
+
+    /** Group-strided encodeBatch: group g encoded with scales[g]. Same
+     *  layout contract as quantizeGroups. */
+    void encodeGroups(const float *in, uint32_t *out, int64_t n,
+                      int64_t group_size,
+                      const std::vector<double> &scales) const;
+
+    /**
      * Non-negative grid values (signed grids folded to magnitudes).
      * This is the decision lattice the histogram sketch sweeps.
      */

@@ -33,6 +33,10 @@ QuantConfig::validate(bool require_type) const
         throw std::invalid_argument(
             "QuantConfig.searchLo: must be in (0,1] (got " +
             std::to_string(searchLo) + ")");
+    if (granularity == Granularity::PerGroup && groupSize < 1)
+        throw std::invalid_argument(
+            "QuantConfig.groupSize: must be >= 1 for PerGroup (got " +
+            std::to_string(groupSize) + ")");
 }
 
 double
@@ -208,12 +212,51 @@ quantizeImpl(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
     if (with_dequant) r.dequant = Tensor{t.shape()};
     float *out_base = with_dequant ? r.dequant.data() : nullptr;
 
-    // PerChannel needs a channel axis: 0-D/1-D tensors fall back to
-    // PerTensor, reported via appliedGranularity.
+    // PerChannel/PerGroup need a channel axis: 0-D/1-D tensors fall
+    // back to PerTensor, reported via appliedGranularity.
     const bool per_channel =
         cfg.granularity == Granularity::PerChannel && t.ndim() >= 2;
-    r.appliedGranularity =
-        per_channel ? Granularity::PerChannel : Granularity::PerTensor;
+    const bool per_group =
+        cfg.granularity == Granularity::PerGroup && t.ndim() >= 2;
+    r.appliedGranularity = per_channel  ? Granularity::PerChannel
+                           : per_group ? Granularity::PerGroup
+                                       : Granularity::PerTensor;
+
+    if (per_group) {
+        // Group-strided path (M-ANT granularity): each channel's chunk
+        // is split into contiguous groups of cfg.groupSize elements
+        // (the last group of each channel is ragged when groupSize does
+        // not divide the chunk). One independent scale search per
+        // group, fanned out over the flat channel x group index space.
+        const int64_t channels = t.dim(0);
+        const int64_t chunk = t.numel() / channels;
+        const int64_t gs = cfg.groupSize;
+        const int64_t gpc = (chunk + gs - 1) / gs;
+        const int64_t total = channels * gpc;
+        r.groupSize = gs;
+        r.groupsPerChannel = gpc;
+        r.scales.assign(static_cast<size_t>(total), 0.0);
+        std::vector<double> errs(static_cast<size_t>(total), 0.0);
+        parallelFor(total, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                const int64_t c = i / gpc;
+                const int64_t g = i % gpc;
+                const int64_t off = c * chunk + g * gs;
+                const int64_t len = std::min(gs, chunk - g * gs);
+                const float *in = t.data() + off;
+                float *out = out_base ? out_base + off : nullptr;
+                const double s = searchScaleKernel(kernel, in, len, cfg);
+                errs[static_cast<size_t>(i)] =
+                    kernel.quantizeBatch(in, out, len, s) *
+                    static_cast<double>(len);
+                r.scales[static_cast<size_t>(i)] = s;
+            }
+        });
+        double err = 0.0;
+        for (double e : errs) err += e;
+        r.mse = err / static_cast<double>(t.numel());
+        return r;
+    }
 
     if (!per_channel) {
         const double s =

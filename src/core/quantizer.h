@@ -24,10 +24,13 @@ namespace ant {
 
 class QuantKernel;
 
-/** Quantization granularity (Sec. II-B). */
+/** Quantization granularity (Sec. II-B; PerGroup follows M-ANT). */
 enum class Granularity {
     PerTensor,  //!< one scale for the whole tensor (activations)
     PerChannel, //!< one scale per dim-0 slice (weights, output channels)
+    PerGroup,   //!< one scale per contiguous run of QuantConfig::groupSize
+                //!< elements inside each dim-0 slice (LLM-style group
+                //!< quantization; see QuantConfig::groupSize for layout)
 };
 
 /** How the scale factor is chosen. */
@@ -66,11 +69,22 @@ struct QuantConfig
     int refineTopK = 4;       //!< exact re-scores in Refined mode
 
     /**
+     * Group length of Granularity::PerGroup, in elements. Each dim-0
+     * slice (channel/row) is split into contiguous groups of this many
+     * elements; when groupSize does not divide the slice length the
+     * last group of every slice is shorter (ragged), never dropped.
+     * Scales are laid out channel-major: scales[c * groupsPerChannel
+     * + g]. Ignored by the other granularities.
+     */
+    int64_t groupSize = 128;
+
+    /**
      * Reject out-of-range fields with std::invalid_argument naming the
      * offending field: null type (unless @p require_type is false —
      * selectType ignores the field), type bits outside [2, 8],
-     * searchSteps < 1, histBins < 2, searchLo outside (0, 1]. Called
-     * at the quantize/selectType entry points.
+     * searchSteps < 1, histBins < 2, searchLo outside (0, 1], and
+     * groupSize < 1 when granularity is PerGroup (the field is ignored
+     * otherwise). Called at the quantize/selectType entry points.
      */
     void validate(bool require_type = true) const;
 };
@@ -79,16 +93,23 @@ struct QuantConfig
 struct QuantResult
 {
     Tensor dequant;             //!< fake-quantized tensor (same shape)
-    std::vector<double> scales; //!< one entry (per-tensor) or C entries
+    std::vector<double> scales; //!< 1 (per-tensor), C (per-channel), or
+                                //!< C * groupsPerChannel (per-group,
+                                //!< channel-major)
     double mse = 0.0;           //!< mean squared error vs the input
 
     /**
-     * Granularity actually applied. PerChannel requests on tensors with
-     * fewer than 2 dimensions fall back to PerTensor (there is no
-     * channel axis to split); this field makes that fallback explicit
-     * instead of silent — check it when the request was PerChannel.
+     * Granularity actually applied. PerChannel and PerGroup requests on
+     * tensors with fewer than 2 dimensions fall back to PerTensor
+     * (there is no channel axis to split); this field makes that
+     * fallback explicit instead of silent — check it when the request
+     * was PerChannel/PerGroup.
      */
     Granularity appliedGranularity = Granularity::PerTensor;
+
+    /** Per-group bookkeeping (zero unless PerGroup was applied). */
+    int64_t groupSize = 0;        //!< group length actually used
+    int64_t groupsPerChannel = 0; //!< ceil(chunk / groupSize)
 };
 
 /**

@@ -17,6 +17,7 @@ granularityName(Granularity g)
     switch (g) {
       case Granularity::PerTensor: return "per_tensor";
       case Granularity::PerChannel: return "per_channel";
+      case Granularity::PerGroup: return "per_group";
     }
     return "?";
 }
@@ -37,6 +38,7 @@ parseGranularity(const std::string &s)
 {
     if (s == "per_tensor") return Granularity::PerTensor;
     if (s == "per_channel") return Granularity::PerChannel;
+    if (s == "per_group") return Granularity::PerGroup;
     throw std::invalid_argument("parseGranularity(\"" + s + "\")");
 }
 
@@ -54,7 +56,8 @@ operator==(const TensorRecipe &a, const TensorRecipe &b)
 {
     return a.enabled == b.enabled && a.typeSpec == b.typeSpec &&
            a.bits == b.bits && a.granularity == b.granularity &&
-           a.scaleMode == b.scaleMode && a.scales == b.scales;
+           a.scaleMode == b.scaleMode && a.scales == b.scales &&
+           a.groupSize == b.groupSize && a.groupSpecs == b.groupSpecs;
 }
 
 bool
@@ -130,6 +133,8 @@ writeTensorRecipe(std::string &out, const TensorRecipe &t,
     writeEscaped(out, granularityName(t.granularity));
     out += ",\n";
     out += indent;
+    out += "  \"group_size\": " + std::to_string(t.groupSize) + ",\n";
+    out += indent;
     out += "  \"scale_mode\": ";
     writeEscaped(out, scaleModeName(t.scaleMode));
     out += ",\n";
@@ -139,7 +144,18 @@ writeTensorRecipe(std::string &out, const TensorRecipe &t,
         if (i) out += ", ";
         writeDouble(out, t.scales[i]);
     }
-    out += "]\n";
+    out += "]";
+    if (!t.groupSpecs.empty()) {
+        out += ",\n";
+        out += indent;
+        out += "  \"group_types\": [";
+        for (size_t i = 0; i < t.groupSpecs.size(); ++i) {
+            if (i) out += ", ";
+            writeEscaped(out, t.groupSpecs[i]);
+        }
+        out += "]";
+    }
+    out += "\n";
     out += indent;
     out += "}";
 }
@@ -415,6 +431,14 @@ tensorFromJson(const JsonValue &obj)
     t.bits = static_cast<int>(bits.number);
     t.granularity = parseGranularity(stringField(obj, "granularity"));
     t.scaleMode = parseScaleMode(stringField(obj, "scale_mode"));
+    // Group fields are optional so pre-group recipes keep loading.
+    const auto gsz = obj.fields.find("group_size");
+    if (gsz != obj.fields.end()) {
+        if (gsz->second->kind != JsonValue::Kind::Number)
+            throw std::invalid_argument(
+                "QuantRecipe JSON: \"group_size\" must be a number");
+        t.groupSize = static_cast<int64_t>(gsz->second->number);
+    }
     const JsonValue &scales = field(obj, "scales");
     if (scales.kind != JsonValue::Kind::Array)
         throw std::invalid_argument(
@@ -424,6 +448,25 @@ tensorFromJson(const JsonValue &obj)
             throw std::invalid_argument(
                 "QuantRecipe JSON: scales must be numbers");
         t.scales.push_back(s->number);
+    }
+    const auto gtypes = obj.fields.find("group_types");
+    if (gtypes != obj.fields.end()) {
+        if (gtypes->second->kind != JsonValue::Kind::Array)
+            throw std::invalid_argument(
+                "QuantRecipe JSON: \"group_types\" must be an array");
+        for (const JsonPtr &s : gtypes->second->items) {
+            if (s->kind != JsonValue::Kind::String)
+                throw std::invalid_argument(
+                    "QuantRecipe JSON: group_types must be strings");
+            t.groupSpecs.push_back(s->text);
+        }
+        if (!t.groupSpecs.empty() &&
+            t.groupSpecs.size() != t.scales.size())
+            throw std::invalid_argument(
+                "QuantRecipe JSON: group_types length " +
+                std::to_string(t.groupSpecs.size()) +
+                " does not match scales length " +
+                std::to_string(t.scales.size()));
     }
     return t;
 }

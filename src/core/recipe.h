@@ -41,7 +41,21 @@ struct TensorRecipe
                            //!< tooling needn't parse specs
     Granularity granularity = Granularity::PerTensor;
     ScaleMode scaleMode = ScaleMode::MseSearch;
-    std::vector<double> scales; //!< 1 (per-tensor) or C (per-channel)
+    std::vector<double> scales; //!< 1 (per-tensor), C (per-channel), or
+                                //!< one per group (per-group)
+
+    /** Group length of a PerGroup role (0 for the other
+     *  granularities). Serialized as "group_size". */
+    int64_t groupSize = 0;
+
+    /**
+     * Per-group type specs when the groups carry heterogeneous types
+     * (per-group Algorithm 2); same layout and length as scales. Empty
+     * means every group uses typeSpec. Serialized as "group_types"
+     * (omitted from the JSON when empty, and optional on parse, so
+     * pre-group recipes load unchanged).
+     */
+    std::vector<std::string> groupSpecs;
 };
 
 bool operator==(const TensorRecipe &a, const TensorRecipe &b);

@@ -1,8 +1,10 @@
 #include "core/type_selector.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
+#include "core/type_registry.h"
 #include "tensor/parallel.h"
 
 namespace ant {
@@ -49,11 +51,150 @@ selectType(const Tensor &t, const std::vector<TypePtr> &candidates,
 
 TypeSelection
 selectType(const Tensor &t, Combo combo, int bits, bool is_signed,
-           Granularity gran)
+           Granularity gran, int64_t group_size)
 {
     QuantConfig cfg;
     cfg.granularity = gran;
+    cfg.groupSize = group_size;
     return selectType(t, comboCandidates(combo, bits, is_signed), cfg);
+}
+
+GroupTypeSelection
+selectTypePerGroup(const Tensor &t, const std::vector<TypePtr> &candidates,
+                   const QuantConfig &base_cfg, GroupTypeMode mode)
+{
+    if (candidates.empty())
+        throw std::invalid_argument(
+            "selectTypePerGroup: empty candidate list");
+    base_cfg.validate(/*require_type=*/false);
+    if (base_cfg.groupSize < 1)
+        throw std::invalid_argument(
+            "QuantConfig.groupSize: must be >= 1 for PerGroup (got " +
+            std::to_string(base_cfg.groupSize) + ")");
+    if (t.ndim() < 2)
+        throw std::invalid_argument(
+            "selectTypePerGroup: tensor must have >= 2 dims (got " +
+            std::to_string(t.ndim()) +
+            "); use selectType with PerTensor for flat tensors");
+
+    const int64_t channels = t.dim(0);
+    const int64_t chunk = t.numel() / channels;
+    const int64_t gs = base_cfg.groupSize;
+    const int64_t gpc = (chunk + gs - 1) / gs;
+    const int64_t total = channels * gpc;
+
+    GroupTypeSelection sel;
+    sel.groupSize = gs;
+    sel.groupsPerChannel = gpc;
+
+    if (mode == GroupTypeMode::Shared) {
+        // One type for the whole tensor: Algorithm 2 once, every
+        // candidate scored with its per-group scale search. Reuses the
+        // tensor-level sweep (score-only per candidate).
+        QuantConfig cfg = base_cfg;
+        cfg.granularity = Granularity::PerGroup;
+        const TypeSelection ts = selectType(t, candidates, cfg);
+        sel.types.assign(static_cast<size_t>(total), ts.type);
+        sel.scales = ts.result.scales;
+        sel.dequant = ts.result.dequant;
+        sel.mse = ts.result.mse;
+        return sel;
+    }
+
+    sel.types.assign(static_cast<size_t>(total), nullptr);
+    sel.scales.assign(static_cast<size_t>(total), 0.0);
+    sel.dequant = Tensor{t.shape()};
+    std::vector<double> errs(static_cast<size_t>(total), 0.0);
+
+    // Candidate kernels out of the registry cache, compiled nothing.
+    std::vector<KernelPtr> kernels;
+    kernels.reserve(candidates.size());
+    for (const TypePtr &c : candidates) kernels.push_back(cachedKernel(c));
+
+    if (mode == GroupTypeMode::PerGroup) {
+        // Algorithm 2 independently per group: the scale search and the
+        // argmin both see only the group's elements.
+        parallelFor(total, [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                const int64_t c = i / gpc;
+                const int64_t g = i % gpc;
+                const int64_t off = c * chunk + g * gs;
+                const int64_t len = std::min(gs, chunk - g * gs);
+                const float *in = t.data() + off;
+                double best_e =
+                    std::numeric_limits<double>::infinity();
+                double best_s = 0.0;
+                size_t best_k = 0;
+                for (size_t k = 0; k < kernels.size(); ++k) {
+                    const double s =
+                        searchScale(in, len, *kernels[k], base_cfg);
+                    const double err =
+                        kernels[k]->mseBatch(in, len, s);
+                    if (err < best_e) {
+                        best_e = err;
+                        best_s = s;
+                        best_k = k;
+                    }
+                }
+                errs[static_cast<size_t>(i)] =
+                    kernels[best_k]->quantizeBatch(
+                        in, sel.dequant.data() + off, len, best_s) *
+                    static_cast<double>(len);
+                sel.types[static_cast<size_t>(i)] = candidates[best_k];
+                sel.scales[static_cast<size_t>(i)] = best_s;
+            }
+        });
+    } else {
+        // Shared-type-per-channel fallback: each channel's groups keep
+        // their own scales but share the channel's argmin type, so a
+        // decoder never switches types inside a row.
+        parallelFor(channels, [&](int64_t b, int64_t e) {
+            for (int64_t c = b; c < e; ++c) {
+                const float *base = t.data() + c * chunk;
+                double best_e =
+                    std::numeric_limits<double>::infinity();
+                size_t best_k = 0;
+                std::vector<double> best_s(static_cast<size_t>(gpc));
+                std::vector<double> cur(static_cast<size_t>(gpc));
+                for (size_t k = 0; k < kernels.size(); ++k) {
+                    double err = 0.0;
+                    for (int64_t g = 0; g < gpc; ++g) {
+                        const int64_t len =
+                            std::min(gs, chunk - g * gs);
+                        const double s = searchScale(
+                            base + g * gs, len, *kernels[k], base_cfg);
+                        cur[static_cast<size_t>(g)] = s;
+                        err += kernels[k]->mseBatch(base + g * gs, len,
+                                                    s) *
+                               static_cast<double>(len);
+                    }
+                    if (err < best_e) {
+                        best_e = err;
+                        best_k = k;
+                        best_s = cur;
+                    }
+                }
+                for (int64_t g = 0; g < gpc; ++g) {
+                    const int64_t off = c * chunk + g * gs;
+                    const int64_t len = std::min(gs, chunk - g * gs);
+                    errs[static_cast<size_t>(c * gpc + g)] =
+                        kernels[best_k]->quantizeBatch(
+                            t.data() + off, sel.dequant.data() + off,
+                            len, best_s[static_cast<size_t>(g)]) *
+                        static_cast<double>(len);
+                    sel.types[static_cast<size_t>(c * gpc + g)] =
+                        candidates[best_k];
+                    sel.scales[static_cast<size_t>(c * gpc + g)] =
+                        best_s[static_cast<size_t>(g)];
+                }
+            }
+        });
+    }
+
+    double err = 0.0;
+    for (double e : errs) err += e;
+    sel.mse = err / static_cast<double>(t.numel());
+    return sel;
 }
 
 } // namespace ant

@@ -39,10 +39,51 @@ TypeSelection selectType(const Tensor &t,
                          const std::vector<TypePtr> &candidates,
                          const QuantConfig &base_cfg);
 
-/** Convenience: select from a Combo list (Fig. 10-12 configurations). */
+/** Convenience: select from a Combo list (Fig. 10-12 configurations).
+ *  @p group_size feeds QuantConfig::groupSize when @p gran is
+ *  PerGroup (ignored otherwise). */
 TypeSelection selectType(const Tensor &t, Combo combo, int bits,
                          bool is_signed,
-                         Granularity gran = Granularity::PerTensor);
+                         Granularity gran = Granularity::PerTensor,
+                         int64_t group_size = 128);
+
+/**
+ * How adaptive the *type* choice is across the groups of a per-group
+ * quantization (the scale is always per group).
+ */
+enum class GroupTypeMode {
+    Shared,     //!< one type for the whole tensor (Algorithm 2 once,
+                //!< scored with per-group scales)
+    PerChannel, //!< one type per dim-0 slice, shared by its groups —
+                //!< the fallback that keeps decoder switching off the
+                //!< inner loop
+    PerGroup,   //!< Algorithm 2 independently per group
+};
+
+/** Outcome of per-group Algorithm 2 on one tensor. */
+struct GroupTypeSelection
+{
+    int64_t groupSize = 0;        //!< group length used
+    int64_t groupsPerChannel = 0; //!< ceil(chunk / groupSize)
+    std::vector<TypePtr> types;   //!< one per group, channel-major
+    std::vector<double> scales;   //!< one per group, channel-major
+    Tensor dequant;               //!< fake-quantized tensor
+    double mse = 0.0;             //!< exact element-weighted MSE
+};
+
+/**
+ * Per-group Algorithm 2 (the M-ANT granularity): split @p t into the
+ * channel-major group layout of Granularity::PerGroup
+ * (base_cfg.groupSize) and pick, per @p mode, the argmin-MSE candidate
+ * with its searched scale for every group. base_cfg.type and
+ * base_cfg.granularity are ignored; the tensor must have >= 2 dims
+ * (throws std::invalid_argument otherwise — callers wanting the 1-D
+ * fallback should use selectType with Granularity::PerTensor).
+ */
+GroupTypeSelection
+selectTypePerGroup(const Tensor &t, const std::vector<TypePtr> &candidates,
+                   const QuantConfig &base_cfg,
+                   GroupTypeMode mode = GroupTypeMode::PerGroup);
 
 } // namespace ant
 

@@ -73,6 +73,14 @@ struct EnergyModel
     double decodeOp = 0.008;      //!< one flint decode
     double outlierOp = 0.30;      //!< OLAccel outlier-controller event
     /**
+     * One per-group scale swap at a group boundary (per-group
+     * quantization): a 16-bit scale-register load feeding the
+     * boundary decoder's rescale stage. Charged once per group per
+     * tile pass by the simulator — amortized over groupSize elements,
+     * so it stays far below the per-element decode energy.
+     */
+    double groupScaleOp = 0.05;
+    /**
      * Leakage: ~25 mW/mm^2 for 28 nm logic+SRAM at nominal corner,
      * i.e. 25 pJ per cycle per mm^2 at 1 GHz. Slow designs pay this
      * over more cycles (the paper's static bars).

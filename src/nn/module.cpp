@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "core/quant_kernel.h"
 #include "core/type_registry.h"
@@ -14,10 +16,50 @@ namespace nn {
 // QuantState
 // ----------------------------------------------------------------------
 
+namespace {
+
+/** Majority type of a heterogeneous group selection (first-seen
+ *  tie-break), the representative `QuantState::type`. */
+TypePtr
+majorityType(const std::vector<TypePtr> &types)
+{
+    std::unordered_map<std::string, int64_t> counts;
+    TypePtr best;
+    int64_t best_n = 0;
+    for (const TypePtr &t : types) {
+        const int64_t n = ++counts[t->spec()];
+        if (n > best_n) {
+            best_n = n;
+            best = t;
+        }
+    }
+    return best;
+}
+
+/** True when every entry names the same type (spec equality). */
+bool
+homogeneous(const std::vector<TypePtr> &types)
+{
+    for (const TypePtr &t : types)
+        if (t->spec() != types.front()->spec()) return false;
+    return true;
+}
+
+} // namespace
+
 void
 QuantState::observe(const Tensor &t)
 {
     if (!observing) return;
+    if (granularity == Granularity::PerGroup) {
+        if (!gobs_) {
+            ObserverConfig oc;
+            oc.isSigned = isSigned;
+            gobs_ = std::make_unique<GroupObserver>(groupSize, oc);
+        }
+        gobs_->observe(t);
+        return;
+    }
     if (!obs_) {
         ObserverConfig oc;
         oc.isSigned = isSigned;
@@ -31,9 +73,30 @@ QuantState::calibrate(const Tensor &t)
 {
     if (candidates.empty())
         throw std::invalid_argument("QuantState: no candidates");
+    groupTypes.clear();
+    featureGroups = false; // in-memory calibration is channel-major
+    if (granularity == Granularity::PerGroup && t.ndim() >= 2 &&
+        groupTypeMode != GroupTypeMode::Shared) {
+        // Algorithm 2 per channel/group; the representative `type` is
+        // the majority pick so diagnostics and recipes stay readable.
+        QuantConfig cfg;
+        cfg.scaleMode = scaleMode;
+        cfg.groupSize = groupSize;
+        const GroupTypeSelection sel =
+            selectTypePerGroup(t, candidates, cfg, groupTypeMode);
+        type = majorityType(sel.types);
+        scales = sel.scales;
+        lastMse = sel.mse;
+        if (!homogeneous(sel.types)) groupTypes = sel.types;
+        return;
+    }
+    // Shared type: Algorithm 2 once for the tensor (per-group scoring
+    // when the granularity asks for it). PerGroup on a 0-D/1-D tensor
+    // falls back to PerTensor inside quantize(), mirroring PerChannel.
     QuantConfig cfg;
     cfg.granularity = granularity;
     cfg.scaleMode = scaleMode;
+    cfg.groupSize = groupSize;
     const TypeSelection sel = selectType(t, candidates, cfg);
     type = sel.type;
     scales = sel.result.scales;
@@ -43,11 +106,33 @@ QuantState::calibrate(const Tensor &t)
 void
 QuantState::finalizeFromObservations()
 {
-    if (!obs_ || obs_->count() == 0)
-        throw std::logic_error("QuantState: no observations collected");
     if (candidates.empty())
         throw std::invalid_argument("QuantState: no candidates");
-    // Activations are always per-tensor (Sec. II-B); Algorithm 2 is
+    groupTypes.clear();
+    if (granularity == Granularity::PerGroup) {
+        // Per-group activations: Algorithm 2 per feature group from the
+        // streamed sketches; scales broadcast across rows (one entry
+        // per group of the innermost dimension).
+        if (!gobs_ || gobs_->count() == 0)
+            throw std::logic_error(
+                "QuantState: no observations collected");
+        QuantConfig cfg;
+        cfg.scaleMode = scaleMode;
+        cfg.groupSize = groupSize;
+        const GroupObserverSelection sel =
+            gobs_->selectType(candidates, cfg, groupTypeMode);
+        type = majorityType(sel.types);
+        scales = sel.scales;
+        featureGroups = true; // sketches tile the innermost dim
+        lastMse = sel.mse;
+        if (!homogeneous(sel.types)) groupTypes = sel.types;
+        gobs_.reset();
+        observing = false;
+        return;
+    }
+    if (!obs_ || obs_->count() == 0)
+        throw std::logic_error("QuantState: no observations collected");
+    // Non-group activations are per-tensor (Sec. II-B); Algorithm 2 is
     // answered from the merged sketch of every batch streamed through.
     QuantConfig cfg;
     cfg.granularity = Granularity::PerTensor;
@@ -70,6 +155,97 @@ QuantState::apply(const Tensor &t)
     // every other) forward pass — nothing is compiled per call.
     const KernelPtr kernel_ptr = cachedKernel(type);
     const QuantKernel &kernel = *kernel_ptr;
+    // A frozen multi-scale per-group state has no defined layout on a
+    // 0-D/1-D tensor — refuse rather than silently quantizing
+    // everything with scales[0] on the per-tensor path below. (A
+    // single-scale per-group state is the documented 0-D/1-D
+    // calibration fallback and passes through.)
+    if (granularity == Granularity::PerGroup && scales.size() > 1 &&
+        t.ndim() < 2)
+        throw std::logic_error(
+            "QuantState: per-group state with " +
+            std::to_string(scales.size()) +
+            " scales cannot apply to a " + std::to_string(t.ndim()) +
+            "-D tensor");
+    if (granularity == Granularity::PerGroup && t.ndim() >= 2 &&
+        scales.size() != 1) {
+        // Two frozen per-group layouts, told apart by the scale count:
+        //  - channel-major (weights): one scale per (dim-0 slice,
+        //    group) pair, groups tiling each slice's chunk;
+        //  - feature-broadcast (activations): one scale per group of
+        //    the innermost dimension, shared by every row — static
+        //    across batches, the layout GroupObserver calibrates.
+        // A count matching neither (e.g. a recipe from a
+        // different-width layer) fails loudly instead of silently
+        // quantizing with the wrong scales. A single scale (the 0-D/1-D
+        // calibration fallback) takes the per-tensor path below.
+        if (groupSize < 1)
+            throw std::logic_error(
+                "QuantState: PerGroup with groupSize " +
+                std::to_string(groupSize));
+        if (!groupTypes.empty() && groupTypes.size() != scales.size())
+            throw std::logic_error(
+                "QuantState: " + std::to_string(groupTypes.size()) +
+                " group types for " + std::to_string(scales.size()) +
+                " scales");
+        // Resolve heterogeneous group kernels once per apply, not per
+        // (row, group): the registry lookup takes a mutex and compares
+        // grids, and the feature-broadcast loop below would otherwise
+        // re-resolve the same few kernels for every row.
+        std::vector<KernelPtr> group_kernels;
+        group_kernels.reserve(groupTypes.size());
+        for (const TypePtr &g : groupTypes)
+            group_kernels.push_back(cachedKernel(g));
+        const auto kernelOf =
+            [&](size_t i) -> const QuantKernel & {
+            return group_kernels.empty() ? kernel : *group_kernels[i];
+        };
+        const int64_t channels = t.dim(0);
+        const int64_t chunk = t.numel() / channels;
+        const int64_t gpc_w = (chunk + groupSize - 1) / groupSize;
+        const int64_t d = t.dim(t.ndim() - 1);
+        const int64_t rows = t.numel() / d;
+        const int64_t gpc_a = (d + groupSize - 1) / groupSize;
+        double err = 0.0;
+        if (!featureGroups &&
+            scales.size() == static_cast<size_t>(channels * gpc_w)) {
+            for (int64_t c = 0; c < channels; ++c)
+                for (int64_t g = 0; g < gpc_w; ++g) {
+                    const int64_t off = c * chunk + g * groupSize;
+                    const int64_t len =
+                        std::min(groupSize, chunk - g * groupSize);
+                    const size_t i =
+                        static_cast<size_t>(c * gpc_w + g);
+                    err += kernelOf(i).quantizeBatch(
+                               t.data() + off, out.data() + off, len,
+                               scales[i]) *
+                           static_cast<double>(len);
+                }
+        } else if (featureGroups &&
+                   scales.size() == static_cast<size_t>(gpc_a)) {
+            for (int64_t r = 0; r < rows; ++r)
+                for (int64_t g = 0; g < gpc_a; ++g) {
+                    const int64_t off = r * d + g * groupSize;
+                    const int64_t len =
+                        std::min(groupSize, d - g * groupSize);
+                    const size_t i = static_cast<size_t>(g);
+                    err += kernelOf(i).quantizeBatch(
+                               t.data() + off, out.data() + off, len,
+                               scales[i]) *
+                           static_cast<double>(len);
+                }
+        } else {
+            throw std::logic_error(
+                "QuantState: " + std::to_string(scales.size()) +
+                " scales for the " +
+                (featureGroups ? "feature-broadcast" : "channel-major") +
+                " layout expecting " +
+                std::to_string(featureGroups ? gpc_a
+                                             : channels * gpc_w));
+        }
+        lastMse = err / static_cast<double>(t.numel());
+        return out;
+    }
     // A per-channel state must carry one scale per channel (or the
     // single scale of the documented 1-D fallback). Anything else —
     // e.g. a recipe calibrated on a different-width layer — would
@@ -105,6 +281,14 @@ float
 QuantState::clipLo() const
 {
     if (!calibrated() || scales.empty()) return -1e30f;
+    if (!groupTypes.empty()) {
+        // Heterogeneous groups: the loosest per-group bound so the STE
+        // mask never clips a value some group can represent.
+        double lo = 0.0;
+        for (size_t i = 0; i < scales.size(); ++i)
+            lo = std::min(lo, groupTypes[i]->minValue() * scales[i]);
+        return static_cast<float>(lo);
+    }
     double smax = 0.0;
     for (double s : scales) smax = std::max(smax, s);
     return static_cast<float>(type->minValue() * smax);
@@ -114,6 +298,12 @@ float
 QuantState::clipHi() const
 {
     if (!calibrated() || scales.empty()) return 1e30f;
+    if (!groupTypes.empty()) {
+        double hi = 0.0;
+        for (size_t i = 0; i < scales.size(); ++i)
+            hi = std::max(hi, groupTypes[i]->maxValue() * scales[i]);
+        return static_cast<float>(hi);
+    }
     double smax = 0.0;
     for (double s : scales) smax = std::max(smax, s);
     return static_cast<float>(type->maxValue() * smax);

@@ -45,10 +45,40 @@ class QuantState
     ScaleMode scaleMode = ScaleMode::MseSearch; //!< calibration search
     std::vector<TypePtr> candidates; //!< Algorithm 2 candidate list
 
+    /**
+     * PerGroup knobs (ignored by the other granularities): the group
+     * length, and how adaptive the *type* is across groups — Shared
+     * runs Algorithm 2 once for the tensor, PerChannel/PerGroup run it
+     * per channel / per group and fill groupTypes.
+     */
+    int64_t groupSize = 128;
+    GroupTypeMode groupTypeMode = GroupTypeMode::Shared;
+
+    /**
+     * Which frozen per-group layout this role carries: false =
+     * channel-major (weights; one scale per dim-0 slice x group), true
+     * = feature-broadcast (activations; one scale per group of the
+     * innermost dim, shared across rows). Set by the calibration that
+     * produced the scales and by applyRecipe from the tensor role, so
+     * apply() never has to guess the layout from the scale count — a
+     * wrong-width recipe whose count happens to match the *other*
+     * layout still fails loudly.
+     */
+    bool featureGroups = false;
+
     /** Chosen type and scales after calibrate(). */
     TypePtr type;
     std::vector<double> scales;
     double lastMse = 0.0;
+
+    /**
+     * Heterogeneous per-group types (same layout and length as scales)
+     * when groupTypeMode selected types per channel/group; empty means
+     * every group uses `type`. `type` then holds the most common group
+     * type (one vote per group, first-seen tie-break) as the
+     * representative for diagnostics and the recipe's typeSpec.
+     */
+    std::vector<TypePtr> groupTypes;
 
     /** Calibration-observation flag (activations). */
     bool observing = false;
@@ -74,6 +104,9 @@ class QuantState
      *  shards or reading absmax diagnostics. */
     const Observer *observer() const { return obs_.get(); }
 
+    /** The live per-group observer (PerGroup granularity only). */
+    const GroupObserver *groupObserver() const { return gobs_.get(); }
+
     /**
      * Fake-quantize @p t with the frozen configuration; also refreshes
      * lastMse. Requires calibrate() to have run.
@@ -88,6 +121,7 @@ class QuantState
 
   private:
     std::unique_ptr<Observer> obs_;
+    std::unique_ptr<GroupObserver> gobs_;
 };
 
 /** Base class of all layers. */

@@ -52,14 +52,27 @@ installState(QuantLayer *l, const QatConfig &cfg, LayerPrecision prec)
     l->weightQ.enabled = cfg.quantWeights;
     l->weightQ.isSigned = true; // weights are always signed
     l->weightQ.granularity = cfg.weightGranularity;
+    l->weightQ.groupSize = cfg.groupSize;
+    l->weightQ.groupTypeMode = cfg.groupTypeMode;
+    l->weightQ.featureGroups = false;
     l->weightQ.candidates =
         candidatesFor(cfg, prec, /*is_signed=*/true);
 
     l->actQ.enabled = cfg.quantActs;
-    l->actQ.granularity = Granularity::PerTensor;
+    // Activations have no channel axis in the frozen layout, so the
+    // only granularities that replay are PerTensor and PerGroup.
+    l->actQ.granularity =
+        cfg.actGranularity == Granularity::PerGroup
+            ? Granularity::PerGroup
+            : Granularity::PerTensor;
+    l->actQ.groupSize = cfg.groupSize;
+    l->actQ.groupTypeMode = cfg.groupTypeMode;
+    l->actQ.featureGroups = true;
     l->actQ.candidates = candidatesFor(cfg, prec, l->actQ.isSigned);
     l->actQ.type = nullptr; // force recalibration
     l->weightQ.type = nullptr;
+    l->actQ.groupTypes.clear();
+    l->weightQ.groupTypes.clear();
 }
 
 } // namespace
@@ -94,8 +107,11 @@ tensorRecipeOf(const QuantState &q)
         t.typeSpec = q.type->spec();
         t.bits = q.type->bits();
         t.scales = q.scales;
+        for (const TypePtr &g : q.groupTypes)
+            t.groupSpecs.push_back(g->spec());
     }
     t.granularity = q.granularity;
+    if (q.granularity == Granularity::PerGroup) t.groupSize = q.groupSize;
     t.scaleMode = q.scaleMode;
     return t;
 }
@@ -142,15 +158,19 @@ extractRecipe(Classifier &model)
 
 namespace {
 
-/** Install one role's recipe onto a live QuantState. */
+/** Install one role's recipe onto a live QuantState. @p feature_groups
+ *  names the role's frozen per-group layout (false = weight
+ *  channel-major, true = activation feature-broadcast). */
 void
 applyTensorRecipe(QuantState &q, const TensorRecipe &t,
-                  const std::string &where)
+                  const std::string &where, bool feature_groups)
 {
     q.enabled = t.enabled;
     q.granularity = t.granularity;
     q.scaleMode = t.scaleMode;
     q.observing = false;
+    q.groupTypes.clear();
+    q.featureGroups = feature_groups;
     if (t.typeSpec.empty()) {
         q.type = nullptr;
         q.scales.clear();
@@ -166,6 +186,24 @@ applyTensorRecipe(QuantState &q, const TensorRecipe &t,
             "applyRecipe: " + where + ": enabled role has no frozen "
             "scales — a type-only plan (e.g. sim::toRecipe) must be "
             "calibrated before it can replay");
+    if (t.granularity == Granularity::PerGroup) {
+        if (t.groupSize < 1)
+            throw std::invalid_argument(
+                "applyRecipe: " + where +
+                ": per-group role needs group_size >= 1 (got " +
+                std::to_string(t.groupSize) + ")");
+        q.groupSize = t.groupSize;
+    }
+    if (!t.groupSpecs.empty()) {
+        if (t.groupSpecs.size() != t.scales.size())
+            throw std::invalid_argument(
+                "applyRecipe: " + where + ": " +
+                std::to_string(t.groupSpecs.size()) +
+                " group_types for " + std::to_string(t.scales.size()) +
+                " scales");
+        for (const std::string &spec : t.groupSpecs)
+            q.groupTypes.push_back(parseType(spec));
+    }
     q.isSigned = q.type->isSigned();
     q.scales = t.scales;
 }
@@ -189,8 +227,10 @@ applyRecipe(Classifier &model, const QuantRecipe &recipe)
                 layers[i]->name() + "\" but recipe says \"" + lr.layer +
                 "\"");
         applyTensorRecipe(layers[i]->weightQ, lr.weight,
-                          lr.layer + ".weight");
-        applyTensorRecipe(layers[i]->actQ, lr.act, lr.layer + ".act");
+                          lr.layer + ".weight",
+                          /*feature_groups=*/false);
+        applyTensorRecipe(layers[i]->actQ, lr.act, lr.layer + ".act",
+                          /*feature_groups=*/true);
     }
 }
 

@@ -23,6 +23,23 @@ struct QatConfig
     bool quantWeights = true;
     bool quantActs = true;
     Granularity weightGranularity = Granularity::PerChannel;
+
+    /**
+     * Activation granularity: PerTensor (the paper's Sec. II-B
+     * default) or PerGroup, which calibrates one scale per contiguous
+     * group of the feature dimension from streaming per-group sketches
+     * — the M-ANT granularity LLM-style linear layers need.
+     * PerChannel is not meaningful for activations and is treated as
+     * PerTensor.
+     */
+    Granularity actGranularity = Granularity::PerTensor;
+
+    /** Group length when either granularity is PerGroup. */
+    int64_t groupSize = 128;
+
+    /** Type adaptivity across groups (see GroupTypeMode). */
+    GroupTypeMode groupTypeMode = GroupTypeMode::Shared;
+
     int64_t calibSamples = 128; //!< ~100 samples per the paper
 
     /**

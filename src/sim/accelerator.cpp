@@ -106,18 +106,33 @@ simulateLayer(const workloads::Layer &l, const LayerPlan &p,
     const double o_bits = static_cast<double>(l.outElems()) *
                           cfg.batch * 16.0; // high-precision outputs
 
+    // Per-group quantization ships one 16-bit scale per group next to
+    // the payload: weights carry ceil(K/gs) scales per output channel,
+    // activations ceil(K/gs) feature-group scales shared across rows.
+    double w_scale_bits = 0.0, a_scale_bits = 0.0;
+    if (p.groupSize > 0) {
+        const int64_t k_groups = ceilDiv(K, p.groupSize);
+        w_scale_bits = static_cast<double>(k_groups * N) * 16.0;
+        a_scale_bits = static_cast<double>(k_groups) * 16.0;
+    }
+
     // If the weight working set exceeds half the (double-buffered)
     // buffer, activations are re-streamed once per weight chunk.
     const double buf_bits = static_cast<double>(cfg.bufferBytes) * 8.0;
-    const double w_passes = std::max(1.0, w_bits / (buf_bits / 2.0));
-    r.dramBits = w_bits + a_bits * w_passes + o_bits;
+    const double w_passes =
+        std::max(1.0, (w_bits + w_scale_bits) / (buf_bits / 2.0));
+    r.dramBits = w_bits + w_scale_bits +
+                 (a_bits + a_scale_bits) * w_passes + o_bits;
     r.memoryCycles = static_cast<int64_t>(
         r.dramBits / (cfg.dramBytesPerCycle * 8.0));
 
     // Buffer traffic: operands re-read once per orthogonal tile strip;
-    // weight-stationary adds partial-sum read+write per K tile.
-    const double buf_a = a_bits * static_cast<double>(ceilDiv(N, cols));
-    const double buf_w = w_bits * static_cast<double>(ceilDiv(M, rows));
+    // weight-stationary adds partial-sum read+write per K tile. Group
+    // scales ride with their operands, re-read per strip like them.
+    const double buf_a = (a_bits + a_scale_bits) *
+                         static_cast<double>(ceilDiv(N, cols));
+    const double buf_w = (w_bits + w_scale_bits) *
+                         static_cast<double>(ceilDiv(M, rows));
     double buf_o = o_bits;
     if (!cfg.outputStationary)
         buf_o = o_bits * 2.0 * static_cast<double>(ceilDiv(K, rows));
@@ -136,11 +151,17 @@ simulateLayer(const workloads::Layer &l, const LayerPlan &p,
         cfg.design == hw::Design::AntWS) {
         // Boundary decoders: one decode per operand element entering
         // the array per tile strip (Sec. VI-A).
-        core += (static_cast<double>(l.actElems()) * cfg.batch *
-                     static_cast<double>(ceilDiv(N, cols)) +
-                 static_cast<double>(l.weightElems()) *
-                     static_cast<double>(ceilDiv(M, rows))) *
-                e.decodeOp;
+        const double decode_events =
+            static_cast<double>(l.actElems()) * cfg.batch *
+                static_cast<double>(ceilDiv(N, cols)) +
+            static_cast<double>(l.weightElems()) *
+                static_cast<double>(ceilDiv(M, rows));
+        core += decode_events * e.decodeOp;
+        // Per-group rescale: the decoder swaps its scale register once
+        // per group boundary, i.e. once per groupSize decoded elements.
+        if (p.groupSize > 0)
+            core += decode_events /
+                    static_cast<double>(p.groupSize) * e.groupScaleOp;
     }
     if (cfg.design == hw::Design::OLAccel) {
         core += static_cast<double>(macs) * p.outlierRatio * e.outlierOp;
@@ -176,9 +197,10 @@ simulate(const workloads::Workload &w, const QuantPlan &plan,
 
 SimResult
 runDesign(const workloads::Workload &w, hw::Design d, int64_t batch,
-          double snr_target)
+          double snr_target, int64_t group_size)
 {
-    const QuantPlan plan = planWorkload(w, d, 1234, snr_target);
+    const QuantPlan plan =
+        planWorkload(w, d, 1234, snr_target, group_size);
     const SimConfig cfg = SimConfig::forDesign(d, batch);
     return simulate(w, plan, cfg);
 }

@@ -73,9 +73,12 @@ LayerResult simulateLayer(const workloads::Layer &l, const LayerPlan &p,
 SimResult simulate(const workloads::Workload &w, const QuantPlan &plan,
                    const SimConfig &cfg);
 
-/** Convenience: plan + simulate with the design's default config. */
+/** Convenience: plan + simulate with the design's default config.
+ *  @p group_size > 0 plans the ANT designs per-group (see
+ *  planWorkload) and charges the scale traffic in the simulation. */
 SimResult runDesign(const workloads::Workload &w, hw::Design d,
-                    int64_t batch = 64, double snr_target = 25.0);
+                    int64_t batch = 64, double snr_target = 25.0,
+                    int64_t group_size = 0);
 
 } // namespace sim
 } // namespace ant

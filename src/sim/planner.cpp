@@ -1,5 +1,6 @@
 #include "sim/planner.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/baselines.h"
@@ -33,14 +34,34 @@ tensorVariance(const Tensor &t)
 }
 
 TensorChoice
-chooseType(const Tensor &t, Combo combo, int bits, bool is_signed)
+chooseType(const Tensor &t, Combo combo, int bits, bool is_signed,
+           Granularity gran = Granularity::PerTensor,
+           int64_t group_size = 128)
 {
-    const TypeSelection sel = selectType(t, combo, bits, is_signed);
+    const TypeSelection sel =
+        selectType(t, combo, bits, is_signed, gran, group_size);
     TensorChoice c;
     c.type = sel.type->spec(); // registry spec: parses back to the type
     const double var = tensorVariance(t);
     c.snr = sel.result.mse > 0 ? var / sel.result.mse : 1e12;
     return c;
+}
+
+/**
+ * View a flat distribution sample as a K-major matrix so per-group
+ * granularity sees the layer's reduction-axis group structure: rows of
+ * length min(K, numel), trailing remainder dropped. The sample is the
+ * same RNG draw as tensor-granularity planning — only the shape (and
+ * thus the group tiling) differs.
+ */
+Tensor
+asKMajorMatrix(const Tensor &flat, int64_t k)
+{
+    const int64_t cols = std::min<int64_t>(k, flat.numel());
+    const int64_t rows = std::max<int64_t>(1, flat.numel() / cols);
+    Tensor m{Shape{rows, cols}};
+    for (int64_t i = 0; i < rows * cols; ++i) m[i] = flat[i];
+    return m;
 }
 
 /** Spec of the uniform int escalation target at @p bits. */
@@ -71,7 +92,7 @@ struct LayerAccount
 
 QuantPlan
 planWorkload(const workloads::Workload &w, hw::Design design,
-             uint64_t seed, double snr_target)
+             uint64_t seed, double snr_target, int64_t group_size)
 {
     Rng rng(seed);
     QuantPlan plan;
@@ -80,6 +101,11 @@ planWorkload(const workloads::Workload &w, hw::Design design,
 
     const int64_t num_layers = static_cast<int64_t>(w.layers.size());
     const bool element_wise = design == hw::Design::OLAccel;
+    // Per-group planning is an ANT-design mode: only their decoders
+    // carry the per-group rescale path.
+    const bool per_group =
+        group_size > 0 && (design == hw::Design::AntOS ||
+                           design == hw::Design::AntWS);
 
     // Sampling consumes the RNG stream in layer order, so it stays
     // serial (and deterministic); the expensive per-layer planning below
@@ -139,11 +165,22 @@ planWorkload(const workloads::Workload &w, hw::Design design,
         switch (design) {
           case hw::Design::AntOS:
           case hw::Design::AntWS: {
-            // 4-bit ANT (IP-F) per tensor; a tensor whose best-type
-            // SNR misses the iso-accuracy target escalates to int8.
-            const TensorChoice cw = chooseType(wt, Combo::IPF, 4, true);
-            const TensorChoice ca =
-                chooseType(at, Combo::IPF, 4, act_signed);
+            // 4-bit ANT (IP-F) per tensor (or per group of the K axis
+            // in per-group mode); a tensor whose best-type SNR misses
+            // the iso-accuracy target escalates to int8.
+            TensorChoice cw, ca;
+            if (per_group) {
+                lp.groupSize = group_size;
+                cw = chooseType(asKMajorMatrix(wt, l.k), Combo::IPF, 4,
+                                true, Granularity::PerGroup,
+                                group_size);
+                ca = chooseType(asKMajorMatrix(at, l.k), Combo::IPF, 4,
+                                act_signed, Granularity::PerGroup,
+                                group_size);
+            } else {
+                cw = chooseType(wt, Combo::IPF, 4, true);
+                ca = chooseType(at, Combo::IPF, 4, act_signed);
+            }
             lp.snr = std::min(cw.snr, ca.snr);
             if (cw.snr >= snr_target) {
                 lp.weightBits = 4;
@@ -161,6 +198,18 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             }
             account(lp.weightType, lp.weightBits, l.weightElems());
             account(lp.actType, lp.actBits, l.actElems());
+            if (per_group) {
+                // Amortized scale storage (Table I's average-bit
+                // accounting, extended), matching the frozen layouts
+                // the simulator charges: weights store ceil(K/g)
+                // 16-bit scales per output channel, activations
+                // ceil(K/g) feature-group scales shared across rows.
+                const double k_groups = static_cast<double>(
+                    (l.k + group_size - 1) / group_size);
+                acc.bitSum +=
+                    16.0 * (k_groups * static_cast<double>(l.n) +
+                            k_groups);
+            }
             break;
           }
           case hw::Design::BitFusion: {
@@ -315,6 +364,14 @@ toRecipe(const QuantPlan &plan)
         lr.act.enabled = true;
         lr.act.typeSpec = lp.actType;
         lr.act.bits = lp.actBits;
+        if (lp.groupSize > 0) {
+            // Per-group plans ship the granularity and group length;
+            // the per-group scales still come from calibration.
+            lr.weight.granularity = Granularity::PerGroup;
+            lr.weight.groupSize = lp.groupSize;
+            lr.act.granularity = Granularity::PerGroup;
+            lr.act.groupSize = lp.groupSize;
+        }
         r.layers.push_back(std::move(lr));
     }
     return r;

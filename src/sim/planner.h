@@ -42,6 +42,17 @@ struct LayerPlan
     std::string scheme = "ant"; //!< design scheme label (display only)
     double outlierRatio = 0.0; //!< element-wise outliers (OLAccel)
     double snr = 0.0;          //!< proxy accuracy signal
+
+    /**
+     * Per-group quantization group length, 0 when the layer is planned
+     * at tensor granularity. Groups tile the reduction (K) dimension:
+     * weights carry ceil(K/groupSize) scales per output channel,
+     * activations ceil(K/groupSize) shared across rows. The simulator
+     * charges the extra scale storage/decoder traffic
+     * (sim/accelerator.cpp) and avgBits includes the amortized
+     * 16-bit scale per group.
+     */
+    int64_t groupSize = 0;
 };
 
 /** Whole-network plan plus tensor-type statistics (Fig. 13 top). */
@@ -65,10 +76,17 @@ struct QuantPlan
 /**
  * Plan a workload on a design. @p snr_target is the iso-accuracy knob:
  * layers whose 4-bit quantization SNR falls below it are escalated to
- * 8 bits on designs with mixed-precision support.
+ * 8 bits on designs with mixed-precision support. @p group_size > 0
+ * switches the ANT designs (AntOS/AntWS) to per-group planning: type
+ * selection and the SNR proxy run at Granularity::PerGroup over
+ * K-major sample matrices, every layer plan carries
+ * LayerPlan::groupSize, and avgBits charges the amortized 16-bit scale
+ * per group. Non-ANT designs ignore the knob (their hardware has no
+ * per-group rescale path).
  */
 QuantPlan planWorkload(const workloads::Workload &w, hw::Design design,
-                       uint64_t seed = 1234, double snr_target = 25.0);
+                       uint64_t seed = 1234, double snr_target = 25.0,
+                       int64_t group_size = 0);
 
 /**
  * Export a plan as a serializable QuantRecipe: one LayerRecipe per

@@ -237,6 +237,21 @@ bertBase(const std::string &task)
     return w;
 }
 
+Workload
+gpt2Small()
+{
+    Workload w;
+    w.name = "GPT2-Small";
+    w.isTransformer = true;
+    auto &L = w.layers;
+    const int64_t T = 1024, D = 768, FF = 3072;
+    for (int b = 0; b < 12; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
+    // Tied LM head: one token row against the full vocabulary.
+    L.push_back(fc("lm_head", 1, D, 50257));
+    return w;
+}
+
 std::vector<Workload>
 evaluationSuite()
 {

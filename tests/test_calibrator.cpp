@@ -256,5 +256,150 @@ TEST(Observer, BadConfigsThrow)
     EXPECT_THROW(Observer{swapped}, std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// GroupObserver: streaming per-group sketches
+// ---------------------------------------------------------------------
+
+TEST(GroupObserver, StreamingEqualsSingleShot)
+{
+    // Batch-order exactness lifts to groups: observing row batches
+    // b1..bN leaves every group sketch bit-identical to observing the
+    // full tensor once, so streamed per-group calibration replays the
+    // single-pass reference.
+    Rng rng(71);
+    const Tensor all =
+        rng.laplaceOutlierTensor(Shape{48, 80}, 1.0f, 0.02, 8.0f);
+    const int64_t gs = 32; // 80 -> groups of 32/32/16 (ragged)
+
+    GroupObserver streamed(gs);
+    for (int64_t r = 0; r < 48; r += 5) { // 5 does not divide 48
+        const int64_t rows = std::min<int64_t>(5, 48 - r);
+        Tensor batch{Shape{rows, 80}};
+        for (int64_t i = 0; i < rows * 80; ++i)
+            batch[i] = all[r * 80 + i];
+        streamed.observe(batch);
+    }
+    GroupObserver single(gs);
+    single.observe(all);
+
+    ASSERT_EQ(streamed.groups(), 3);
+    ASSERT_EQ(single.groups(), 3);
+    EXPECT_EQ(streamed.featureDim(), 80);
+    EXPECT_EQ(streamed.count(), single.count());
+
+    QuantConfig cfg;
+    const GroupObserverSelection a =
+        streamed.selectType(signedCandidates(), cfg);
+    const GroupObserverSelection b =
+        single.selectType(signedCandidates(), cfg);
+    ASSERT_EQ(a.types.size(), b.types.size());
+    for (size_t g = 0; g < a.types.size(); ++g) {
+        EXPECT_EQ(a.types[g]->spec(), b.types[g]->spec());
+        EXPECT_EQ(a.scales[g], b.scales[g]); // bitwise
+    }
+    EXPECT_DOUBLE_EQ(a.mse, b.mse);
+}
+
+TEST(GroupObserver, ScalesMatchPerGroupObserverQueries)
+{
+    // searchScales must answer exactly what a per-group Observer over
+    // the same column slices would: the group observer is sugar, not a
+    // different estimator.
+    Rng rng(72);
+    const Tensor t = rng.tensor(Shape{16, 96}, DistFamily::Laplace);
+    const int64_t gs = 40; // 96 -> 40/40/16
+    GroupObserver gobs(gs);
+    gobs.observe(t);
+
+    QuantConfig cfg;
+    const TypePtr int4 = parseType("int4");
+    const std::vector<double> got = gobs.searchScales(*int4, cfg);
+    ASSERT_EQ(got.size(), 3u);
+    for (int64_t g = 0; g < 3; ++g) {
+        Observer ref;
+        const int64_t off = g * gs;
+        const int64_t len = std::min<int64_t>(gs, 96 - off);
+        for (int64_t r = 0; r < 16; ++r)
+            ref.observe(t.data() + r * 96 + off, len);
+        EXPECT_EQ(got[static_cast<size_t>(g)],
+                  ref.searchScale(*int4, cfg))
+            << "group " << g;
+    }
+}
+
+TEST(GroupObserver, MergeEqualsSequentialObservation)
+{
+    Rng rng(73);
+    const Tensor t1 = rng.tensor(Shape{8, 64}, DistFamily::Gaussian);
+    const Tensor t2 = rng.tensor(Shape{8, 64}, DistFamily::Laplace);
+
+    GroupObserver seq(16);
+    seq.observe(t1);
+    seq.observe(t2);
+
+    GroupObserver shard1(16), shard2(16);
+    shard1.observe(t1);
+    shard2.observe(t2);
+    shard1.merge(shard2);
+
+    QuantConfig cfg;
+    const auto a = seq.selectType(signedCandidates(), cfg);
+    const auto b = shard1.selectType(signedCandidates(), cfg);
+    ASSERT_EQ(a.scales.size(), b.scales.size());
+    for (size_t g = 0; g < a.scales.size(); ++g)
+        EXPECT_EQ(a.scales[g], b.scales[g]);
+
+    // Merging into an empty shard adopts the other side wholesale.
+    GroupObserver empty(16);
+    empty.merge(seq);
+    EXPECT_EQ(empty.count(), seq.count());
+    EXPECT_EQ(empty.groups(), seq.groups());
+}
+
+TEST(GroupObserver, SharedModePicksOneTypePerGroupModeMayDiffer)
+{
+    Rng rng(74);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{32, 128}, 1.0f, 0.05, 16.0f);
+    GroupObserver gobs(32);
+    gobs.observe(t);
+    QuantConfig cfg;
+    const auto shared = gobs.selectType(signedCandidates(), cfg,
+                                        GroupTypeMode::Shared);
+    for (const TypePtr &ty : shared.types)
+        EXPECT_EQ(ty->spec(), shared.types.front()->spec());
+    const auto per_group = gobs.selectType(signedCandidates(), cfg,
+                                           GroupTypeMode::PerGroup);
+    EXPECT_LE(per_group.mse, shared.mse + 1e-15);
+}
+
+TEST(GroupObserver, RejectsBadUsage)
+{
+    EXPECT_THROW(GroupObserver{0}, std::invalid_argument);
+    GroupObserver gobs(16);
+    QuantConfig cfg;
+    EXPECT_THROW(gobs.selectType(signedCandidates(), cfg),
+                 std::logic_error); // nothing observed
+    Rng rng(75);
+    gobs.observe(rng.tensor(Shape{4, 64}, DistFamily::Gaussian));
+    EXPECT_THROW(
+        gobs.observe(rng.tensor(Shape{4, 32}, DistFamily::Gaussian)),
+        std::invalid_argument); // feature dim changed
+    GroupObserver other(8);
+    EXPECT_THROW(gobs.merge(other), std::invalid_argument);
+    // Config mismatch throws on every branch, including adoption into
+    // a never-observed shard (whose per-sketch checks can't run).
+    ObserverConfig unsigned_cfg;
+    unsigned_cfg.isSigned = false;
+    GroupObserver fresh(16);
+    GroupObserver mismatched(16, unsigned_cfg);
+    mismatched.observe(rng.tensor(Shape{2, 64}, DistFamily::Gaussian));
+    EXPECT_THROW(fresh.merge(mismatched), std::invalid_argument);
+    EXPECT_THROW(gobs.selectType({}, cfg), std::invalid_argument);
+    gobs.reset();
+    EXPECT_EQ(gobs.groups(), 0);
+    EXPECT_EQ(gobs.featureDim(), 0);
+}
+
 } // namespace
 } // namespace ant

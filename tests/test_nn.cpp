@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "core/type_registry.h"
 #include "nn/models.h"
 #include "nn/qat.h"
 #include "nn/transformer.h"
@@ -339,6 +340,32 @@ TEST(Transformer, BlockShapesAndBackward)
         if (p->var->grad.numel() == p->var->value.numel()) ++with_grad;
     EXPECT_EQ(with_grad, static_cast<int>(ps.size()));
     EXPECT_EQ(blk.quantLayers().size(), 6u);
+}
+
+TEST(QuantState, PerGroupApplyRefusesFlatTensors)
+{
+    // A frozen multi-scale per-group state has no defined layout on a
+    // 1-D tensor: apply() must refuse, not silently quantize every
+    // feature with group 0's scale on the per-tensor path.
+    Rng rng(91);
+    QuantState q;
+    q.enabled = true;
+    q.granularity = Granularity::PerGroup;
+    q.groupSize = 32;
+    q.featureGroups = true;
+    q.candidates = {parseType("int4")};
+    q.observing = true;
+    q.observe(rng.tensor(Shape{16, 64}, DistFamily::Gaussian));
+    q.finalizeFromObservations();
+    ASSERT_EQ(q.scales.size(), 2u); // ceil(64/32) feature groups
+
+    // 2-D applies fine; the unbatched 1-D view of the same features
+    // does not.
+    EXPECT_NO_THROW(
+        (void)q.apply(rng.tensor(Shape{4, 64}, DistFamily::Gaussian)));
+    EXPECT_THROW(
+        (void)q.apply(rng.tensor(Shape{64}, DistFamily::Gaussian)),
+        std::logic_error);
 }
 
 } // namespace

@@ -7,7 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "core/quant_kernel.h"
 #include "core/quantizer.h"
 #include "core/type_selector.h"
 #include "tensor/ops.h"
@@ -324,6 +328,179 @@ TEST(Quantizer, AdaptiveFloatWindowPinsChosenExponent)
     // the absmax-fitting k0 wins, so the window search matters — a
     // search that always returned k0 would fail here.
     EXPECT_LT(best_k, k0);
+}
+
+// ---------------------------------------------------------------------
+// Per-group granularity (the M-ANT / LLM axis)
+// ---------------------------------------------------------------------
+
+TEST(Quantizer, PerGroupLayoutWithRaggedLastGroup)
+{
+    // [4, 10] with groupSize 4: 3 groups per channel, the last holding
+    // only 2 elements — ragged, never dropped.
+    Rng rng(50);
+    const Tensor w = rng.tensor(Shape{4, 10}, DistFamily::Gaussian);
+    QuantConfig cfg = cfgOf(makeInt(4, true));
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 4;
+    const QuantResult r = quantize(w, cfg);
+    EXPECT_EQ(r.appliedGranularity, Granularity::PerGroup);
+    EXPECT_EQ(r.groupSize, 4);
+    EXPECT_EQ(r.groupsPerChannel, 3);
+    ASSERT_EQ(r.scales.size(), 12u);
+
+    // Bit-exactness: every group slice must reproduce a plain
+    // fixed-scale quantization of that slice at the stored scale.
+    const auto type = makeInt(4, true);
+    Tensor ref{w.shape()};
+    double err = 0.0;
+    for (int64_t c = 0; c < 4; ++c)
+        for (int64_t g = 0; g < 3; ++g) {
+            const int64_t off = c * 10 + g * 4;
+            const int64_t len = std::min<int64_t>(4, 10 - g * 4);
+            err += quantizeWithScale(
+                       w.data() + off, ref.data() + off, len, *type,
+                       r.scales[static_cast<size_t>(c * 3 + g)]) *
+                   static_cast<double>(len);
+        }
+    for (int64_t i = 0; i < w.numel(); ++i)
+        ASSERT_EQ(r.dequant[i], ref[i]) << "elem " << i;
+    EXPECT_DOUBLE_EQ(r.mse, err / static_cast<double>(w.numel()));
+}
+
+TEST(Quantizer, PerGroupNotWorseThanPerChannel)
+{
+    // Channels whose *within-row* ranges vary group to group: group
+    // granularity isolates the wild groups, per-channel cannot.
+    Rng rng(51);
+    Tensor w{Shape{8, 256}};
+    for (int64_t c = 0; c < 8; ++c)
+        for (int64_t k = 0; k < 256; ++k) {
+            const float s = (k / 64) % 2 ? 8.0f : 0.1f;
+            w[c * 256 + k] = rng.gaussian() * s;
+        }
+    QuantConfig cc = cfgOf(makeInt(4, true));
+    cc.granularity = Granularity::PerChannel;
+    QuantConfig cg = cc;
+    cg.granularity = Granularity::PerGroup;
+    cg.groupSize = 64;
+    const double per_channel = quantize(w, cc).mse;
+    const double per_group = quantize(w, cg).mse;
+    EXPECT_LT(per_group, per_channel);
+}
+
+TEST(Quantizer, PerGroupInt4BeatsPerTensorOnTransformerActs)
+{
+    // The acceptance fixture of the group-size sweep bench
+    // (bench/micro_codec.cpp): Laplace body with sparse far outliers,
+    // the BERT/GPT activation family. Per-group int4 must land
+    // strictly below per-tensor int4 at every swept group size.
+    Rng rng(7);
+    const Tensor t =
+        rng.laplaceOutlierTensor(Shape{64, 3072}, 1.0f, 0.01, 8.0f);
+    QuantConfig pt = cfgOf(makeInt(4, true));
+    const double per_tensor = quantize(t, pt).mse;
+    for (int64_t gs : {64, 128, 256}) {
+        QuantConfig pg = cfgOf(makeInt(4, true));
+        pg.granularity = Granularity::PerGroup;
+        pg.groupSize = gs;
+        EXPECT_LT(quantize(t, pg).mse, per_tensor)
+            << "group size " << gs;
+    }
+}
+
+TEST(Quantizer, PerGroupOn1DFallsBackExplicitly)
+{
+    // Mirror of the PerChannel fallback: a 1-D tensor has no channel
+    // axis to split into groups, so the request falls back to
+    // PerTensor and the result says so.
+    Rng rng(52);
+    const Tensor t = rng.tensor(Shape{256}, DistFamily::Gaussian);
+    QuantConfig cfg = cfgOf(makeInt(4, true));
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 32;
+    const QuantResult r = quantize(t, cfg);
+    EXPECT_EQ(r.appliedGranularity, Granularity::PerTensor);
+    EXPECT_EQ(r.scales.size(), 1u);
+    EXPECT_EQ(r.groupSize, 0);
+}
+
+TEST(Quantizer, ValidateRejectsNonPositiveGroupSize)
+{
+    Rng rng(53);
+    const Tensor t = rng.tensor(Shape{4, 16}, DistFamily::Gaussian);
+    QuantConfig cfg = cfgOf(makeInt(4, true));
+    cfg.granularity = Granularity::PerGroup;
+    for (int64_t bad : {0, -1, -128}) {
+        cfg.groupSize = bad;
+        try {
+            (void)quantize(t, cfg);
+            FAIL() << "groupSize " << bad << " accepted";
+        } catch (const std::invalid_argument &e) {
+            // Field-naming contract of QuantConfig::validate().
+            EXPECT_NE(std::string(e.what()).find("groupSize"),
+                      std::string::npos);
+        }
+    }
+    // The field is ignored (not validated) off the PerGroup path,
+    // mirroring how `type` is ignored by selectType.
+    cfg.granularity = Granularity::PerTensor;
+    cfg.groupSize = -1;
+    EXPECT_NO_THROW((void)quantize(t, cfg));
+}
+
+TEST(Quantizer, GroupKernelPathsMatchSliceReference)
+{
+    // quantizeGroups/encodeGroups are the group-strided engine paths:
+    // bit-exact with quantizeBatch/encodeBatch applied slice by slice,
+    // including a ragged final group.
+    Rng rng(54);
+    const Tensor t = rng.tensor(Shape{150}, DistFamily::Laplace);
+    const auto type = makeFlint(4, true);
+    const QuantKernel kernel(*type);
+    const int64_t gs = 32; // 150 = 4 * 32 + 22 -> 5 groups
+    std::vector<double> scales;
+    QuantConfig cfg = cfgOf(type);
+    for (int64_t g = 0; g < 5; ++g) {
+        const int64_t off = g * gs;
+        const int64_t len = std::min<int64_t>(gs, 150 - off);
+        scales.push_back(
+            searchScale(t.data() + off, len, kernel, cfg));
+    }
+
+    Tensor out{t.shape()}, ref{t.shape()};
+    const double mse =
+        kernel.quantizeGroups(t.data(), out.data(), 150, gs, scales);
+    double err = 0.0;
+    for (int64_t g = 0; g < 5; ++g) {
+        const int64_t off = g * gs;
+        const int64_t len = std::min<int64_t>(gs, 150 - off);
+        err += kernel.quantizeBatch(t.data() + off, ref.data() + off,
+                                    len,
+                                    scales[static_cast<size_t>(g)]) *
+               static_cast<double>(len);
+    }
+    for (int64_t i = 0; i < 150; ++i) ASSERT_EQ(out[i], ref[i]);
+    EXPECT_DOUBLE_EQ(mse, err / 150.0);
+
+    std::vector<uint32_t> codes(150), ref_codes(150);
+    kernel.encodeGroups(t.data(), codes.data(), 150, gs, scales);
+    for (int64_t g = 0; g < 5; ++g) {
+        const int64_t off = g * gs;
+        const int64_t len = std::min<int64_t>(gs, 150 - off);
+        kernel.encodeBatch(t.data() + off, ref_codes.data() + off, len,
+                           scales[static_cast<size_t>(g)]);
+    }
+    EXPECT_EQ(codes, ref_codes);
+
+    // Layout violations fail loudly.
+    std::vector<double> short_scales(scales.begin(), scales.end() - 1);
+    EXPECT_THROW(kernel.quantizeGroups(t.data(), nullptr, 150, gs,
+                                       short_scales),
+                 std::invalid_argument);
+    EXPECT_THROW(kernel.quantizeGroups(t.data(), nullptr, 150, 0,
+                                       scales),
+                 std::invalid_argument);
 }
 
 } // namespace

@@ -123,7 +123,8 @@ TEST(Recipe, BadUnicodeEscapesAreRejectedNotDecoded)
 TEST(Recipe, EnumNamesRoundTrip)
 {
     for (Granularity g :
-         {Granularity::PerTensor, Granularity::PerChannel})
+         {Granularity::PerTensor, Granularity::PerChannel,
+          Granularity::PerGroup})
         EXPECT_EQ(parseGranularity(granularityName(g)), g);
     for (ScaleMode m : {ScaleMode::MaxCalib, ScaleMode::MseSearch,
                         ScaleMode::PowerOfTwo})
@@ -242,6 +243,187 @@ TEST(Recipe, ApplyRejectsMismatches)
     applyRecipe(*m, good);
     for (QuantLayer *l : m->quantLayers())
         EXPECT_TRUE(l->weightQ.calibrated());
+}
+
+// ---------------------------------------------------------------------
+// Per-group metadata round-trips
+// ---------------------------------------------------------------------
+
+TEST(Recipe, PerGroupJsonRoundTripIsBitExact)
+{
+    QuantRecipe r;
+    r.model = "group-model";
+    LayerRecipe l;
+    l.layer = "proj";
+    l.weight.enabled = true;
+    l.weight.typeSpec = "flint4";
+    l.weight.bits = 4;
+    l.weight.granularity = Granularity::PerGroup;
+    l.weight.groupSize = 48; // deliberately not a divisor of anything
+    l.weight.scales = {0.1, 1.0 / 7.0, 3.0e-12, 42.0};
+    // Heterogeneous per-group types (per-group Algorithm 2 output).
+    l.weight.groupSpecs = {"flint4", "int4", "pot4", "flint4"};
+    l.act.enabled = true;
+    l.act.typeSpec = "int4u";
+    l.act.bits = 4;
+    l.act.granularity = Granularity::PerGroup;
+    l.act.groupSize = 128;
+    l.act.scales = {0.25, 0.5};
+    r.layers.push_back(l);
+
+    const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"group_size\": 48"), std::string::npos);
+    EXPECT_NE(json.find("\"group_types\""), std::string::npos);
+    const QuantRecipe back = QuantRecipe::fromJson(json);
+    EXPECT_TRUE(back == r);
+    EXPECT_EQ(back.layers[0].weight.groupSpecs,
+              r.layers[0].weight.groupSpecs);
+    for (size_t i = 0; i < r.layers[0].weight.scales.size(); ++i)
+        EXPECT_EQ(back.layers[0].weight.scales[i],
+                  r.layers[0].weight.scales[i]); // bitwise
+    EXPECT_EQ(back.toJson(), json);
+}
+
+TEST(Recipe, ParsesPreGroupDocumentsWithoutGroupFields)
+{
+    // Recipes written before the per-group fields existed carry no
+    // group_size/group_types keys; they must parse with the defaults.
+    const char *old_style =
+        "{\"format\": \"ant-quant-recipe-v1\", \"model\": \"m\","
+        " \"layers\": [{\"layer\": \"fc\","
+        "  \"weight\": {\"enabled\": true, \"type\": \"int4\","
+        "   \"bits\": 4, \"granularity\": \"per_channel\","
+        "   \"scale_mode\": \"mse_search\", \"scales\": [0.5, 0.25]},"
+        "  \"act\": {\"enabled\": false, \"type\": \"\", \"bits\": 0,"
+        "   \"granularity\": \"per_tensor\","
+        "   \"scale_mode\": \"mse_search\", \"scales\": []}}]}";
+    const QuantRecipe r = QuantRecipe::fromJson(old_style);
+    EXPECT_EQ(r.layers[0].weight.groupSize, 0);
+    EXPECT_TRUE(r.layers[0].weight.groupSpecs.empty());
+}
+
+TEST(Recipe, GroupTypesLengthMismatchRejected)
+{
+    QuantRecipe r;
+    r.model = "m";
+    LayerRecipe l;
+    l.layer = "fc";
+    l.weight.enabled = true;
+    l.weight.typeSpec = "int4";
+    l.weight.bits = 4;
+    l.weight.granularity = Granularity::PerGroup;
+    l.weight.groupSize = 2;
+    l.weight.scales = {0.5, 0.25, 0.125};
+    l.weight.groupSpecs = {"int4", "pot4"}; // 2 specs, 3 scales
+    r.layers.push_back(l);
+    EXPECT_THROW((void)QuantRecipe::fromJson(r.toJson()),
+                 std::invalid_argument);
+}
+
+TEST(Recipe, PerGroupCalibratedModelReplaysBitIdentically)
+{
+    // The per-group serving round-trip, with a group size that does
+    // NOT divide any layer width (8, 32): every group layout is
+    // ragged, both tensor roles are per-group, and the replayed
+    // model's logits must still match bit for bit.
+    using namespace nn;
+    const Dataset ds = makeClusterDataset(3, 8, 200, 100, 37);
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.lr = 0.05f;
+    QatConfig qc;
+    qc.combo = Combo::IPF;
+    qc.weightGranularity = Granularity::PerGroup;
+    qc.actGranularity = Granularity::PerGroup;
+    qc.groupSize = 5; // divides neither 8 nor 32
+    qc.groupTypeMode = GroupTypeMode::PerGroup;
+
+    auto a = buildMlp(8, 3, 32);
+    trainClassifier(*a, ds, tc);
+    configureQuant(*a, qc);
+    const QuantRecipe recipe = calibrateQuant(*a, ds, qc);
+    const std::string json = recipe.toJson();
+
+    // The recipe actually carries per-group metadata.
+    bool saw_group = false;
+    for (const LayerRecipe &lr : recipe.layers) {
+        if (lr.weight.enabled) {
+            EXPECT_EQ(lr.weight.granularity, Granularity::PerGroup);
+            EXPECT_EQ(lr.weight.groupSize, 5);
+            EXPECT_GT(lr.weight.scales.size(), 1u);
+            saw_group = true;
+        }
+        if (lr.act.enabled) {
+            EXPECT_EQ(lr.act.granularity, Granularity::PerGroup);
+            EXPECT_GT(lr.act.scales.size(), 1u);
+        }
+    }
+    EXPECT_TRUE(saw_group);
+
+    auto b = buildMlp(8, 3, 32);
+    trainClassifier(*b, ds, tc);
+    configureQuant(*b, qc);
+    applyRecipe(*b, QuantRecipe::fromJson(json));
+
+    const auto la = a->quantLayers(), lb = b->quantLayers();
+    for (size_t i = 0; i < la.size(); ++i) {
+        SCOPED_TRACE(la[i]->name());
+        EXPECT_EQ(la[i]->weightQ.scales, lb[i]->weightQ.scales);
+        EXPECT_EQ(la[i]->actQ.scales, lb[i]->actQ.scales);
+        EXPECT_EQ(la[i]->weightQ.groupSize, lb[i]->weightQ.groupSize);
+        ASSERT_EQ(la[i]->weightQ.groupTypes.size(),
+                  lb[i]->weightQ.groupTypes.size());
+        for (size_t g = 0; g < la[i]->weightQ.groupTypes.size(); ++g)
+            EXPECT_EQ(la[i]->weightQ.groupTypes[g]->spec(),
+                      lb[i]->weightQ.groupTypes[g]->spec());
+    }
+
+    for (int64_t bi = 0; bi < 3; ++bi) {
+        const Batch batch = ds.batch(bi, 32, false);
+        const Var ya = a->forward(batch);
+        const Var yb = b->forward(batch);
+        ASSERT_EQ(ya->value.shape(), yb->value.shape());
+        for (int64_t j = 0; j < ya->value.numel(); ++j)
+            ASSERT_EQ(ya->value[j], yb->value[j])
+                << "batch " << bi << " elem " << j;
+    }
+}
+
+TEST(Recipe, PerGroupApplyRejectsMissingGroupSize)
+{
+    using namespace nn;
+    const Dataset ds = makeClusterDataset(3, 8, 120, 60, 39);
+    auto m = buildMlp(8, 3, 34);
+    QatConfig qc;
+    qc.weightGranularity = Granularity::PerGroup;
+    qc.groupSize = 4;
+    configureQuant(*m, qc);
+    const QuantRecipe good = calibrateQuant(*m, ds, qc);
+
+    QuantRecipe no_gs = good;
+    for (LayerRecipe &lr : no_gs.layers) lr.weight.groupSize = 0;
+    EXPECT_THROW(applyRecipe(*m, no_gs), std::invalid_argument);
+
+    // A group-scale count from a different-width layer fails at the
+    // first forward pass, mirroring the per-channel protection.
+    QuantRecipe short_scales = good;
+    ASSERT_GT(short_scales.layers[0].weight.scales.size(), 2u);
+    short_scales.layers[0].weight.scales.pop_back();
+    applyRecipe(*m, short_scales);
+    EXPECT_THROW((void)m->forward(ds.batch(0, 8, true)),
+                 std::logic_error);
+
+    // Layout collision: a weight role whose (wrong) scale count
+    // happens to equal the *activation* feature-broadcast count
+    // (ceil(8/4) = 2 here) must still be rejected — the role pins the
+    // layout, the count alone never selects it.
+    QuantRecipe collide = good;
+    collide.layers[0].weight.scales = {0.5, 0.25};
+    applyRecipe(*m, collide);
+    EXPECT_THROW((void)m->forward(ds.batch(0, 8, true)),
+                 std::logic_error);
+
+    applyRecipe(*m, good); // still applies after the failures
 }
 
 TEST(Recipe, PlannerPlanExportsAsRecipe)

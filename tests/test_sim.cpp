@@ -112,6 +112,98 @@ TEST(Planner, FixedFormatsHaveFixedBits)
     EXPECT_NEAR(planWorkload(w, Design::Int8).avgBits, 8.0, 0.01);
 }
 
+TEST(Workloads, Gpt2SmallShape)
+{
+    const auto w = workloads::gpt2Small();
+    EXPECT_TRUE(w.isTransformer);
+    // 12 blocks x 6 GEMMs + the LM head.
+    ASSERT_EQ(w.layers.size(), 73u);
+    EXPECT_EQ(w.layers.back().name, "lm_head");
+    // ~85M transformer parameters plus the 38.6M-weight tied head.
+    EXPECT_NEAR(static_cast<double>(w.totalWeights()), 124e6, 4e6);
+    // Attention projections carry the outlier activation family that
+    // motivates per-group quantization.
+    EXPECT_EQ(w.layers[0].actDist, DistFamily::LaplaceOutlier);
+}
+
+TEST(Planner, PerGroupPlanCarriesGroupsAndPaysScaleOverhead)
+{
+    const auto w = workloads::gpt2Small();
+    const QuantPlan plain = planWorkload(w, Design::AntOS);
+    const QuantPlan grouped =
+        planWorkload(w, Design::AntOS, 1234, 25.0, 128);
+
+    for (const LayerPlan &lp : grouped.layers)
+        EXPECT_EQ(lp.groupSize, 128) << lp.layer;
+    for (const LayerPlan &lp : plain.layers)
+        EXPECT_EQ(lp.groupSize, 0) << lp.layer;
+
+    // Finer granularity can only help the SNR proxy, so per-group
+    // planning never escalates *more* layers to 8 bits...
+    double plain_bits = 0.0, grouped_bits = 0.0;
+    for (size_t i = 0; i < plain.layers.size(); ++i) {
+        plain_bits += plain.layers[i].weightBits +
+                      plain.layers[i].actBits;
+        grouped_bits += grouped.layers[i].weightBits +
+                        grouped.layers[i].actBits;
+    }
+    EXPECT_LE(grouped_bits, plain_bits);
+    // ... and the amortized 16-bit scale per 128-element group adds at
+    // most 16/128 = 0.125 bits/element on top of the payload bits.
+    EXPECT_GT(grouped.avgBits, 0.0);
+    EXPECT_LT(grouped.avgBits, plain.avgBits + 0.126);
+
+    // Non-ANT designs ignore the knob entirely.
+    const QuantPlan bf =
+        planWorkload(w, Design::BitFusion, 1234, 25.0, 128);
+    for (const LayerPlan &lp : bf.layers) EXPECT_EQ(lp.groupSize, 0);
+}
+
+TEST(Planner, PerGroupPlanExportsGroupMetadataInRecipe)
+{
+    const auto w = workloads::resnet18();
+    const QuantPlan plan =
+        planWorkload(w, Design::AntOS, 1234, 25.0, 64);
+    const QuantRecipe r = toRecipe(plan);
+    for (const LayerRecipe &lr : r.layers) {
+        EXPECT_EQ(lr.weight.granularity, Granularity::PerGroup);
+        EXPECT_EQ(lr.weight.groupSize, 64);
+        EXPECT_EQ(lr.act.granularity, Granularity::PerGroup);
+        EXPECT_EQ(lr.act.groupSize, 64);
+    }
+    EXPECT_TRUE(QuantRecipe::fromJson(r.toJson()) == r);
+}
+
+TEST(Simulator, PerGroupScaleTrafficIsChargedAndBounded)
+{
+    // Same plan, with and without group metadata: the per-group run
+    // must pay for its scales — strictly more DRAM/buffer bits and
+    // core (rescale) energy — but amortized well below the payload
+    // (one 16-bit scale per 128 elements).
+    const auto w = workloads::bertBase("MNLI");
+    QuantPlan plan = planWorkload(w, Design::AntOS);
+    const SimConfig cfg = SimConfig::forDesign(Design::AntOS, 8);
+    const SimResult plain = simulate(w, plan, cfg);
+    for (LayerPlan &lp : plan.layers) lp.groupSize = 128;
+    const SimResult grouped = simulate(w, plan, cfg);
+
+    double plain_dram = 0.0, grouped_dram = 0.0;
+    double plain_buf = 0.0, grouped_buf = 0.0;
+    for (size_t i = 0; i < plain.layers.size(); ++i) {
+        plain_dram += plain.layers[i].dramBits;
+        grouped_dram += grouped.layers[i].dramBits;
+        plain_buf += plain.layers[i].bufferBits;
+        grouped_buf += grouped.layers[i].bufferBits;
+    }
+    EXPECT_GT(grouped_dram, plain_dram);
+    EXPECT_GT(grouped_buf, plain_buf);
+    EXPECT_GT(grouped.energyCore, plain.energyCore);
+    // Bounded: under 16/128 = 12.5% extra traffic, before the 16-bit
+    // outputs dilute it further.
+    EXPECT_LT(grouped_dram, plain_dram * 1.125);
+    EXPECT_GE(grouped.cycles, plain.cycles);
+}
+
 TEST(Planner, EveryEmittedTypeSpecParsesBack)
 {
     // LayerPlan.actType/weightType are registry spec strings: every

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "core/type_selector.h"
 #include "tensor/random.h"
 
@@ -87,6 +90,115 @@ TEST(TypeSelector, ScoresCoverAllCandidates)
     ASSERT_EQ(sel.scores.size(), cands.size());
     for (size_t i = 0; i < cands.size(); ++i)
         EXPECT_EQ(sel.scores[i].type->name(), cands[i]->name());
+}
+
+// ---------------------------------------------------------------------
+// Per-group Algorithm 2 (selectTypePerGroup)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Rows whose groups alternate distribution families, so the argmin
+ *  type genuinely differs group to group. */
+Tensor
+mixedGroupTensor(int64_t channels, int64_t chunk, int64_t gs)
+{
+    Rng uniform(27), outlier(28);
+    Tensor t{Shape{channels, chunk}};
+    for (int64_t c = 0; c < channels; ++c)
+        for (int64_t g = 0; g * gs < chunk; ++g) {
+            const int64_t len = std::min(gs, chunk - g * gs);
+            const Tensor src =
+                g % 2 == 0
+                    ? uniform.tensor(Shape{len}, DistFamily::Uniform)
+                    : outlier.laplaceOutlierTensor(Shape{len}, 1.0f,
+                                                   0.05, 16.0f);
+            for (int64_t i = 0; i < len; ++i)
+                t[c * chunk + g * gs + i] = src[i];
+        }
+    return t;
+}
+
+} // namespace
+
+TEST(TypeSelector, PerGroupSelectionLayoutAndModes)
+{
+    const int64_t gs = 64;
+    const Tensor t = mixedGroupTensor(4, 256, gs);
+    const auto cands = comboCandidates(Combo::IPF, 4, true);
+    QuantConfig cfg;
+    cfg.groupSize = gs;
+
+    const GroupTypeSelection per_group =
+        selectTypePerGroup(t, cands, cfg, GroupTypeMode::PerGroup);
+    EXPECT_EQ(per_group.groupSize, gs);
+    EXPECT_EQ(per_group.groupsPerChannel, 4);
+    ASSERT_EQ(per_group.types.size(), 16u);
+    ASSERT_EQ(per_group.scales.size(), 16u);
+    ASSERT_EQ(per_group.dequant.numel(), t.numel());
+
+    const GroupTypeSelection per_channel =
+        selectTypePerGroup(t, cands, cfg, GroupTypeMode::PerChannel);
+    // The fallback shares one type inside each channel...
+    for (int64_t c = 0; c < 4; ++c)
+        for (int64_t g = 1; g < 4; ++g)
+            EXPECT_EQ(per_channel.types[static_cast<size_t>(c * 4 + g)]
+                          ->spec(),
+                      per_channel.types[static_cast<size_t>(c * 4)]
+                          ->spec());
+
+    const GroupTypeSelection shared =
+        selectTypePerGroup(t, cands, cfg, GroupTypeMode::Shared);
+    for (const TypePtr &ty : shared.types)
+        EXPECT_EQ(ty->spec(), shared.types.front()->spec());
+
+    // Freedom ordering: more type adaptivity can only reduce the MSE.
+    EXPECT_LE(per_group.mse, per_channel.mse + 1e-15);
+    EXPECT_LE(per_channel.mse, shared.mse + 1e-15);
+
+    // The mixed fixture makes per-group adaptivity real: uniform
+    // groups and outlier groups disagree on the argmin type.
+    bool differs = false;
+    for (const TypePtr &ty : per_group.types)
+        differs |= ty->spec() != per_group.types.front()->spec();
+    EXPECT_TRUE(differs);
+}
+
+TEST(TypeSelector, PerGroupSelectionMatchesQuantizeOnSharedMode)
+{
+    // Shared mode must agree exactly with the tensor-level sweep at
+    // PerGroup granularity (same winner, same scales, same dequant).
+    Rng rng(29);
+    const Tensor t = rng.tensor(Shape{8, 96}, DistFamily::WeightLike);
+    const auto cands = comboCandidates(Combo::IPF, 4, true);
+    QuantConfig cfg;
+    cfg.groupSize = 32;
+    const GroupTypeSelection shared =
+        selectTypePerGroup(t, cands, cfg, GroupTypeMode::Shared);
+    QuantConfig ref_cfg = cfg;
+    ref_cfg.granularity = Granularity::PerGroup;
+    const TypeSelection ref = selectType(t, cands, ref_cfg);
+    EXPECT_EQ(shared.types.front()->spec(), ref.type->spec());
+    EXPECT_EQ(shared.scales, ref.result.scales);
+    EXPECT_DOUBLE_EQ(shared.mse, ref.result.mse);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        ASSERT_EQ(shared.dequant[i], ref.result.dequant[i]);
+}
+
+TEST(TypeSelector, PerGroupSelectionRejectsBadInputs)
+{
+    Rng rng(30);
+    const auto cands = comboCandidates(Combo::IPF, 4, true);
+    QuantConfig cfg;
+    cfg.groupSize = 16;
+    const Tensor flat = rng.tensor(Shape{64}, DistFamily::Gaussian);
+    EXPECT_THROW(selectTypePerGroup(flat, cands, cfg),
+                 std::invalid_argument);
+    const Tensor t = rng.tensor(Shape{4, 16}, DistFamily::Gaussian);
+    EXPECT_THROW(selectTypePerGroup(t, {}, cfg), std::invalid_argument);
+    cfg.groupSize = 0;
+    EXPECT_THROW(selectTypePerGroup(t, cands, cfg),
+                 std::invalid_argument);
 }
 
 } // namespace

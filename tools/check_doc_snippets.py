@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compile every ```cpp,compile fenced block of a markdown document.
+
+Each tagged block must be a complete translation unit (its own
+includes and a main()); it is extracted verbatim, compiled with the
+repository's warning set, and linked against the prebuilt ant static
+library — so the API reference can never drift from the code it
+documents without CI noticing.
+
+Usage:
+  tools/check_doc_snippets.py --doc docs/api_reference.md \
+      --include src --lib build/src/libant.a [--cxx g++] [--keep DIR]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+FENCE_RE = re.compile(r"^```cpp,compile\s*$(.*?)^```\s*$",
+                      re.MULTILINE | re.DOTALL)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--doc", required=True)
+    ap.add_argument("--include", required=True)
+    ap.add_argument("--lib", required=True)
+    ap.add_argument("--cxx", default=os.environ.get("CXX", "g++"))
+    ap.add_argument("--keep", help="write snippets here instead of a "
+                                   "temp dir (for debugging)")
+    args = ap.parse_args()
+
+    with open(args.doc, encoding="utf-8") as f:
+        text = f.read()
+    snippets = [m.group(1) for m in FENCE_RE.finditer(text)]
+    if not snippets:
+        print(f"ERROR: no ```cpp,compile blocks found in {args.doc}")
+        return 1
+
+    workdir = args.keep or tempfile.mkdtemp(prefix="doc_snippets_")
+    os.makedirs(workdir, exist_ok=True)
+    failures = 0
+    for i, body in enumerate(snippets, start=1):
+        src = os.path.join(workdir, f"snippet_{i:02d}.cpp")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(body.lstrip("\n"))
+        out = os.path.join(workdir, f"snippet_{i:02d}")
+        cmd = [
+            args.cxx, "-std=c++17", "-Wall", "-Wextra", "-Werror",
+            "-I", args.include, src, args.lib, "-pthread", "-o", out,
+        ]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            failures += 1
+            print(f"FAIL snippet {i} ({args.doc}):")
+            print("  " + " ".join(cmd))
+            sys.stdout.write(proc.stderr)
+        else:
+            print(f"ok snippet {i}")
+    if failures:
+        print(f"{failures}/{len(snippets)} snippet(s) failed to "
+              f"compile")
+        return 1
+    print(f"OK: all {len(snippets)} snippets compile and link")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

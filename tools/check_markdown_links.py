@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked .md file for inline links/images `[text](target)`
+and verifies that relative targets resolve to a file or directory in
+the repository. External schemes (http/https/mailto) and pure in-page
+anchors (#...) are skipped; `path#anchor` is checked for the file part.
+
+Usage: tools/check_markdown_links.py [repo_root]
+Exit status 1 when any link is broken, listing every offender.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "_deps", "related"}
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+# Inline links and images. Targets with spaces or nested parens are not
+# used in this repo; keep the regex simple and strict instead.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: links inside code samples are not
+    # navigation and legitimately reference placeholders.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # in-page anchor
+        file_part = target.split("#", 1)[0]
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), file_part))
+        if not os.path.exists(resolved):
+            broken.append((target, os.path.relpath(path, root)))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    n_files = 0
+    for path in sorted(md_files(root)):
+        n_files += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"{len(broken)} broken intra-repo link(s):")
+        for target, source in broken:
+            print(f"  {source}: ({target})")
+        return 1
+    print(f"OK: no broken intra-repo links in {n_files} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

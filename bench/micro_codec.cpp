@@ -265,6 +265,87 @@ BM_GroupSizeSweepInt4PerTensor(benchmark::State &state)
 BENCHMARK(BM_GroupSizeSweepInt4PerTensor)
     ->Unit(benchmark::kMillisecond);
 
+// QTensor pack/unpack throughput: the freeze (pack) and serving
+// (unpack) sides of the packed serving format, at frozen scales so the
+// timings isolate the codec from the scale search. The counters carry
+// the true footprint (QTensor::nbytes) and its compression ratio vs
+// float32 storage — the acceptance number of the packed redesign
+// (>= 3.5x for per-group int4/g=128; it lands near 7x).
+
+void
+BM_QTensorPackInt4PerGroup(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = state.range(0);
+    const QuantResult r = quantizeScored(t, cfg);
+    QTensor q;
+    for (auto _ : state) {
+        q = QTensor::pack(t, cfg.type, r.appliedGranularity, r.scales,
+                          r.groupSize);
+        benchmark::DoNotOptimize(q.words().data());
+    }
+    state.counters["nbytes"] = static_cast<double>(q.nbytes());
+    state.counters["x_vs_fp32"] =
+        static_cast<double>(t.numel()) * 4.0 /
+        static_cast<double>(q.nbytes());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorPackInt4PerGroup)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_QTensorUnpackInt4PerGroup(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = state.range(0);
+    const QuantResult r = quantize(t, cfg, QuantizeTo::Packed);
+    const QTensor &q = *r.packed;
+    for (auto _ : state) {
+        const Tensor u = q.unpack();
+        benchmark::DoNotOptimize(u.data());
+    }
+    state.counters["nbytes"] = static_cast<double>(q.nbytes());
+    state.counters["x_vs_fp32"] =
+        static_cast<double>(t.numel()) * 4.0 /
+        static_cast<double>(q.nbytes());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorUnpackInt4PerGroup)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Odd-width stride (flint5: every element straddles word boundaries
+// eventually) per-channel, to keep the packer honest off the
+// divides-64 fast cases.
+
+void
+BM_QTensorUnpackFlint5PerChannel(benchmark::State &state)
+{
+    Rng rng(9);
+    const Tensor t = rng.tensor(Shape{kChannels, kChunk},
+                                DistFamily::WeightLike);
+    QuantConfig cfg;
+    cfg.type = parseType("flint5");
+    cfg.granularity = Granularity::PerChannel;
+    const QuantResult r = quantize(t, cfg, QuantizeTo::Packed);
+    const QTensor &q = *r.packed;
+    for (auto _ : state) {
+        const Tensor u = q.unpack();
+        benchmark::DoNotOptimize(u.data());
+    }
+    state.counters["nbytes"] = static_cast<double>(q.nbytes());
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorUnpackFlint5PerChannel)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_QuantizeBatchKernel(benchmark::State &state)
 {

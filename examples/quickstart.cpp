@@ -2,12 +2,13 @@
  * @file
  * Quickstart: quantize tensors with the ANT framework.
  *
- * Shows the four public API layers:
+ * Shows the five public API layers:
  *  1. numeric types named by registry spec strings (type_registry.h),
  *  2. the quantizer with MSE-optimal scale search (Eq. 2),
  *  3. automatic type selection (Algorithm 2) on tensors with
  *     different distributions,
- *  4. the serializable quantization recipe that freezes the result.
+ *  4. the serializable quantization recipe that freezes the result,
+ *  5. the packed low-bit representation (QTensor) that serving ships.
  */
 
 #include <cstdio>
@@ -91,5 +92,34 @@ main()
         std::printf("  %-24s -> %-7s scale %.6g\n", lr.layer.c_str(),
                     lr.act.typeSpec.c_str(),
                     lr.act.scales.empty() ? 0.0 : lr.act.scales[0]);
-    return 0;
+
+    // 5. Serving ships packed low-bit data, not refloated floats:
+    // QuantizeTo::Packed skips the dequant tensor and returns a
+    // QTensor — bit-packed codes plus the per-group scale plane —
+    // whose nbytes() is the true memory footprint. Unpacking it
+    // reproduces the fake-quantized tensor bit for bit. (For whole
+    // models, nn::saveArtifact / nn::applyArtifact bundle these
+    // payloads with the recipe into one binary file.)
+    QuantConfig pk;
+    pk.type = parseType("int4");
+    pk.granularity = Granularity::PerGroup;
+    pk.groupSize = 128;
+    const Tensor big =
+        rng.tensor(Shape{64, 3072}, DistFamily::WeightLike, 0.05f);
+    const QuantResult pr = quantize(big, pk, QuantizeTo::Packed);
+    const QTensor &qt = *pr.packed;
+    const double fp32_bytes = static_cast<double>(big.numel()) * 4.0;
+    const Tensor replay = qt.unpack();
+    const Tensor reference = fakeQuantize(big, pk);
+    bool bit_exact = true;
+    for (int64_t i = 0; i < big.numel(); ++i)
+        bit_exact = bit_exact && replay[i] == reference[i];
+    std::printf("\npacked %s per-group/%lld: %zu bytes vs %.0f fp32 "
+                "(%.1fx), unpack %s\n",
+                qt.type()->spec().c_str(),
+                static_cast<long long>(qt.groupSize()), qt.nbytes(),
+                fp32_bytes,
+                fp32_bytes / static_cast<double>(qt.nbytes()),
+                bit_exact ? "bit-exact" : "MISMATCH");
+    return bit_exact ? 0 : 1;
 }

@@ -1,0 +1,283 @@
+#include "core/artifact.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/type_registry.h"
+
+namespace ant {
+
+namespace {
+
+constexpr char kMagic[] = "ANTARTF"; // 7 bytes + version byte
+constexpr uint8_t kVersion = 1;
+
+// --------------------------------------------------------------------
+// Little-endian writer/reader (byte-wise, so the format is identical
+// on every host).
+// --------------------------------------------------------------------
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void
+putI64(std::string &out, int64_t v)
+{
+    putU64(out, static_cast<uint64_t>(v));
+}
+
+void
+putDouble(std::string &out, double d)
+{
+    uint64_t bits;
+    static_assert(sizeof bits == sizeof d, "IEEE double expected");
+    std::memcpy(&bits, &d, sizeof bits);
+    putU64(out, bits);
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU64(out, s.size());
+    out += s;
+}
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string &bytes) : s_(bytes) {}
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::invalid_argument("ModelArtifact: " + why +
+                                    " at offset " +
+                                    std::to_string(pos_));
+    }
+
+    const char *
+    raw(size_t n)
+    {
+        if (n > s_.size() - pos_) fail("truncated document");
+        const char *p = s_.data() + pos_;
+        pos_ += n;
+        return p;
+    }
+
+    uint8_t u8() { return static_cast<uint8_t>(*raw(1)); }
+
+    uint64_t
+    u64()
+    {
+        const unsigned char *p =
+            reinterpret_cast<const unsigned char *>(raw(8));
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p[i]) << (8 * i);
+        return v;
+    }
+
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double d;
+        std::memcpy(&d, &bits, sizeof d);
+        return d;
+    }
+
+    std::string
+    str()
+    {
+        const uint64_t n = u64();
+        // A length that exceeds the remaining bytes is corruption, not
+        // an allocation request.
+        if (n > s_.size() - pos_) fail("truncated string");
+        return std::string(raw(static_cast<size_t>(n)),
+                           static_cast<size_t>(n));
+    }
+
+    /** Remaining element capacity for a count of @p elem_bytes items. */
+    uint64_t
+    checkCount(uint64_t count, size_t elem_bytes)
+    {
+        if (count > (s_.size() - pos_) / elem_bytes)
+            fail("element count exceeds the document");
+        return count;
+    }
+
+    bool done() const { return pos_ == s_.size(); }
+
+  private:
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+uint8_t
+granularityCode(Granularity g)
+{
+    switch (g) {
+      case Granularity::PerTensor: return 0;
+      case Granularity::PerChannel: return 1;
+      case Granularity::PerGroup: return 2;
+    }
+    return 0;
+}
+
+Granularity
+granularityFromCode(Reader &r, uint8_t c)
+{
+    switch (c) {
+      case 0: return Granularity::PerTensor;
+      case 1: return Granularity::PerChannel;
+      case 2: return Granularity::PerGroup;
+    }
+    r.fail("unknown granularity code " + std::to_string(c));
+}
+
+} // namespace
+
+size_t
+ModelArtifact::payloadBytes() const
+{
+    size_t n = 0;
+    for (const WeightBlob &b : weights) n += b.tensor.nbytes();
+    return n;
+}
+
+std::string
+ModelArtifact::toBytes() const
+{
+    std::string out;
+    out += kMagic;
+    out += static_cast<char>(kVersion);
+    putString(out, recipe.toJson());
+    putU64(out, weights.size());
+    for (const WeightBlob &b : weights) {
+        const QTensor &q = b.tensor;
+        if (q.empty())
+            throw std::invalid_argument(
+                "ModelArtifact: blob \"" + b.layer +
+                "\" holds an empty QTensor");
+        putString(out, b.layer);
+        putString(out, q.type()->spec());
+        out += static_cast<char>(granularityCode(q.granularity()));
+        putI64(out, q.groupSize());
+        putU64(out, static_cast<uint64_t>(q.shape().ndim()));
+        for (int64_t d : q.shape().dims()) putI64(out, d);
+        putU64(out, q.scales().size());
+        for (double s : q.scales()) putDouble(out, s);
+        putU64(out, q.groupTypes().size());
+        for (const TypePtr &gt : q.groupTypes())
+            putString(out, gt->spec());
+        putU64(out, q.words().size());
+        for (uint64_t w : q.words()) putU64(out, w);
+    }
+    return out;
+}
+
+ModelArtifact
+ModelArtifact::fromBytes(const std::string &bytes)
+{
+    Reader r(bytes);
+    if (std::memcmp(r.raw(sizeof kMagic - 1), kMagic,
+                    sizeof kMagic - 1) != 0)
+        r.fail("bad magic (not an ANT artifact)");
+    const uint8_t version = r.u8();
+    if (version != kVersion)
+        r.fail("unsupported version " + std::to_string(version) +
+               " (this build reads version " + std::to_string(kVersion) +
+               ")");
+
+    ModelArtifact a;
+    a.recipe = QuantRecipe::fromJson(r.str());
+    // A blob's fixed-size fields alone take 57 bytes, so a count
+    // exceeding remaining/57 is corruption — reject it before
+    // reserve() turns it into a multi-GB allocation request.
+    const uint64_t blob_count = r.checkCount(r.u64(), 57);
+    a.weights.reserve(static_cast<size_t>(blob_count));
+    for (uint64_t bi = 0; bi < blob_count; ++bi) {
+        WeightBlob blob;
+        blob.layer = r.str();
+        const std::string spec = r.str();
+        const TypePtr type = parseType(spec); // throws on unknown specs
+        const Granularity gran = granularityFromCode(r, r.u8());
+        const int64_t group_size = r.i64();
+        const uint64_t ndim = r.checkCount(r.u64(), 8);
+        std::vector<int64_t> dims;
+        dims.reserve(static_cast<size_t>(ndim));
+        int64_t numel = 1;
+        for (uint64_t i = 0; i < ndim; ++i) {
+            const int64_t d = r.i64();
+            // Negative extents are corruption, and the element count
+            // must stay far from the numel * bits overflow edge the
+            // word-count math would hit (2^48 elements ~ 32 TB of
+            // int4 payload — no legitimate blob is near it).
+            if (d < 0) r.fail("negative dimension extent");
+            if (d > 0 && numel > (int64_t{1} << 48) / d)
+                r.fail("implausible tensor extent (overflow guard)");
+            numel = d == 0 ? 0 : numel * d;
+            dims.push_back(d);
+        }
+        const uint64_t nscales = r.checkCount(r.u64(), 8);
+        std::vector<double> scales;
+        scales.reserve(static_cast<size_t>(nscales));
+        for (uint64_t i = 0; i < nscales; ++i)
+            scales.push_back(r.f64());
+        const uint64_t ngt = r.checkCount(r.u64(), 8);
+        std::vector<TypePtr> group_types;
+        group_types.reserve(static_cast<size_t>(ngt));
+        for (uint64_t i = 0; i < ngt; ++i)
+            group_types.push_back(parseType(r.str()));
+        const uint64_t nwords = r.checkCount(r.u64(), 8);
+        std::vector<uint64_t> words;
+        words.reserve(static_cast<size_t>(nwords));
+        for (uint64_t i = 0; i < nwords; ++i) words.push_back(r.u64());
+        try {
+            blob.tensor = QTensor::fromParts(
+                Shape{std::move(dims)}, type, gran, group_size,
+                std::move(scales), std::move(words),
+                std::move(group_types));
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                "ModelArtifact: blob \"" + blob.layer + "\": " +
+                e.what());
+        }
+        a.weights.push_back(std::move(blob));
+    }
+    if (!r.done()) r.fail("trailing bytes");
+    return a;
+}
+
+void
+ModelArtifact::saveFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("ModelArtifact: cannot open " + path);
+    const std::string bytes = toBytes();
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        throw std::runtime_error("ModelArtifact: write failed: " + path);
+}
+
+ModelArtifact
+ModelArtifact::loadFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("ModelArtifact: cannot open " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return fromBytes(ss.str());
+}
+
+} // namespace ant

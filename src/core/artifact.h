@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The shippable model artifact: one versioned binary file bundling the
+ * quantization recipe (JSON, core/recipe.h) with the packed low-bit
+ * weight payloads (core/qtensor.h) of every quantized layer.
+ *
+ * This is the serving hand-off format of the four-call flow
+ *
+ *     nn::calibrateQuant(model, data, cfg);      // calibrate
+ *     nn::saveArtifact(model, "model.antq");     // freeze + ship
+ *     auto art = ModelArtifact::loadFile(path);  // load
+ *     nn::applyArtifact(server_model, art);      // serve
+ *
+ * replacing the recipe-plus-refloat dance (recipe JSON shipped
+ * separately from float weights that the server re-quantizes). The
+ * weight codes in the artifact ARE the bits the calibration froze:
+ * applying an artifact replays the calibrating process's quantized
+ * forward pass bitwise, pinned by tests/test_artifact.cpp.
+ *
+ * Binary layout (version 1, all integers little-endian):
+ *
+ *     magic  "ANTARTF"            7 bytes
+ *     version u8                  currently 1
+ *     u64 json_len, json bytes    the recipe document (recipe.h)
+ *     u64 blob_count
+ *     per blob:
+ *       u64 name_len, bytes       layer name (matches a recipe layer)
+ *       u64 spec_len, bytes       representative type spec
+ *       u8  granularity           0 per-tensor, 1 per-channel, 2 group
+ *       i64 group_size            0 unless per-group
+ *       u64 ndim; i64 dims[ndim]
+ *       u64 nscales; f64 scales[] (IEEE bit patterns, little-endian)
+ *       u64 ngroup_types; per: u64 len + spec bytes (heterogeneous
+ *                         per-group types; 0 when homogeneous)
+ *       u64 nwords; u64 words[]   the bit-packed payload
+ *
+ * Activations carry no payload (they are quantized on the fly from the
+ * recipe's frozen scales); only weight tensors ship codes.
+ */
+
+#ifndef ANT_CORE_ARTIFACT_H
+#define ANT_CORE_ARTIFACT_H
+
+#include <string>
+#include <vector>
+
+#include "core/qtensor.h"
+#include "core/recipe.h"
+
+namespace ant {
+
+/** One layer's packed weight payload. */
+struct WeightBlob
+{
+    std::string layer; //!< layer name, matching the recipe entry
+    QTensor tensor;    //!< packed weight codes + scale plane
+};
+
+/** The whole-model serving artifact: recipe + packed weights. */
+struct ModelArtifact
+{
+    QuantRecipe recipe;
+    std::vector<WeightBlob> weights;
+
+    /** Sum of the packed weight payload footprints (QTensor::nbytes),
+     *  i.e. the bytes a weight server streams per replica. */
+    size_t payloadBytes() const;
+
+    /** Serialize to the versioned binary layout above. */
+    std::string toBytes() const;
+
+    /**
+     * Parse a document produced by toBytes. Throws
+     * std::invalid_argument naming the problem on bad magic, version,
+     * truncation, unparseable specs, or payload/layout mismatches.
+     */
+    static ModelArtifact fromBytes(const std::string &bytes);
+
+    /** Write toBytes() to @p path (std::runtime_error on I/O failure). */
+    void saveFile(const std::string &path) const;
+
+    /** Read and parse @p path. */
+    static ModelArtifact loadFile(const std::string &path);
+};
+
+} // namespace ant
+
+#endif // ANT_CORE_ARTIFACT_H

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Quantization granularity, shared by the quantizer configuration
+ * (core/quantizer.h) and the packed storage format (core/qtensor.h).
+ * Lives in its own header so the two can agree on the enum without
+ * including each other.
+ */
+
+#ifndef ANT_CORE_GRANULARITY_H
+#define ANT_CORE_GRANULARITY_H
+
+namespace ant {
+
+/** Quantization granularity (Sec. II-B; PerGroup follows M-ANT). */
+enum class Granularity {
+    PerTensor,  //!< one scale for the whole tensor (activations)
+    PerChannel, //!< one scale per dim-0 slice (weights, output channels)
+    PerGroup,   //!< one scale per contiguous run of QuantConfig::groupSize
+                //!< elements inside each dim-0 slice (LLM-style group
+                //!< quantization; see QuantConfig::groupSize for layout)
+};
+
+} // namespace ant
+
+#endif // ANT_CORE_GRANULARITY_H

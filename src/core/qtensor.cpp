@@ -1,0 +1,271 @@
+#include "core/qtensor.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/type_registry.h"
+#include "tensor/parallel.h"
+
+namespace ant {
+
+namespace {
+
+/** Channel count / per-channel chunk of the frozen layouts. */
+int64_t
+channelsOf(const Shape &shape)
+{
+    return shape.ndim() >= 2 ? shape.dim(0) : 1;
+}
+
+int64_t
+chunkOf(const Shape &shape)
+{
+    const int64_t c = channelsOf(shape);
+    return c > 0 ? shape.numel() / c : 0;
+}
+
+void
+validateLayout(const char *who, const Shape &shape, const TypePtr &type,
+               Granularity g, int64_t group_size,
+               const std::vector<double> &scales,
+               const std::vector<TypePtr> &group_types)
+{
+    const std::string w(who);
+    if (!type) throw std::invalid_argument(w + ": null type");
+    if (type->bits() < 1 || type->bits() > 32)
+        throw std::invalid_argument(
+            w + ": bits outside [1,32] (got " +
+            std::to_string(type->bits()) + " for " + type->spec() + ")");
+    if (g != Granularity::PerTensor && shape.ndim() < 2)
+        throw std::invalid_argument(
+            w + ": PerChannel/PerGroup need a 2-D+ tensor; pass "
+                "PerTensor for the documented 0-D/1-D single-scale "
+                "fallback (shape " +
+            shape.str() + ")");
+    if (g == Granularity::PerGroup && group_size < 1)
+        throw std::invalid_argument(
+            w + ": PerGroup needs group_size >= 1 (got " +
+            std::to_string(group_size) + ")");
+    if (g != Granularity::PerGroup && group_size != 0)
+        throw std::invalid_argument(
+            w + ": group_size is a PerGroup field (got " +
+            std::to_string(group_size) + " for " +
+            std::to_string(static_cast<int>(g)) + ")");
+    const int64_t expect = QTensor::scaleCount(shape, g, group_size);
+    if (static_cast<int64_t>(scales.size()) != expect)
+        throw std::invalid_argument(
+            w + ": " + std::to_string(scales.size()) +
+            " scales for a layout expecting " + std::to_string(expect) +
+            " (shape " + shape.str() + ")");
+    if (!group_types.empty()) {
+        if (g != Granularity::PerGroup)
+            throw std::invalid_argument(
+                w + ": group_types given for a non-PerGroup layout");
+        if (group_types.size() != scales.size())
+            throw std::invalid_argument(
+                w + ": " + std::to_string(group_types.size()) +
+                " group_types for " + std::to_string(scales.size()) +
+                " scales");
+        for (const TypePtr &gt : group_types) {
+            if (!gt)
+                throw std::invalid_argument(w + ": null group type");
+            if (gt->bits() != type->bits())
+                throw std::invalid_argument(
+                    w + ": group type " + gt->spec() + " has " +
+                    std::to_string(gt->bits()) +
+                    " bits but the payload stride is " +
+                    std::to_string(type->bits()) + " (" + type->spec() +
+                    ") — heterogeneous groups must share one width");
+        }
+    }
+}
+
+} // namespace
+
+int64_t
+QTensor::wordCount(int64_t numel, int bits)
+{
+    if (numel <= 0 || bits <= 0) return 0;
+    return (numel * bits + 63) / 64;
+}
+
+int64_t
+QTensor::scaleCount(const Shape &shape, Granularity g, int64_t group_size)
+{
+    if (g == Granularity::PerTensor || shape.ndim() < 2) return 1;
+    const int64_t channels = channelsOf(shape);
+    if (g == Granularity::PerChannel) return channels;
+    if (group_size < 1) return 0;
+    const int64_t chunk = chunkOf(shape);
+    return channels * ((chunk + group_size - 1) / group_size);
+}
+
+size_t
+QTensor::footprintBytes(const Shape &shape, int bits, Granularity g,
+                        int64_t group_size)
+{
+    return static_cast<size_t>(wordCount(shape.numel(), bits)) *
+               sizeof(uint64_t) +
+           static_cast<size_t>(scaleCount(shape, g, group_size)) *
+               sizeof(double);
+}
+
+QTensor
+QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
+              std::vector<double> scales, int64_t group_size,
+              std::vector<TypePtr> group_types)
+{
+    validateLayout("QTensor::pack", t.shape(), type, g, group_size,
+                   scales, group_types);
+    QTensor q;
+    q.shape_ = t.shape();
+    q.type_ = std::move(type);
+    q.granularity_ = g;
+    q.scales_ = std::move(scales);
+    q.groupTypes_ = std::move(group_types);
+    const int b = q.type_->bits();
+    q.words_.assign(static_cast<size_t>(wordCount(t.numel(), b)), 0);
+
+    // Packing is serial over ranges: back-to-back ranges share their
+    // boundary word (the writer ORs bits in), so fanning ranges out
+    // would race. Pack runs once at freeze time; unpack() — the
+    // serving path — is the parallel side.
+    const KernelPtr kernel = cachedKernel(q.type_);
+    if (g == Granularity::PerTensor) {
+        kernel->packBatch(t.data(), t.numel(), q.scales_[0],
+                          q.words_.data(), 0);
+        return q;
+    }
+    const int64_t channels = channelsOf(q.shape_);
+    const int64_t chunk = chunkOf(q.shape_);
+    if (g == Granularity::PerChannel) {
+        for (int64_t c = 0; c < channels; ++c)
+            kernel->packBatch(t.data() + c * chunk, chunk,
+                              q.scales_[static_cast<size_t>(c)],
+                              q.words_.data(), c * chunk * b);
+        return q;
+    }
+    const int64_t gs = group_size;
+    const int64_t gpc = (chunk + gs - 1) / gs;
+    q.groupSize_ = gs;
+    q.groupsPerChannel_ = gpc;
+    // Resolve heterogeneous group kernels once, not per group (the
+    // registry lookup takes a mutex and compares grids).
+    std::vector<KernelPtr> group_kernels;
+    group_kernels.reserve(q.groupTypes_.size());
+    for (const TypePtr &gt : q.groupTypes_)
+        group_kernels.push_back(cachedKernel(gt));
+    for (int64_t c = 0; c < channels; ++c)
+        for (int64_t gi = 0; gi < gpc; ++gi) {
+            const int64_t off = c * chunk + gi * gs;
+            const int64_t len = std::min(gs, chunk - gi * gs);
+            const size_t i = static_cast<size_t>(c * gpc + gi);
+            const QuantKernel &k =
+                group_kernels.empty() ? *kernel : *group_kernels[i];
+            k.packBatch(t.data() + off, len, q.scales_[i],
+                        q.words_.data(), off * b);
+        }
+    return q;
+}
+
+QTensor
+QTensor::fromParts(Shape shape, TypePtr type, Granularity g,
+                   int64_t group_size, std::vector<double> scales,
+                   std::vector<uint64_t> words,
+                   std::vector<TypePtr> group_types)
+{
+    validateLayout("QTensor::fromParts", shape, type, g, group_size,
+                   scales, group_types);
+    const int64_t expect_words = wordCount(shape.numel(), type->bits());
+    if (static_cast<int64_t>(words.size()) != expect_words)
+        throw std::invalid_argument(
+            "QTensor::fromParts: " + std::to_string(words.size()) +
+            " payload words for a shape/width expecting " +
+            std::to_string(expect_words));
+    QTensor q;
+    q.shape_ = std::move(shape);
+    q.type_ = std::move(type);
+    q.granularity_ = g;
+    q.scales_ = std::move(scales);
+    q.groupTypes_ = std::move(group_types);
+    q.words_ = std::move(words);
+    if (g == Granularity::PerGroup) {
+        q.groupSize_ = group_size;
+        const int64_t chunk = chunkOf(q.shape_);
+        q.groupsPerChannel_ = (chunk + group_size - 1) / group_size;
+    }
+    return q;
+}
+
+uint32_t
+QTensor::codeAt(int64_t i) const
+{
+    if (empty() || i < 0 || i >= numel())
+        throw std::out_of_range("QTensor::codeAt(" + std::to_string(i) +
+                                ") on " +
+                                (empty() ? "an empty tensor"
+                                         : "shape " + shape_.str()));
+    const int b = type_->bits();
+    const int64_t pos = i * b;
+    const int64_t w = pos >> 6;
+    const int off = static_cast<int>(pos & 63);
+    uint64_t code = words_[static_cast<size_t>(w)] >> off;
+    if (off + b > 64)
+        code |= words_[static_cast<size_t>(w) + 1] << (64 - off);
+    return static_cast<uint32_t>(code & ((uint64_t{1} << b) - 1));
+}
+
+Tensor
+QTensor::unpack() const
+{
+    if (empty())
+        throw std::logic_error("QTensor: unpack of an empty tensor");
+    Tensor out{shape_};
+    const int b = type_->bits();
+    const KernelPtr kernel = cachedKernel(type_);
+    const uint64_t *words = words_.data();
+
+    if (granularity_ == Granularity::PerTensor || shape_.ndim() < 2) {
+        const double s = scales_[0];
+        parallelFor(numel(), [&](int64_t lo, int64_t hi) {
+            kernel->unpackBatch(words, lo * b, hi - lo, s,
+                                out.data() + lo);
+        });
+        return out;
+    }
+    const int64_t channels = channelsOf(shape_);
+    const int64_t chunk = chunkOf(shape_);
+    if (granularity_ == Granularity::PerChannel) {
+        parallelFor(channels, [&](int64_t cb, int64_t ce) {
+            for (int64_t c = cb; c < ce; ++c)
+                kernel->unpackBatch(words, c * chunk * b, chunk,
+                                    scales_[static_cast<size_t>(c)],
+                                    out.data() + c * chunk);
+        });
+        return out;
+    }
+    const int64_t gs = groupSize_;
+    const int64_t gpc = groupsPerChannel_;
+    std::vector<KernelPtr> group_kernels;
+    group_kernels.reserve(groupTypes_.size());
+    for (const TypePtr &gt : groupTypes_)
+        group_kernels.push_back(cachedKernel(gt));
+    parallelFor(channels * gpc, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+            const int64_t c = i / gpc;
+            const int64_t gi = i % gpc;
+            const int64_t off = c * chunk + gi * gs;
+            const int64_t len = std::min(gs, chunk - gi * gs);
+            const QuantKernel &k = group_kernels.empty()
+                                       ? *kernel
+                                       : *group_kernels[static_cast<
+                                             size_t>(i)];
+            k.unpackBatch(words, off * b, len,
+                          scales_[static_cast<size_t>(i)],
+                          out.data() + off);
+        }
+    });
+    return out;
+}
+
+} // namespace ant

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * First-class packed quantized tensors: the owned low-bit representation
+ * the serving story ships (ROADMAP north star; M-ANT's packed
+ * code+scale buffers).
+ *
+ * A QTensor holds the *actual* low-bit data of a quantized tensor —
+ * codes bit-packed into contiguous `uint64_t` words at
+ * `NumericType::bits()` bits per element, LSB-first, plus the
+ * channel-major scale plane(s) and the shape/type/granularity metadata
+ * needed to decode — so `nbytes()` reports the true serving footprint
+ * instead of a simulated one. Packing is bit-exact with the batched
+ * engine: `unpack()` reproduces, bit for bit, the floats the
+ * fake-quantize path (`QuantKernel::quantizeBatch`) writes at the same
+ * scales, because both sides round to the same grid point and multiply
+ * the same grid double by the same scale double.
+ *
+ * Layouts mirror the quantizer's frozen conventions (quantizer.h):
+ *  - PerTensor: one scale;
+ *  - PerChannel: one scale per dim-0 slice;
+ *  - PerGroup: channel-major scale plane, `scales[c * groupsPerChannel
+ *    + g]`, groups tiling each slice's chunk with a ragged last group.
+ * Heterogeneous per-group types (per-group Algorithm 2) are supported
+ * when every group type has the representative type's bit width, so
+ * the payload stays a uniform-stride bit stream.
+ *
+ * Scale planes are stored as IEEE doubles: that is what keeps the
+ * packed representation bitwise-faithful to the calibrated state for
+ * every registered type (power-of-two grids push scales far below
+ * fp16/fp32 range). At the default group size of 128 the plane costs
+ * 0.5 bits/element — int4 per-group still packs ~7x smaller than
+ * float32; see docs/api_reference.md for measured numbers.
+ */
+
+#ifndef ANT_CORE_QTENSOR_H
+#define ANT_CORE_QTENSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/granularity.h"
+#include "core/numeric_type.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+
+class QTensor
+{
+  public:
+    /** Empty (unpacked) tensor; the "no packed payload" state. */
+    QTensor() = default;
+
+    /**
+     * Pack @p t: encode every element against its range's scale
+     * (bit-exact with QuantKernel::encodeBatch) and bit-pack the codes.
+     * @p scales must match the granularity's layout exactly —
+     * 1 (PerTensor), dim(0) (PerChannel), or dim(0) * ceil(chunk /
+     * group_size) channel-major (PerGroup) — and PerChannel/PerGroup
+     * require a 2-D+ tensor (callers holding the documented 0-D/1-D
+     * single-scale fallback should pass PerTensor, as
+     * QuantResult::appliedGranularity already reports). @p group_types,
+     * when non-empty, gives one type per group (same layout as scales)
+     * and every entry must have @p type's bit width. Throws
+     * std::invalid_argument on any layout mismatch.
+     */
+    static QTensor pack(const Tensor &t, TypePtr type, Granularity g,
+                        std::vector<double> scales,
+                        int64_t group_size = 0,
+                        std::vector<TypePtr> group_types = {});
+
+    /**
+     * Rebuild from stored parts (artifact loading). Validates the same
+     * layout contract as pack() plus the word count.
+     */
+    static QTensor fromParts(Shape shape, TypePtr type, Granularity g,
+                             int64_t group_size,
+                             std::vector<double> scales,
+                             std::vector<uint64_t> words,
+                             std::vector<TypePtr> group_types = {});
+
+    bool empty() const { return !type_; }
+
+    const Shape &shape() const { return shape_; }
+    int64_t numel() const { return shape_.numel(); }
+    const TypePtr &type() const { return type_; }
+    int bits() const { return type_ ? type_->bits() : 0; }
+    Granularity granularity() const { return granularity_; }
+
+    /** Group length (0 unless PerGroup). */
+    int64_t groupSize() const { return groupSize_; }
+    int64_t groupsPerChannel() const { return groupsPerChannel_; }
+
+    /** Scale plane, laid out per the granularity (see pack()). */
+    const std::vector<double> &scales() const { return scales_; }
+
+    /** Per-group types; empty means every group uses type(). */
+    const std::vector<TypePtr> &groupTypes() const { return groupTypes_; }
+
+    /** The packed payload: ceil(numel * bits / 64) words, LSB-first. */
+    const std::vector<uint64_t> &words() const { return words_; }
+
+    /** Code of element @p i (bit extraction; for tests and tools). */
+    uint32_t codeAt(int64_t i) const;
+
+    /**
+     * True serving footprint in bytes: packed payload words plus the
+     * scale plane (8 bytes per scale). Shape/type metadata and
+     * per-group type tags are O(1)/O(groups) bookkeeping excluded from
+     * the count, matching what the simulator charges per tensor.
+     */
+    size_t nbytes() const
+    {
+        return words_.size() * sizeof(uint64_t) +
+               scales_.size() * sizeof(double);
+    }
+
+    /**
+     * Dequantize to a dense float tensor: code -> grid value * scale,
+     * bitwise identical to the fake-quantize of the original tensor at
+     * the same scales. Ranges fan out over the engine's thread pool.
+     */
+    Tensor unpack() const;
+
+    /**
+     * Payload word count of @p numel elements at @p bits each:
+     * ceil(numel * bits / 64).
+     */
+    static int64_t wordCount(int64_t numel, int bits);
+
+    /** Scale count of the granularity's layout on @p shape (with the
+     *  0-D/1-D PerChannel/PerGroup fallback to one scale). */
+    static int64_t scaleCount(const Shape &shape, Granularity g,
+                              int64_t group_size);
+
+    /**
+     * nbytes() of a hypothetical QTensor of this configuration without
+     * building one — the analytic form the planner/simulator charge so
+     * the perf model and the storage format cannot drift apart
+     * (pinned: equals nbytes() of a real pack).
+     */
+    static size_t footprintBytes(const Shape &shape, int bits,
+                                 Granularity g, int64_t group_size);
+
+  private:
+    Shape shape_;
+    TypePtr type_;
+    Granularity granularity_ = Granularity::PerTensor;
+    int64_t groupSize_ = 0;
+    int64_t groupsPerChannel_ = 0;
+    std::vector<double> scales_;
+    std::vector<TypePtr> groupTypes_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace ant
+
+#endif // ANT_CORE_QTENSOR_H

@@ -168,6 +168,54 @@ QuantKernel::encodeGroups(const float *in, uint32_t *out, int64_t n,
     });
 }
 
+void
+QuantKernel::packBatch(const float *in, int64_t n, double scale,
+                       uint64_t *words, int64_t bit_base) const
+{
+    const int b = type_->bits();
+    const uint64_t mask = (uint64_t{1} << b) - 1;
+    // Encode through the shared batch path (so packing can never drift
+    // from encodeBatch), then OR the codes into the word stream.
+    constexpr int64_t kChunk = 512;
+    uint32_t buf[kChunk];
+    for (int64_t base = 0; base < n; base += kChunk) {
+        const int64_t len = std::min(kChunk, n - base);
+        encodeBatch(in + base, buf, len, scale);
+        int64_t pos = bit_base + base * b;
+        for (int64_t i = 0; i < len; ++i, pos += b) {
+            const uint64_t code = buf[i] & mask;
+            const int64_t w = pos >> 6;
+            const int off = static_cast<int>(pos & 63);
+            words[w] |= code << off;
+            if (off + b > 64) words[w + 1] |= code >> (64 - off);
+        }
+    }
+}
+
+void
+QuantKernel::unpackBatch(const uint64_t *words, int64_t bit_base,
+                         int64_t n, double scale, float *out) const
+{
+    if (!(scale > 0.0 && std::isfinite(scale))) {
+        // Degenerate scale: quantizeBatch writes +0.0f, so must we
+        // (codeValue * 0.0 could produce -0.0 for negative grid points).
+        for (int64_t i = 0; i < n; ++i) out[i] = 0.0f;
+        return;
+    }
+    const int b = type_->bits();
+    const uint64_t mask = (uint64_t{1} << b) - 1;
+    int64_t pos = bit_base;
+    for (int64_t i = 0; i < n; ++i, pos += b) {
+        const int64_t w = pos >> 6;
+        const int off = static_cast<int>(pos & 63);
+        uint64_t code = words[w] >> off;
+        if (off + b > 64) code |= words[w + 1] << (64 - off);
+        code &= mask;
+        out[i] = static_cast<float>(
+            type_->codeValue(static_cast<uint32_t>(code)) * scale);
+    }
+}
+
 MagnitudeHistogram::MagnitudeHistogram(const float *in, int64_t n,
                                        bool is_signed, int bins)
     : bins_(std::max(1, bins)), n_(n)

@@ -106,6 +106,31 @@ class QuantKernel
                       const std::vector<double> &scales) const;
 
     /**
+     * Encode a flat range (bit-exact with encodeBatch) and bit-pack the
+     * codes into a word stream: element i of the range occupies the
+     * type's bits() bits starting at absolute bit position
+     * @p bit_base + i * bits(), LSB-first within each `uint64_t` word,
+     * straddling word boundaries when bits() does not divide 64.
+     * @p words must be zero-initialized over the touched span (the
+     * writer ORs bits in, so ranges packed back to back may share a
+     * boundary word — which also means adjacent ranges must not be
+     * packed concurrently).
+     */
+    void packBatch(const float *in, int64_t n, double scale,
+                   uint64_t *words, int64_t bit_base) const;
+
+    /**
+     * Decode a packed range back to dequantized floats: code ->
+     * unscaled grid value * @p scale, bitwise identical to what
+     * quantizeBatch writes for the original data at the same scale
+     * (both sides multiply the same grid double by the same scale).
+     * A degenerate scale (<= 0 or non-finite) writes zeros, matching
+     * quantizeBatch's degenerate path. Safe to call concurrently.
+     */
+    void unpackBatch(const uint64_t *words, int64_t bit_base, int64_t n,
+                     double scale, float *out) const;
+
+    /**
      * Non-negative grid values (signed grids folded to magnitudes).
      * This is the decision lattice the histogram sketch sweeps.
      */

@@ -33,6 +33,10 @@ QuantConfig::validate(bool require_type) const
         throw std::invalid_argument(
             "QuantConfig.searchLo: must be in (0,1] (got " +
             std::to_string(searchLo) + ")");
+    if (refineTopK < 1)
+        throw std::invalid_argument(
+            "QuantConfig.refineTopK: must be >= 1 (got " +
+            std::to_string(refineTopK) + ")");
     if (granularity == Granularity::PerGroup && groupSize < 1)
         throw std::invalid_argument(
             "QuantConfig.groupSize: must be >= 1 for PerGroup (got " +
@@ -115,10 +119,15 @@ searchScaleKernel(const QuantKernel &kernel, const float *in, int64_t n,
 
         // Refined: re-score the sketch's top-K exactly, always keeping
         // the unclipped scale in the pool so MseSearch can never end up
-        // worse than MaxCalib.
-        const size_t k = static_cast<size_t>(
-            std::clamp(cfg.refineTopK, 1,
-                       static_cast<int>(scales.size())));
+        // worse than MaxCalib. The validated entry points
+        // (quantize/selectType) reject refineTopK < 1 outright; the
+        // floor here only covers direct searchScale() callers that
+        // skip validation, preserving their pre-validation behavior
+        // (refine the sketch's top candidate) instead of silently
+        // degrading to the unclipped scale alone.
+        const size_t k =
+            std::min(static_cast<size_t>(std::max(cfg.refineTopK, 1)),
+                     scales.size());
         std::vector<size_t> subset(order.begin(),
                                    order.begin() +
                                        static_cast<int64_t>(k));
@@ -200,7 +209,7 @@ searchScale(const float *in, int64_t n, const QuantKernel &kernel,
 namespace {
 
 QuantResult
-quantizeImpl(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
+quantizeCore(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
 {
     cfg.validate();
     // One registry lookup replaces per-call kernel compilation: every
@@ -291,15 +300,25 @@ quantizeImpl(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
 } // namespace
 
 QuantResult
-quantize(const Tensor &t, const QuantConfig &cfg)
+quantize(const Tensor &t, const QuantConfig &cfg, QuantizeTo to)
 {
-    return quantizeImpl(t, cfg, /*with_dequant=*/true);
+    const bool with_dequant = to != QuantizeTo::Packed;
+    QuantResult r = quantizeCore(t, cfg, with_dequant);
+    if (to != QuantizeTo::Dequant) {
+        // Re-encode at the searched scales into the owned low-bit
+        // representation. appliedGranularity already reflects the
+        // 0-D/1-D fallback, so the packed layout always matches the
+        // scale vector the search produced.
+        r.packed = QTensor::pack(t, cfg.type, r.appliedGranularity,
+                                 r.scales, r.groupSize);
+    }
+    return r;
 }
 
 QuantResult
 quantizeScored(const Tensor &t, const QuantConfig &cfg)
 {
-    return quantizeImpl(t, cfg, /*with_dequant=*/false);
+    return quantizeCore(t, cfg, /*with_dequant=*/false);
 }
 
 Tensor

@@ -15,23 +15,17 @@
 #ifndef ANT_CORE_QUANTIZER_H
 #define ANT_CORE_QUANTIZER_H
 
+#include <optional>
 #include <vector>
 
+#include "core/granularity.h"
 #include "core/numeric_type.h"
+#include "core/qtensor.h"
 #include "tensor/tensor.h"
 
 namespace ant {
 
 class QuantKernel;
-
-/** Quantization granularity (Sec. II-B; PerGroup follows M-ANT). */
-enum class Granularity {
-    PerTensor,  //!< one scale for the whole tensor (activations)
-    PerChannel, //!< one scale per dim-0 slice (weights, output channels)
-    PerGroup,   //!< one scale per contiguous run of QuantConfig::groupSize
-                //!< elements inside each dim-0 slice (LLM-style group
-                //!< quantization; see QuantConfig::groupSize for layout)
-};
 
 /** How the scale factor is chosen. */
 enum class ScaleMode {
@@ -82,11 +76,26 @@ struct QuantConfig
      * Reject out-of-range fields with std::invalid_argument naming the
      * offending field: null type (unless @p require_type is false —
      * selectType ignores the field), type bits outside [2, 8],
-     * searchSteps < 1, histBins < 2, searchLo outside (0, 1], and
-     * groupSize < 1 when granularity is PerGroup (the field is ignored
-     * otherwise). Called at the quantize/selectType entry points.
+     * searchSteps < 1, histBins < 2, searchLo outside (0, 1],
+     * refineTopK < 1, and groupSize < 1 when granularity is PerGroup
+     * (the field is ignored otherwise). Called at the
+     * quantize/selectType entry points.
      */
     void validate(bool require_type = true) const;
+};
+
+/**
+ * What quantize() materializes. The fake-quantized float tensor is the
+ * historical default; Packed skips it and builds the owned low-bit
+ * representation (QTensor) instead — the serving format whose
+ * nbytes() is the true memory footprint. Both outputs are derived
+ * from the identical scale search, and unpacking the packed output
+ * reproduces the dequant tensor bit for bit.
+ */
+enum class QuantizeTo {
+    Dequant, //!< QuantResult::dequant only (default)
+    Packed,  //!< QuantResult::packed only; dequant stays empty
+    Both,    //!< both representations
 };
 
 /** Result of quantizing a tensor. */
@@ -110,6 +119,14 @@ struct QuantResult
     /** Per-group bookkeeping (zero unless PerGroup was applied). */
     int64_t groupSize = 0;        //!< group length actually used
     int64_t groupsPerChannel = 0; //!< ceil(chunk / groupSize)
+
+    /**
+     * The packed low-bit representation (set when quantize() ran with
+     * QuantizeTo::Packed or Both): codes bit-packed at type->bits()
+     * per element plus the scale plane of appliedGranularity.
+     * packed->unpack() equals `dequant` bit for bit.
+     */
+    std::optional<QTensor> packed;
 };
 
 /**
@@ -148,8 +165,15 @@ double searchScale(const float *in, int64_t n, const NumericType &type,
 double searchScale(const float *in, int64_t n, const QuantKernel &kernel,
                    const QuantConfig &cfg);
 
-/** Quantize a whole tensor according to @p cfg. */
-QuantResult quantize(const Tensor &t, const QuantConfig &cfg);
+/**
+ * Quantize a whole tensor according to @p cfg. @p to selects the
+ * output representation(s): the fake-quantized float tensor (the
+ * default), the packed QTensor (QuantizeTo::Packed — dequant
+ * materialization is opt-out for serving flows that only ship codes),
+ * or both. Scales and MSE are identical across modes.
+ */
+QuantResult quantize(const Tensor &t, const QuantConfig &cfg,
+                     QuantizeTo to = QuantizeTo::Dequant);
 
 /**
  * Score-only variant of quantize(): identical scale search and exact

@@ -8,6 +8,7 @@
 
 #include "core/quant_kernel.h"
 #include "core/type_registry.h"
+#include "tensor/parallel.h"
 
 namespace ant {
 namespace nn {
@@ -74,6 +75,7 @@ QuantState::calibrate(const Tensor &t)
     if (candidates.empty())
         throw std::invalid_argument("QuantState: no candidates");
     groupTypes.clear();
+    packed = QTensor{}; // new scales invalidate any packed payload
     featureGroups = false; // in-memory calibration is channel-major
     if (granularity == Granularity::PerGroup && t.ndim() >= 2 &&
         groupTypeMode != GroupTypeMode::Shared) {
@@ -109,6 +111,7 @@ QuantState::finalizeFromObservations()
     if (candidates.empty())
         throw std::invalid_argument("QuantState: no candidates");
     groupTypes.clear();
+    packed = QTensor{}; // new scales invalidate any packed payload
     if (granularity == Granularity::PerGroup) {
         // Per-group activations: Algorithm 2 per feature group from the
         // streamed sketches; scales broadcast across rows (one entry
@@ -145,11 +148,67 @@ QuantState::finalizeFromObservations()
     observing = false;
 }
 
+QTensor
+QuantState::packWeight(const Tensor &t) const
+{
+    if (!calibrated())
+        throw std::logic_error("QuantState: pack before calibrate");
+    if (featureGroups && scales.size() > 1)
+        throw std::invalid_argument(
+            "QuantState: feature-broadcast (activation) scales do not "
+            "pack — only channel-major weight layouts ship as QTensor "
+            "payloads");
+    // The documented single-scale 0-D/1-D calibration fallback applies
+    // per-tensor regardless of the configured granularity; pack the
+    // same way so the codes decode with the scale that froze them.
+    const Granularity g =
+        scales.size() == 1 ? Granularity::PerTensor : granularity;
+    const int64_t gs = g == Granularity::PerGroup ? groupSize : 0;
+    return QTensor::pack(t, type, g, scales, gs, groupTypes);
+}
+
 Tensor
 QuantState::apply(const Tensor &t)
 {
     if (!calibrated())
         throw std::logic_error("QuantState: apply before calibrate");
+    if (!packed.empty()) {
+        // Serving mode: the low-bit codes are the source of truth —
+        // dequantize them group by group instead of re-quantizing the
+        // float input. Bitwise identical to the fake-quantize path at
+        // the same scales (core/qtensor.h), so flipping a model
+        // between modes never changes its outputs.
+        if (packed.shape() != t.shape())
+            throw std::logic_error(
+                "QuantState: packed payload of shape " +
+                packed.shape().str() + " cannot apply to a " +
+                t.shape().str() + " tensor");
+        Tensor out = packed.unpack();
+        // MSE vs the live float weights, fanned out over the pool with
+        // a deterministic block-order reduction (this runs on the
+        // serving hot path, once per forward).
+        const int64_t n = t.numel();
+        const int64_t block = 1 << 16;
+        const int64_t blocks = (n + block - 1) / block;
+        std::vector<double> errs(static_cast<size_t>(blocks), 0.0);
+        parallelFor(blocks, [&](int64_t bb, int64_t be) {
+            for (int64_t b = bb; b < be; ++b) {
+                const int64_t lo = b * block;
+                const int64_t hi = std::min(n, lo + block);
+                double e = 0.0;
+                for (int64_t i = lo; i < hi; ++i) {
+                    const double d =
+                        static_cast<double>(out[i]) - t[i];
+                    e += d * d;
+                }
+                errs[static_cast<size_t>(b)] = e;
+            }
+        });
+        double err = 0.0;
+        for (double e : errs) err += e;
+        lastMse = n ? err / static_cast<double>(n) : 0.0;
+        return out;
+    }
     Tensor out{t.shape()};
     // The registry's cached kernel serves every channel of this (and
     // every other) forward pass — nothing is compiled per call.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/calibrator.h"
+#include "core/qtensor.h"
 #include "core/type_selector.h"
 #include "nn/autograd.h"
 #include "tensor/random.h"
@@ -70,6 +71,28 @@ class QuantState
     TypePtr type;
     std::vector<double> scales;
     double lastMse = 0.0;
+
+    /**
+     * Packed low-bit storage of the frozen weight tensor (serving
+     * mode). Empty by default; installed by packFrom / nn::
+     * packQuantizedWeights / nn::applyArtifact and cleared whenever
+     * the frozen state changes (configure, calibrate, applyRecipe).
+     * When non-empty, apply() dequantizes groups from the packed codes
+     * on the fly instead of re-quantizing the float input — bitwise
+     * the same output, but the bits held live are the low-bit ones.
+     */
+    QTensor packed;
+
+    /**
+     * Pack @p t (the tensor this role quantizes, i.e. the layer's
+     * weights) with the frozen type/scales/granularity into `packed`.
+     * Requires calibrate() to have run; throws std::invalid_argument
+     * when the frozen state cannot pack (feature-broadcast activation
+     * layouts, mixed-width group types). packWeight is the
+     * non-installing variant.
+     */
+    void packFrom(const Tensor &t) { packed = packWeight(t); }
+    QTensor packWeight(const Tensor &t) const;
 
     /**
      * Heterogeneous per-group types (same layout and length as scales)
@@ -152,6 +175,8 @@ class QuantLayer : public Module
 
     /** Calibrate weight quantization from the current weight values. */
     virtual void calibrateWeights() = 0;
+    /** The weight tensor weightQ quantizes (packing/artifact export). */
+    virtual const Tensor &weightTensor() const = 0;
     /** Quantization MSE metric used by the mixed-precision loop. */
     double
     quantMseMetric() const
@@ -174,6 +199,7 @@ class Linear : public QuantLayer
     std::string name() const override { return label_; }
     void calibrateWeights() override;
     int64_t weightCount() const override { return w_.var->numel(); }
+    const Tensor &weightTensor() const override { return w_.var->value; }
 
     Param &weight() { return w_; }
 
@@ -196,6 +222,7 @@ class Conv2d : public QuantLayer
     std::string name() const override { return label_; }
     void calibrateWeights() override;
     int64_t weightCount() const override { return w_.var->numel(); }
+    const Tensor &weightTensor() const override { return w_.var->value; }
 
   private:
     Param w_; //!< [oc, ic, k, k]

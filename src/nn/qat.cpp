@@ -73,6 +73,8 @@ installState(QuantLayer *l, const QatConfig &cfg, LayerPrecision prec)
     l->weightQ.type = nullptr;
     l->actQ.groupTypes.clear();
     l->weightQ.groupTypes.clear();
+    l->actQ.packed = QTensor{};
+    l->weightQ.packed = QTensor{};
 }
 
 } // namespace
@@ -170,6 +172,7 @@ applyTensorRecipe(QuantState &q, const TensorRecipe &t,
     q.scaleMode = t.scaleMode;
     q.observing = false;
     q.groupTypes.clear();
+    q.packed = QTensor{}; // a recipe ships scales, not payloads
     q.featureGroups = feature_groups;
     if (t.typeSpec.empty()) {
         q.type = nullptr;
@@ -231,6 +234,78 @@ applyRecipe(Classifier &model, const QuantRecipe &recipe)
                           /*feature_groups=*/false);
         applyTensorRecipe(layers[i]->actQ, lr.act, lr.layer + ".act",
                           /*feature_groups=*/true);
+    }
+}
+
+void
+packQuantizedWeights(Classifier &model)
+{
+    for (QuantLayer *l : model.quantLayers())
+        if (l->weightQ.enabled && l->weightQ.calibrated())
+            l->weightQ.packFrom(l->weightTensor());
+}
+
+ModelArtifact
+buildArtifact(Classifier &model)
+{
+    ModelArtifact a;
+    a.recipe = extractRecipe(model);
+    for (QuantLayer *l : model.quantLayers())
+        if (l->weightQ.enabled && l->weightQ.calibrated()) {
+            WeightBlob b;
+            b.layer = l->name();
+            // Reuse an already-frozen payload (identical by
+            // construction); pack fresh otherwise.
+            b.tensor = l->weightQ.packed.empty()
+                           ? l->weightQ.packWeight(l->weightTensor())
+                           : l->weightQ.packed;
+            a.weights.push_back(std::move(b));
+        }
+    return a;
+}
+
+void
+saveArtifact(Classifier &model, const std::string &path)
+{
+    buildArtifact(model).saveFile(path);
+}
+
+void
+applyArtifact(Classifier &model, const ModelArtifact &a)
+{
+    applyRecipe(model, a.recipe); // validates and clears packed state
+    const std::vector<QuantLayer *> layers = model.quantLayers();
+    for (const WeightBlob &b : a.weights) {
+        QuantLayer *layer = nullptr;
+        for (QuantLayer *l : layers)
+            if (l->name() == b.layer) {
+                layer = l;
+                break;
+            }
+        if (!layer)
+            throw std::invalid_argument(
+                "applyArtifact: blob \"" + b.layer +
+                "\" names no quant layer of this model");
+        QuantState &q = layer->weightQ;
+        if (!q.calibrated())
+            throw std::invalid_argument(
+                "applyArtifact: blob \"" + b.layer +
+                "\" targets a layer whose recipe ships no weight type");
+        if (b.tensor.type()->spec() != q.type->spec())
+            throw std::invalid_argument(
+                "applyArtifact: blob \"" + b.layer + "\" is " +
+                b.tensor.type()->spec() + " but the recipe froze " +
+                q.type->spec());
+        if (b.tensor.scales() != q.scales)
+            throw std::invalid_argument(
+                "applyArtifact: blob \"" + b.layer +
+                "\" scale plane disagrees with the recipe");
+        if (b.tensor.shape() != layer->weightTensor().shape())
+            throw std::invalid_argument(
+                "applyArtifact: blob \"" + b.layer + "\" has shape " +
+                b.tensor.shape().str() + " but the layer's weights are " +
+                layer->weightTensor().shape().str());
+        q.packed = b.tensor;
     }
 }
 

@@ -8,6 +8,7 @@
 #ifndef ANT_NN_QAT_H
 #define ANT_NN_QAT_H
 
+#include "core/artifact.h"
 #include "core/mixed_precision.h"
 #include "core/recipe.h"
 #include "nn/trainer.h"
@@ -89,6 +90,40 @@ QuantRecipe extractRecipe(Classifier &model);
  * recipes must go through calibration, not replay).
  */
 void applyRecipe(Classifier &model, const QuantRecipe &recipe);
+
+/**
+ * Freeze the model's weights into their packed low-bit form: every
+ * calibrated, enabled weight role packs its current weight tensor into
+ * QuantState::packed, and subsequent forward passes dequantize those
+ * codes on the fly (bitwise the same outputs as the fake-quant path).
+ * Call after calibration/fine-tuning is done — the packed codes
+ * snapshot the weights, so later weight updates stop affecting the
+ * quantized forward until the state is re-calibrated or re-packed.
+ * Throws std::invalid_argument for states that cannot pack (mixed-
+ * width per-group types).
+ */
+void packQuantizedWeights(Classifier &model);
+
+/**
+ * Snapshot the model's frozen quantization as a shippable artifact:
+ * the recipe (extractRecipe) plus one packed weight blob per
+ * calibrated, enabled weight role. The model is not modified.
+ */
+ModelArtifact buildArtifact(Classifier &model);
+
+/** buildArtifact + ModelArtifact::saveFile in one call (the "freeze +
+ *  ship" step of the serving flow; see core/artifact.h). */
+void saveArtifact(Classifier &model, const std::string &path);
+
+/**
+ * Serve from an artifact: applyRecipe(a.recipe), then install every
+ * weight blob as the layer's packed payload — the forward pass
+ * dequantizes the *shipped codes*, reproducing the calibrating
+ * process's quantized forward bitwise. Throws std::invalid_argument
+ * when a blob names an unknown layer or disagrees with the recipe
+ * (type spec, scales) or the layer's weight shape.
+ */
+void applyArtifact(Classifier &model, const ModelArtifact &a);
 
 /** Per-layer quantization MSE (weight + activation), network order. */
 std::vector<double> layerQuantMses(Classifier &model);

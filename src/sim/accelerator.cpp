@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/qtensor.h"
+
 namespace ant {
 namespace sim {
 
@@ -99,22 +101,39 @@ simulateLayer(const workloads::Layer &l, const LayerPlan &p,
     }
 
     // --- memory -------------------------------------------------------
-    const double w_bits = static_cast<double>(l.weightElems()) *
-                          p.weightBits;
+    // ANT designs stream weights in the packed QTensor serving format
+    // (core/qtensor.h): bit-packed payload words plus the fp64 scale
+    // plane — per-group plans carry ceil(K/gs) scales per output
+    // channel. Charging QTensor::footprintBytes here is what ties the
+    // perf model to the real artifact bytes (QTensor::nbytes).
+    // Baseline designs keep their papers' analytic storage models
+    // (outlier lists, dictionaries, fixed formats).
+    const bool ant_design = cfg.design == hw::Design::AntOS ||
+                            cfg.design == hw::Design::AntWS;
+    double w_bits, w_scale_bits = 0.0, a_scale_bits = 0.0;
+    if (ant_design) {
+        w_bits = 8.0 * static_cast<double>(QTensor::footprintBytes(
+                           Shape{N, K}, p.weightBits,
+                           p.groupSize > 0 ? Granularity::PerGroup
+                                           : Granularity::PerTensor,
+                           p.groupSize > 0 ? p.groupSize : 0));
+    } else {
+        w_bits = static_cast<double>(l.weightElems()) * p.weightBits;
+        if (p.groupSize > 0)
+            w_scale_bits =
+                static_cast<double>(ceilDiv(K, p.groupSize) * N) * 16.0;
+    }
     const double a_bits = static_cast<double>(l.actElems()) *
                           cfg.batch * p.actBits;
     const double o_bits = static_cast<double>(l.outElems()) *
                           cfg.batch * 16.0; // high-precision outputs
 
-    // Per-group quantization ships one 16-bit scale per group next to
-    // the payload: weights carry ceil(K/gs) scales per output channel,
-    // activations ceil(K/gs) feature-group scales shared across rows.
-    double w_scale_bits = 0.0, a_scale_bits = 0.0;
-    if (p.groupSize > 0) {
-        const int64_t k_groups = ceilDiv(K, p.groupSize);
-        w_scale_bits = static_cast<double>(k_groups * N) * 16.0;
-        a_scale_bits = static_cast<double>(k_groups) * 16.0;
-    }
+    // Activations are quantized on the fly: per-group plans ship
+    // ceil(K/gs) feature-group scales, shared across rows, at the
+    // decoder's 16-bit rescale-register width.
+    if (p.groupSize > 0)
+        a_scale_bits = static_cast<double>(ceilDiv(K, p.groupSize)) *
+                       16.0;
 
     // If the weight working set exceeds half the (double-buffered)
     // buffer, activations are re-streamed once per weight chunk.

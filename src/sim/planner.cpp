@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/baselines.h"
+#include "core/qtensor.h"
 #include "core/type_registry.h"
 #include "tensor/parallel.h"
 
@@ -140,12 +141,15 @@ planWorkload(const workloads::Workload &w, hw::Design design,
         // Fig. 13 top counts tensors; only OLAccel, being element-wise,
         // is counted per element), while avgBits is element-weighted
         // (the "average bit of once memory access" of Table I).
+        // @p stored_bits is the tensor's total stored size — analytic
+        // bits * n for the baseline designs, the true QTensor packed
+        // footprint for the ANT designs (see the ANT branch).
         // Classification parses the spec through the registry instead
         // of substring-matching mangled names.
         const auto account = [&](const std::string &spec, int bits,
-                                 int64_t n) {
+                                 int64_t n, double stored_bits) {
             acc.elems += n;
-            acc.bitSum += static_cast<double>(bits) * n;
+            acc.bitSum += stored_bits;
             const double unit =
                 element_wise ? static_cast<double>(n) : 1.0;
             acc.total += unit;
@@ -196,19 +200,31 @@ planWorkload(const workloads::Workload &w, hw::Design design,
                 lp.actBits = 8;
                 lp.actType = intSpec(8, act_signed);
             }
-            account(lp.weightType, lp.weightBits, l.weightElems());
-            account(lp.actType, lp.actBits, l.actElems());
-            if (per_group) {
-                // Amortized scale storage (Table I's average-bit
-                // accounting, extended), matching the frozen layouts
-                // the simulator charges: weights store ceil(K/g)
-                // 16-bit scales per output channel, activations
-                // ceil(K/g) feature-group scales shared across rows.
-                const double k_groups = static_cast<double>(
-                    (l.k + group_size - 1) / group_size);
-                acc.bitSum +=
-                    16.0 * (k_groups * static_cast<double>(l.n) +
-                            k_groups);
+            // ANT storage is the packed QTensor format: charge its
+            // true byte footprint (payload words + the fp64 scale
+            // plane of the serving artifact, core/qtensor.h) so the
+            // perf model and the storage format cannot drift apart.
+            // Weights are [N, K] channel-major; per-group tiles the
+            // K (reduction) axis.
+            account(lp.weightType, lp.weightBits, l.weightElems(),
+                    8.0 * static_cast<double>(QTensor::footprintBytes(
+                              Shape{l.n, l.k}, lp.weightBits,
+                              per_group ? Granularity::PerGroup
+                                        : Granularity::PerTensor,
+                              per_group ? group_size : 0)));
+            // Activations are produced at run time, not shipped:
+            // payload at the packed word stride plus the decoder's
+            // 16-bit per-group rescale registers (ceil(K/g) feature
+            // groups shared across rows).
+            {
+                double a_stored =
+                    64.0 * static_cast<double>(QTensor::wordCount(
+                               l.actElems(), lp.actBits));
+                if (per_group)
+                    a_stored += 16.0 * static_cast<double>(
+                                           (l.k + group_size - 1) /
+                                           group_size);
+                account(lp.actType, lp.actBits, l.actElems(), a_stored);
             }
             break;
           }
@@ -228,8 +244,12 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             lp.actBits = ca.snr >= bf_target ? 4 : 8;
             lp.weightType = intSpec(lp.weightBits, true);
             lp.actType = intSpec(lp.actBits, act_signed);
-            account(lp.weightType, lp.weightBits, l.weightElems());
-            account(lp.actType, lp.actBits, l.actElems());
+            account(lp.weightType, lp.weightBits, l.weightElems(),
+                    static_cast<double>(lp.weightBits) *
+                        static_cast<double>(l.weightElems()));
+            account(lp.actType, lp.actBits, l.actElems(),
+                    static_cast<double>(lp.actBits) *
+                        static_cast<double>(l.actElems()));
             break;
           }
           case hw::Design::OLAccel: {
@@ -256,8 +276,11 @@ planWorkload(const workloads::Workload &w, hw::Design design,
                                     int64_t n) {
                 const int64_t outl = static_cast<int64_t>(
                     r.outlierRatio * static_cast<double>(n));
-                account(spec, nb, n - outl);
-                account("float_e5m10", 16, outl);
+                account(spec, nb, n - outl,
+                        static_cast<double>(nb) *
+                            static_cast<double>(n - outl));
+                account("float_e5m10", 16, outl,
+                        16.0 * static_cast<double>(outl));
             };
             acc_ol(rw, lp.weightType, l.weightElems());
             acc_ol(ra, lp.actType, l.actElems());
@@ -271,8 +294,10 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             lp.weightType = intSpec(6, true);
             lp.actType = intSpec(6, act_signed);
             lp.snr = tensorVariance(wt) / std::max(1e-12, rw.mse);
-            account(lp.weightType, 6, l.weightElems());
-            account(lp.actType, 6, l.actElems());
+            account(lp.weightType, 6, l.weightElems(),
+                    6.0 * static_cast<double>(l.weightElems()));
+            account(lp.actType, 6, l.actElems(),
+                    6.0 * static_cast<double>(l.actElems()));
             break;
           }
           case hw::Design::AdaFloat: {
@@ -284,8 +309,10 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             lp.weightType = lp.actType = cfg.type->spec(); // float_e4m3
             lp.snr = tensorVariance(wt) /
                      std::max(1e-12, quantize(wt, cfg).mse);
-            account(lp.weightType, 8, l.weightElems());
-            account(lp.actType, 8, l.actElems());
+            account(lp.weightType, 8, l.weightElems(),
+                    8.0 * static_cast<double>(l.weightElems()));
+            account(lp.actType, 8, l.actElems(),
+                    8.0 * static_cast<double>(l.actElems()));
             break;
           }
           case hw::Design::GOBO: {
@@ -313,8 +340,10 @@ planWorkload(const workloads::Workload &w, hw::Design design,
             lp.scheme = "int8";
             lp.weightType = intSpec(8, true);
             lp.actType = intSpec(8, act_signed);
-            account(lp.weightType, 8, l.weightElems());
-            account(lp.actType, 8, l.actElems());
+            account(lp.weightType, 8, l.weightElems(),
+                    8.0 * static_cast<double>(l.weightElems()));
+            account(lp.actType, 8, l.actElems(),
+                    8.0 * static_cast<double>(l.actElems()));
             break;
           }
         }

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the model serving artifact (core/artifact.h): binary
+ * round-trips, the calibrate -> saveArtifact -> loadFile ->
+ * applyArtifact serving flow replaying the in-memory fake-quant
+ * forward pass bitwise (with the forward actually running off the
+ * shipped packed codes), packed-weight serving in QuantState::apply,
+ * and the corruption/mismatch error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/artifact.h"
+#include "core/type_registry.h"
+#include "nn/models.h"
+#include "nn/qat.h"
+
+namespace ant {
+namespace {
+
+using nn::Batch;
+using nn::buildMlp;
+using nn::Classifier;
+using nn::Dataset;
+using nn::makeClusterDataset;
+using nn::QatConfig;
+using nn::QuantLayer;
+using nn::TrainConfig;
+
+struct CalibratedModel
+{
+    std::shared_ptr<Classifier> model;
+    Dataset ds;
+    QatConfig qc;
+    TrainConfig tc;
+};
+
+CalibratedModel
+makeCalibrated(uint64_t seed, bool per_group)
+{
+    CalibratedModel m{nullptr, makeClusterDataset(3, 8, 200, 100, 51),
+                      {}, {}};
+    m.tc.epochs = 3;
+    m.tc.lr = 0.05f;
+    m.qc.combo = Combo::IPF;
+    if (per_group) {
+        m.qc.weightGranularity = Granularity::PerGroup;
+        m.qc.actGranularity = Granularity::PerGroup;
+        m.qc.groupSize = 5; // divides neither 8 nor 32: ragged groups
+        m.qc.groupTypeMode = GroupTypeMode::PerGroup;
+    }
+    m.model = buildMlp(8, 3, static_cast<int64_t>(seed));
+    nn::trainClassifier(*m.model, m.ds, m.tc);
+    nn::configureQuant(*m.model, m.qc);
+    nn::calibrateQuant(*m.model, m.ds, m.qc);
+    return m;
+}
+
+void
+expectSameLogits(Classifier &a, Classifier &b, const Dataset &ds)
+{
+    for (int64_t bi = 0; bi < 3; ++bi) {
+        const Batch batch = ds.batch(bi, 32, false);
+        const nn::Var ya = a.forward(batch);
+        const nn::Var yb = b.forward(batch);
+        ASSERT_EQ(ya->value.shape(), yb->value.shape());
+        for (int64_t j = 0; j < ya->value.numel(); ++j)
+            ASSERT_EQ(ya->value[j], yb->value[j])
+                << "batch " << bi << " elem " << j;
+    }
+}
+
+TEST(Artifact, BytesRoundTripIsExact)
+{
+    CalibratedModel m = makeCalibrated(32, /*per_group=*/false);
+    const ModelArtifact a = nn::buildArtifact(*m.model);
+    ASSERT_FALSE(a.weights.empty());
+    EXPECT_GT(a.payloadBytes(), 0u);
+
+    const ModelArtifact b = ModelArtifact::fromBytes(a.toBytes());
+    EXPECT_TRUE(b.recipe == a.recipe);
+    ASSERT_EQ(b.weights.size(), a.weights.size());
+    for (size_t i = 0; i < a.weights.size(); ++i) {
+        SCOPED_TRACE(a.weights[i].layer);
+        EXPECT_EQ(b.weights[i].layer, a.weights[i].layer);
+        const QTensor &qa = a.weights[i].tensor;
+        const QTensor &qb = b.weights[i].tensor;
+        EXPECT_EQ(qb.shape(), qa.shape());
+        EXPECT_EQ(qb.type()->spec(), qa.type()->spec());
+        EXPECT_EQ(qb.granularity(), qa.granularity());
+        EXPECT_EQ(qb.groupSize(), qa.groupSize());
+        EXPECT_EQ(qb.scales(), qa.scales()); // bitwise doubles
+        EXPECT_EQ(qb.words(), qa.words());   // bitwise payload
+        EXPECT_EQ(qb.nbytes(), qa.nbytes());
+    }
+    // Serialization is deterministic.
+    EXPECT_EQ(b.toBytes(), a.toBytes());
+}
+
+TEST(Artifact, ServingFlowReplaysForwardBitwise)
+{
+    // The four-call flow: calibrate -> saveArtifact -> loadFile ->
+    // applyArtifact. The serving replica's forward must match the
+    // calibrating process's fake-quant forward bit for bit — while
+    // actually running off the shipped packed codes.
+    for (const bool per_group : {false, true}) {
+        SCOPED_TRACE(per_group ? "per-group" : "per-channel");
+        CalibratedModel a = makeCalibrated(32, per_group);
+        const std::string path =
+            testing::TempDir() + "ant_artifact_test.antq";
+        nn::saveArtifact(*a.model, path);
+
+        // Serving side: identically built+trained replica (the
+        // artifact ships quantized weights; biases stay in-model).
+        CalibratedModel b = makeCalibrated(32, per_group);
+        const ModelArtifact art = ModelArtifact::loadFile(path);
+        std::remove(path.c_str());
+        nn::applyArtifact(*b.model, art);
+
+        // Every enabled weight role is now serving from packed codes.
+        size_t packed_layers = 0;
+        for (QuantLayer *l : b.model->quantLayers())
+            if (l->weightQ.enabled && l->weightQ.calibrated()) {
+                EXPECT_FALSE(l->weightQ.packed.empty()) << l->name();
+                EXPECT_EQ(l->weightQ.packed.shape(),
+                          l->weightTensor().shape());
+                ++packed_layers;
+            }
+        EXPECT_GT(packed_layers, 0u);
+
+        expectSameLogits(*a.model, *b.model, a.ds);
+    }
+}
+
+TEST(Artifact, PackedWeightsServeBitwiseInProcess)
+{
+    // packQuantizedWeights flips a calibrated model to packed serving
+    // in place; outputs must not change by a single bit, and the
+    // payload must be the true low-bit footprint.
+    CalibratedModel a = makeCalibrated(33, /*per_group=*/false);
+    CalibratedModel b = makeCalibrated(33, /*per_group=*/false);
+    nn::packQuantizedWeights(*b.model);
+    for (QuantLayer *l : b.model->quantLayers())
+        if (l->weightQ.enabled && l->weightQ.calibrated()) {
+            ASSERT_FALSE(l->weightQ.packed.empty());
+            const size_t fp32 =
+                static_cast<size_t>(l->weightTensor().numel()) * 4;
+            // These layers are tiny (<= 8 elements per channel), so
+            // the fp64 per-channel scale plane dominates; still well
+            // under half the float32 bytes. The >= 3.5x acceptance
+            // number is pinned on a realistic shape in
+            // test_qtensor.cpp.
+            EXPECT_LT(l->weightQ.packed.nbytes(), fp32 / 2)
+                << l->name() << ": packed payload should be a small "
+                                "fraction of float32 storage";
+        }
+    expectSameLogits(*a.model, *b.model, a.ds);
+}
+
+TEST(Artifact, RecalibrationDropsStalePackedPayloads)
+{
+    // Packed codes snapshot the weights; anything that re-freezes the
+    // state (configure / calibrate / applyRecipe) must drop them.
+    CalibratedModel m = makeCalibrated(34, /*per_group=*/false);
+    nn::packQuantizedWeights(*m.model);
+    const QuantRecipe recipe = nn::extractRecipe(*m.model);
+    nn::applyRecipe(*m.model, recipe);
+    for (QuantLayer *l : m.model->quantLayers())
+        EXPECT_TRUE(l->weightQ.packed.empty()) << l->name();
+
+    nn::packQuantizedWeights(*m.model);
+    nn::configureQuant(*m.model, m.qc);
+    for (QuantLayer *l : m.model->quantLayers())
+        EXPECT_TRUE(l->weightQ.packed.empty()) << l->name();
+}
+
+TEST(Artifact, MismatchesAreRejected)
+{
+    CalibratedModel m = makeCalibrated(35, /*per_group=*/false);
+    const ModelArtifact good = nn::buildArtifact(*m.model);
+
+    ModelArtifact renamed = good;
+    renamed.weights[0].layer = "not-a-layer";
+    EXPECT_THROW(nn::applyArtifact(*m.model, renamed),
+                 std::invalid_argument);
+
+    // A blob whose scale plane disagrees with the recipe would decode
+    // into different floats than the calibration froze — rejected.
+    ModelArtifact rescaled = good;
+    {
+        const QTensor &q = rescaled.weights[0].tensor;
+        std::vector<double> scales = q.scales();
+        scales[0] *= 2.0;
+        rescaled.weights[0].tensor = QTensor::fromParts(
+            q.shape(), q.type(), q.granularity(), q.groupSize(),
+            std::move(scales), q.words(), q.groupTypes());
+    }
+    EXPECT_THROW(nn::applyArtifact(*m.model, rescaled),
+                 std::invalid_argument);
+
+    // The good artifact still applies after the failures.
+    nn::applyArtifact(*m.model, good);
+}
+
+TEST(Artifact, CorruptDocumentsAreRejected)
+{
+    CalibratedModel m = makeCalibrated(36, /*per_group=*/false);
+    const std::string bytes = nn::buildArtifact(*m.model).toBytes();
+
+    // Truncations at every structural boundary.
+    for (size_t cut : {size_t{0}, size_t{4}, size_t{8}, size_t{40},
+                       bytes.size() / 2, bytes.size() - 1}) {
+        SCOPED_TRACE(cut);
+        EXPECT_THROW(
+            (void)ModelArtifact::fromBytes(bytes.substr(0, cut)),
+            std::invalid_argument);
+    }
+    // Bad magic and unknown version.
+    std::string magic = bytes;
+    magic[0] = 'X';
+    EXPECT_THROW((void)ModelArtifact::fromBytes(magic),
+                 std::invalid_argument);
+    std::string version = bytes;
+    version[7] = 99;
+    EXPECT_THROW((void)ModelArtifact::fromBytes(version),
+                 std::invalid_argument);
+    // Trailing garbage.
+    EXPECT_THROW((void)ModelArtifact::fromBytes(bytes + "zz"),
+                 std::invalid_argument);
+    // A hostile element count must fail bounds checks, not allocate.
+    EXPECT_THROW((void)ModelArtifact::fromBytes(bytes.substr(0, 8) +
+                                                std::string(8, '\xff')),
+                 std::invalid_argument);
+
+    // Corrupt dimension extents: negative dims and extents near the
+    // numel * bits overflow edge must be rejected up front, not fed
+    // into the word-count math. Patch the first blob's dims in place
+    // (little-endian i64s right after granularity+group_size+ndim).
+    const auto patchDims = [&](int64_t d0, int64_t d1) {
+        std::string doc = bytes;
+        // Locate the first blob: magic+version, json, blob_count,
+        // name, spec, gran(1), group_size(8), ndim(8), dims...
+        size_t pos = 8;
+        const auto u64at = [&](size_t at) {
+            uint64_t v = 0;
+            for (int i = 0; i < 8; ++i)
+                v |= static_cast<uint64_t>(static_cast<unsigned char>(
+                         doc[at + static_cast<size_t>(i)]))
+                     << (8 * i);
+            return v;
+        };
+        const auto putU64at = [&](size_t at, uint64_t v) {
+            for (int i = 0; i < 8; ++i)
+                doc[at + static_cast<size_t>(i)] = static_cast<char>(
+                    (v >> (8 * i)) & 0xff);
+        };
+        pos += 8 + u64at(pos);            // recipe json
+        pos += 8;                         // blob count
+        pos += 8 + u64at(pos);            // layer name
+        pos += 8 + u64at(pos);            // type spec
+        pos += 1 + 8;                     // granularity + group_size
+        const uint64_t nd = u64at(pos);
+        EXPECT_EQ(nd, 2u);
+        pos += 8;
+        putU64at(pos, static_cast<uint64_t>(d0));
+        putU64at(pos + 8, static_cast<uint64_t>(d1));
+        return doc;
+    };
+    EXPECT_THROW((void)ModelArtifact::fromBytes(
+                     patchDims(-1, -4)), // numel 4, negative extents
+                 std::invalid_argument);
+    EXPECT_THROW((void)ModelArtifact::fromBytes(patchDims(
+                     int64_t{3037000500}, int64_t{3037000500})),
+                 std::invalid_argument);
+
+    // File I/O failure paths.
+    EXPECT_THROW((void)ModelArtifact::loadFile("/nonexistent/x.antq"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace ant

@@ -13,6 +13,7 @@
 
 #include "core/quant_kernel.h"
 #include "core/quantizer.h"
+#include "core/type_registry.h"
 #include "core/type_selector.h"
 #include "tensor/ops.h"
 #include "tensor/random.h"
@@ -242,6 +243,15 @@ TEST(Quantizer, ValidateNamesTheOffendingField)
         EXPECT_TRUE(thrownFieldContains(bad_lo, "searchLo")) << lo;
     }
 
+    // refineTopK < 1 is rejected with a field-naming error like every
+    // other out-of-range field — it used to be silently clamped to 1
+    // inside the Refined search instead.
+    for (int k : {0, -1, -100}) {
+        QuantConfig topk = good;
+        topk.refineTopK = k;
+        EXPECT_TRUE(thrownFieldContains(topk, "refineTopK")) << k;
+    }
+
     // The entry points enforce it.
     Rng rng(40);
     const Tensor t = rng.tensor(Shape{64}, DistFamily::Gaussian);
@@ -251,6 +261,48 @@ TEST(Quantizer, ValidateNamesTheOffendingField)
     EXPECT_THROW(quantizeScored(t, bad), std::invalid_argument);
     EXPECT_THROW(selectType(t, {makeInt(4, true)}, bad),
                  std::invalid_argument);
+    QuantConfig bad_topk = good;
+    bad_topk.refineTopK = 0;
+    EXPECT_THROW(quantize(t, bad_topk), std::invalid_argument);
+    // A refineTopK exceeding the candidate count stays valid (the
+    // subset is capped at the grid size, which is not an error).
+    QuantConfig big_topk = good;
+    big_topk.refineTopK = 1 << 20;
+    EXPECT_NO_THROW((void)quantize(t, big_topk));
+}
+
+TEST(Quantizer, ScoredMatchesQuantizeAcrossGranularityTypeMatrix)
+{
+    // quantizeScored() must be quantize() minus the dequant tensor:
+    // bit-identical scales and mse across the full granularity x type
+    // matrix (it used to be spot-checked on one config only). The 2-D
+    // shape is chosen so PerGroup gets a ragged last group (56 % 24
+    // != 0) and PerChannel real per-channel ranges.
+    Rng rng(46);
+    const Tensor t = rng.tensor(Shape{12, 56}, DistFamily::WeightLike);
+    for (const char *spec : {"int4", "flint4", "pot4u"}) {
+        for (Granularity g :
+             {Granularity::PerTensor, Granularity::PerChannel,
+              Granularity::PerGroup}) {
+            SCOPED_TRACE(std::string(spec) + " / " +
+                         std::to_string(static_cast<int>(g)));
+            QuantConfig cfg = cfgOf(parseType(spec),
+                                    ScaleMode::MseSearch, g);
+            cfg.groupSize = 24;
+            const QuantResult full = quantize(t, cfg);
+            const QuantResult scored = quantizeScored(t, cfg);
+            // Bitwise: vector equality compares doubles exactly.
+            EXPECT_EQ(full.scales, scored.scales);
+            EXPECT_EQ(full.mse, scored.mse);
+            EXPECT_EQ(full.appliedGranularity,
+                      scored.appliedGranularity);
+            EXPECT_EQ(full.groupSize, scored.groupSize);
+            EXPECT_EQ(full.groupsPerChannel, scored.groupsPerChannel);
+            EXPECT_EQ(scored.dequant.numel(), 0)
+                << "scored must not materialize the dequant tensor";
+            EXPECT_EQ(full.dequant.shape(), t.shape());
+        }
+    }
 }
 
 TEST(Quantizer, PerChannelOn1DFallsBackExplicitly)

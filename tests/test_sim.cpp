@@ -148,10 +148,14 @@ TEST(Planner, PerGroupPlanCarriesGroupsAndPaysScaleOverhead)
                         grouped.layers[i].actBits;
     }
     EXPECT_LE(grouped_bits, plain_bits);
-    // ... and the amortized 16-bit scale per 128-element group adds at
-    // most 16/128 = 0.125 bits/element on top of the payload bits.
+    // ... and the scale-plane overhead is bounded: weights charge the
+    // packed QTensor footprint (fp64 scale per 128-element group =
+    // 64/128 = 0.5 bits/element), activations the decoder's 16-bit
+    // rescale registers (0.125 bits/element) — so grouped avgBits can
+    // exceed plain by at most 0.5 even before the de-escalations
+    // above pull it back down.
     EXPECT_GT(grouped.avgBits, 0.0);
-    EXPECT_LT(grouped.avgBits, plain.avgBits + 0.126);
+    EXPECT_LT(grouped.avgBits, plain.avgBits + 0.51);
 
     // Non-ANT designs ignore the knob entirely.
     const QuantPlan bf =
@@ -179,7 +183,8 @@ TEST(Simulator, PerGroupScaleTrafficIsChargedAndBounded)
     // Same plan, with and without group metadata: the per-group run
     // must pay for its scales — strictly more DRAM/buffer bits and
     // core (rescale) energy — but amortized well below the payload
-    // (one 16-bit scale per 128 elements).
+    // (the weight stream's fp64 QTensor scale plane is one scale per
+    // 128 elements; activation rescales ride at 16 bits per group).
     const auto w = workloads::bertBase("MNLI");
     QuantPlan plan = planWorkload(w, Design::AntOS);
     const SimConfig cfg = SimConfig::forDesign(Design::AntOS, 8);
@@ -198,8 +203,9 @@ TEST(Simulator, PerGroupScaleTrafficIsChargedAndBounded)
     EXPECT_GT(grouped_dram, plain_dram);
     EXPECT_GT(grouped_buf, plain_buf);
     EXPECT_GT(grouped.energyCore, plain.energyCore);
-    // Bounded: under 16/128 = 12.5% extra traffic, before the 16-bit
-    // outputs dilute it further.
+    // Bounded: the weight scale plane adds 64/128 bits per 4-bit
+    // element = 12.5% on the weight stream, strictly diluted by the
+    // unchanged activation and 16-bit output traffic.
     EXPECT_LT(grouped_dram, plain_dram * 1.125);
     EXPECT_GE(grouped.cycles, plain.cycles);
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail when a bench run's benchmark names drift from the snapshot.
+
+The repository commits BENCH_micro_codec.json — a snapshot of the CI
+bench job's output — so perf numbers have a tracked baseline. This
+check compares the *names* (not timings: runners vary) of a freshly
+generated artifact against the committed snapshot and fails when they
+diverge, which catches two silent drifts:
+
+  - a benchmark was added/renamed but the snapshot was not refreshed;
+  - the CI --benchmark_filter no longer matches what the snapshot
+    claims is covered.
+
+Usage:
+  tools/check_bench_snapshot.py --snapshot BENCH_micro_codec.json \
+      --artifact BENCH_micro_codec.new.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def bench_names(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise SystemExit(f"ERROR: {path} has no 'benchmarks' array")
+    names = [b.get("name") for b in benchmarks]
+    if any(not isinstance(n, str) for n in names):
+        raise SystemExit(f"ERROR: {path} has a nameless benchmark entry")
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--snapshot", required=True,
+                    help="committed baseline JSON")
+    ap.add_argument("--artifact", required=True,
+                    help="freshly generated bench JSON")
+    args = ap.parse_args()
+
+    snapshot = bench_names(args.snapshot)
+    artifact = bench_names(args.artifact)
+    missing = [n for n in snapshot if n not in set(artifact)]
+    added = [n for n in artifact if n not in set(snapshot)]
+
+    if not missing and not added:
+        print(f"OK: {len(artifact)} benchmark names match "
+              f"{args.snapshot}")
+        return 0
+
+    if missing:
+        print(f"ERROR: in snapshot {args.snapshot} but absent from "
+              f"{args.artifact}:")
+        for n in missing:
+            print(f"  - {n}")
+    if added:
+        print(f"ERROR: produced by the bench run but missing from "
+              f"{args.snapshot} (refresh the committed snapshot):")
+        for n in added:
+            print(f"  + {n}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@
 #include <cmath>
 
 #include "core/flint.h"
+#include "core/packed_gemm.h"
+#include "core/qtensor.h"
 #include "core/quant_kernel.h"
 #include "core/quantizer.h"
 #include "core/type_registry.h"
@@ -24,6 +26,7 @@
 #include "hw/decoder.h"
 #include "hw/mac.h"
 #include "sim/accelerator.h"
+#include "tensor/ops.h"
 
 namespace {
 
@@ -345,6 +348,111 @@ BM_QTensorUnpackFlint5PerChannel(benchmark::State &state)
 }
 BENCHMARK(BM_QTensorUnpackFlint5PerChannel)
     ->Unit(benchmark::kMillisecond);
+
+// Packed-domain GEMM vs unpack-then-sgemm on a serving-shaped matmul
+// (K >> M: a few tokens against a wide FFN weight), where the weight
+// traffic dominates and the 8x-smaller packed stream should win. Both
+// paths are bitwise identical (pinned by tests/test_packed_gemm.cpp),
+// so the "out_l1" checksum counter must agree between the pair — the
+// snapshot checker enforces that parity and the packed>=unpack
+// items_per_second ratio every CI run.
+
+constexpr int64_t kGemmM = 4;    //!< tokens in flight (serving batch)
+constexpr int64_t kGemmN = 768;  //!< output features
+constexpr int64_t kGemmK = 3072; //!< reduction dim (FFN width)
+
+QTensor
+packedGemmWeightFixture()
+{
+    Rng rng(11);
+    const Tensor w = rng.tensor(Shape{kGemmN, kGemmK},
+                                DistFamily::WeightLike);
+    QuantConfig cfg;
+    cfg.type = parseType("flint4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    const QuantResult r = quantize(w, cfg, QuantizeTo::Packed);
+    return *r.packed;
+}
+
+Tensor
+packedGemmActFixture()
+{
+    Rng rng(12);
+    return rng.laplaceOutlierTensor(Shape{kGemmM, kGemmK}, 1.0f, 0.01,
+                                    8.0f);
+}
+
+double
+outputL1(const Tensor &t)
+{
+    double s = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        s += std::fabs(static_cast<double>(t.data()[i]));
+    return s;
+}
+
+void
+BM_PackedGemmBT(benchmark::State &state)
+{
+    const QTensor q = packedGemmWeightFixture();
+    const Tensor a = packedGemmActFixture();
+    Tensor c;
+    for (auto _ : state) {
+        c = packedMatmulBT(a, q);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["nbytes"] = static_cast<double>(q.nbytes());
+    state.counters["x_vs_fp32"] =
+        static_cast<double>(q.numel()) * 4.0 /
+        static_cast<double>(q.nbytes());
+    state.counters["out_l1"] = outputL1(c);
+    state.SetItemsProcessed(state.iterations() * kGemmM * kGemmN *
+                            kGemmK);
+}
+BENCHMARK(BM_PackedGemmBT)->Unit(benchmark::kMillisecond);
+
+void
+BM_UnpackThenSgemm(benchmark::State &state)
+{
+    const QTensor q = packedGemmWeightFixture();
+    const Tensor a = packedGemmActFixture();
+    Tensor c;
+    for (auto _ : state) {
+        const Tensor w = q.unpack();
+        c = ops::matmulBT(a, w);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["nbytes"] = static_cast<double>(q.nbytes());
+    state.counters["out_l1"] = outputL1(c);
+    state.SetItemsProcessed(state.iterations() * kGemmM * kGemmN *
+                            kGemmK);
+}
+BENCHMARK(BM_UnpackThenSgemm)->Unit(benchmark::kMillisecond);
+
+void
+BM_PackedGemmIntDomain(benchmark::State &state)
+{
+    const QTensor qb = packedGemmWeightFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    const QuantResult r =
+        quantize(packedGemmActFixture(), cfg, QuantizeTo::Packed);
+    const QTensor &qa = *r.packed;
+    Tensor c;
+    for (auto _ : state) {
+        c = packedGemmInt(qa, qb);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.counters["nbytes"] =
+        static_cast<double>(qa.nbytes() + qb.nbytes());
+    state.counters["out_l1"] = outputL1(c);
+    state.SetItemsProcessed(state.iterations() * kGemmM * kGemmN *
+                            kGemmK);
+}
+BENCHMARK(BM_PackedGemmIntDomain)->Unit(benchmark::kMillisecond);
 
 void
 BM_QuantizeBatchKernel(benchmark::State &state)

@@ -1,5 +1,7 @@
 #include "core/qtensor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -80,6 +82,8 @@ validateLayout(const char *who, const Shape &shape, const TypePtr &type,
     }
 }
 
+std::atomic<uint64_t> g_unpack_calls{0};
+
 } // namespace
 
 int64_t
@@ -124,47 +128,72 @@ QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
     q.scales_ = std::move(scales);
     q.groupTypes_ = std::move(group_types);
     const int b = q.type_->bits();
-    q.words_.assign(static_cast<size_t>(wordCount(t.numel(), b)), 0);
+    const int64_t total_words = wordCount(t.numel(), b);
+    q.words_.assign(static_cast<size_t>(total_words), 0);
 
-    // Packing is serial over ranges: back-to-back ranges share their
-    // boundary word (the writer ORs bits in), so fanning ranges out
-    // would race. Pack runs once at freeze time; unpack() — the
-    // serving path — is the parallel side.
     const KernelPtr kernel = cachedKernel(q.type_);
-    if (g == Granularity::PerTensor) {
-        kernel->packBatch(t.data(), t.numel(), q.scales_[0],
-                          q.words_.data(), 0);
-        return q;
-    }
-    const int64_t channels = channelsOf(q.shape_);
     const int64_t chunk = chunkOf(q.shape_);
-    if (g == Granularity::PerChannel) {
-        for (int64_t c = 0; c < channels; ++c)
-            kernel->packBatch(t.data() + c * chunk, chunk,
-                              q.scales_[static_cast<size_t>(c)],
-                              q.words_.data(), c * chunk * b);
-        return q;
-    }
     const int64_t gs = group_size;
-    const int64_t gpc = (chunk + gs - 1) / gs;
-    q.groupSize_ = gs;
-    q.groupsPerChannel_ = gpc;
+    const int64_t gpc = gs > 0 ? (chunk + gs - 1) / gs : 0;
+    if (g == Granularity::PerGroup) {
+        q.groupSize_ = gs;
+        q.groupsPerChannel_ = gpc;
+    }
     // Resolve heterogeneous group kernels once, not per group (the
     // registry lookup takes a mutex and compares grids).
     std::vector<KernelPtr> group_kernels;
     group_kernels.reserve(q.groupTypes_.size());
     for (const TypePtr &gt : q.groupTypes_)
         group_kernels.push_back(cachedKernel(gt));
-    for (int64_t c = 0; c < channels; ++c)
-        for (int64_t gi = 0; gi < gpc; ++gi) {
-            const int64_t off = c * chunk + gi * gs;
-            const int64_t len = std::min(gs, chunk - gi * gs);
-            const size_t i = static_cast<size_t>(c * gpc + gi);
-            const QuantKernel &k =
-                group_kernels.empty() ? *kernel : *group_kernels[i];
-            k.packBatch(t.data() + off, len, q.scales_[i],
-                        q.words_.data(), off * b);
-        }
+
+    // Pack in parallel by repartitioning on *word* boundaries: scale
+    // ranges packed back to back share boundary words (the writer ORs
+    // bits in), so fanning out over ranges would race — but fanning out
+    // over disjoint word windows cannot. Each worker owns words
+    // [w0, w1), covers exactly the elements whose bits can land there
+    // (the edge-straddling element is re-encoded by both neighbours),
+    // and packBatchWindow masks writes to the owned window. The output
+    // is bit-identical for every thread count.
+    const float *data = t.data();
+    uint64_t *words = q.words_.data();
+    parallelFor(
+        total_words,
+        [&](int64_t w0, int64_t w1) {
+            const int64_t e0 = (w0 * 64) / b;
+            const int64_t e1 =
+                std::min(t.numel(), (w1 * 64 + b - 1) / b);
+            int64_t e = e0;
+            while (e < e1) {
+                // Scale segment containing element e.
+                int64_t seg_end;
+                double scale;
+                const QuantKernel *k = kernel.get();
+                if (g == Granularity::PerTensor) {
+                    seg_end = t.numel();
+                    scale = q.scales_[0];
+                } else {
+                    const int64_t c = e / chunk;
+                    if (g == Granularity::PerChannel) {
+                        seg_end = (c + 1) * chunk;
+                        scale = q.scales_[static_cast<size_t>(c)];
+                    } else {
+                        const int64_t gi = (e % chunk) / gs;
+                        seg_end = c * chunk +
+                                  std::min(chunk, (gi + 1) * gs);
+                        const size_t i =
+                            static_cast<size_t>(c * gpc + gi);
+                        scale = q.scales_[i];
+                        if (!group_kernels.empty())
+                            k = group_kernels[i].get();
+                    }
+                }
+                const int64_t s1 = std::min(seg_end, e1);
+                k->packBatchWindow(data + e, s1 - e, scale, words,
+                                   e * b, w0, w1);
+                e = s1;
+            }
+        },
+        /*grain=*/64);
     return q;
 }
 
@@ -220,6 +249,7 @@ QTensor::unpack() const
 {
     if (empty())
         throw std::logic_error("QTensor: unpack of an empty tensor");
+    g_unpack_calls.fetch_add(1, std::memory_order_relaxed);
     Tensor out{shape_};
     const int b = type_->bits();
     const KernelPtr kernel = cachedKernel(type_);
@@ -266,6 +296,12 @@ QTensor::unpack() const
         }
     });
     return out;
+}
+
+uint64_t
+QTensor::unpackCalls()
+{
+    return g_unpack_calls.load(std::memory_order_relaxed);
 }
 
 } // namespace ant

@@ -122,6 +122,14 @@ class QTensor
     Tensor unpack() const;
 
     /**
+     * Process-wide monotone count of unpack() materializations. The
+     * packed execution engine (core/packed_gemm.h) never unpacks; tests
+     * pin "no float weight materialization" by this staying flat across
+     * a packed forward while PackedGemmStats::fpGemmCalls advances.
+     */
+    static uint64_t unpackCalls();
+
+    /**
      * Payload word count of @p numel elements at @p bits each:
      * ceil(numel * bits / 64).
      */

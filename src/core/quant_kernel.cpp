@@ -193,6 +193,31 @@ QuantKernel::packBatch(const float *in, int64_t n, double scale,
 }
 
 void
+QuantKernel::packBatchWindow(const float *in, int64_t n, double scale,
+                             uint64_t *words, int64_t bit_base,
+                             int64_t word_lo, int64_t word_hi) const
+{
+    const int b = type_->bits();
+    const uint64_t mask = (uint64_t{1} << b) - 1;
+    constexpr int64_t kChunk = 512;
+    uint32_t buf[kChunk];
+    for (int64_t base = 0; base < n; base += kChunk) {
+        const int64_t len = std::min(kChunk, n - base);
+        encodeBatch(in + base, buf, len, scale);
+        int64_t pos = bit_base + base * b;
+        for (int64_t i = 0; i < len; ++i, pos += b) {
+            const uint64_t code = buf[i] & mask;
+            const int64_t w = pos >> 6;
+            const int off = static_cast<int>(pos & 63);
+            if (w >= word_lo && w < word_hi)
+                words[w] |= code << off;
+            if (off + b > 64 && w + 1 >= word_lo && w + 1 < word_hi)
+                words[w + 1] |= code >> (64 - off);
+        }
+    }
+}
+
+void
 QuantKernel::unpackBatch(const uint64_t *words, int64_t bit_base,
                          int64_t n, double scale, float *out) const
 {

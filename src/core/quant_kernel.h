@@ -120,6 +120,20 @@ class QuantKernel
                    uint64_t *words, int64_t bit_base) const;
 
     /**
+     * packBatch restricted to a word window: encodes the same codes at
+     * the same bit positions but ORs in only the bits that land in
+     * words [word_lo, word_hi). This is what makes packing
+     * parallelizable — workers repartition the element stream on word
+     * boundaries, each re-encoding the (at most one) element straddling
+     * its edge, and no two workers ever write the same word. Bit-exact
+     * with packBatch: masking happens per destination word, after
+     * the identical encode.
+     */
+    void packBatchWindow(const float *in, int64_t n, double scale,
+                         uint64_t *words, int64_t bit_base,
+                         int64_t word_lo, int64_t word_hi) const;
+
+    /**
      * Decode a packed range back to dequantized floats: code ->
      * unscaled grid value * @p scale, bitwise identical to what
      * quantizeBatch writes for the original data at the same scale

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/packed_gemm.h"
+
 namespace ant {
 namespace nn {
 
@@ -187,6 +189,35 @@ linear(const Var &x, const Var &w, const Var &b)
         }
         if (n.parents.size() > 2 && n.parents[2]->requiresGrad) {
             Tensor &g = n.parents[2]->ensureGrad();
+            const int64_t m = n.grad.dim(0), c = n.grad.dim(1);
+            for (int64_t i = 0; i < m; ++i)
+                for (int64_t j = 0; j < c; ++j)
+                    g[j] += n.grad[i * c + j];
+        }
+    });
+}
+
+Var
+packedLinear(const Var &x, const QTensor &w, const Var &b)
+{
+    Tensor y = packedMatmulBT(x->value, w);
+    if (b) y = ops::addRowBias(y, b->value);
+    std::vector<Var> parents{x};
+    if (b) parents.push_back(b);
+    // The payload is captured by value: the serving state that produced
+    // it may be re-calibrated (dropping its packed tensor) while this
+    // graph is still alive.
+    return makeOp(std::move(y), std::move(parents), [w](Node &n) {
+        const Var &x = n.parents[0];
+        if (x->requiresGrad) {
+            // dx = dy @ W, decoded on the fly — bitwise what linear()
+            // computes from the dequantized weights.
+            const Tensor dx = packedMatmul(n.grad, w);
+            Tensor &g = x->ensureGrad();
+            for (int64_t i = 0; i < g.numel(); ++i) g[i] += dx[i];
+        }
+        if (n.parents.size() > 1 && n.parents[1]->requiresGrad) {
+            Tensor &g = n.parents[1]->ensureGrad();
             const int64_t m = n.grad.dim(0), c = n.grad.dim(1);
             for (int64_t i = 0; i < m; ++i)
                 for (int64_t j = 0; j < c; ++j)

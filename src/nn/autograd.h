@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/qtensor.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -71,6 +72,17 @@ Var scale(const Var &a, float k);
 
 /** y = x @ W^T + b; x:[m,in], w:[out,in], b:[out] (b may be null). */
 Var linear(const Var &x, const Var &w, const Var &b);
+
+/**
+ * linear() served straight off a packed weight payload: the forward is
+ * core/packed_gemm.h's decoder-fused GEMM (bitwise identical to
+ * unpacking w and calling linear(), but no float weight tensor is ever
+ * materialized), and backward propagates dx (again decoder-fused) and
+ * the bias gradient. The packed weights are frozen serving state: no
+ * weight gradient is produced — re-calibrate to resume weight training
+ * (nn::configureQuant drops packed payloads for exactly this reason).
+ */
+Var packedLinear(const Var &x, const QTensor &w, const Var &b);
 
 /** Plain matrix products. */
 Var matmul(const Var &a, const Var &b);

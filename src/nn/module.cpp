@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "core/packed_gemm.h"
 #include "core/quant_kernel.h"
 #include "core/type_registry.h"
 #include "tensor/parallel.h"
@@ -400,6 +401,23 @@ Var
 Linear::forward(const Var &x)
 {
     const Var qx = applyQuant(actQ, x);
+    if (weightQ.enabled && weightQ.calibrated() &&
+        !weightQ.packed.empty()) {
+        // Serving mode: run the decoder-fused GEMM straight off the
+        // packed codes — no float weight tensor is materialized, yet
+        // the logits are bitwise what the unpack path produces
+        // (core/packed_gemm.h's parity contract, pinned by
+        // tests/test_packed_gemm.cpp and test_artifact.cpp).
+        if (weightQ.packed.shape() != w_.var->value.shape())
+            throw std::logic_error(
+                "Linear: packed payload of shape " +
+                weightQ.packed.shape().str() + " cannot serve a " +
+                w_.var->value.shape().str() + " weight");
+        weightQ.lastMse =
+            packedWeightMse(weightQ.packed, w_.var->value);
+        return packedLinear(qx, weightQ.packed,
+                            hasBias_ ? b_.var : nullptr);
+    }
     const Var qw = applyQuant(weightQ, w_.var);
     return linear(qx, qw, hasBias_ ? b_.var : nullptr);
 }

@@ -77,9 +77,13 @@ class QuantState
      * mode). Empty by default; installed by packFrom / nn::
      * packQuantizedWeights / nn::applyArtifact and cleared whenever
      * the frozen state changes (configure, calibrate, applyRecipe).
-     * When non-empty, apply() dequantizes groups from the packed codes
-     * on the fly instead of re-quantizing the float input — bitwise
-     * the same output, but the bits held live are the low-bit ones.
+     * When non-empty, the packed codes are the source of truth:
+     * Linear::forward runs the decoder-fused packed GEMM
+     * (core/packed_gemm.h) directly on them — no float weight tensor
+     * is materialized — and apply() (the path conv layers and direct
+     * callers still use) dequantizes groups from the codes instead of
+     * re-quantizing the float input. Both are bitwise identical to the
+     * fake-quantize forward at the same scales.
      */
     QTensor packed;
 

@@ -18,6 +18,7 @@
 #include "core/quantizer.h"
 #include "core/type_registry.h"
 #include "sim/accelerator.h"
+#include "tensor/parallel.h"
 #include "tensor/random.h"
 
 namespace ant {
@@ -234,6 +235,51 @@ TEST(QTensor, HeterogeneousGroupTypesRoundTrip)
                 ASSERT_EQ(u[off + i], ref[static_cast<size_t>(i)])
                     << "c=" << c << " g=" << gi << " i=" << i;
         }
+}
+
+TEST(QTensor, ParallelPackIsBitIdenticalToSingleThread)
+{
+    // pack() repartitions on word boundaries so workers never share a
+    // word; the payload must be bit-identical for any thread count,
+    // across odd bit widths (straddling elements re-encoded by both
+    // window neighbours), every granularity, ragged groups, and
+    // heterogeneous group types.
+    Rng rng(68);
+    const Tensor t = rng.tensor(Shape{7, 301}, DistFamily::Gaussian);
+    const auto packAll = [&] {
+        std::vector<std::vector<uint64_t>> payloads;
+        for (const char *spec : {"int3", "flint5", "int4", "pot7u"}) {
+            const TypePtr type = parseType(spec);
+            payloads.push_back(
+                QTensor::pack(t, type, Granularity::PerTensor,
+                              {0.01})
+                    .words());
+            payloads.push_back(
+                QTensor::pack(t, type, Granularity::PerChannel,
+                              std::vector<double>(7, 0.02))
+                    .words());
+            payloads.push_back(
+                QTensor::pack(t, type, Granularity::PerGroup,
+                              std::vector<double>(7 * 7, 0.03), 44)
+                    .words()); // 301 = 6*44 + 37: ragged
+        }
+        std::vector<TypePtr> gts;
+        for (int64_t i = 0; i < 7 * 7; ++i)
+            gts.push_back(parseType(i % 2 ? "flint4" : "pot4"));
+        payloads.push_back(
+            QTensor::pack(t, parseType("int4"), Granularity::PerGroup,
+                          std::vector<double>(7 * 7, 0.04), 44, gts)
+                .words());
+        return payloads;
+    };
+    setParallelThreads(1);
+    const auto serial = packAll();
+    setParallelThreads(8);
+    const auto parallel = packAll();
+    setParallelThreads(0);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "payload " << i;
 }
 
 TEST(QTensor, DegenerateScaleUnpacksToPositiveZeros)

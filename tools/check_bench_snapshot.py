@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Fail when a bench run's benchmark names drift from the snapshot.
+"""Fail when a bench run drifts from the committed snapshot.
 
 The repository commits BENCH_micro_codec.json — a snapshot of the CI
-bench job's output — so perf numbers have a tracked baseline. This
-check compares the *names* (not timings: runners vary) of a freshly
-generated artifact against the committed snapshot and fails when they
-diverge, which catches two silent drifts:
+bench job's output — so perf numbers have a tracked baseline. Three
+checks run against a freshly generated artifact:
 
-  - a benchmark was added/renamed but the snapshot was not refreshed;
-  - the CI --benchmark_filter no longer matches what the snapshot
-    claims is covered.
+1. **Name drift.** The benchmark *names* must match the snapshot, which
+   catches a benchmark being added/renamed without a snapshot refresh,
+   and the CI --benchmark_filter no longer matching what the snapshot
+   claims is covered.
+
+2. **Deterministic counters.** Timings vary by runner, but counters the
+   benches fill from deterministic quantities (quantization mse, scale
+   counts, packed footprints, GEMM output checksums) must reproduce the
+   snapshot within a tight relative tolerance. A drift means the codec,
+   the scale search, or a GEMM datapath changed numerically — exactly
+   the silent regression the parity harness exists to catch.
+
+3. **Same-run rules.** Relations that must hold *within* the fresh
+   artifact, so they are runner-independent: the packed-domain GEMM
+   must not lose to unpack-then-sgemm on the memory-bound serving
+   shape (items_per_second ratio), and the two paths' output checksums
+   must agree exactly (they are bitwise-identical by construction).
 
 Usage:
   tools/check_bench_snapshot.py --snapshot BENCH_micro_codec.json \
@@ -20,17 +32,123 @@ import argparse
 import json
 import sys
 
+# Counter keys whose values are deterministic (independent of runner
+# speed and, for the GEMM checksums, of thread count): checked against
+# the snapshot at the given relative tolerance. Counters not listed
+# here (and the timing fields) are ignored.
+DETERMINISTIC_COUNTERS = {
+    "mse": 1e-9,
+    "scales": 0.0,
+    "nbytes": 0.0,
+    "x_vs_fp32": 1e-9,
+    "out_l1": 1e-9,
+}
 
-def bench_names(path):
+# (faster, slower, min_ratio, why): faster.items_per_second must be at
+# least min_ratio * slower.items_per_second in the SAME artifact.
+RATIO_RULES = [
+    (
+        "BM_PackedGemmBT",
+        "BM_UnpackThenSgemm",
+        1.0,
+        "decoder-fused packed GEMM must not lose to materializing the "
+        "float weights first on the memory-bound serving shape",
+    ),
+]
+
+# (name_a, name_b, counter): the counter must agree exactly between the
+# two entries of the SAME artifact. Used for the packed-vs-unpack GEMM
+# pair, which is bitwise-identical by construction.
+PARITY_RULES = [
+    ("BM_PackedGemmBT", "BM_UnpackThenSgemm", "out_l1"),
+]
+
+
+def load_benchmarks(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         raise SystemExit(f"ERROR: {path} has no 'benchmarks' array")
-    names = [b.get("name") for b in benchmarks]
-    if any(not isinstance(n, str) for n in names):
-        raise SystemExit(f"ERROR: {path} has a nameless benchmark entry")
-    return names
+    by_name = {}
+    for b in benchmarks:
+        name = b.get("name")
+        if not isinstance(name, str):
+            raise SystemExit(
+                f"ERROR: {path} has a nameless benchmark entry")
+        by_name[name] = b
+    return by_name
+
+
+def rel_err(a, b):
+    denom = max(abs(a), abs(b))
+    return abs(a - b) / denom if denom else 0.0
+
+
+def check_names(snapshot, artifact, snap_path, art_path):
+    errors = []
+    missing = [n for n in snapshot if n not in artifact]
+    added = [n for n in artifact if n not in snapshot]
+    for n in missing:
+        errors.append(f"in snapshot {snap_path} but absent from "
+                      f"{art_path}: {n}")
+    for n in added:
+        errors.append(f"produced by the bench run but missing from "
+                      f"{snap_path} (refresh the snapshot): {n}")
+    return errors
+
+
+def check_counters(snapshot, artifact):
+    errors = []
+    for name, snap in snapshot.items():
+        art = artifact.get(name)
+        if art is None:
+            continue  # already reported by the name check
+        for key, tol in DETERMINISTIC_COUNTERS.items():
+            if key not in snap:
+                continue
+            if key not in art:
+                errors.append(f"{name}: counter '{key}' present in "
+                              f"snapshot but not produced by the run")
+                continue
+            e = rel_err(float(snap[key]), float(art[key]))
+            if e > tol:
+                errors.append(
+                    f"{name}: counter '{key}' drifted: snapshot "
+                    f"{snap[key]} vs run {art[key]} "
+                    f"(rel err {e:.3e} > tol {tol:.0e})")
+    return errors
+
+
+def check_rules(artifact):
+    errors = []
+    for fast, slow, min_ratio, why in RATIO_RULES:
+        if fast not in artifact or slow not in artifact:
+            continue  # filter may exclude the pair; name check governs
+        f_ips = artifact[fast].get("items_per_second")
+        s_ips = artifact[slow].get("items_per_second")
+        if f_ips is None or s_ips is None:
+            errors.append(f"ratio rule {fast} vs {slow}: missing "
+                          f"items_per_second (SetItemsProcessed?)")
+            continue
+        if f_ips < min_ratio * s_ips:
+            errors.append(
+                f"{fast} ({f_ips:.3e} items/s) is below "
+                f"{min_ratio}x {slow} ({s_ips:.3e} items/s): {why}")
+    for a, b, key in PARITY_RULES:
+        if a not in artifact or b not in artifact:
+            continue
+        va, vb = artifact[a].get(key), artifact[b].get(key)
+        if va is None or vb is None:
+            errors.append(f"parity rule {a} vs {b}: counter '{key}' "
+                          f"missing from the run")
+            continue
+        if float(va) != float(vb):
+            errors.append(
+                f"counter '{key}' differs between {a} ({va}) and "
+                f"{b} ({vb}) — the packed GEMM is no longer bitwise "
+                f"identical to unpack-then-sgemm")
+    return errors
 
 
 def main():
@@ -41,26 +159,26 @@ def main():
                     help="freshly generated bench JSON")
     args = ap.parse_args()
 
-    snapshot = bench_names(args.snapshot)
-    artifact = bench_names(args.artifact)
-    missing = [n for n in snapshot if n not in set(artifact)]
-    added = [n for n in artifact if n not in set(snapshot)]
+    snapshot = load_benchmarks(args.snapshot)
+    artifact = load_benchmarks(args.artifact)
 
-    if not missing and not added:
-        print(f"OK: {len(artifact)} benchmark names match "
+    errors = check_names(snapshot, artifact, args.snapshot,
+                         args.artifact)
+    errors += check_counters(snapshot, artifact)
+    errors += check_rules(artifact)
+
+    if not errors:
+        n_counters = sum(
+            1 for b in snapshot.values()
+            for k in DETERMINISTIC_COUNTERS if k in b)
+        print(f"OK: {len(artifact)} benchmark names, {n_counters} "
+              f"deterministic counters, {len(RATIO_RULES)} ratio and "
+              f"{len(PARITY_RULES)} parity rules match "
               f"{args.snapshot}")
         return 0
 
-    if missing:
-        print(f"ERROR: in snapshot {args.snapshot} but absent from "
-              f"{args.artifact}:")
-        for n in missing:
-            print(f"  - {n}")
-    if added:
-        print(f"ERROR: produced by the bench run but missing from "
-              f"{args.snapshot} (refresh the committed snapshot):")
-        for n in added:
-            print(f"  + {n}")
+    for e in errors:
+        print(f"ERROR: {e}")
     return 1
 
 

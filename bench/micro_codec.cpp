@@ -27,6 +27,7 @@
 #include "hw/mac.h"
 #include "sim/accelerator.h"
 #include "tensor/ops.h"
+#include "tensor/parallel.h"
 
 namespace {
 
@@ -536,6 +537,181 @@ BM_SimulateResnet18(benchmark::State &state)
         benchmark::DoNotOptimize(sim::simulate(w, plan, cfg));
 }
 BENCHMARK(BM_SimulateResnet18);
+
+// ---------------------------------------------------------------------
+// Scheduling + SIMD benches (the perf PR's acceptance gates).
+//
+// BM_QTensorUnpackScalarRef re-runs the per-group unpack driver through
+// unpackBatchScalar — the pre-SIMD decode loop — so the dispatched
+// BM_QTensorUnpackInt4PerGroup/128 vs this pair is a same-run SIMD
+// speedup ratio the snapshot checker can gate without cross-machine
+// noise. The *Threads benches sweep the pool size at 1/2/4/8 for the
+// thread-scaling gates, and the ParallelForRagged pair demonstrates the
+// static-split tail stall on a skewed cost distribution that the
+// stealing schedule soaks up.
+
+/** RAII pool-size override for the scaling benches. */
+struct ThreadsOverride
+{
+    explicit ThreadsOverride(int n) { setParallelThreads(n); }
+    ~ThreadsOverride() { setParallelThreads(0); }
+};
+
+void
+BM_QTensorUnpackScalarRef(benchmark::State &state)
+{
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    const QuantResult r = quantize(t, cfg, QuantizeTo::Packed);
+    const QTensor &q = *r.packed;
+    const KernelPtr kernel = cachedKernel(cfg.type);
+    const int b = cfg.type->bits();
+    const int64_t gs = r.groupSize;
+    const int64_t gpc = r.groupsPerChannel;
+    const int64_t channels = t.dim(0);
+    const int64_t chunk = t.numel() / channels;
+    Tensor out{t.shape()};
+    for (auto _ : state) {
+        for (int64_t i = 0; i < channels * gpc; ++i) {
+            const int64_t c = i / gpc;
+            const int64_t g = i % gpc;
+            const int64_t off = c * chunk + g * gs;
+            const int64_t len = std::min(gs, chunk - g * gs);
+            kernel->unpackBatchScalar(
+                q.words().data(), off * b, len,
+                r.scales[static_cast<size_t>(i)], out.data() + off);
+        }
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorUnpackScalarRef)->Unit(benchmark::kMillisecond);
+
+void
+BM_QTensorPackThreads(benchmark::State &state)
+{
+    ThreadsOverride pool(static_cast<int>(state.range(0)));
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    const QuantResult r = quantizeScored(t, cfg);
+    QTensor q;
+    for (auto _ : state) {
+        q = QTensor::pack(t, cfg.type, r.appliedGranularity, r.scales,
+                          r.groupSize);
+        benchmark::DoNotOptimize(q.words().data());
+    }
+    state.counters["threads"] = static_cast<double>(state.range(0));
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorPackThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_QTensorUnpackThreads(benchmark::State &state)
+{
+    ThreadsOverride pool(static_cast<int>(state.range(0)));
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    const QuantResult r = quantize(t, cfg, QuantizeTo::Packed);
+    const QTensor &q = *r.packed;
+    for (auto _ : state) {
+        const Tensor u = q.unpack();
+        benchmark::DoNotOptimize(u.data());
+    }
+    state.counters["threads"] = static_cast<double>(state.range(0));
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QTensorUnpackThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_QuantizePerGroupThreads(benchmark::State &state)
+{
+    ThreadsOverride pool(static_cast<int>(state.range(0)));
+    const Tensor t = transformerActFixture();
+    QuantConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.granularity = Granularity::PerGroup;
+    cfg.groupSize = 128;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantizeScored(t, cfg).mse);
+    state.counters["threads"] = static_cast<double>(state.range(0));
+    state.SetItemsProcessed(state.iterations() * t.numel());
+}
+BENCHMARK(BM_QuantizePerGroupThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/** Skewed per-index cost: index i quantizes a slice whose length falls
+ *  off as 1/(1+i) — the first few indices carry most of the work, so a
+ *  static split stalls on thread 0's tail while stealing rebalances. */
+template <Schedule sched>
+void
+raggedBody(benchmark::State &state)
+{
+    ThreadsOverride pool(8);
+    Rng rng(21);
+    const int64_t items = 64;
+    const int64_t base_len = 1 << 15;
+    const Tensor t = rng.tensor(Shape{base_len}, DistFamily::WeightLike);
+    const auto type = parseType("int4");
+    const QuantKernel kernel(*type);
+    std::vector<double> mses(static_cast<size_t>(items));
+    for (auto _ : state) {
+        parallelFor(
+            items,
+            [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                    const int64_t len = base_len / (1 + i);
+                    mses[static_cast<size_t>(i)] = kernel.mseBatch(
+                        t.data(), len, 0.02);
+                }
+            },
+            /*grain=*/1, sched);
+        benchmark::DoNotOptimize(mses.data());
+    }
+    // Total quantized elements per pass: sum of the harmonic slices.
+    int64_t total = 0;
+    for (int64_t i = 0; i < items; ++i) total += base_len / (1 + i);
+    state.SetItemsProcessed(state.iterations() * total);
+}
+
+void
+BM_ParallelForRaggedStatic(benchmark::State &state)
+{
+    raggedBody<Schedule::Static>(state);
+}
+BENCHMARK(BM_ParallelForRaggedStatic)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void
+BM_ParallelForRaggedStealing(benchmark::State &state)
+{
+    raggedBody<Schedule::Stealing>(state);
+}
+BENCHMARK(BM_ParallelForRaggedStealing)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 } // namespace
 

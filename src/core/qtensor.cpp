@@ -193,7 +193,11 @@ QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
                 e = s1;
             }
         },
-        /*grain=*/64);
+        // ~10 ns per element of encode+OR, 64/b elements per word; a
+        // stealing schedule soaks up the rag of heterogeneous group
+        // types (a flint segment encodes slower than an int4 one).
+        grainForCost(10.0 * 64.0 / static_cast<double>(b)),
+        Schedule::Stealing);
     return q;
 }
 
@@ -257,21 +261,28 @@ QTensor::unpack() const
 
     if (granularity_ == Granularity::PerTensor || shape_.ndim() < 2) {
         const double s = scales_[0];
-        parallelFor(numel(), [&](int64_t lo, int64_t hi) {
-            kernel->unpackBatch(words, lo * b, hi - lo, s,
-                                out.data() + lo);
-        });
+        parallelFor(
+            numel(),
+            [&](int64_t lo, int64_t hi) {
+                kernel->unpackBatch(words, lo * b, hi - lo, s,
+                                    out.data() + lo);
+            },
+            grainForCost(1.5)); // ~1.5 ns/element LUT decode
         return out;
     }
     const int64_t channels = channelsOf(shape_);
     const int64_t chunk = chunkOf(shape_);
     if (granularity_ == Granularity::PerChannel) {
-        parallelFor(channels, [&](int64_t cb, int64_t ce) {
-            for (int64_t c = cb; c < ce; ++c)
-                kernel->unpackBatch(words, c * chunk * b, chunk,
-                                    scales_[static_cast<size_t>(c)],
-                                    out.data() + c * chunk);
-        });
+        parallelFor(
+            channels,
+            [&](int64_t cb, int64_t ce) {
+                for (int64_t c = cb; c < ce; ++c)
+                    kernel->unpackBatch(
+                        words, c * chunk * b, chunk,
+                        scales_[static_cast<size_t>(c)],
+                        out.data() + c * chunk);
+            },
+            grainForCost(1.5 * static_cast<double>(chunk)));
         return out;
     }
     const int64_t gs = groupSize_;
@@ -280,21 +291,26 @@ QTensor::unpack() const
     group_kernels.reserve(groupTypes_.size());
     for (const TypePtr &gt : groupTypes_)
         group_kernels.push_back(cachedKernel(gt));
-    parallelFor(channels * gpc, [&](int64_t ib, int64_t ie) {
-        for (int64_t i = ib; i < ie; ++i) {
-            const int64_t c = i / gpc;
-            const int64_t gi = i % gpc;
-            const int64_t off = c * chunk + gi * gs;
-            const int64_t len = std::min(gs, chunk - gi * gs);
-            const QuantKernel &k = group_kernels.empty()
-                                       ? *kernel
-                                       : *group_kernels[static_cast<
-                                             size_t>(i)];
-            k.unpackBatch(words, off * b, len,
-                          scales_[static_cast<size_t>(i)],
-                          out.data() + off);
-        }
-    });
+    // Heterogeneous group types decode at different speeds — steal.
+    parallelFor(
+        channels * gpc,
+        [&](int64_t ib, int64_t ie) {
+            for (int64_t i = ib; i < ie; ++i) {
+                const int64_t c = i / gpc;
+                const int64_t gi = i % gpc;
+                const int64_t off = c * chunk + gi * gs;
+                const int64_t len = std::min(gs, chunk - gi * gs);
+                const QuantKernel &k =
+                    group_kernels.empty()
+                        ? *kernel
+                        : *group_kernels[static_cast<size_t>(i)];
+                k.unpackBatch(words, off * b, len,
+                              scales_[static_cast<size_t>(i)],
+                              out.data() + off);
+            }
+        },
+        grainForCost(1.5 * static_cast<double>(gs)),
+        Schedule::Stealing);
     return out;
 }
 

@@ -8,6 +8,15 @@
  * bit-exact with the scalar reference (NumericType::quantizeValue /
  * encodeNearest applied element-wise).
  *
+ * The batch entry points (quantizeBatch / encodeBatch / unpackBatch)
+ * are *dispatched*: uniform-int grids take a branch-free arithmetic
+ * form (floor + half-compare + clamp — no lower_bound), sub-9-bit
+ * decodes go through a per-scale flat LUT, and both get explicit AVX2
+ * variants behind the tensor/vec.h guards. Every dispatched path is
+ * bitwise identical to its `*Scalar` oracle counterpart, which is kept
+ * public both as the fallback and as the pin for the SIMD parity suite
+ * (tests/test_simd_sched.cpp).
+ *
  * A MagnitudeHistogram is a one-pass sketch of a range's magnitudes from
  * which the quantization MSE of *any* (type, scale) pair is evaluated in
  * O(grid) per candidate — independent of the element count — via per-bin
@@ -64,10 +73,21 @@ class QuantKernel
      * Quantize a flat range with a fixed scale; writes dequantized
      * values to @p out (may be null or alias @p in) and returns the MSE.
      * Bit-exact with the scalar reference path, including the
-     * degenerate-scale (all-zero) behaviour.
+     * degenerate-scale (all-zero) behaviour. Dispatches to the
+     * branch-free / AVX2 form for uniform-int grids; the MSE is always
+     * accumulated in index order, so it is bitwise identical to
+     * quantizeBatchScalar on every path.
      */
     double quantizeBatch(const float *in, float *out, int64_t n,
                          double scale) const;
+
+    /**
+     * The undithered scalar oracle of quantizeBatch: one lower_bound
+     * per element, no SIMD, no LUTs. The dispatched paths are pinned
+     * bitwise against this across the full spec matrix.
+     */
+    double quantizeBatchScalar(const float *in, float *out, int64_t n,
+                               double scale) const;
 
     /** MSE only (no output written). */
     double
@@ -79,10 +99,16 @@ class QuantKernel
     /**
      * Codes of the nearest grid points: bit-exact with
      * type.encodeNearest(in[i] * (1.0 / scale)) per element — the same
-     * reciprocal-multiply convention the quantize path uses.
+     * reciprocal-multiply convention the quantize path uses. Dispatched
+     * (uniform-int grids encode arithmetically); bitwise identical to
+     * encodeBatchScalar.
      */
     void encodeBatch(const float *in, uint32_t *out, int64_t n,
                      double scale) const;
+
+    /** Scalar oracle of encodeBatch (bucket-LUT lower_bound loop). */
+    void encodeBatchScalar(const float *in, uint32_t *out, int64_t n,
+                           double scale) const;
 
     /**
      * Group-strided quantize (Granularity::PerGroup): the flat range is
@@ -140,9 +166,16 @@ class QuantKernel
      * (both sides multiply the same grid double by the same scale).
      * A degenerate scale (<= 0 or non-finite) writes zeros, matching
      * quantizeBatch's degenerate path. Safe to call concurrently.
+     * Dispatched: <= 8-bit codes decode through a per-scale flat float
+     * LUT (SoA two-pass: branchless bit extraction, then LUT map /
+     * AVX2 gather); bitwise identical to unpackBatchScalar.
      */
     void unpackBatch(const uint64_t *words, int64_t bit_base, int64_t n,
                      double scale, float *out) const;
+
+    /** Scalar oracle of unpackBatch (per-element extract + decode). */
+    void unpackBatchScalar(const uint64_t *words, int64_t bit_base,
+                           int64_t n, double scale, float *out) const;
 
     /**
      * Non-negative grid values (signed grids folded to magnitudes).
@@ -182,6 +215,15 @@ class QuantKernel
         return std::min<int64_t>(raw, bucketCount_ - 1);
     }
 
+    /** Fill @p lut (codeCount() floats) with code -> (float)(value *
+     *  scale) — exactly what the decode paths compute per element. */
+    void buildDecodeLut(double scale, float *lut) const;
+
+    double quantizeUniformInt(const float *in, float *out, int64_t n,
+                              double inv, double scale) const;
+    void encodeUniformInt(const float *in, uint32_t *out, int64_t n,
+                          double inv) const;
+
     const NumericType *type_;
     std::vector<double> grid_;     //!< sorted unique values
     std::vector<uint32_t> codes_;  //!< code of each grid point
@@ -192,6 +234,7 @@ class QuantKernel
     double invStep_ = 0.0;         //!< buckets per unit of value
     int64_t bucketCount_ = 0;
     bool signed_;
+    bool uniformInt_ = false;      //!< grid is {lo_, lo_+1, ..., hi_}
 };
 
 /**

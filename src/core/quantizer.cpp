@@ -246,21 +246,30 @@ quantizeCore(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
         r.groupsPerChannel = gpc;
         r.scales.assign(static_cast<size_t>(total), 0.0);
         std::vector<double> errs(static_cast<size_t>(total), 0.0);
-        parallelFor(total, [&](int64_t b, int64_t e) {
-            for (int64_t i = b; i < e; ++i) {
-                const int64_t c = i / gpc;
-                const int64_t g = i % gpc;
-                const int64_t off = c * chunk + g * gs;
-                const int64_t len = std::min(gs, chunk - g * gs);
-                const float *in = t.data() + off;
-                float *out = out_base ? out_base + off : nullptr;
-                const double s = searchScaleKernel(kernel, in, len, cfg);
-                errs[static_cast<size_t>(i)] =
-                    kernel.quantizeBatch(in, out, len, s) *
-                    static_cast<double>(len);
-                r.scales[static_cast<size_t>(i)] = s;
-            }
-        });
+        // Scale search cost is ragged across groups (exactness
+        // re-scoring depends on the data), so steal chunks instead of
+        // splitting statically; ~30 ns/element covers histogram +
+        // candidate sweep + final quantize.
+        parallelFor(
+            total,
+            [&](int64_t b, int64_t e) {
+                for (int64_t i = b; i < e; ++i) {
+                    const int64_t c = i / gpc;
+                    const int64_t g = i % gpc;
+                    const int64_t off = c * chunk + g * gs;
+                    const int64_t len = std::min(gs, chunk - g * gs);
+                    const float *in = t.data() + off;
+                    float *out = out_base ? out_base + off : nullptr;
+                    const double s =
+                        searchScaleKernel(kernel, in, len, cfg);
+                    errs[static_cast<size_t>(i)] =
+                        kernel.quantizeBatch(in, out, len, s) *
+                        static_cast<double>(len);
+                    r.scales[static_cast<size_t>(i)] = s;
+                }
+            },
+            grainForCost(30.0 * static_cast<double>(gs)),
+            Schedule::Stealing);
         double err = 0.0;
         for (double e : errs) err += e;
         r.mse = err / static_cast<double>(t.numel());
@@ -280,17 +289,22 @@ quantizeCore(const Tensor &t, const QuantConfig &cfg, bool with_dequant)
     const int64_t chunk = t.numel() / channels;
     r.scales.assign(static_cast<size_t>(channels), 0.0);
     std::vector<double> errs(static_cast<size_t>(channels), 0.0);
-    parallelFor(channels, [&](int64_t b, int64_t e) {
-        for (int64_t c = b; c < e; ++c) {
-            const float *in = t.data() + c * chunk;
-            float *out = out_base ? out_base + c * chunk : nullptr;
-            const double s = searchScaleKernel(kernel, in, chunk, cfg);
-            errs[static_cast<size_t>(c)] =
-                kernel.quantizeBatch(in, out, chunk, s) *
-                static_cast<double>(chunk);
-            r.scales[static_cast<size_t>(c)] = s;
-        }
-    });
+    parallelFor(
+        channels,
+        [&](int64_t b, int64_t e) {
+            for (int64_t c = b; c < e; ++c) {
+                const float *in = t.data() + c * chunk;
+                float *out = out_base ? out_base + c * chunk : nullptr;
+                const double s =
+                    searchScaleKernel(kernel, in, chunk, cfg);
+                errs[static_cast<size_t>(c)] =
+                    kernel.quantizeBatch(in, out, chunk, s) *
+                    static_cast<double>(chunk);
+                r.scales[static_cast<size_t>(c)] = s;
+            }
+        },
+        grainForCost(30.0 * static_cast<double>(chunk)),
+        Schedule::Stealing);
     double err = 0.0;
     for (double e : errs) err += e;
     r.mse = err / static_cast<double>(t.numel());

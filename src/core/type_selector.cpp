@@ -24,13 +24,19 @@ selectType(const Tensor &t, const std::vector<TypePtr> &candidates,
     // from the registry cache, so the sweep compiles nothing.
     const int64_t m = static_cast<int64_t>(candidates.size());
     std::vector<double> mses(candidates.size());
-    parallelFor(m, [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) {
-            QuantConfig cfg = base_cfg;
-            cfg.type = candidates[static_cast<size_t>(i)];
-            mses[static_cast<size_t>(i)] = quantizeScored(t, cfg).mse;
-        }
-    });
+    // Candidate costs differ wildly (grid sizes differ by 2^bits), so
+    // hand out one candidate at a time and let idle workers steal.
+    parallelFor(
+        m,
+        [&](int64_t b, int64_t e) {
+            for (int64_t i = b; i < e; ++i) {
+                QuantConfig cfg = base_cfg;
+                cfg.type = candidates[static_cast<size_t>(i)];
+                mses[static_cast<size_t>(i)] =
+                    quantizeScored(t, cfg).mse;
+            }
+        },
+        /*grain=*/1, Schedule::Stealing);
 
     TypeSelection sel;
     double best = std::numeric_limits<double>::infinity();
@@ -114,7 +120,14 @@ selectTypePerGroup(const Tensor &t, const std::vector<TypePtr> &candidates,
     if (mode == GroupTypeMode::PerGroup) {
         // Algorithm 2 independently per group: the scale search and the
         // argmin both see only the group's elements.
-        parallelFor(total, [&](int64_t b, int64_t e) {
+        // Per-group cost scales with the candidate count and is ragged
+        // (exact re-scoring is data dependent): stealing schedule, with
+        // chunks sized from ~30 ns/element per candidate.
+        const int64_t grain = grainForCost(
+            30.0 * static_cast<double>(gs * kernels.size()));
+        parallelFor(
+            total,
+            [&](int64_t b, int64_t e) {
             for (int64_t i = b; i < e; ++i) {
                 const int64_t c = i / gpc;
                 const int64_t g = i % gpc;
@@ -143,12 +156,17 @@ selectTypePerGroup(const Tensor &t, const std::vector<TypePtr> &candidates,
                 sel.types[static_cast<size_t>(i)] = candidates[best_k];
                 sel.scales[static_cast<size_t>(i)] = best_s;
             }
-        });
+            },
+            grain, Schedule::Stealing);
     } else {
         // Shared-type-per-channel fallback: each channel's groups keep
         // their own scales but share the channel's argmin type, so a
         // decoder never switches types inside a row.
-        parallelFor(channels, [&](int64_t b, int64_t e) {
+        const int64_t grain = grainForCost(
+            30.0 * static_cast<double>(chunk * kernels.size()));
+        parallelFor(
+            channels,
+            [&](int64_t b, int64_t e) {
             for (int64_t c = b; c < e; ++c) {
                 const float *base = t.data() + c * chunk;
                 double best_e =
@@ -188,7 +206,8 @@ selectTypePerGroup(const Tensor &t, const std::vector<TypePtr> &candidates,
                         best_s[static_cast<size_t>(g)];
                 }
             }
-        });
+            },
+            grain, Schedule::Stealing);
     }
 
     double err = 0.0;

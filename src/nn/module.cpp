@@ -189,7 +189,10 @@ QuantState::apply(const Tensor &t)
         // a deterministic block-order reduction (this runs on the
         // serving hot path, once per forward).
         const int64_t n = t.numel();
-        const int64_t block = 1 << 16;
+        // ~1 ns per element of diff-and-accumulate: the grain rule puts
+        // a block at ~100us of work (a hardcoded block size silently
+        // drifts as the loop body changes; see tensor/parallel.h).
+        const int64_t block = grainForCost(1.0);
         const int64_t blocks = (n + block - 1) / block;
         std::vector<double> errs(static_cast<size_t>(blocks), 0.0);
         parallelFor(blocks, [&](int64_t bb, int64_t be) {

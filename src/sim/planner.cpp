@@ -126,6 +126,9 @@ planWorkload(const workloads::Workload &w, hw::Design design,
     plan.layers.assign(w.layers.size(), LayerPlan{});
     std::vector<LayerAccount> accounts(w.layers.size());
 
+    // Layers are wildly ragged (a GEMM plan costs orders of magnitude
+    // more than a bias layer) and each one is ~ms of work: hand them
+    // out one at a time and let idle workers steal the stragglers.
     parallelFor(num_layers, [&](int64_t lb, int64_t le) {
       for (int64_t li = lb; li < le; ++li) {
         const workloads::Layer &l = w.layers[static_cast<size_t>(li)];
@@ -349,7 +352,7 @@ planWorkload(const workloads::Workload &w, hw::Design design,
         }
         plan.layers[static_cast<size_t>(li)] = std::move(lp);
       }
-    });
+    }, /*grain=*/1, Schedule::Stealing);
 
     // Serial layer-order reduction keeps the totals deterministic.
     double cnt_flint = 0, cnt_pot = 0, cnt_int4 = 0;

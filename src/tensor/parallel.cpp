@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -26,6 +28,19 @@ defaultThreads()
     const unsigned hc = std::thread::hardware_concurrency();
     return hc ? static_cast<int>(hc) : 1;
 }
+
+Schedule
+defaultSchedule()
+{
+    if (const char *env = std::getenv("ANT_SCHED")) {
+        if (std::strcmp(env, "stealing") == 0) return Schedule::Stealing;
+        if (std::strcmp(env, "static") == 0) return Schedule::Static;
+    }
+    return Schedule::Static;
+}
+
+/** The process-wide Schedule::Auto resolution (never Auto itself). */
+Schedule g_schedule = defaultSchedule();
 
 /** Persistent workers draining a shared FIFO of chunk tasks. */
 class Pool
@@ -126,6 +141,139 @@ class Pool
     bool stop_ = false;
 };
 
+/**
+ * Per-worker index range for the stealing mode. The owner takes
+ * grain-sized chunks from the front, thieves take grain-sized chunks
+ * from the back; both under the range's own mutex — contention is one
+ * uncontended lock per ~100us chunk, and the deque discipline keeps the
+ * owner on a contiguous, cache-friendly walk while stolen work comes
+ * off the cold end. Ranges only ever shrink, so a worker whose full
+ * victim scan comes up empty can retire: no new work ever appears.
+ */
+struct alignas(64) StealRange
+{
+    std::mutex mu;
+    int64_t next = 0;
+    int64_t end = 0;
+};
+
+bool
+takeFront(StealRange &r, int64_t grain, int64_t &b, int64_t &e)
+{
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.next >= r.end) return false;
+    b = r.next;
+    e = std::min(r.end, b + grain);
+    r.next = e;
+    return true;
+}
+
+bool
+stealBack(StealRange &r, int64_t grain, int64_t &b, int64_t &e)
+{
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (r.next >= r.end) return false;
+    e = r.end;
+    b = std::max(r.next, e - grain);
+    r.end = b;
+    return true;
+}
+
+/** Shared state of one stealing parallelFor invocation. */
+struct StealCtl
+{
+    const std::function<void(int64_t, int64_t)> *body = nullptr;
+    std::vector<StealRange> ranges;
+    int64_t grain = 1;
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int64_t done = 0;
+    std::exception_ptr first_error;
+};
+
+/**
+ * Drain own range front-first, then steal chunks from victims
+ * (round-robin scan starting after @p me). Returns when a full scan
+ * finds every range empty. On a body exception the worker records it
+ * and abandons its remaining work (matching the static mode, where an
+ * exception abandons the rest of that thread's chunk).
+ */
+void
+stealWorker(StealCtl &ctl, size_t me)
+{
+    const size_t T = ctl.ranges.size();
+    int64_t b, e;
+    try {
+        for (;;) {
+            if (takeFront(ctl.ranges[me], ctl.grain, b, e)) {
+                (*ctl.body)(b, e);
+                continue;
+            }
+            bool stole = false;
+            for (size_t k = 1; k < T; ++k) {
+                const size_t v = (me + k) % T;
+                if (stealBack(ctl.ranges[v], ctl.grain, b, e)) {
+                    (*ctl.body)(b, e);
+                    stole = true;
+                    break;
+                }
+            }
+            if (!stole) return;
+        }
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(ctl.mu);
+        if (!ctl.first_error)
+            ctl.first_error = std::current_exception();
+    }
+}
+
+void
+parallelForStealing(int64_t n,
+                    const std::function<void(int64_t, int64_t)> &body,
+                    int64_t grain, int threads)
+{
+    const int64_t chunks = (n + grain - 1) / grain;
+    const int64_t T =
+        std::min<int64_t>(static_cast<int64_t>(threads), chunks);
+
+    StealCtl ctl;
+    ctl.body = &body;
+    ctl.grain = grain;
+    ctl.ranges = std::vector<StealRange>(static_cast<size_t>(T));
+    // Initial partition: contiguous ranges of whole chunks, so the
+    // front/back chunk boundaries line up across owners and thieves.
+    const int64_t chunks_per = (chunks + T - 1) / T;
+    for (int64_t t = 0; t < T; ++t) {
+        ctl.ranges[static_cast<size_t>(t)].next =
+            std::min(n, t * chunks_per * grain);
+        ctl.ranges[static_cast<size_t>(t)].end =
+            std::min(n, (t + 1) * chunks_per * grain);
+    }
+
+    Pool &pool = Pool::instance();
+    int64_t submitted = 0;
+    for (int64_t t = 1; t < T; ++t) {
+        ++submitted;
+        pool.submit([&ctl, t] {
+            stealWorker(ctl, static_cast<size_t>(t));
+            {
+                std::lock_guard<std::mutex> lk(ctl.mu);
+                ++ctl.done;
+            }
+            ctl.done_cv.notify_one();
+        });
+    }
+
+    t_inParallel = true;
+    stealWorker(ctl, 0);
+    t_inParallel = false;
+
+    std::unique_lock<std::mutex> lk(ctl.mu);
+    ctl.done_cv.wait(lk, [&] { return ctl.done == submitted; });
+    if (ctl.first_error) std::rethrow_exception(ctl.first_error);
+}
+
 } // namespace
 
 int
@@ -140,9 +288,21 @@ setParallelThreads(int n)
     Pool::instance().resize(n);
 }
 
+Schedule
+parallelSchedule()
+{
+    return g_schedule;
+}
+
+void
+setParallelSchedule(Schedule s)
+{
+    g_schedule = s == Schedule::Auto ? defaultSchedule() : s;
+}
+
 void
 parallelFor(int64_t n, const std::function<void(int64_t, int64_t)> &body,
-            int64_t grain)
+            int64_t grain, Schedule sched)
 {
     if (n <= 0) return;
     grain = std::max<int64_t>(1, grain);
@@ -157,6 +317,12 @@ parallelFor(int64_t n, const std::function<void(int64_t, int64_t)> &body,
             throw;
         }
         t_inParallel = was;
+        return;
+    }
+
+    if (sched == Schedule::Auto) sched = g_schedule;
+    if (sched == Schedule::Stealing) {
+        parallelForStealing(n, body, grain, threads);
         return;
     }
 

@@ -1,25 +1,71 @@
 /**
  * @file
- * Minimal persistent thread pool with a blocked-range `parallelFor`.
+ * Minimal persistent thread pool with a blocked-range `parallelFor` in
+ * two scheduling modes: static contiguous chunks, and chunked dynamic
+ * scheduling with work stealing (the Galois `do_all(chunk_size,
+ * steal)` idiom).
  *
- * The quantization engine fans out over channels, candidate types, and
- * workload layers; all three loops funnel through parallelFor so the
- * whole stack shares one pool. Nested parallelFor calls (e.g. a
- * per-channel loop inside a per-candidate sweep) run inline on the
- * calling worker, so nesting is safe and never deadlocks.
+ * The quantization engine fans out over channels, groups, candidate
+ * types, packed-word windows, and workload layers; all of these loops
+ * funnel through parallelFor so the whole stack shares one pool.
+ * Nested parallelFor calls (e.g. a per-channel loop inside a
+ * per-candidate sweep) run inline on the calling worker, so nesting is
+ * safe and never deadlocks.
  *
- * Determinism: the loop body receives disjoint index ranges and callers
- * reduce per-index partial results in index order, so results are
- * bitwise identical regardless of thread count.
+ * ## Scheduling
+ *
+ * - `Schedule::Static` splits [0, n) into one contiguous chunk per
+ *   thread up front. Right for uniform per-index cost (element-wise
+ *   codec loops): zero scheduling traffic, perfect locality.
+ * - `Schedule::Stealing` splits [0, n) into per-worker ranges that
+ *   workers drain grain-sized chunks from the front of; a worker whose
+ *   range is empty steals chunks from the *back* of a victim's range.
+ *   Right for ragged per-index cost (per-channel/per-group scale
+ *   search, per-layer planning), where a static split tail-stalls on
+ *   whichever thread drew the expensive indices.
+ * - `Schedule::Auto` resolves to the process default: Static, unless
+ *   overridden by setParallelSchedule() or the ANT_SCHED environment
+ *   variable (`static` | `stealing`).
+ *
+ * Known-ragged call sites pass Schedule::Stealing explicitly; uniform
+ * loops leave Auto in place.
+ *
+ * ## Picking a grain
+ *
+ * The grain is the per-chunk index count — the unit of scheduling, and
+ * in stealing mode the unit of theft. The rule: **one chunk should cost
+ * roughly 50–200 microseconds of work** — large enough that chunk
+ * dispatch (~a mutex acquisition) is noise, small enough that the tail
+ * imbalance (at most one chunk per thread) stays invisible. Derive it
+ * from the estimated per-index cost with grainForCost() instead of
+ * hardcoding a constant that silently goes stale when the per-index
+ * work changes (see the nn::QuantState block loop and the sim planner
+ * for worked examples).
+ *
+ * ## Determinism
+ *
+ * The loop body receives disjoint index ranges that cover [0, n)
+ * exactly once in every mode, and callers reduce per-index partial
+ * results in index order — so results are bitwise identical regardless
+ * of thread count *and* schedule. tests/test_simd_sched.cpp pins the
+ * full thread-count x schedule matrix over the codec entry points.
  */
 
 #ifndef ANT_TENSOR_PARALLEL_H
 #define ANT_TENSOR_PARALLEL_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
 namespace ant {
+
+/** Chunk scheduling policy of a parallelFor call (see file comment). */
+enum class Schedule {
+    Auto,     //!< process default: Static unless ANT_SCHED/setter says
+    Static,   //!< one contiguous chunk per thread, fixed up front
+    Stealing, //!< grain-sized chunks, dynamic, work stealing
+};
 
 /**
  * Number of threads the global pool uses. Defaults to the ANT_THREADS
@@ -34,6 +80,17 @@ int parallelThreads();
  */
 void setParallelThreads(int n);
 
+/** The schedule Schedule::Auto resolves to (never Auto itself). */
+Schedule parallelSchedule();
+
+/**
+ * Override the Schedule::Auto resolution for the process (Auto restores
+ * the ANT_SCHED / built-in default). Explicit Static/Stealing call
+ * sites are unaffected. Must not be called concurrently with a running
+ * parallelFor.
+ */
+void setParallelSchedule(Schedule s);
+
 /**
  * Run @p body over [0, n) split into contiguous chunks, blocking until
  * every chunk finished. Runs inline (single chunk) when the pool has one
@@ -42,7 +99,21 @@ void setParallelThreads(int n);
  */
 void parallelFor(int64_t n,
                  const std::function<void(int64_t, int64_t)> &body,
-                 int64_t grain = 1);
+                 int64_t grain = 1, Schedule sched = Schedule::Auto);
+
+/**
+ * Grain implementing the documented rule: chunks of ~100us of work,
+ * given an estimated per-index cost in nanoseconds. Clamped to >= 1;
+ * a non-positive/NaN estimate yields 1 (scheduler-limited, not wrong).
+ */
+inline int64_t
+grainForCost(double ns_per_item)
+{
+    constexpr double kTargetChunkNs = 100e3; // ~100us per chunk
+    if (!(ns_per_item > 0.0)) return 1;
+    return std::max<int64_t>(
+        1, static_cast<int64_t>(kTargetChunkNs / ns_per_item));
+}
 
 } // namespace ant
 

@@ -1,0 +1,29 @@
+#include "tensor/vec.h"
+
+#include <cstdlib>
+
+namespace ant {
+
+bool
+cpuSupportsAvx2()
+{
+#if ANT_VEC_AVX2
+    static const bool supported = __builtin_cpu_supports("avx2");
+    return supported;
+#else
+    return false;
+#endif
+}
+
+bool
+vecUseAvx2()
+{
+    static const bool use = [] {
+        const char *kill = std::getenv("ANT_NO_SIMD");
+        if (kill && kill[0] != '\0') return false;
+        return cpuSupportsAvx2();
+    }();
+    return use;
+}
+
+} // namespace ant

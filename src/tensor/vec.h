@@ -1,0 +1,53 @@
+/**
+ * @file
+ * SIMD support layer for the codec hot loops (the shape of pytorch
+ * aten's Vec256 dispatch, scaled down to what the ANT codec needs).
+ *
+ * Policy: every kernel keeps a scalar loop as the bit-exactness oracle,
+ * and an AVX2 intrinsic variant is compiled behind two guards —
+ *
+ *  - **compile-time**: ANT_VEC_AVX2 is 1 only on x86-64 GCC/Clang
+ *    builds without -DANT_DISABLE_AVX2 (the CMake option of the same
+ *    name). The AVX2 functions carry
+ *    `__attribute__((target("avx2")))`, so the rest of the translation
+ *    unit still targets the baseline ISA and the binary stays runnable
+ *    on non-AVX2 machines.
+ *  - **run-time**: call sites branch on vecUseAvx2(), which is
+ *    cpuSupportsAvx2() (CPUID) combined with the ANT_NO_SIMD
+ *    environment kill switch, resolved once per process.
+ *
+ * Determinism contract: an AVX2 variant must perform, per element, the
+ * same double-precision operations as its scalar oracle (no FMA
+ * contraction, no reassociated reductions), so the dispatched result is
+ * bitwise identical on every machine. tests/test_simd_sched.cpp pins
+ * every dispatched kernel against its scalar oracle across the full
+ * registered-spec matrix.
+ */
+
+#ifndef ANT_TENSOR_VEC_H
+#define ANT_TENSOR_VEC_H
+
+#if !defined(ANT_DISABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ANT_VEC_AVX2 1
+#else
+#define ANT_VEC_AVX2 0
+#endif
+
+namespace ant {
+
+/** True when the CPU reports AVX2 (CPUID; cached after the first call).
+ *  Always false when the AVX2 paths are compiled out. */
+bool cpuSupportsAvx2();
+
+/**
+ * True when the dispatched kernels should take their AVX2 variants:
+ * cpuSupportsAvx2() and the ANT_NO_SIMD environment variable is unset
+ * (any non-empty value forces the scalar oracles — the knob the no-SIMD
+ * CI leg and A/B perf runs use). Resolved once per process.
+ */
+bool vecUseAvx2();
+
+} // namespace ant
+
+#endif // ANT_TENSOR_VEC_H

@@ -20,8 +20,20 @@ checks run against a freshly generated artifact:
 3. **Same-run rules.** Relations that must hold *within* the fresh
    artifact, so they are runner-independent: the packed-domain GEMM
    must not lose to unpack-then-sgemm on the memory-bound serving
-   shape (items_per_second ratio), and the two paths' output checksums
-   must agree exactly (they are bitwise-identical by construction).
+   shape (items_per_second ratio), the SIMD-dispatched unpack must
+   beat the scalar reference decoder by the PR's acceptance margin,
+   and the GEMM pair's output checksums must agree exactly (they are
+   bitwise-identical by construction).
+
+4. **Scaling rules.** Thread-scaling and work-stealing relations that
+   only mean anything on a machine with enough cores. Each rule
+   carries a min_cpus gate checked against the artifact's
+   context.num_cpus; on an under-provisioned runner the rule is
+   skipped with a printed note instead of producing a vacuous pass or
+   a spurious failure. The *Threads and Ragged* benches use
+   UseRealTime(), so their items_per_second is wall-clock-derived and
+   the ratios stay meaningful when work runs on pool threads (CPU-time
+   throughput would only count the calling thread).
 
 Usage:
   tools/check_bench_snapshot.py --snapshot BENCH_micro_codec.json \
@@ -54,6 +66,40 @@ RATIO_RULES = [
         "decoder-fused packed GEMM must not lose to materializing the "
         "float weights first on the memory-bound serving shape",
     ),
+    (
+        "BM_QTensorUnpackInt4PerGroup/128",
+        "BM_QTensorUnpackScalarRef",
+        2.0,
+        "the SIMD-dispatched int4 per-group unpack must be at least 2x "
+        "the scalar reference decoder (the PR 6 code path) in the same "
+        "run — the codec-kernel acceptance gate",
+    ),
+]
+
+# (fast, slow, min_ratio, min_cpus, why): like RATIO_RULES, but only
+# enforced when the artifact's context.num_cpus >= min_cpus. Thread
+# scaling and stealing-vs-static gaps do not exist on a 1-2 core
+# runner; skipping (with a note) beats a flaky gate.
+SCALING_RULES = [
+    (
+        "BM_QTensorPackThreads/8/real_time",
+        "BM_QTensorPackThreads/1/real_time",
+        6.0,
+        8,
+        "QTensor::pack must scale >=6x from 1 to 8 threads — the "
+        "word-window repartition is embarrassingly parallel, so "
+        "anything less means the scheduler or a shared line is in "
+        "the way",
+    ),
+    (
+        "BM_ParallelForRaggedStealing/real_time",
+        "BM_ParallelForRaggedStatic/real_time",
+        1.05,
+        2,
+        "on a harmonically skewed work list the stealing schedule must "
+        "beat static contiguous chunking (static strands the heavy "
+        "head items on one worker)",
+    ),
 ]
 
 # (name_a, name_b, counter): the counter must agree exactly between the
@@ -77,7 +123,7 @@ def load_benchmarks(path):
             raise SystemExit(
                 f"ERROR: {path} has a nameless benchmark entry")
         by_name[name] = b
-    return by_name
+    return by_name, doc.get("context", {})
 
 
 def rel_err(a, b):
@@ -120,7 +166,7 @@ def check_counters(snapshot, artifact):
     return errors
 
 
-def check_rules(artifact):
+def check_rules(artifact, context):
     errors = []
     for fast, slow, min_ratio, why in RATIO_RULES:
         if fast not in artifact or slow not in artifact:
@@ -135,6 +181,26 @@ def check_rules(artifact):
             errors.append(
                 f"{fast} ({f_ips:.3e} items/s) is below "
                 f"{min_ratio}x {slow} ({s_ips:.3e} items/s): {why}")
+    num_cpus = int(context.get("num_cpus", 0) or 0)
+    for fast, slow, min_ratio, min_cpus, why in SCALING_RULES:
+        if fast not in artifact or slow not in artifact:
+            continue
+        if num_cpus < min_cpus:
+            print(f"NOTE: skipping scaling rule {fast} vs {slow}: "
+                  f"runner has {num_cpus} cpus, rule needs "
+                  f">= {min_cpus}")
+            continue
+        f_ips = artifact[fast].get("items_per_second")
+        s_ips = artifact[slow].get("items_per_second")
+        if f_ips is None or s_ips is None:
+            errors.append(f"scaling rule {fast} vs {slow}: missing "
+                          f"items_per_second (SetItemsProcessed?)")
+            continue
+        if f_ips < min_ratio * s_ips:
+            errors.append(
+                f"{fast} ({f_ips:.3e} items/s) is below "
+                f"{min_ratio}x {slow} ({s_ips:.3e} items/s) on a "
+                f"{num_cpus}-cpu runner: {why}")
     for a, b, key in PARITY_RULES:
         if a not in artifact or b not in artifact:
             continue
@@ -159,20 +225,21 @@ def main():
                     help="freshly generated bench JSON")
     args = ap.parse_args()
 
-    snapshot = load_benchmarks(args.snapshot)
-    artifact = load_benchmarks(args.artifact)
+    snapshot, _ = load_benchmarks(args.snapshot)
+    artifact, context = load_benchmarks(args.artifact)
 
     errors = check_names(snapshot, artifact, args.snapshot,
                          args.artifact)
     errors += check_counters(snapshot, artifact)
-    errors += check_rules(artifact)
+    errors += check_rules(artifact, context)
 
     if not errors:
         n_counters = sum(
             1 for b in snapshot.values()
             for k in DETERMINISTIC_COUNTERS if k in b)
         print(f"OK: {len(artifact)} benchmark names, {n_counters} "
-              f"deterministic counters, {len(RATIO_RULES)} ratio and "
+              f"deterministic counters, {len(RATIO_RULES)} ratio, "
+              f"{len(SCALING_RULES)} scaling, and "
               f"{len(PARITY_RULES)} parity rules match "
               f"{args.snapshot}")
         return 0

@@ -15,7 +15,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
+#include <memory>
+#include <vector>
 
+#include "core/artifact.h"
 #include "core/flint.h"
 #include "core/packed_gemm.h"
 #include "core/qtensor.h"
@@ -25,9 +29,11 @@
 #include "core/type_selector.h"
 #include "hw/decoder.h"
 #include "hw/mac.h"
+#include "serve/server.h"
 #include "sim/accelerator.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
+#include "workloads/workloads.h"
 
 namespace {
 
@@ -712,6 +718,141 @@ BM_ParallelForRaggedStealing(benchmark::State &state)
     raggedBody<Schedule::Stealing>(state);
 }
 BENCHMARK(BM_ParallelForRaggedStealing)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Serving: artifact cold-start (mmap vs copy) and end-to-end throughput.
+
+/** A multi-MB trunk-only artifact on disk, built once per process.
+ *  Per-tensor scales keep the metadata (recipe JSON + scale arrays)
+ *  tiny relative to the packed payload, so the cold-start pair
+ *  measures payload handling, not JSON parsing. */
+const std::string &
+coldStartArtifactPath()
+{
+    static const std::string path = [] {
+        serve::StackSpec spec;
+        spec.granularity = Granularity::PerTensor;
+        const ModelArtifact art = serve::buildWorkloadArtifact(
+            workloads::gpt2Small(2, 512, 4, /*vocab=*/0), spec);
+        const std::string p = "/tmp/ant_bench_coldstart.antq";
+        art.saveFile(p);
+        return p;
+    }();
+    return path;
+}
+
+/** Time-to-ready through the copying loader: read the whole file,
+ *  verify the checksum, copy every payload into owned memory. */
+void
+BM_ArtifactColdStartCopy(benchmark::State &state)
+{
+    const std::string &path = coldStartArtifactPath();
+    size_t payload = 0;
+    for (auto _ : state) {
+        const ModelArtifact art = ModelArtifact::loadFile(path);
+        payload = art.payloadBytes();
+        benchmark::DoNotOptimize(payload);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(payload));
+    state.SetItemsProcessed(state.iterations()); // loads/s for the gate
+    state.counters["payload_mb"] = static_cast<double>(payload) / 1e6;
+}
+BENCHMARK(BM_ArtifactColdStartCopy)->Unit(benchmark::kMillisecond);
+
+/** Time-to-ready through mapFile: mmap + metadata parse, payload pages
+ *  fault lazily on first forward. Checksum verification is off — it
+ *  would touch every page, i.e. deliberately undo the laziness this
+ *  loader exists for (artifacts this host wrote are trusted; remote
+ *  fetches should verify once at download time). */
+void
+BM_ArtifactColdStartMap(benchmark::State &state)
+{
+    const std::string &path = coldStartArtifactPath();
+    MapOptions opts;
+    opts.verifyChecksum = false;
+    size_t payload = 0;
+    for (auto _ : state) {
+        const ModelArtifact art = ModelArtifact::mapFile(path, opts);
+        payload = art.payloadBytes();
+        benchmark::DoNotOptimize(payload);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(payload));
+    state.SetItemsProcessed(state.iterations()); // loads/s for the gate
+    state.counters["payload_mb"] = static_cast<double>(payload) / 1e6;
+}
+BENCHMARK(BM_ArtifactColdStartMap)->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end serving throughput: Args are {workers, max_batch}. Each
+ * iteration stands up a fresh Server over a shared PackedStackModel,
+ * submits a fixed deterministic query set, and waits for every answer.
+ * qps/p50_us/p99_us come from the server's own metrics; out_l1 (the
+ * summed |logit| over the query set, accumulated in submit order) is
+ * bitwise invariant across every worker/batch combination — the
+ * snapshot gate pins it so coalescing can never change an answer.
+ */
+void
+BM_ServeThroughput(benchmark::State &state)
+{
+    static const std::shared_ptr<const serve::PackedStackModel> model =
+        std::make_shared<serve::PackedStackModel>(
+            "gpt2-serve",
+            serve::buildWorkloadArtifact(
+                workloads::gpt2Small(1, 128, 4, 128)));
+    static const std::vector<Tensor> queries = [] {
+        std::vector<Tensor> qs;
+        Rng rng(1234);
+        for (int i = 0; i < 128; ++i)
+            qs.push_back(rng.tensor(Shape{model->inputDim()},
+                                    DistFamily::HalfGaussian));
+        return qs;
+    }();
+
+    serve::ServerConfig cfg;
+    cfg.workers = static_cast<int>(state.range(0));
+    cfg.maxBatch = static_cast<size_t>(state.range(1));
+    cfg.maxDelayUs = 200;
+
+    double out_l1 = 0.0;
+    uint64_t completed = 0;
+    serve::MetricsSnapshot snap;
+    for (auto _ : state) {
+        serve::ModelRegistry reg(
+            [](const serve::ModelKey &) { return model; });
+        serve::Server server(reg, cfg);
+        std::vector<std::future<Tensor>> futs;
+        futs.reserve(queries.size());
+        for (const Tensor &q : queries)
+            futs.push_back(server.submit({"gpt2-serve"}, q));
+        double l1 = 0.0;
+        for (auto &f : futs) {
+            const Tensor out = f.get();
+            for (int64_t j = 0; j < out.numel(); ++j)
+                l1 += std::fabs(static_cast<double>(out[j]));
+        }
+        server.drain();
+        out_l1 = l1;
+        completed += queries.size();
+        snap = server.metrics();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(completed));
+    state.counters["qps"] = benchmark::Counter(
+        static_cast<double>(completed), benchmark::Counter::kIsRate);
+    state.counters["p50_us"] = snap.p50Us;
+    state.counters["p99_us"] = snap.p99Us;
+    state.counters["out_l1"] = out_l1;
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 1})
+    ->Args({2, 8})
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

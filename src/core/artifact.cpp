@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/checksum.h"
 #include "core/type_registry.h"
 
 namespace ant {
@@ -12,7 +13,16 @@ namespace ant {
 namespace {
 
 constexpr char kMagic[] = "ANTARTF"; // 7 bytes + version byte
-constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersion = 2;
+// magic + version + u32 crc: the bytes the v2 checksum does NOT cover.
+constexpr size_t kV2HeaderBytes = sizeof kMagic - 1 + 1 + 4;
+
+#if defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
 
 // --------------------------------------------------------------------
 // Little-endian writer/reader (byte-wise, so the format is identical
@@ -48,10 +58,17 @@ putString(std::string &out, const std::string &s)
     out += s;
 }
 
+/** v2 array alignment: zero bytes up to the next 8-byte file offset. */
+void
+padTo8(std::string &out)
+{
+    out.append((8 - out.size() % 8) % 8, '\0');
+}
+
 class Reader
 {
   public:
-    explicit Reader(const std::string &bytes) : s_(bytes) {}
+    Reader(const char *data, size_t size) : data_(data), size_(size) {}
 
     [[noreturn]] void
     fail(const std::string &why) const
@@ -64,8 +81,8 @@ class Reader
     const char *
     raw(size_t n)
     {
-        if (n > s_.size() - pos_) fail("truncated document");
-        const char *p = s_.data() + pos_;
+        if (n > size_ - pos_) fail("truncated document");
+        const char *p = data_ + pos_;
         pos_ += n;
         return p;
     }
@@ -100,24 +117,34 @@ class Reader
         const uint64_t n = u64();
         // A length that exceeds the remaining bytes is corruption, not
         // an allocation request.
-        if (n > s_.size() - pos_) fail("truncated string");
+        if (n > size_ - pos_) fail("truncated string");
         return std::string(raw(static_cast<size_t>(n)),
                            static_cast<size_t>(n));
+    }
+
+    /** Skip the v2 alignment padding; nonzero pad is corruption. */
+    void
+    align8()
+    {
+        while (pos_ % 8 != 0)
+            if (*raw(1) != 0) fail("nonzero alignment padding");
     }
 
     /** Remaining element capacity for a count of @p elem_bytes items. */
     uint64_t
     checkCount(uint64_t count, size_t elem_bytes)
     {
-        if (count > (s_.size() - pos_) / elem_bytes)
+        if (count > (size_ - pos_) / elem_bytes)
             fail("element count exceeds the document");
         return count;
     }
 
-    bool done() const { return pos_ == s_.size(); }
+    size_t pos() const { return pos_; }
+    bool done() const { return pos_ == size_; }
 
   private:
-    const std::string &s_;
+    const char *data_;
+    size_t size_;
     size_t pos_ = 0;
 };
 
@@ -143,59 +170,43 @@ granularityFromCode(Reader &r, uint8_t c)
     r.fail("unknown granularity code " + std::to_string(c));
 }
 
-} // namespace
-
-size_t
-ModelArtifact::payloadBytes() const
-{
-    size_t n = 0;
-    for (const WeightBlob &b : weights) n += b.tensor.nbytes();
-    return n;
-}
-
-std::string
-ModelArtifact::toBytes() const
-{
-    std::string out;
-    out += kMagic;
-    out += static_cast<char>(kVersion);
-    putString(out, recipe.toJson());
-    putU64(out, weights.size());
-    for (const WeightBlob &b : weights) {
-        const QTensor &q = b.tensor;
-        if (q.empty())
-            throw std::invalid_argument(
-                "ModelArtifact: blob \"" + b.layer +
-                "\" holds an empty QTensor");
-        putString(out, b.layer);
-        putString(out, q.type()->spec());
-        out += static_cast<char>(granularityCode(q.granularity()));
-        putI64(out, q.groupSize());
-        putU64(out, static_cast<uint64_t>(q.shape().ndim()));
-        for (int64_t d : q.shape().dims()) putI64(out, d);
-        putU64(out, q.scales().size());
-        for (double s : q.scales()) putDouble(out, s);
-        putU64(out, q.groupTypes().size());
-        for (const TypePtr &gt : q.groupTypes())
-            putString(out, gt->spec());
-        putU64(out, q.words().size());
-        for (uint64_t w : q.words()) putU64(out, w);
-    }
-    return out;
-}
-
+/**
+ * The one parser behind fromBytes/loadFile/mapFile. When @p view_keep
+ * is non-null (the mapFile path), v2 payload arrays whose mapped
+ * pointers are 8-aligned become QTensor views co-owning the mapping;
+ * everything else is copied out, so every caller gets the same
+ * artifact bit for bit.
+ */
 ModelArtifact
-ModelArtifact::fromBytes(const std::string &bytes)
+parseDocument(const char *data, size_t size,
+              const std::shared_ptr<const MappedFile> &view_keep,
+              bool verify_checksum)
 {
-    Reader r(bytes);
+    Reader r(data, size);
     if (std::memcmp(r.raw(sizeof kMagic - 1), kMagic,
                     sizeof kMagic - 1) != 0)
         r.fail("bad magic (not an ANT artifact)");
     const uint8_t version = r.u8();
-    if (version != kVersion)
+    if (version < 1 || version > kVersion)
         r.fail("unsupported version " + std::to_string(version) +
-               " (this build reads version " + std::to_string(kVersion) +
-               ")");
+               " (this build reads versions 1.." +
+               std::to_string(kVersion) + ")");
+    if (version >= 2) {
+        uint32_t stored = 0;
+        const unsigned char *p =
+            reinterpret_cast<const unsigned char *>(r.raw(4));
+        for (int i = 0; i < 4; ++i)
+            stored |= static_cast<uint32_t>(p[i]) << (8 * i);
+        if (verify_checksum) {
+            const uint32_t computed = crc32c(data + kV2HeaderBytes,
+                                             size - kV2HeaderBytes);
+            if (computed != stored)
+                r.fail("checksum mismatch (stored " +
+                       std::to_string(stored) + ", computed " +
+                       std::to_string(computed) +
+                       ") — truncated or corrupted artifact");
+        }
+    }
 
     ModelArtifact a;
     a.recipe = QuantRecipe::fromJson(r.str());
@@ -227,25 +238,67 @@ ModelArtifact::fromBytes(const std::string &bytes)
             numel = d == 0 ? 0 : numel * d;
             dims.push_back(d);
         }
-        const uint64_t nscales = r.checkCount(r.u64(), 8);
+        const uint64_t nscales = r.u64();
+        if (version >= 2) r.align8();
+        r.checkCount(nscales, 8);
         std::vector<double> scales;
-        scales.reserve(static_cast<size_t>(nscales));
-        for (uint64_t i = 0; i < nscales; ++i)
-            scales.push_back(r.f64());
+        if (version >= 2 && kHostLittleEndian) {
+            // The scale plane is contiguous little-endian IEEE bits;
+            // on a little-endian host that IS the in-memory layout.
+            scales.resize(static_cast<size_t>(nscales));
+            std::memcpy(scales.data(),
+                        r.raw(static_cast<size_t>(nscales) * 8),
+                        static_cast<size_t>(nscales) * 8);
+        } else {
+            scales.reserve(static_cast<size_t>(nscales));
+            for (uint64_t i = 0; i < nscales; ++i)
+                scales.push_back(r.f64());
+        }
         const uint64_t ngt = r.checkCount(r.u64(), 8);
         std::vector<TypePtr> group_types;
         group_types.reserve(static_cast<size_t>(ngt));
         for (uint64_t i = 0; i < ngt; ++i)
             group_types.push_back(parseType(r.str()));
-        const uint64_t nwords = r.checkCount(r.u64(), 8);
-        std::vector<uint64_t> words;
-        words.reserve(static_cast<size_t>(nwords));
-        for (uint64_t i = 0; i < nwords; ++i) words.push_back(r.u64());
+        const uint64_t nwords = r.u64();
+        if (version >= 2) r.align8();
+        r.checkCount(nwords, 8);
         try {
-            blob.tensor = QTensor::fromParts(
-                Shape{std::move(dims)}, type, gran, group_size,
-                std::move(scales), std::move(words),
-                std::move(group_types));
+            const char *wp =
+                r.raw(static_cast<size_t>(nwords) * 8);
+            const bool viewable =
+                view_keep != nullptr && version >= 2 &&
+                kHostLittleEndian &&
+                reinterpret_cast<uintptr_t>(wp) % alignof(uint64_t) ==
+                    0;
+            if (viewable) {
+                blob.tensor = QTensor::fromView(
+                    Shape{std::move(dims)}, type, gran, group_size,
+                    std::move(scales),
+                    reinterpret_cast<const uint64_t *>(wp),
+                    static_cast<size_t>(nwords), view_keep,
+                    std::move(group_types));
+            } else {
+                std::vector<uint64_t> words(
+                    static_cast<size_t>(nwords));
+                if (kHostLittleEndian) {
+                    std::memcpy(words.data(), wp,
+                                static_cast<size_t>(nwords) * 8);
+                } else {
+                    const unsigned char *q =
+                        reinterpret_cast<const unsigned char *>(wp);
+                    for (uint64_t i = 0; i < nwords; ++i, q += 8) {
+                        uint64_t v = 0;
+                        for (int j = 0; j < 8; ++j)
+                            v |= static_cast<uint64_t>(q[j])
+                                 << (8 * j);
+                        words[static_cast<size_t>(i)] = v;
+                    }
+                }
+                blob.tensor = QTensor::fromParts(
+                    Shape{std::move(dims)}, type, gran, group_size,
+                    std::move(scales), std::move(words),
+                    std::move(group_types));
+            }
         } catch (const std::invalid_argument &e) {
             throw std::invalid_argument(
                 "ModelArtifact: blob \"" + blob.layer + "\": " +
@@ -255,6 +308,77 @@ ModelArtifact::fromBytes(const std::string &bytes)
     }
     if (!r.done()) r.fail("trailing bytes");
     return a;
+}
+
+} // namespace
+
+size_t
+ModelArtifact::payloadBytes() const
+{
+    size_t n = 0;
+    for (const WeightBlob &b : weights) n += b.tensor.nbytes();
+    return n;
+}
+
+bool
+ModelArtifact::viewsPayload() const
+{
+    if (weights.empty()) return false;
+    for (const WeightBlob &b : weights)
+        if (!b.tensor.viewsPayload()) return false;
+    return true;
+}
+
+std::string
+ModelArtifact::toBytes(uint8_t version) const
+{
+    if (version < 1 || version > kVersion)
+        throw std::invalid_argument(
+            "ModelArtifact: cannot write version " +
+            std::to_string(version) + " (this build writes 1.." +
+            std::to_string(kVersion) + ")");
+    std::string out;
+    out += kMagic;
+    out += static_cast<char>(version);
+    if (version >= 2) out.append(4, '\0'); // CRC slot, patched below
+    putString(out, recipe.toJson());
+    putU64(out, weights.size());
+    for (const WeightBlob &b : weights) {
+        const QTensor &q = b.tensor;
+        if (q.empty())
+            throw std::invalid_argument(
+                "ModelArtifact: blob \"" + b.layer +
+                "\" holds an empty QTensor");
+        putString(out, b.layer);
+        putString(out, q.type()->spec());
+        out += static_cast<char>(granularityCode(q.granularity()));
+        putI64(out, q.groupSize());
+        putU64(out, static_cast<uint64_t>(q.shape().ndim()));
+        for (int64_t d : q.shape().dims()) putI64(out, d);
+        putU64(out, q.scales().size());
+        if (version >= 2) padTo8(out);
+        for (double s : q.scales()) putDouble(out, s);
+        putU64(out, q.groupTypes().size());
+        for (const TypePtr &gt : q.groupTypes())
+            putString(out, gt->spec());
+        putU64(out, q.words().size());
+        if (version >= 2) padTo8(out);
+        for (uint64_t w : q.words()) putU64(out, w);
+    }
+    if (version >= 2) {
+        const uint32_t crc = crc32c(out.data() + kV2HeaderBytes,
+                                    out.size() - kV2HeaderBytes);
+        for (int i = 0; i < 4; ++i)
+            out[sizeof kMagic - 1 + 1 + static_cast<size_t>(i)] =
+                static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    return out;
+}
+
+ModelArtifact
+ModelArtifact::fromBytes(const std::string &bytes)
+{
+    return parseDocument(bytes.data(), bytes.size(), nullptr, true);
 }
 
 void
@@ -278,6 +402,17 @@ ModelArtifact::loadFile(const std::string &path)
     std::ostringstream ss;
     ss << f.rdbuf();
     return fromBytes(ss.str());
+}
+
+ModelArtifact
+ModelArtifact::mapFile(const std::string &path, MapOptions opts)
+{
+    const std::shared_ptr<const MappedFile> mf = MappedFile::open(path);
+    // The read() fallback still parses in place and still hands the
+    // blobs views into the (owned) buffer — one copy total, same as
+    // loadFile, instead of two.
+    return parseDocument(mf->data(), mf->size(), mf,
+                         opts.verifyChecksum);
 }
 
 } // namespace ant

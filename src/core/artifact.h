@@ -17,10 +17,12 @@
  * applying an artifact replays the calibrating process's quantized
  * forward pass bitwise, pinned by tests/test_artifact.cpp.
  *
- * Binary layout (version 1, all integers little-endian):
+ * Binary layout (version 2, all integers little-endian):
  *
  *     magic  "ANTARTF"            7 bytes
- *     version u8                  currently 1
+ *     version u8                  currently 2
+ *     u32 crc                     CRC32C of every byte after this
+ *                                 field (v2+; core/checksum.h)
  *     u64 json_len, json bytes    the recipe document (recipe.h)
  *     u64 blob_count
  *     per blob:
@@ -29,10 +31,23 @@
  *       u8  granularity           0 per-tensor, 1 per-channel, 2 group
  *       i64 group_size            0 unless per-group
  *       u64 ndim; i64 dims[ndim]
- *       u64 nscales; f64 scales[] (IEEE bit patterns, little-endian)
+ *       u64 nscales; pad8; f64 scales[]  (IEEE bits, little-endian)
  *       u64 ngroup_types; per: u64 len + spec bytes (heterogeneous
  *                         per-group types; 0 when homogeneous)
- *       u64 nwords; u64 words[]   the bit-packed payload
+ *       u64 nwords; pad8; u64 words[]    the bit-packed payload
+ *
+ * `pad8` is 0–7 zero bytes bringing the *file offset* of the array
+ * that follows to a multiple of 8 (v2+ only). Together with the CRC
+ * these are the two v2 changes over v1, and both exist for the same
+ * consumer: `mapFile`, the zero-copy loader. Alignment lets the parser
+ * hand QTensor *views* straight into the mapped payload (a page-
+ * aligned map plus an 8-aligned offset is an 8-aligned pointer), so
+ * loading touches only the metadata bytes and weight pages fault in
+ * lazily on first use; the CRC makes a truncated or bit-flipped file
+ * fail loudly in BOTH loaders instead of serving garbage codes.
+ * Version-1 files (no CRC, no padding) still load everywhere — they
+ * just can't be checksum-verified and usually can't be viewed without
+ * copying.
  *
  * Activations carry no payload (they are quantized on the fly from the
  * recipe's frozen scales); only weight tensors ship codes.
@@ -44,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "core/mapped_file.h"
 #include "core/qtensor.h"
 #include "core/recipe.h"
 
@@ -56,6 +72,20 @@ struct WeightBlob
     QTensor tensor;    //!< packed weight codes + scale plane
 };
 
+/** Knobs of the zero-copy loader. */
+struct MapOptions
+{
+    /**
+     * Verify the stored CRC32C before parsing (v2+ files; default on,
+     * matching the copying loader). The check streams every file byte
+     * once — hardware CRC runs at memory speed, but it does fault the
+     * whole file in, so a latency-critical cold start that trusts its
+     * storage layer's integrity can opt out and keep the load purely
+     * metadata-sized.
+     */
+    bool verifyChecksum = true;
+};
+
 /** The whole-model serving artifact: recipe + packed weights. */
 struct ModelArtifact
 {
@@ -66,21 +96,46 @@ struct ModelArtifact
      *  i.e. the bytes a weight server streams per replica. */
     size_t payloadBytes() const;
 
-    /** Serialize to the versioned binary layout above. */
-    std::string toBytes() const;
+    /** True when every blob serves as a view into a mapped file
+     *  (what `mapFile` produces on the happy path). */
+    bool viewsPayload() const;
 
     /**
-     * Parse a document produced by toBytes. Throws
-     * std::invalid_argument naming the problem on bad magic, version,
-     * truncation, unparseable specs, or payload/layout mismatches.
+     * Serialize to the versioned binary layout above. @p version
+     * selects the wire format: 2 (default, CRC + aligned arrays) or 1
+     * (the legacy layout, kept writable so compatibility is testable).
+     */
+    std::string toBytes(uint8_t version = 2) const;
+
+    /**
+     * Parse a document produced by toBytes. Verifies the v2 checksum.
+     * Throws std::invalid_argument naming the problem on bad magic,
+     * version, truncation, checksum mismatch, unparseable specs, or
+     * payload/layout mismatches.
      */
     static ModelArtifact fromBytes(const std::string &bytes);
 
     /** Write toBytes() to @p path (std::runtime_error on I/O failure). */
     void saveFile(const std::string &path) const;
 
-    /** Read and parse @p path. */
+    /**
+     * Read and parse @p path, copying every payload into owned memory.
+     * The portable fallback and the bitwise oracle for mapFile.
+     */
     static ModelArtifact loadFile(const std::string &path);
+
+    /**
+     * Zero-copy load: mmap @p path and parse the metadata in place,
+     * building QTensor views over the mapped payload words (each blob
+     * co-owns the mapping, so the artifact and any models built from
+     * it keep the file mapped). Weight pages fault in lazily on first
+     * use. Bitwise identical to loadFile on every tensor — pinned by
+     * tests. Falls back to copying parses for v1 files, misaligned
+     * payloads, big-endian hosts, or hosts without mmap; the result is
+     * the same artifact either way.
+     */
+    static ModelArtifact mapFile(const std::string &path,
+                                 MapOptions opts = {});
 };
 
 } // namespace ant

@@ -1,0 +1,138 @@
+#include "core/checksum.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(ANT_DISABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ANT_CRC32C_SSE42 1
+#include <nmmintrin.h>
+#else
+#define ANT_CRC32C_SSE42 0
+#endif
+
+#if defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#define ANT_CRC32C_LE_HOST 1
+#else
+#define ANT_CRC32C_LE_HOST 0
+#endif
+
+namespace ant {
+
+namespace {
+
+/** Slice-by-8 lookup tables, built once at first use. t[0] is the
+ *  classic byte-at-a-time table; t[j] advances a byte j positions. */
+struct Crc32cTables
+{
+    uint32_t t[8][256];
+
+    Crc32cTables()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+            t[0][i] = c;
+        }
+        for (uint32_t i = 0; i < 256; ++i)
+            for (int j = 1; j < 8; ++j)
+                t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xffu];
+    }
+};
+
+const Crc32cTables &
+tables()
+{
+    static const Crc32cTables t;
+    return t;
+}
+
+#if ANT_CRC32C_SSE42
+__attribute__((target("sse4.2"))) uint32_t
+crc32cHw(const unsigned char *p, size_t n, uint32_t crc)
+{
+    while (n != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        --n;
+    }
+    uint64_t crc64 = crc;
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        crc64 = _mm_crc32_u64(crc64, w);
+        p += 8;
+        n -= 8;
+    }
+    crc = static_cast<uint32_t>(crc64);
+    while (n != 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        --n;
+    }
+    return crc;
+}
+#endif
+
+} // namespace
+
+uint32_t
+crc32cSoftware(const void *data, size_t n, uint32_t seed)
+{
+    const Crc32cTables &T = tables();
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint32_t crc = ~seed;
+    while (n != 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+        crc = (crc >> 8) ^ T.t[0][(crc ^ *p++) & 0xffu];
+        --n;
+    }
+#if ANT_CRC32C_LE_HOST
+    // 8 bytes per step via the slice tables; the uint64 load's byte
+    // order matches the table derivation only on little-endian hosts.
+    while (n >= 8) {
+        uint64_t w;
+        std::memcpy(&w, p, 8);
+        const uint32_t lo = crc ^ static_cast<uint32_t>(w);
+        const uint32_t hi = static_cast<uint32_t>(w >> 32);
+        crc = T.t[7][lo & 0xffu] ^ T.t[6][(lo >> 8) & 0xffu] ^
+              T.t[5][(lo >> 16) & 0xffu] ^ T.t[4][lo >> 24] ^
+              T.t[3][hi & 0xffu] ^ T.t[2][(hi >> 8) & 0xffu] ^
+              T.t[1][(hi >> 16) & 0xffu] ^ T.t[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+#endif
+    while (n != 0) {
+        crc = (crc >> 8) ^ T.t[0][(crc ^ *p++) & 0xffu];
+        --n;
+    }
+    return ~crc;
+}
+
+bool
+crc32cUsesHardware()
+{
+#if ANT_CRC32C_SSE42
+    static const bool use = [] {
+        const char *kill = std::getenv("ANT_NO_SIMD");
+        if (kill && kill[0] != '\0') return false;
+        return static_cast<bool>(__builtin_cpu_supports("sse4.2"));
+    }();
+    return use;
+#else
+    return false;
+#endif
+}
+
+uint32_t
+crc32c(const void *data, size_t n, uint32_t seed)
+{
+#if ANT_CRC32C_SSE42
+    if (crc32cUsesHardware())
+        return ~crc32cHw(static_cast<const unsigned char *>(data), n,
+                         ~seed);
+#endif
+    return crc32cSoftware(data, n, seed);
+}
+
+} // namespace ant

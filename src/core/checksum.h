@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected to 0x82F63B78)
+ * over arbitrary byte ranges — the integrity check of the ModelArtifact
+ * v2 format (core/artifact.h). Both loaders verify the stored CRC so a
+ * truncated or bit-flipped artifact fails loudly at load time instead
+ * of serving garbage codes.
+ *
+ * Dispatch follows the vec.h policy: a portable slice-by-8 table
+ * implementation is the oracle, and an SSE4.2 `crc32` instruction
+ * variant is compiled behind the same two guards — compile-time
+ * (x86-64 GCC/Clang without -DANT_DISABLE_AVX2, so the no-SIMD CI leg
+ * exercises the software path) and run-time (CPUID plus the
+ * ANT_NO_SIMD environment kill switch). Both variants implement the
+ * same polynomial, so the dispatched result is identical on every
+ * machine; tests pin hardware == software across lengths, alignments
+ * and seeds, and against the published check value
+ * crc32c("123456789") == 0xE3069283.
+ */
+
+#ifndef ANT_CORE_CHECKSUM_H
+#define ANT_CORE_CHECKSUM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ant {
+
+/**
+ * CRC32C of @p n bytes at @p data. @p seed chains ranges:
+ * `crc32c(b, m, crc32c(a, n))` equals the CRC of a followed by b.
+ * The empty range at seed 0 is 0.
+ */
+uint32_t crc32c(const void *data, size_t n, uint32_t seed = 0);
+
+/** The portable slice-by-8 reference implementation (the oracle the
+ *  dispatched crc32c() is pinned against). */
+uint32_t crc32cSoftware(const void *data, size_t n, uint32_t seed = 0);
+
+/** True when crc32c() takes the SSE4.2 hardware path: compiled in,
+ *  CPUID reports sse4.2, and ANT_NO_SIMD is unset. */
+bool crc32cUsesHardware();
+
+} // namespace ant
+
+#endif // ANT_CORE_CHECKSUM_H

@@ -1,0 +1,79 @@
+#include "core/mapped_file.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ANT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ANT_HAVE_MMAP 0
+#endif
+
+namespace ant {
+
+namespace {
+
+/** Read @p path whole into @p out (the no-mmap fallback). */
+void
+readWholeFile(const std::string &path, std::vector<char> &out)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        throw std::runtime_error("MappedFile: cannot open " + path);
+    const std::streamoff n = f.tellg();
+    f.seekg(0, std::ios::beg);
+    out.resize(static_cast<size_t>(n));
+    if (n > 0 && !f.read(out.data(), n))
+        throw std::runtime_error("MappedFile: read failed: " + path);
+}
+
+} // namespace
+
+std::shared_ptr<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    // make_shared needs a public ctor; the private-ctor handshake.
+    std::shared_ptr<MappedFile> mf(new MappedFile());
+    mf->path_ = path;
+#if ANT_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw std::runtime_error("MappedFile: cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw std::runtime_error("MappedFile: cannot stat " + path);
+    }
+    const size_t n = static_cast<size_t>(st.st_size);
+    if (n > 0) {
+        void *p = ::mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+            mf->data_ = static_cast<const char *>(p);
+            mf->size_ = n;
+            mf->mapped_ = true;
+        }
+    }
+    // The mapping survives the descriptor; close either way.
+    ::close(fd);
+    if (mf->mapped_ || n == 0) return mf;
+#endif
+    readWholeFile(path, mf->fallback_);
+    mf->data_ = mf->fallback_.data();
+    mf->size_ = mf->fallback_.size();
+    mf->mapped_ = false;
+    return mf;
+}
+
+MappedFile::~MappedFile()
+{
+#if ANT_HAVE_MMAP
+    if (mapped_ && data_ != nullptr)
+        ::munmap(const_cast<char *>(data_), size_);
+#endif
+}
+
+} // namespace ant

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Read-only memory-mapped file, the zero-copy substrate of
+ * `ModelArtifact::mapFile` (core/artifact.h): the artifact parser
+ * builds QTensor *views* directly over the mapped payload words, so a
+ * multi-GB model "loads" in the time it takes to parse the metadata —
+ * weight pages fault in lazily as the first forward touches them, and
+ * identical pages are shared between processes serving the same file.
+ *
+ * A MappedFile is handed around as `std::shared_ptr<MappedFile>`; every
+ * QTensor viewing into the map co-owns it, so the mapping outlives any
+ * artifact/model object slicing it (mapped-file lifetime bugs become
+ * impossible by construction rather than by discipline).
+ *
+ * On hosts without POSIX mmap (or when the map itself fails) open()
+ * falls back to reading the file into an owned buffer — same interface
+ * and lifetime story, `isMapped()` reports false, and the artifact
+ * loader transparently keeps working (just without lazy faulting).
+ */
+
+#ifndef ANT_CORE_MAPPED_FILE_H
+#define ANT_CORE_MAPPED_FILE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ant {
+
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only (PROT_READ, MAP_PRIVATE). Throws
+     * std::runtime_error naming the path on open/stat failure; a
+     * failed or unavailable mmap silently degrades to the owned-buffer
+     * fallback. An empty file yields size() == 0.
+     */
+    static std::shared_ptr<MappedFile> open(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const char *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    /** True on the real mmap path; false on the read() fallback. */
+    bool isMapped() const { return mapped_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    MappedFile() = default;
+
+    std::string path_;
+    const char *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_ = false;
+    std::vector<char> fallback_; //!< owns the bytes when !mapped_
+};
+
+} // namespace ant
+
+#endif // ANT_CORE_MAPPED_FILE_H

@@ -114,6 +114,17 @@ QTensor::footprintBytes(const Shape &shape, int bits, Granularity g,
                sizeof(double);
 }
 
+void
+QTensor::adoptWords(std::vector<uint64_t> words)
+{
+    auto owned =
+        std::make_shared<std::vector<uint64_t>>(std::move(words));
+    words_ = owned->data();
+    nwords_ = owned->size();
+    payload_ = std::move(owned);
+    view_ = false;
+}
+
 QTensor
 QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
               std::vector<double> scales, int64_t group_size,
@@ -129,7 +140,7 @@ QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
     q.groupTypes_ = std::move(group_types);
     const int b = q.type_->bits();
     const int64_t total_words = wordCount(t.numel(), b);
-    q.words_.assign(static_cast<size_t>(total_words), 0);
+    std::vector<uint64_t> packed(static_cast<size_t>(total_words), 0);
 
     const KernelPtr kernel = cachedKernel(q.type_);
     const int64_t chunk = chunkOf(q.shape_);
@@ -155,7 +166,7 @@ QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
     // and packBatchWindow masks writes to the owned window. The output
     // is bit-identical for every thread count.
     const float *data = t.data();
-    uint64_t *words = q.words_.data();
+    uint64_t *words = packed.data();
     parallelFor(
         total_words,
         [&](int64_t w0, int64_t w1) {
@@ -198,6 +209,7 @@ QTensor::pack(const Tensor &t, TypePtr type, Granularity g,
         // types (a flint segment encodes slower than an int4 one).
         grainForCost(10.0 * 64.0 / static_cast<double>(b)),
         Schedule::Stealing);
+    q.adoptWords(std::move(packed));
     return q;
 }
 
@@ -221,7 +233,45 @@ QTensor::fromParts(Shape shape, TypePtr type, Granularity g,
     q.granularity_ = g;
     q.scales_ = std::move(scales);
     q.groupTypes_ = std::move(group_types);
-    q.words_ = std::move(words);
+    q.adoptWords(std::move(words));
+    if (g == Granularity::PerGroup) {
+        q.groupSize_ = group_size;
+        const int64_t chunk = chunkOf(q.shape_);
+        q.groupsPerChannel_ = (chunk + group_size - 1) / group_size;
+    }
+    return q;
+}
+
+QTensor
+QTensor::fromView(Shape shape, TypePtr type, Granularity g,
+                  int64_t group_size, std::vector<double> scales,
+                  const uint64_t *words, size_t nwords,
+                  std::shared_ptr<const void> keep_alive,
+                  std::vector<TypePtr> group_types)
+{
+    validateLayout("QTensor::fromView", shape, type, g, group_size,
+                   scales, group_types);
+    const int64_t expect_words = wordCount(shape.numel(), type->bits());
+    if (static_cast<int64_t>(nwords) != expect_words)
+        throw std::invalid_argument(
+            "QTensor::fromView: " + std::to_string(nwords) +
+            " payload words for a shape/width expecting " +
+            std::to_string(expect_words));
+    if (nwords > 0 && words == nullptr)
+        throw std::invalid_argument("QTensor::fromView: null words");
+    if (reinterpret_cast<uintptr_t>(words) % alignof(uint64_t) != 0)
+        throw std::invalid_argument(
+            "QTensor::fromView: payload pointer is not 8-byte aligned");
+    QTensor q;
+    q.shape_ = std::move(shape);
+    q.type_ = std::move(type);
+    q.granularity_ = g;
+    q.scales_ = std::move(scales);
+    q.groupTypes_ = std::move(group_types);
+    q.payload_ = std::move(keep_alive);
+    q.words_ = words;
+    q.nwords_ = nwords;
+    q.view_ = true;
     if (g == Granularity::PerGroup) {
         q.groupSize_ = group_size;
         const int64_t chunk = chunkOf(q.shape_);
@@ -257,7 +307,7 @@ QTensor::unpack() const
     Tensor out{shape_};
     const int b = type_->bits();
     const KernelPtr kernel = cachedKernel(type_);
-    const uint64_t *words = words_.data();
+    const uint64_t *words = words_;
 
     if (granularity_ == Granularity::PerTensor || shape_.ndim() < 2) {
         const double s = scales_[0];

@@ -1,8 +1,12 @@
 /**
  * @file
- * First-class packed quantized tensors: the owned low-bit representation
- * the serving story ships (ROADMAP north star; M-ANT's packed
- * code+scale buffers).
+ * First-class packed quantized tensors: the low-bit representation the
+ * serving story ships (ROADMAP north star; M-ANT's packed code+scale
+ * buffers). The payload words live behind a shared immutable handle:
+ * tensors either own them (pack/fromParts) or *view* them in place
+ * (fromView — zero-copy serving straight out of an mmap'd artifact,
+ * core/mapped_file.h), and copying a QTensor shares rather than
+ * duplicates the codes.
  *
  * A QTensor holds the *actual* low-bit data of a quantized tensor —
  * codes bit-packed into contiguous `uint64_t` words at
@@ -35,7 +39,9 @@
 #ifndef ANT_CORE_QTENSOR_H
 #define ANT_CORE_QTENSOR_H
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/granularity.h"
@@ -43,6 +49,41 @@
 #include "tensor/tensor.h"
 
 namespace ant {
+
+/**
+ * Read-only view over a QTensor's packed payload words. The span does
+ * not own or extend any lifetime — it is valid exactly as long as the
+ * QTensor it came from (whose shared payload handle is what keeps the
+ * words alive, including mmap'd ones).
+ */
+class WordSpan
+{
+  public:
+    WordSpan() = default;
+    WordSpan(const uint64_t *data, size_t n) : data_(data), n_(n) {}
+
+    const uint64_t *data() const { return data_; }
+    size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    const uint64_t *begin() const { return data_; }
+    const uint64_t *end() const { return data_ + n_; }
+    uint64_t operator[](size_t i) const { return data_[i]; }
+
+    friend bool
+    operator==(const WordSpan &a, const WordSpan &b)
+    {
+        return a.n_ == b.n_ && std::equal(a.begin(), a.end(), b.begin());
+    }
+    friend bool
+    operator!=(const WordSpan &a, const WordSpan &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    const uint64_t *data_ = nullptr;
+    size_t n_ = 0;
+};
 
 class QTensor
 {
@@ -78,6 +119,23 @@ class QTensor
                              std::vector<uint64_t> words,
                              std::vector<TypePtr> group_types = {});
 
+    /**
+     * Build a *non-owning view* over @p nwords packed words at
+     * @p words (zero-copy serving off an mmap'd artifact). The tensor
+     * never copies or mutates the payload; @p keep_alive (e.g. the
+     * std::shared_ptr<MappedFile> the words point into) is held for
+     * the tensor's lifetime — pass nullptr only when the caller
+     * guarantees the words outlive every copy of the tensor. Validates
+     * the fromParts layout contract plus 8-byte pointer alignment.
+     * Scales are always owned (they are metadata-sized).
+     */
+    static QTensor fromView(Shape shape, TypePtr type, Granularity g,
+                            int64_t group_size,
+                            std::vector<double> scales,
+                            const uint64_t *words, size_t nwords,
+                            std::shared_ptr<const void> keep_alive,
+                            std::vector<TypePtr> group_types = {});
+
     bool empty() const { return !type_; }
 
     const Shape &shape() const { return shape_; }
@@ -96,8 +154,26 @@ class QTensor
     /** Per-group types; empty means every group uses type(). */
     const std::vector<TypePtr> &groupTypes() const { return groupTypes_; }
 
-    /** The packed payload: ceil(numel * bits / 64) words, LSB-first. */
-    const std::vector<uint64_t> &words() const { return words_; }
+    /**
+     * The packed payload: ceil(numel * bits / 64) words, LSB-first.
+     * The payload is immutable and *shared*: copying a QTensor copies
+     * pointers and the shared ownership handle, never the words — N
+     * server replicas applying the same artifact reference one copy of
+     * the codes (and for a mapped artifact, the file's page cache).
+     */
+    WordSpan words() const { return WordSpan(words_, nwords_); }
+
+    /** True when the payload is a view (fromView — e.g. an mmap'd
+     *  artifact) rather than heap words this tensor family owns. */
+    bool viewsPayload() const { return view_; }
+
+    /** True when @p o references the same payload words (shared codes,
+     *  whether by QTensor copy or by viewing the same mapping). */
+    bool
+    sharesPayloadWith(const QTensor &o) const
+    {
+        return words_ != nullptr && words_ == o.words_;
+    }
 
     /** Code of element @p i (bit extraction; for tests and tools). */
     uint32_t codeAt(int64_t i) const;
@@ -110,7 +186,7 @@ class QTensor
      */
     size_t nbytes() const
     {
-        return words_.size() * sizeof(uint64_t) +
+        return nwords_ * sizeof(uint64_t) +
                scales_.size() * sizeof(double);
     }
 
@@ -150,6 +226,9 @@ class QTensor
                                  Granularity g, int64_t group_size);
 
   private:
+    /** Point words_/nwords_ at an owned word vector (pack/fromParts). */
+    void adoptWords(std::vector<uint64_t> words);
+
     Shape shape_;
     TypePtr type_;
     Granularity granularity_ = Granularity::PerTensor;
@@ -157,7 +236,14 @@ class QTensor
     int64_t groupsPerChannel_ = 0;
     std::vector<double> scales_;
     std::vector<TypePtr> groupTypes_;
-    std::vector<uint64_t> words_;
+    // Payload: a raw (pointer, count) over immutable words plus the
+    // shared handle keeping them alive — a heap vector for owned
+    // tensors, the MappedFile for artifact views, possibly nullptr for
+    // caller-guaranteed storage. Copies share, never duplicate.
+    std::shared_ptr<const void> payload_;
+    const uint64_t *words_ = nullptr;
+    size_t nwords_ = 0;
+    bool view_ = false;
 };
 
 } // namespace ant

@@ -1,0 +1,116 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace ant {
+namespace serve {
+
+size_t
+Metrics::bucketOf(double us)
+{
+    if (us < 1.0) return 0;
+    size_t b = 0;
+    // Bucket b holds latencies in [2^b, 2^(b+1)) microseconds.
+    while (us >= 2.0 && b + 1 < kLatencyBuckets) {
+        us *= 0.5;
+        ++b;
+    }
+    return b;
+}
+
+void
+Metrics::onSubmit(size_t queue_depth_now)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++submitted_;
+    queueDepth_ = queue_depth_now;
+    if (queueDepth_ > peakQueueDepth_) peakQueueDepth_ = queueDepth_;
+}
+
+void
+Metrics::onReject()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++rejected_;
+}
+
+void
+Metrics::onBatch(size_t batch)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++batches_;
+    const size_t slot = batch > kMaxBatchSlot ? kMaxBatchSlot : batch;
+    ++batchHist_[slot];
+}
+
+void
+Metrics::onComplete(double latency_us)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ++completed_;
+    ++latency_[bucketOf(latency_us)];
+}
+
+void
+Metrics::onFail(uint64_t n)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    failed_ += n;
+}
+
+void
+Metrics::onQueueDepth(size_t depth)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    queueDepth_ = depth;
+    if (depth > peakQueueDepth_) peakQueueDepth_ = depth;
+}
+
+double
+Metrics::percentileLocked(double p) const
+{
+    uint64_t total = 0;
+    for (const uint64_t c : latency_) total += c;
+    if (total == 0) return 0;
+    // Nearest-rank over the histogram; report the bucket's geometric
+    // midpoint sqrt(2^b * 2^(b+1)) = 2^b * sqrt(2).
+    const uint64_t rank =
+        static_cast<uint64_t>(std::ceil(p * static_cast<double>(total)));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+        seen += latency_[b];
+        if (seen >= rank && latency_[b] > 0)
+            return std::ldexp(1.4142135623730951, static_cast<int>(b));
+    }
+    return std::ldexp(1.4142135623730951,
+                      static_cast<int>(kLatencyBuckets) - 1);
+}
+
+MetricsSnapshot
+Metrics::snapshot(double window_seconds) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    MetricsSnapshot s;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.rejected = rejected_;
+    s.batches = batches_;
+    s.windowSeconds = window_seconds;
+    s.qps = window_seconds > 0
+                ? static_cast<double>(completed_) / window_seconds
+                : 0;
+    s.p50Us = percentileLocked(0.50);
+    s.p95Us = percentileLocked(0.95);
+    s.p99Us = percentileLocked(0.99);
+    s.meanBatch = batches_ > 0 ? static_cast<double>(completed_) /
+                                     static_cast<double>(batches_)
+                               : 0;
+    s.batchSizeHist.assign(batchHist_.begin(), batchHist_.end());
+    s.queueDepth = queueDepth_;
+    s.peakQueueDepth = peakQueueDepth_;
+    return s;
+}
+
+} // namespace serve
+} // namespace ant

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Serving metrics: request/batch counters, log-bucketed latency
+ * histogram with p50/p95/p99, batch-size histogram, and queue-depth
+ * tracking. One mutex-guarded block the Server's workers update on
+ * every dispatch; snapshot() derives the percentiles and qps so the
+ * hot path only ever increments integers.
+ *
+ * The latency histogram uses power-of-two microsecond buckets
+ * (1us..~1hr): a percentile is resolved to its bucket and reported as
+ * the bucket's geometric midpoint, i.e. within ~1.41x of the true
+ * value — the right fidelity for dashboards and scaling rules, at a
+ * fixed 64-slot footprint and O(1) record cost.
+ */
+
+#ifndef ANT_SERVE_METRICS_H
+#define ANT_SERVE_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/registry.h"
+
+namespace ant {
+namespace serve {
+
+/** Everything a scrape needs, taken atomically. */
+struct MetricsSnapshot
+{
+    uint64_t submitted = 0; //!< requests accepted into the queue
+    uint64_t completed = 0; //!< requests answered successfully
+    uint64_t failed = 0;    //!< requests answered with an exception
+    uint64_t rejected = 0;  //!< requests refused (queue full/stopped)
+    uint64_t batches = 0;   //!< forward passes dispatched
+
+    double windowSeconds = 0; //!< measurement window of qps
+    double qps = 0;           //!< completed / windowSeconds
+
+    double p50Us = 0; //!< request latency percentiles (submit ->
+    double p95Us = 0; //!< reply), geometric bucket midpoints
+    double p99Us = 0;
+
+    double meanBatch = 0; //!< completed / batches
+    /** batchSizeHist[b] = batches dispatched with exactly b requests
+     *  (index 0 unused; sizes beyond the last slot clamp into it). */
+    std::vector<uint64_t> batchSizeHist;
+
+    size_t queueDepth = 0;     //!< pending requests right now
+    size_t peakQueueDepth = 0; //!< high-water mark
+
+    RegistryStats registry; //!< merged in by Server::metrics()
+};
+
+class Metrics
+{
+  public:
+    void onSubmit(size_t queue_depth_now);
+    void onReject();
+    /** One dispatched batch of @p batch requests; called once per
+     *  forward with the per-request latencies recorded separately. */
+    void onBatch(size_t batch);
+    void onComplete(double latency_us);
+    void onFail(uint64_t n);
+    void onQueueDepth(size_t depth);
+
+    /** @p window_seconds is the elapsed serving time the caller
+     *  tracks (the Server measures from its construction). */
+    MetricsSnapshot snapshot(double window_seconds) const;
+
+  private:
+    static constexpr size_t kLatencyBuckets = 42; // 2^42us > 1hr
+    static constexpr size_t kMaxBatchSlot = 64;
+
+    static size_t bucketOf(double us);
+    double percentileLocked(double p) const;
+
+    mutable std::mutex mu_;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t failed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t batches_ = 0;
+    std::array<uint64_t, kLatencyBuckets> latency_{};
+    std::array<uint64_t, kMaxBatchSlot + 1> batchHist_{};
+    size_t queueDepth_ = 0;
+    size_t peakQueueDepth_ = 0;
+};
+
+} // namespace serve
+} // namespace ant
+
+#endif // ANT_SERVE_METRICS_H

@@ -1,0 +1,146 @@
+#include "serve/registry.h"
+
+#include <stdexcept>
+
+namespace ant {
+namespace serve {
+
+void
+ModelRegistry::Lease::release()
+{
+    if (reg_ != nullptr && model_ != nullptr) reg_->releaseKey(key_);
+    reg_ = nullptr;
+    model_.reset();
+}
+
+ModelRegistry::ModelRegistry(Loader loader, size_t byte_budget)
+    : loader_(std::move(loader)), budget_(byte_budget)
+{
+    if (!loader_)
+        throw std::invalid_argument("ModelRegistry: null loader");
+}
+
+ModelRegistry::Lease
+ModelRegistry::acquire(const ModelKey &key)
+{
+    const std::string ks = key.str();
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        auto it = entries_.find(ks);
+        if (it == entries_.end()) break; // cold: this caller loads
+        Entry &e = it->second;
+        if (e.loading) {
+            // Another thread is loading this key; wait for it and
+            // re-examine (on load failure the entry vanishes and this
+            // caller takes over the load).
+            loadedCv_.wait(lk);
+            continue;
+        }
+        ++e.refs;
+        e.lastUse = ++tick_;
+        ++stats_.hits;
+        return Lease(this, ks, e.model);
+    }
+
+    Entry &placeholder = entries_[ks];
+    placeholder.loading = true;
+    placeholder.refs = 1; // pin the slot while loading
+    ++stats_.misses;
+    ++stats_.loads;
+    lk.unlock();
+
+    std::shared_ptr<const Servable> model;
+    try {
+        model = loader_(key);
+        if (!model)
+            throw std::runtime_error(
+                "ModelRegistry: loader returned null for " + ks);
+    } catch (...) {
+        lk.lock();
+        entries_.erase(ks);
+        ++stats_.loadFailures;
+        loadedCv_.notify_all();
+        throw;
+    }
+
+    lk.lock();
+    Entry &e = entries_[ks]; // re-find: the map may have moved on
+    e.model = model;
+    e.bytes = model->nbytes();
+    e.loading = false;
+    e.lastUse = ++tick_;
+    stats_.residentBytes += e.bytes;
+    if (stats_.residentBytes > stats_.peakResidentBytes)
+        stats_.peakResidentBytes = stats_.residentBytes;
+    evictLocked();
+    loadedCv_.notify_all();
+    return Lease(this, ks, std::move(model));
+}
+
+bool
+ModelRegistry::contains(const ModelKey &key) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(key.str());
+    return it != entries_.end() && !it->second.loading;
+}
+
+void
+ModelRegistry::evictAll()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.refs == 0 && !it->second.loading) {
+            stats_.residentBytes -= it->second.bytes;
+            ++stats_.evictions;
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+RegistryStats
+ModelRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    RegistryStats s = stats_;
+    s.residentModels = entries_.size();
+    return s;
+}
+
+void
+ModelRegistry::releaseKey(const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    // Pinned entries are never evicted, so the entry must still exist.
+    if (it == entries_.end() || it->second.refs <= 0)
+        throw std::logic_error(
+            "ModelRegistry: release of an unheld lease on " + key);
+    --it->second.refs;
+    // A release can unblock eviction of a registry pinned over budget.
+    evictLocked();
+}
+
+void
+ModelRegistry::evictLocked()
+{
+    if (budget_ == 0) return;
+    while (stats_.residentBytes > budget_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.refs != 0 || it->second.loading) continue;
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end()) return; // everything is pinned
+        stats_.residentBytes -= victim->second.bytes;
+        ++stats_.evictions;
+        entries_.erase(victim);
+    }
+}
+
+} // namespace serve
+} // namespace ant

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Multi-model registry with LRU byte-budget eviction — the "many
+ * models, one box" layer of the serving story. Models are keyed by
+ * name+version, loaded on first use through a caller-supplied Loader
+ * (typically ModelArtifact::mapFile + PackedStackModel), charged
+ * against a configurable byte budget at Servable::nbytes(), and
+ * evicted least-recently-used when the budget overflows.
+ *
+ * Concurrency contract:
+ *  - acquire() returns an RAII Lease whose refcount *pins* the model:
+ *    a pinned model is never evicted, so an in-flight request can
+ *    never have its weights unmapped underneath it. Eviction is
+ *    best-effort — when every resident model is pinned the registry
+ *    runs over budget rather than blocking or failing traffic (the
+ *    high-water mark is visible as stats().peakResidentBytes).
+ *  - Concurrent acquires of the same cold model coalesce: one caller
+ *    runs the Loader (outside the registry lock — loads are slow),
+ *    the rest wait on it, and exactly one load happens. A failed load
+ *    propagates its exception to the loading caller and wakes the
+ *    waiters to retry (which usually means re-running the loader).
+ *  - Everything is guarded by one internal mutex; the Loader runs
+ *    unlocked, so other models stay acquirable during a slow load.
+ */
+
+#ifndef ANT_SERVE_REGISTRY_H
+#define ANT_SERVE_REGISTRY_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/servable.h"
+
+namespace ant {
+namespace serve {
+
+/** Registry key: model name + version ("which weights exactly"). */
+struct ModelKey
+{
+    std::string name;
+    std::string version = "latest";
+
+    std::string str() const { return name + "@" + version; }
+
+    friend bool
+    operator==(const ModelKey &a, const ModelKey &b)
+    {
+        return a.name == b.name && a.version == b.version;
+    }
+};
+
+/** Counters the registry exposes (snapshot under the lock). */
+struct RegistryStats
+{
+    uint64_t hits = 0;         //!< acquires served from residency
+    uint64_t misses = 0;       //!< acquires that had to load
+    uint64_t loads = 0;        //!< loader invocations (== misses)
+    uint64_t loadFailures = 0; //!< loader throws
+    uint64_t evictions = 0;    //!< models dropped by the LRU policy
+    size_t residentBytes = 0;  //!< current charged bytes
+    size_t peakResidentBytes = 0;
+    size_t residentModels = 0;
+};
+
+class ModelRegistry
+{
+  public:
+    using Loader = std::function<std::shared_ptr<const Servable>(
+        const ModelKey &)>;
+
+    /** An acquired model, pinned against eviction while alive.
+     *  Move-only; releasing (destruction) may trigger deferred
+     *  evictions of a registry running over budget. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        ~Lease() { release(); }
+        Lease(Lease &&o) noexcept
+            : reg_(o.reg_), key_(std::move(o.key_)),
+              model_(std::move(o.model_))
+        {
+            o.reg_ = nullptr;
+            o.model_.reset();
+        }
+        Lease &
+        operator=(Lease &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                reg_ = o.reg_;
+                key_ = std::move(o.key_);
+                model_ = std::move(o.model_);
+                o.reg_ = nullptr;
+                o.model_.reset();
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        explicit operator bool() const { return model_ != nullptr; }
+        const Servable &operator*() const { return *model_; }
+        const Servable *operator->() const { return model_.get(); }
+        const std::shared_ptr<const Servable> &
+        model() const
+        {
+            return model_;
+        }
+
+        /** Unpin early (idempotent). */
+        void release();
+
+      private:
+        friend class ModelRegistry;
+        Lease(ModelRegistry *reg, std::string key,
+              std::shared_ptr<const Servable> model)
+            : reg_(reg), key_(std::move(key)), model_(std::move(model))
+        {
+        }
+        ModelRegistry *reg_ = nullptr;
+        std::string key_;
+        std::shared_ptr<const Servable> model_;
+    };
+
+    /**
+     * @p loader materializes a model for a key (called outside the
+     * registry lock). @p byte_budget caps resident Servable::nbytes()
+     * bytes; 0 means unlimited (no eviction).
+     */
+    ModelRegistry(Loader loader, size_t byte_budget = 0);
+
+    /**
+     * Get the model for @p key, loading it on a miss. Blocks behind an
+     * in-flight load of the same key instead of double-loading.
+     * Rethrows the Loader's exception on a failed load.
+     */
+    Lease acquire(const ModelKey &key);
+
+    /** True when @p key is resident (without touching LRU order). */
+    bool contains(const ModelKey &key) const;
+
+    /** Drop every unpinned model (loading/pinned ones stay). */
+    void evictAll();
+
+    RegistryStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const Servable> model; //!< null while loading
+        size_t bytes = 0;
+        int refs = 0;
+        uint64_t lastUse = 0;
+        bool loading = false;
+    };
+
+    void releaseKey(const std::string &key);
+    /** Evict LRU unpinned entries until within budget (lock held). */
+    void evictLocked();
+
+    Loader loader_;
+    size_t budget_;
+    mutable std::mutex mu_;
+    std::condition_variable loadedCv_;
+    // std::map: node-based (stable Entry addresses) and deterministic
+    // iteration for tests; the registry holds few entries, so lookup
+    // constants dominate asymptotics anyway.
+    std::map<std::string, Entry> entries_;
+    uint64_t tick_ = 0;
+    RegistryStats stats_;
+};
+
+} // namespace serve
+} // namespace ant
+
+#endif // ANT_SERVE_REGISTRY_H

@@ -1,0 +1,130 @@
+#include "serve/servable.h"
+
+#include <stdexcept>
+
+#include "core/packed_gemm.h"
+#include "core/quantizer.h"
+#include "core/type_registry.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ant {
+namespace serve {
+
+PackedStackModel::PackedStackModel(std::string name,
+                                   const ModelArtifact &artifact,
+                                   Activation act)
+    : name_(std::move(name)), act_(act)
+{
+    if (artifact.weights.empty())
+        throw std::invalid_argument("PackedStackModel: artifact \"" +
+                                    name_ + "\" has no weight blobs");
+    layers_.reserve(artifact.weights.size());
+    for (const WeightBlob &b : artifact.weights) {
+        const QTensor &q = b.tensor;
+        if (q.shape().ndim() != 2)
+            throw std::invalid_argument(
+                "PackedStackModel: blob \"" + b.layer +
+                "\" is not a 2-D GEMM weight (shape " +
+                q.shape().str() + ")");
+        if (!layers_.empty() &&
+            q.shape().dim(1) != layers_.back().shape().dim(0))
+            throw std::invalid_argument(
+                "PackedStackModel: blob \"" + b.layer + "\" takes " +
+                std::to_string(q.shape().dim(1)) +
+                " inputs but the previous layer produces " +
+                std::to_string(layers_.back().shape().dim(0)));
+        layers_.push_back(q); // shares the payload, never copies it
+        nbytes_ += q.nbytes();
+    }
+    inputDim_ = layers_.front().shape().dim(1);
+    outputDim_ = layers_.back().shape().dim(0);
+}
+
+Tensor
+PackedStackModel::forward(const Tensor &batch) const
+{
+    if (batch.shape().ndim() != 2 ||
+        batch.shape().dim(1) != inputDim_)
+        throw std::invalid_argument(
+            "PackedStackModel::forward: expected [B, " +
+            std::to_string(inputDim_) + "], got " +
+            batch.shape().str());
+    Tensor x = packedMatmulBT(batch, layers_.front());
+    for (size_t i = 1; i < layers_.size(); ++i) {
+        switch (act_) {
+          case Activation::None: break;
+          case Activation::ReLU: x = ops::relu(x); break;
+          case Activation::GELU: x = ops::gelu(x); break;
+        }
+        x = packedMatmulBT(x, layers_[i]);
+    }
+    return x;
+}
+
+bool
+PackedStackModel::servesFromView() const
+{
+    for (const QTensor &q : layers_)
+        if (!q.viewsPayload()) return false;
+    return true;
+}
+
+ModelArtifact
+buildWorkloadArtifact(const workloads::Workload &w,
+                      const StackSpec &spec)
+{
+    if (w.layers.empty())
+        throw std::invalid_argument("buildWorkloadArtifact: workload \"" +
+                                    w.name + "\" has no layers");
+    QuantConfig cfg;
+    cfg.type = parseType(spec.typeSpec);
+    cfg.granularity = spec.granularity;
+    // Absmax scales: a single pass over the weights instead of the MSE
+    // sweep — artifact construction is fixture plumbing here, and the
+    // packed format is identical either way.
+    cfg.scaleMode = ScaleMode::MaxCalib;
+    cfg.groupSize = spec.groupSize;
+
+    ModelArtifact a;
+    a.recipe.model = w.name;
+    int64_t prev_n = -1;
+    for (const workloads::Layer &l : w.layers) {
+        if (prev_n >= 0 && l.k != prev_n)
+            throw std::invalid_argument(
+                "buildWorkloadArtifact: layer \"" + l.name +
+                "\" takes " + std::to_string(l.k) +
+                " inputs but the previous layer produces " +
+                std::to_string(prev_n) +
+                " — this workload table does not chain as a stack");
+        prev_n = l.n;
+        // Deterministic per-layer weights: the seed mixes the layer's
+        // position so every blob differs but nothing depends on wall
+        // clock or global state.
+        Rng rng(spec.seed ^
+                (static_cast<uint64_t>(a.weights.size()) * 0x9E3779B9u));
+        const Tensor weight =
+            rng.tensor(Shape{l.n, l.k}, l.weightDist);
+        const QuantResult r = quantize(weight, cfg, QuantizeTo::Packed);
+
+        WeightBlob blob;
+        blob.layer = l.name;
+        blob.tensor = *r.packed;
+        a.weights.push_back(std::move(blob));
+
+        LayerRecipe lr;
+        lr.layer = l.name;
+        lr.weight.enabled = true;
+        lr.weight.typeSpec = spec.typeSpec;
+        lr.weight.bits = cfg.type->bits();
+        lr.weight.granularity = r.appliedGranularity;
+        lr.weight.scaleMode = cfg.scaleMode;
+        lr.weight.scales = r.scales;
+        lr.weight.groupSize = r.groupSize;
+        a.recipe.layers.push_back(std::move(lr));
+    }
+    return a;
+}
+
+} // namespace serve
+} // namespace ant

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The serving-side model abstraction: a `Servable` is an immutable,
+ * thread-safe forward function over packed weights — the unit the
+ * multi-model registry (serve/registry.h) caches and the batching
+ * server (serve/server.h) runs on N worker threads concurrently.
+ *
+ * The nn:: training stack is deliberately NOT a Servable:
+ * `Linear::forward`/`QuantState::apply` record per-call diagnostics
+ * (lastMse) and build autograd tapes, so concurrent forwards through a
+ * Classifier would race. `PackedStackModel` is the serving twin — a
+ * const chain of decoder-fused packed GEMMs (core/packed_gemm.h,
+ * bitwise identical to unpack-then-sgemm by construction) with an
+ * elementwise activation between layers, no tape, no mutation, no
+ * float weight materialization. Output rows depend only on their own
+ * input row, so coalescing queries into a batch is bitwise invariant —
+ * the property the server's batching correctness tests pin.
+ *
+ * `buildWorkloadArtifact` bridges the workload tables
+ * (workloads/workloads.h) to serving: it packs each layer's GEMM
+ * weight [n, k] with deterministic synthetic values into a
+ * ModelArtifact, so serving tests and benches get multi-MB artifacts
+ * with real packed payloads without a training loop. Transformer
+ * tables chain naturally (q/k/v/o are D->D, ffn1/ffn2 are D->FF->D,
+ * the LM head D->vocab); the attention score/value matmuls carry no
+ * packed weights and are out of scope for this weight-serving path.
+ */
+
+#ifndef ANT_SERVE_SERVABLE_H
+#define ANT_SERVE_SERVABLE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/qtensor.h"
+#include "tensor/tensor.h"
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace serve {
+
+/**
+ * An immutable model ready to serve. Implementations must make
+ * forward() safe to call from many threads at once (const and
+ * genuinely non-mutating).
+ */
+class Servable
+{
+  public:
+    virtual ~Servable() = default;
+
+    virtual const std::string &name() const = 0;
+    /** Expected query width: forward() takes [B, inputDim()]. */
+    virtual int64_t inputDim() const = 0;
+    virtual int64_t outputDim() const = 0;
+    /** Resident bytes the registry charges against its budget. */
+    virtual size_t nbytes() const = 0;
+    /** Batched forward: [B, inputDim()] -> [B, outputDim()]. Row i of
+     *  the output must depend only on row i of the input. */
+    virtual Tensor forward(const Tensor &batch) const = 0;
+};
+
+/** Elementwise nonlinearity between PackedStackModel layers. */
+enum class Activation {
+    None,
+    ReLU,
+    GELU,
+};
+
+/**
+ * A Servable chaining every weight blob of a ModelArtifact as a
+ * packed GEMM (x <- act(packedMatmulBT(x, W_i))), in artifact order,
+ * with no activation after the last layer. Blob i's weight is [n_i,
+ * k_i] and the chain requires k_{i+1} == n_i (throws
+ * std::invalid_argument otherwise, naming the offending blob).
+ *
+ * The QTensors *share* the artifact's payloads — for a mapFile'd
+ * artifact the model serves straight off the mapped file, and the
+ * artifact object may be dropped after construction (each layer
+ * co-owns the mapping).
+ */
+class PackedStackModel final : public Servable
+{
+  public:
+    PackedStackModel(std::string name, const ModelArtifact &artifact,
+                     Activation act = Activation::GELU);
+
+    const std::string &name() const override { return name_; }
+    int64_t inputDim() const override { return inputDim_; }
+    int64_t outputDim() const override { return outputDim_; }
+    size_t nbytes() const override { return nbytes_; }
+    Tensor forward(const Tensor &batch) const override;
+
+    size_t layerCount() const { return layers_.size(); }
+    /** True when every layer serves as a view into a mapped artifact
+     *  (the zero-copy path end to end). */
+    bool servesFromView() const;
+
+  private:
+    std::string name_;
+    std::vector<QTensor> layers_;
+    Activation act_;
+    int64_t inputDim_ = 0;
+    int64_t outputDim_ = 0;
+    size_t nbytes_ = 0;
+};
+
+/** Quantization choices of buildWorkloadArtifact. */
+struct StackSpec
+{
+    std::string typeSpec = "int4";
+    Granularity granularity = Granularity::PerGroup;
+    int64_t groupSize = 128;
+    /** Seed of the deterministic synthetic weights: the same
+     *  (workload, spec, seed) always produces the same artifact bits. */
+    uint64_t seed = 0xA11CE;
+};
+
+/**
+ * Pack @p w's layer GEMM weights into a serving artifact: one blob per
+ * layer, shape [n, k], synthetic weight-distribution values, absmax
+ * scales (no search — builder speed, not fidelity, is the point), and
+ * a recipe recording the choices. Layers must chain (k_{i+1} == n_i);
+ * use the workloads::gpt2Small(blocks, d_model, seq, vocab) knobs to
+ * size the result. Throws std::invalid_argument on an unchainable
+ * table or an empty workload.
+ */
+ModelArtifact buildWorkloadArtifact(const workloads::Workload &w,
+                                    const StackSpec &spec = {});
+
+} // namespace serve
+} // namespace ant
+
+#endif // ANT_SERVE_SERVABLE_H

@@ -1,0 +1,210 @@
+#include "serve/server.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ant {
+namespace serve {
+
+namespace {
+
+double
+elapsedUs(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+} // namespace
+
+Server::Server(ModelRegistry &registry, ServerConfig cfg)
+    : registry_(registry), cfg_(cfg), started_(Clock::now())
+{
+    if (cfg_.workers < 1)
+        throw std::invalid_argument("Server: workers must be >= 1");
+    if (cfg_.maxBatch < 1)
+        throw std::invalid_argument("Server: maxBatch must be >= 1");
+    if (cfg_.maxDelayUs < 0)
+        throw std::invalid_argument("Server: maxDelayUs must be >= 0");
+    workers_.reserve(static_cast<size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_) t.join();
+}
+
+std::future<Tensor>
+Server::submit(const ModelKey &key, Tensor query)
+{
+    std::promise<Tensor> promise;
+    std::future<Tensor> fut = promise.get_future();
+
+    if (query.ndim() == 2 && query.dim(0) == 1)
+        query = query.reshaped(Shape{query.numel()});
+    if (query.ndim() != 1 || query.numel() <= 0) {
+        metrics_.onReject();
+        promise.set_exception(std::make_exception_ptr(
+            std::invalid_argument("Server::submit: query must be a [d] "
+                                  "vector or [1, d] row, got " +
+                                  query.shape().str())));
+        return fut;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+            metrics_.onReject();
+            promise.set_exception(std::make_exception_ptr(
+                std::runtime_error(
+                    "Server::submit: server is shutting down")));
+            return fut;
+        }
+        if (pending_ >= cfg_.maxQueue) {
+            metrics_.onReject();
+            promise.set_exception(std::make_exception_ptr(
+                std::runtime_error(
+                    "Server::submit: queue full (" +
+                    std::to_string(cfg_.maxQueue) + " pending)")));
+            return fut;
+        }
+        Group &g = groups_[key.str()];
+        g.key = key;
+        Request r;
+        r.query = std::move(query);
+        r.promise = std::move(promise);
+        r.enqueued = Clock::now();
+        g.q.push_back(std::move(r));
+        ++pending_;
+        metrics_.onSubmit(pending_);
+    }
+    workCv_.notify_one();
+    return fut;
+}
+
+std::vector<Server::Request>
+Server::takeBatchLocked(ModelKey *key_out)
+{
+    const Clock::time_point now = Clock::now();
+    const auto delay = std::chrono::microseconds(cfg_.maxDelayUs);
+
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+        const Group &g = it->second;
+        if (g.q.empty()) continue;
+        const bool ready = stopping_ || g.q.size() >= cfg_.maxBatch ||
+                           now - g.q.front().enqueued >= delay;
+        if (!ready) continue;
+        if (best == groups_.end() ||
+            g.q.front().enqueued < best->second.q.front().enqueued)
+            best = it;
+    }
+    if (best == groups_.end()) return {};
+
+    Group &g = best->second;
+    *key_out = g.key;
+    std::vector<Request> batch;
+    const int64_t width = g.q.front().query.numel();
+    while (!g.q.empty() && batch.size() < cfg_.maxBatch &&
+           g.q.front().query.numel() == width) {
+        batch.push_back(std::move(g.q.front()));
+        g.q.pop_front();
+    }
+    if (g.q.empty()) groups_.erase(best);
+    return batch;
+}
+
+void
+Server::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        ModelKey key;
+        std::vector<Request> batch = takeBatchLocked(&key);
+        if (batch.empty()) {
+            if (stopping_ && pending_ == 0) return;
+            // Sleep until the earliest latency deadline (or a submit /
+            // shutdown notification, whichever comes first).
+            auto deadline = Clock::time_point::max();
+            const auto delay = std::chrono::microseconds(cfg_.maxDelayUs);
+            for (const auto &kv : groups_)
+                if (!kv.second.q.empty()) {
+                    const auto d = kv.second.q.front().enqueued + delay;
+                    if (d < deadline) deadline = d;
+                }
+            if (deadline == Clock::time_point::max())
+                workCv_.wait(lk);
+            else
+                workCv_.wait_until(lk, deadline);
+            continue;
+        }
+
+        pending_ -= batch.size();
+        inFlight_ += batch.size();
+        metrics_.onQueueDepth(pending_);
+        // More work may already be ready (e.g. a burst filled several
+        // batches) — hand it to an idle peer while this thread runs.
+        if (pending_ > 0) workCv_.notify_one();
+        lk.unlock();
+
+        metrics_.onBatch(batch.size());
+        try {
+            ModelRegistry::Lease lease = registry_.acquire(key);
+            const int64_t width = batch.front().query.numel();
+            Tensor in(Shape{static_cast<int64_t>(batch.size()), width});
+            for (size_t i = 0; i < batch.size(); ++i)
+                std::memcpy(in.data() + static_cast<int64_t>(i) * width,
+                            batch[i].query.data(),
+                            static_cast<size_t>(width) * sizeof(float));
+
+            const Tensor out = lease->forward(in);
+            const int64_t od = out.dim(1);
+            const Clock::time_point done = Clock::now();
+            for (size_t i = 0; i < batch.size(); ++i) {
+                Tensor row(Shape{od});
+                std::memcpy(row.data(),
+                            out.data() + static_cast<int64_t>(i) * od,
+                            static_cast<size_t>(od) * sizeof(float));
+                batch[i].promise.set_value(std::move(row));
+                metrics_.onComplete(
+                    elapsedUs(batch[i].enqueued, done));
+            }
+        } catch (...) {
+            const std::exception_ptr ep = std::current_exception();
+            for (Request &r : batch) r.promise.set_exception(ep);
+            metrics_.onFail(batch.size());
+        }
+
+        lk.lock();
+        inFlight_ -= batch.size();
+        if (pending_ == 0 && inFlight_ == 0) drainCv_.notify_all();
+    }
+}
+
+void
+Server::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    drainCv_.wait(lk, [this] { return pending_ == 0 && inFlight_ == 0; });
+}
+
+MetricsSnapshot
+Server::metrics() const
+{
+    const double window =
+        std::chrono::duration<double>(Clock::now() - started_).count();
+    MetricsSnapshot s = metrics_.snapshot(window);
+    s.registry = registry_.stats();
+    return s;
+}
+
+} // namespace serve
+} // namespace ant

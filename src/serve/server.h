@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Batched concurrent inference server. Callers submit() single
+ * queries and get a std::future for the answer; a shared queue
+ * coalesces queries per model under a size/deadline policy
+ * (`maxBatch`, `maxDelayUs`), and N worker threads drain it with
+ * batched forwards through the ModelRegistry.
+ *
+ * Dispatch policy — a model's pending queue becomes *ready* when
+ *   - it holds >= maxBatch queries (a full batch is waiting), or
+ *   - its oldest query has waited >= maxDelayUs (latency deadline), or
+ *   - the server is stopping/draining (flush everything now).
+ * A worker then pops up to maxBatch queries from the ready queue whose
+ * head has waited longest, stacks them into one [B, d] forward, and
+ * fans the output rows back out to the per-query futures. Because
+ * Servable::forward guarantees row i depends only on input row i,
+ * batching never changes any caller's answer bits — only its latency.
+ *
+ * Failure is per-batch: if the registry load or the forward throws,
+ * every query in that batch receives the exception through its future;
+ * queued queries for other models are unaffected. submit() itself only
+ * fails fast (exceptional future, `rejected` counter) when the queue
+ * is at maxQueue depth or the server is shutting down.
+ *
+ * The destructor stops intake, flushes every queued query, and joins
+ * the workers — no future is ever abandoned.
+ */
+
+#ifndef ANT_SERVE_SERVER_H
+#define ANT_SERVE_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace serve {
+
+struct ServerConfig
+{
+    int workers = 2;          //!< forward threads
+    size_t maxBatch = 8;      //!< coalescing cap per forward
+    int64_t maxDelayUs = 1000; //!< max time a query waits for company
+    size_t maxQueue = 4096;   //!< pending-query cap before rejecting
+};
+
+class Server
+{
+  public:
+    /** @p registry must outlive the server. */
+    Server(ModelRegistry &registry, ServerConfig cfg = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Enqueue one query for @p key. @p query is a [d] vector or [1, d]
+     * row; the future resolves to the model's [outputDim] answer row
+     * (or carries the load/forward exception). Never blocks on
+     * inference — a full queue or stopped server yields an
+     * immediately-exceptional future.
+     */
+    std::future<Tensor> submit(const ModelKey &key, Tensor query);
+
+    /** Block until every already-submitted query has been answered.
+     *  New submits stay open; useful for deterministic tests. */
+    void drain();
+
+    /** Counter/histogram snapshot, with registry stats merged in. */
+    MetricsSnapshot metrics() const;
+
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Request
+    {
+        Tensor query; //!< flattened to [d]
+        std::promise<Tensor> promise;
+        Clock::time_point enqueued;
+    };
+
+    struct Group
+    {
+        ModelKey key;
+        std::deque<Request> q;
+    };
+
+    void workerLoop();
+    /** Pick the ready group with the oldest head, pop <= maxBatch
+     *  same-width queries (lock held). Empty result = nothing ready. */
+    std::vector<Request> takeBatchLocked(ModelKey *key_out);
+
+    ModelRegistry &registry_;
+    const ServerConfig cfg_;
+    const Clock::time_point started_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;  //!< queue -> workers
+    std::condition_variable drainCv_; //!< workers -> drain()
+    std::map<std::string, Group> groups_;
+    size_t pending_ = 0;  //!< queued, not yet picked up
+    size_t inFlight_ = 0; //!< picked up, forward running
+    bool stopping_ = false;
+
+    Metrics metrics_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace serve
+} // namespace ant
+
+#endif // ANT_SERVE_SERVER_H

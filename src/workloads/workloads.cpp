@@ -1,5 +1,7 @@
 #include "workloads/workloads.h"
 
+#include <stdexcept>
+
 namespace ant {
 namespace workloads {
 
@@ -238,17 +240,29 @@ bertBase(const std::string &task)
 }
 
 Workload
-gpt2Small()
+gpt2Small(int blocks, int64_t d_model, int64_t seq, int64_t vocab)
 {
+    if (blocks < 1 || d_model < 1 || seq < 1 || vocab < 0)
+        throw std::invalid_argument(
+            "gpt2Small: blocks/d_model/seq must be >= 1 and vocab "
+            ">= 0");
     Workload w;
-    w.name = "GPT2-Small";
+    // The published shape keeps the bare name; swept shapes carry
+    // their knobs so reports stay self-describing.
+    w.name = (blocks == 12 && d_model == 768 && seq == 1024)
+                 ? "GPT2-Small"
+                 : "GPT2-Small[L" + std::to_string(blocks) + ",D" +
+                       std::to_string(d_model) + ",T" +
+                       std::to_string(seq) + "]";
     w.isTransformer = true;
     auto &L = w.layers;
-    const int64_t T = 1024, D = 768, FF = 3072;
-    for (int b = 0; b < 12; ++b)
-        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
-    // Tied LM head: one token row against the full vocabulary.
-    L.push_back(fc("lm_head", 1, D, 50257));
+    const int64_t FF = 4 * d_model; // GPT-2's fixed FFN expansion
+    for (int b = 0; b < blocks; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), seq, d_model,
+                         FF);
+    // Tied LM head: one token row against the full vocabulary
+    // (vocab 0 drops the head, for trunk-only serving sweeps).
+    if (vocab > 0) L.push_back(fc("lm_head", 1, d_model, vocab));
     return w;
 }
 

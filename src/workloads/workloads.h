@@ -65,13 +65,18 @@ Workload vitBase();
 Workload bertBase(const std::string &task = "MNLI");
 
 /**
- * GPT-2 Small decoder (not in the paper's Table IV): 12 blocks at
- * T=1024, D=768, FF=3072 plus the tied LM head. The LLM-style serving
- * workload the per-group quantization path targets — its attention
- * projections see the outlier-heavy activations that make per-tensor
- * scales collapse at 4 bits.
+ * GPT-2 Small decoder (not in the paper's Table IV): @p blocks
+ * encoder-style blocks at hidden width @p d_model (FF = 4*d_model,
+ * GPT-2's fixed expansion), sequence length @p seq, plus the tied LM
+ * head over @p vocab tokens (0 drops the head). The defaults are the
+ * published 124M shape; the knobs let serving benches sweep model size
+ * without new workload functions. The LLM-style serving workload the
+ * per-group quantization path targets — its attention projections see
+ * the outlier-heavy activations that make per-tensor scales collapse
+ * at 4 bits. Throws std::invalid_argument on non-positive knobs.
  */
-Workload gpt2Small();
+Workload gpt2Small(int blocks = 12, int64_t d_model = 768,
+                   int64_t seq = 1024, int64_t vocab = 50257);
 
 /** All eight evaluation workloads of Fig. 13 in paper order
  *  (gpt2Small is an extension, deliberately not part of the suite). */

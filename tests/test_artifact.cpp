@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 
 #include "core/artifact.h"
 #include "core/type_registry.h"
@@ -195,7 +197,8 @@ TEST(Artifact, MismatchesAreRejected)
         scales[0] *= 2.0;
         rescaled.weights[0].tensor = QTensor::fromParts(
             q.shape(), q.type(), q.granularity(), q.groupSize(),
-            std::move(scales), q.words(), q.groupTypes());
+            std::move(scales),
+            {q.words().begin(), q.words().end()}, q.groupTypes());
     }
     EXPECT_THROW(nn::applyArtifact(*m.model, rescaled),
                  std::invalid_argument);
@@ -207,9 +210,12 @@ TEST(Artifact, MismatchesAreRejected)
 TEST(Artifact, CorruptDocumentsAreRejected)
 {
     CalibratedModel m = makeCalibrated(36, /*per_group=*/false);
-    const std::string bytes = nn::buildArtifact(*m.model).toBytes();
+    const ModelArtifact art = nn::buildArtifact(*m.model);
+    const std::string bytes = art.toBytes();
 
-    // Truncations at every structural boundary.
+    // Truncations at every structural boundary (the v2 checksum alone
+    // catches all of these, but the structural bounds checks behind it
+    // stay exercised through the v1 document below).
     for (size_t cut : {size_t{0}, size_t{4}, size_t{8}, size_t{40},
                        bytes.size() / 2, bytes.size() - 1}) {
         SCOPED_TRACE(cut);
@@ -230,16 +236,28 @@ TEST(Artifact, CorruptDocumentsAreRejected)
     EXPECT_THROW((void)ModelArtifact::fromBytes(bytes + "zz"),
                  std::invalid_argument);
     // A hostile element count must fail bounds checks, not allocate.
-    EXPECT_THROW((void)ModelArtifact::fromBytes(bytes.substr(0, 8) +
+    // Written as a v1 document so it reaches the structural checks
+    // instead of stopping at the checksum.
+    const std::string legacy = art.toBytes(1);
+    for (size_t cut : {size_t{40}, legacy.size() / 2,
+                       legacy.size() - 1}) {
+        SCOPED_TRACE(cut);
+        EXPECT_THROW(
+            (void)ModelArtifact::fromBytes(legacy.substr(0, cut)),
+            std::invalid_argument);
+    }
+    EXPECT_THROW((void)ModelArtifact::fromBytes(legacy.substr(0, 8) +
                                                 std::string(8, '\xff')),
                  std::invalid_argument);
 
     // Corrupt dimension extents: negative dims and extents near the
     // numel * bits overflow edge must be rejected up front, not fed
-    // into the word-count math. Patch the first blob's dims in place
-    // (little-endian i64s right after granularity+group_size+ndim).
+    // into the word-count math. Patch the first blob's dims of the v1
+    // document in place (little-endian i64s right after
+    // granularity+group_size+ndim; v1 so the patch isn't masked by
+    // the checksum and the offsets carry no alignment padding).
     const auto patchDims = [&](int64_t d0, int64_t d1) {
-        std::string doc = bytes;
+        std::string doc = legacy;
         // Locate the first blob: magic+version, json, blob_count,
         // name, spec, gran(1), group_size(8), ndim(8), dims...
         size_t pos = 8;
@@ -278,6 +296,165 @@ TEST(Artifact, CorruptDocumentsAreRejected)
     // File I/O failure paths.
     EXPECT_THROW((void)ModelArtifact::loadFile("/nonexistent/x.antq"),
                  std::runtime_error);
+    EXPECT_THROW((void)ModelArtifact::mapFile("/nonexistent/x.antq"),
+                 std::runtime_error);
+}
+
+TEST(Artifact, Version1DocumentsStillLoad)
+{
+    // Old v1 files (no checksum, no alignment padding) must keep
+    // loading bit-identically on a v2 build.
+    CalibratedModel m = makeCalibrated(37, /*per_group=*/true);
+    const ModelArtifact a = nn::buildArtifact(*m.model);
+    const std::string v1 = a.toBytes(1);
+    const std::string v2 = a.toBytes(2);
+    EXPECT_NE(v1, v2);
+    EXPECT_EQ(v1[7], 1);
+    EXPECT_EQ(v2[7], 2);
+
+    const ModelArtifact b = ModelArtifact::fromBytes(v1);
+    EXPECT_TRUE(b.recipe == a.recipe);
+    ASSERT_EQ(b.weights.size(), a.weights.size());
+    for (size_t i = 0; i < a.weights.size(); ++i) {
+        SCOPED_TRACE(a.weights[i].layer);
+        EXPECT_EQ(b.weights[i].tensor.words(),
+                  a.weights[i].tensor.words());
+        EXPECT_EQ(b.weights[i].tensor.scales(),
+                  a.weights[i].tensor.scales());
+    }
+
+    // And via both file loaders.
+    const std::string path = testing::TempDir() + "ant_v1_test.antq";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f.write(v1.data(), static_cast<std::streamsize>(v1.size()));
+    }
+    const ModelArtifact c = ModelArtifact::loadFile(path);
+    const ModelArtifact d = ModelArtifact::mapFile(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(c.weights.size(), a.weights.size());
+    ASSERT_EQ(d.weights.size(), a.weights.size());
+    for (size_t i = 0; i < a.weights.size(); ++i) {
+        EXPECT_EQ(c.weights[i].tensor.words(),
+                  a.weights[i].tensor.words());
+        EXPECT_EQ(d.weights[i].tensor.words(),
+                  a.weights[i].tensor.words());
+    }
+}
+
+TEST(Artifact, ChecksumFailsLoudlyInBothLoaders)
+{
+    // A single flipped bit deep in the packed payload — exactly the
+    // corruption that would silently serve garbage codes — must be
+    // rejected by fromBytes/loadFile AND by the zero-copy mapFile.
+    CalibratedModel m = makeCalibrated(38, /*per_group=*/false);
+    std::string bytes = nn::buildArtifact(*m.model).toBytes();
+    const size_t victim = bytes.size() - bytes.size() / 4;
+    bytes[victim] = static_cast<char>(bytes[victim] ^ 0x10);
+
+    try {
+        (void)ModelArtifact::fromBytes(bytes);
+        FAIL() << "corrupted document parsed";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("checksum"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    const std::string path =
+        testing::TempDir() + "ant_corrupt_test.antq";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW((void)ModelArtifact::loadFile(path),
+                 std::invalid_argument);
+    EXPECT_THROW((void)ModelArtifact::mapFile(path),
+                 std::invalid_argument);
+    // The opt-out exists for storage layers with their own integrity
+    // story: with verification off the flipped payload bit is not an
+    // I/O error (the document is structurally intact).
+    MapOptions trusting;
+    trusting.verifyChecksum = false;
+    EXPECT_NO_THROW((void)ModelArtifact::mapFile(path, trusting));
+    std::remove(path.c_str());
+}
+
+TEST(Artifact, MapFileIsBitwiseIdenticalToLoadFileAndZeroCopy)
+{
+    // The zero-copy loader must produce, tensor for tensor, the exact
+    // bits the copying loader produces — words, scales, decoded codes
+    // — while serving *views* into the mapping instead of owned
+    // copies.
+    for (const bool per_group : {false, true}) {
+        SCOPED_TRACE(per_group ? "per-group" : "per-channel");
+        CalibratedModel m = makeCalibrated(39, per_group);
+        const std::string path =
+            testing::TempDir() + "ant_map_test.antq";
+        nn::saveArtifact(*m.model, path);
+
+        const ModelArtifact copied = ModelArtifact::loadFile(path);
+        const ModelArtifact mapped = ModelArtifact::mapFile(path);
+        EXPECT_TRUE(copied.recipe == mapped.recipe);
+        EXPECT_FALSE(copied.viewsPayload());
+        EXPECT_TRUE(mapped.viewsPayload());
+        ASSERT_EQ(mapped.weights.size(), copied.weights.size());
+        for (size_t i = 0; i < copied.weights.size(); ++i) {
+            SCOPED_TRACE(copied.weights[i].layer);
+            const QTensor &qc = copied.weights[i].tensor;
+            const QTensor &qm = mapped.weights[i].tensor;
+            EXPECT_EQ(qm.shape(), qc.shape());
+            EXPECT_EQ(qm.type()->spec(), qc.type()->spec());
+            EXPECT_EQ(qm.scales(), qc.scales()); // bitwise doubles
+            ASSERT_EQ(qm.words(), qc.words());   // bitwise payload
+            EXPECT_TRUE(qm.viewsPayload());
+            EXPECT_FALSE(qc.viewsPayload());
+            for (int64_t j = 0; j < std::min<int64_t>(qm.numel(), 64);
+                 ++j)
+                ASSERT_EQ(qm.codeAt(j), qc.codeAt(j)) << "elem " << j;
+        }
+
+        // Applying the mapped artifact serves straight off the map: the
+        // installed packed tensor *shares* the mapped payload (no copy
+        // of the words anywhere in the path), and the forward replays
+        // the copying path bitwise.
+        CalibratedModel replica = makeCalibrated(39, per_group);
+        nn::applyArtifact(*replica.model, mapped);
+        size_t shared_layers = 0;
+        for (QuantLayer *l : replica.model->quantLayers())
+            if (!l->weightQ.packed.empty()) {
+                bool shares = false;
+                for (const WeightBlob &b : mapped.weights)
+                    shares |= l->weightQ.packed.sharesPayloadWith(
+                        b.tensor);
+                EXPECT_TRUE(shares) << l->name();
+                EXPECT_TRUE(l->weightQ.packed.viewsPayload())
+                    << l->name();
+                ++shared_layers;
+            }
+        EXPECT_GT(shared_layers, 0u);
+
+        CalibratedModel oracle = makeCalibrated(39, per_group);
+        nn::applyArtifact(*oracle.model, copied);
+        expectSameLogits(*oracle.model, *replica.model, m.ds);
+
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Artifact, QTensorCopiesSharePayloadWithoutViewing)
+{
+    // Copying an owned QTensor shares the immutable words (N serving
+    // replicas, one copy of the codes) without becoming a "view" in
+    // the mapped-artifact sense.
+    CalibratedModel m = makeCalibrated(40, /*per_group=*/false);
+    const ModelArtifact a = nn::buildArtifact(*m.model);
+    const QTensor &q = a.weights[0].tensor;
+    const QTensor copy = q;
+    EXPECT_TRUE(copy.sharesPayloadWith(q));
+    EXPECT_EQ(copy.words().data(), q.words().data());
+    EXPECT_FALSE(copy.viewsPayload());
 }
 
 } // namespace

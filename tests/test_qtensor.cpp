@@ -248,28 +248,24 @@ TEST(QTensor, ParallelPackIsBitIdenticalToSingleThread)
     const Tensor t = rng.tensor(Shape{7, 301}, DistFamily::Gaussian);
     const auto packAll = [&] {
         std::vector<std::vector<uint64_t>> payloads;
+        const auto keep = [&payloads](const QTensor &q) {
+            payloads.emplace_back(q.words().begin(), q.words().end());
+        };
         for (const char *spec : {"int3", "flint5", "int4", "pot7u"}) {
             const TypePtr type = parseType(spec);
-            payloads.push_back(
-                QTensor::pack(t, type, Granularity::PerTensor,
-                              {0.01})
-                    .words());
-            payloads.push_back(
-                QTensor::pack(t, type, Granularity::PerChannel,
-                              std::vector<double>(7, 0.02))
-                    .words());
-            payloads.push_back(
-                QTensor::pack(t, type, Granularity::PerGroup,
-                              std::vector<double>(7 * 7, 0.03), 44)
-                    .words()); // 301 = 6*44 + 37: ragged
+            keep(QTensor::pack(t, type, Granularity::PerTensor,
+                               {0.01}));
+            keep(QTensor::pack(t, type, Granularity::PerChannel,
+                               std::vector<double>(7, 0.02)));
+            keep(QTensor::pack(t, type, Granularity::PerGroup,
+                               std::vector<double>(7 * 7, 0.03),
+                               44)); // 301 = 6*44 + 37: ragged
         }
         std::vector<TypePtr> gts;
         for (int64_t i = 0; i < 7 * 7; ++i)
             gts.push_back(parseType(i % 2 ? "flint4" : "pot4"));
-        payloads.push_back(
-            QTensor::pack(t, parseType("int4"), Granularity::PerGroup,
-                          std::vector<double>(7 * 7, 0.04), 44, gts)
-                .words());
+        keep(QTensor::pack(t, parseType("int4"), Granularity::PerGroup,
+                           std::vector<double>(7 * 7, 0.04), 44, gts));
         return payloads;
     };
     setParallelThreads(1);

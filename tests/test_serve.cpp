@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for the serving subsystem (src/serve/): workload-to-artifact
+ * stacking, the multi-model LRU registry (eviction order, refcount
+ * pinning, load coalescing, failure retry), and the batching server
+ * (size/deadline dispatch policy, bitwise batched-vs-sequential and
+ * mapped-vs-copied parity, failure propagation, metrics sanity) —
+ * plus the gpt2Small shape knobs the serving benches sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "serve/server.h"
+#include "tensor/random.h"
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace {
+
+using serve::buildWorkloadArtifact;
+using serve::MetricsSnapshot;
+using serve::ModelKey;
+using serve::ModelRegistry;
+using serve::PackedStackModel;
+using serve::Servable;
+using serve::Server;
+using serve::ServerConfig;
+using serve::StackSpec;
+
+/** One encoder block at toy width plus a 24-way head: 7 packed GEMMs,
+ *  small enough that a forward is microseconds. */
+ModelArtifact
+tinyArtifact(uint64_t seed)
+{
+    StackSpec spec;
+    spec.groupSize = 8; // divides every K in the tiny table
+    spec.seed = seed;
+    return buildWorkloadArtifact(workloads::gpt2Small(1, 16, 2, 24),
+                                 spec);
+}
+
+std::shared_ptr<const Servable>
+tinyModel(const std::string &name, uint64_t seed)
+{
+    return std::make_shared<PackedStackModel>(name, tinyArtifact(seed));
+}
+
+/** Loader deriving a distinct deterministic model per key name. */
+ModelRegistry::Loader
+hashLoader()
+{
+    return [](const ModelKey &key) {
+        uint64_t seed = 0xCBF29CE484222325ull;
+        for (const char c : key.name)
+            seed = (seed ^ static_cast<uint64_t>(c)) * 0x100000001B3ull;
+        return tinyModel(key.str(), seed);
+    };
+}
+
+Tensor
+queryRow(uint64_t seed, int64_t d)
+{
+    Rng rng(seed);
+    return rng.tensor(Shape{d}, DistFamily::HalfGaussian);
+}
+
+TEST(Workloads, Gpt2SmallKnobsParameterizeTheTable)
+{
+    const workloads::Workload def = workloads::gpt2Small();
+    EXPECT_EQ(def.name, "GPT2-Small");
+    EXPECT_TRUE(def.isTransformer);
+    ASSERT_EQ(def.layers.size(), 12u * 6u + 1u);
+    const workloads::Layer &head = def.layers.back();
+    EXPECT_EQ(head.name, "lm_head");
+    EXPECT_EQ(head.k, 768);
+    EXPECT_EQ(head.n, 50257);
+    EXPECT_EQ(def.layers.front().m, 1024); // seq rows
+    EXPECT_EQ(def.layers.front().k, 768);
+
+    const workloads::Workload swept = workloads::gpt2Small(2, 64, 16, 128);
+    EXPECT_EQ(swept.name, "GPT2-Small[L2,D64,T16]");
+    ASSERT_EQ(swept.layers.size(), 2u * 6u + 1u);
+    EXPECT_EQ(swept.layers[4].name, "blk0.ffn1");
+    EXPECT_EQ(swept.layers[4].k, 64);
+    EXPECT_EQ(swept.layers[4].n, 256); // FF = 4 * d_model
+    EXPECT_EQ(swept.layers.back().n, 128);
+
+    const workloads::Workload trunk = workloads::gpt2Small(2, 64, 16, 0);
+    EXPECT_EQ(trunk.layers.size(), 2u * 6u); // vocab 0 drops the head
+    EXPECT_NE(trunk.layers.back().name, "lm_head");
+
+    EXPECT_THROW(workloads::gpt2Small(0), std::invalid_argument);
+    EXPECT_THROW(workloads::gpt2Small(1, 0), std::invalid_argument);
+    EXPECT_THROW(workloads::gpt2Small(1, 8, 0), std::invalid_argument);
+    EXPECT_THROW(workloads::gpt2Small(1, 8, 1, -1),
+                 std::invalid_argument);
+}
+
+TEST(Servable, BuildWorkloadArtifactIsDeterministicAndChains)
+{
+    const ModelArtifact a = tinyArtifact(7);
+    const ModelArtifact b = tinyArtifact(7);
+    EXPECT_EQ(a.toBytes(), b.toBytes()); // same (workload, spec, seed)
+    EXPECT_NE(a.toBytes(), tinyArtifact(8).toBytes());
+
+    ASSERT_EQ(a.weights.size(), 7u);
+    ASSERT_EQ(a.recipe.layers.size(), 7u);
+    EXPECT_EQ(a.weights.front().layer, "blk0.q");
+    // Blob shape is [n, k]: the head maps 16 features to 24 logits.
+    EXPECT_EQ(a.weights.back().tensor.shape(), Shape({24, 16}));
+
+    // A conv table doesn't chain as a stack (k_{i+1} != n_i).
+    EXPECT_THROW(buildWorkloadArtifact(workloads::vgg16()),
+                 std::invalid_argument);
+}
+
+TEST(Servable, PackedStackModelValidatesAndBatchesRowIndependently)
+{
+    const ModelArtifact art = tinyArtifact(3);
+    const PackedStackModel m("tiny", art);
+    EXPECT_EQ(m.name(), "tiny");
+    EXPECT_EQ(m.layerCount(), 7u);
+    EXPECT_EQ(m.inputDim(), 16);
+    EXPECT_EQ(m.outputDim(), 24);
+    EXPECT_GT(m.nbytes(), 0u);
+    EXPECT_FALSE(m.servesFromView()); // in-memory artifact: copies
+
+    // Wrong query width fails loudly.
+    EXPECT_THROW(m.forward(Tensor(Shape{2, 8})), std::invalid_argument);
+    EXPECT_THROW(m.forward(Tensor(Shape{16})), std::invalid_argument);
+
+    // Row i of a batched forward is bitwise the single-row forward —
+    // the invariant that makes server-side coalescing transparent.
+    const int64_t B = 5;
+    Tensor batch(Shape{B, m.inputDim()});
+    for (int64_t i = 0; i < B; ++i) {
+        const Tensor q = queryRow(100 + static_cast<uint64_t>(i),
+                                  m.inputDim());
+        for (int64_t j = 0; j < m.inputDim(); ++j)
+            batch[i * m.inputDim() + j] = q[j];
+    }
+    const Tensor out = m.forward(batch);
+    ASSERT_EQ(out.shape(), Shape({B, m.outputDim()}));
+    for (int64_t i = 0; i < B; ++i) {
+        Tensor one(Shape{1, m.inputDim()});
+        for (int64_t j = 0; j < m.inputDim(); ++j)
+            one[j] = batch[i * m.inputDim() + j];
+        const Tensor row = m.forward(one);
+        for (int64_t j = 0; j < m.outputDim(); ++j)
+            EXPECT_EQ(row[j], out[i * m.outputDim() + j])
+                << "row " << i << " col " << j;
+    }
+
+    // An unchainable artifact is rejected at construction.
+    ModelArtifact bad;
+    bad.weights.resize(2);
+    bad.weights[0].layer = "a";
+    bad.weights[0].tensor = art.weights[0].tensor; // [16, 16]
+    bad.weights[1].layer = "b";
+    bad.weights[1].tensor = art.weights.back().tensor; // [24, 16] ok
+    bad.weights.push_back(bad.weights[0]); // [16, 16] after 24 outputs
+    EXPECT_THROW(PackedStackModel("bad", bad), std::invalid_argument);
+    EXPECT_THROW(PackedStackModel("empty", ModelArtifact{}),
+                 std::invalid_argument);
+}
+
+TEST(Registry, EvictsLeastRecentlyUsedWithinByteBudget)
+{
+    const size_t one = tinyModel("probe", 1)->nbytes();
+    ModelRegistry reg(hashLoader(), 2 * one);
+
+    reg.acquire({"A"});
+    reg.acquire({"B"});
+    reg.acquire({"A"}); // refresh A: B is now least recent
+    reg.acquire({"C"}); // over budget -> B goes
+    EXPECT_TRUE(reg.contains({"A"}));
+    EXPECT_FALSE(reg.contains({"B"}));
+    EXPECT_TRUE(reg.contains({"C"}));
+
+    const serve::RegistryStats s = reg.stats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.loads, 3u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.residentModels, 2u);
+    EXPECT_EQ(s.residentBytes, 2 * one);
+    EXPECT_EQ(s.loadFailures, 0u);
+
+    reg.evictAll();
+    EXPECT_FALSE(reg.contains({"A"}));
+    EXPECT_EQ(reg.stats().residentBytes, 0u);
+}
+
+TEST(Registry, LeasesPinModelsAgainstEviction)
+{
+    const size_t one = tinyModel("probe", 1)->nbytes();
+    ModelRegistry reg(hashLoader(), one); // room for exactly one model
+
+    ModelRegistry::Lease la = reg.acquire({"A"});
+    ModelRegistry::Lease lb = reg.acquire({"B"});
+    // Both pinned: the registry runs over budget rather than yanking
+    // weights out from under an in-flight request.
+    EXPECT_TRUE(reg.contains({"A"}));
+    EXPECT_TRUE(reg.contains({"B"}));
+    EXPECT_EQ(reg.stats().residentBytes, 2 * one);
+    EXPECT_EQ(reg.stats().peakResidentBytes, 2 * one);
+    EXPECT_EQ(reg.stats().evictions, 0u);
+
+    lb.release(); // B unpinned and over budget -> evicted now
+    EXPECT_TRUE(reg.contains({"A"}));
+    EXPECT_FALSE(reg.contains({"B"}));
+    EXPECT_EQ(reg.stats().evictions, 1u);
+
+    la.release(); // back within budget: A stays resident
+    EXPECT_TRUE(reg.contains({"A"}));
+    EXPECT_EQ(reg.stats().residentBytes, one);
+}
+
+TEST(Registry, ConcurrentAcquiresOfAColdModelLoadOnce)
+{
+    std::atomic<int> loads{0};
+    ModelRegistry reg([&loads](const ModelKey &key) {
+        ++loads;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return tinyModel(key.str(), 42);
+    });
+
+    std::vector<std::shared_ptr<const Servable>> seen(4);
+    std::vector<std::thread> threads;
+    for (size_t i = 0; i < seen.size(); ++i)
+        threads.emplace_back([&reg, &seen, i] {
+            seen[i] = reg.acquire({"shared"}).model();
+        });
+    for (std::thread &t : threads) t.join();
+
+    EXPECT_EQ(loads.load(), 1);
+    for (const auto &m : seen) {
+        ASSERT_NE(m, nullptr);
+        EXPECT_EQ(m, seen[0]); // everyone got the same instance
+    }
+    const serve::RegistryStats s = reg.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 3u);
+}
+
+TEST(Registry, LoaderFailurePropagatesAndTheNextAcquireRetries)
+{
+    std::atomic<int> calls{0};
+    ModelRegistry reg([&calls](const ModelKey &key) {
+        if (calls++ == 0)
+            throw std::runtime_error("backend storage hiccup");
+        return tinyModel(key.str(), 5);
+    });
+
+    EXPECT_THROW(reg.acquire({"flaky"}), std::runtime_error);
+    EXPECT_FALSE(reg.contains({"flaky"}));
+    EXPECT_EQ(reg.stats().loadFailures, 1u);
+
+    ModelRegistry::Lease lease = reg.acquire({"flaky"}); // retried
+    EXPECT_TRUE(static_cast<bool>(lease));
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(Server, CoalescesIntoFullBatchesUnderTheSizePolicy)
+{
+    ModelRegistry reg(hashLoader());
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 4;
+    cfg.maxDelayUs = 1000000; // 1s: only the size trigger can fire
+    Server server(reg, cfg);
+
+    std::vector<std::future<Tensor>> futs;
+    for (uint64_t i = 0; i < 8; ++i)
+        futs.push_back(server.submit({"m"}, queryRow(i, 16)));
+    for (auto &f : futs) EXPECT_EQ(f.get().numel(), 24);
+    server.drain();
+
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.submitted, 8u);
+    EXPECT_EQ(s.completed, 8u);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.batches, 2u); // 8 queries, maxBatch 4: two full batches
+    ASSERT_GT(s.batchSizeHist.size(), 4u);
+    EXPECT_EQ(s.batchSizeHist[4], 2u);
+    EXPECT_DOUBLE_EQ(s.meanBatch, 4.0);
+    EXPECT_LE(s.p50Us, s.p95Us);
+    EXPECT_LE(s.p95Us, s.p99Us);
+    EXPECT_GT(s.qps, 0.0);
+    EXPECT_EQ(s.registry.loads, 1u);
+}
+
+TEST(Server, DeadlineDispatchesAPartialBatch)
+{
+    ModelRegistry reg(hashLoader());
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.maxBatch = 64;     // never fills from one query
+    cfg.maxDelayUs = 2000; // 2ms latency deadline
+    Server server(reg, cfg);
+
+    std::future<Tensor> f = server.submit({"m"}, queryRow(1, 16));
+    EXPECT_EQ(f.get().numel(), 24); // resolves via the deadline path
+    server.drain(); // metrics are recorded before in-flight drops to 0
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.batches, 1u);
+    EXPECT_EQ(s.batchSizeHist[1], 1u);
+}
+
+TEST(Server, BatchedAnswersAreBitwiseIdenticalToDirectForwards)
+{
+    const std::shared_ptr<const Servable> model = tinyModel("m", 99);
+    ModelRegistry reg([model](const ModelKey &) { return model; });
+    ServerConfig cfg;
+    cfg.workers = 3;
+    cfg.maxBatch = 5;
+    cfg.maxDelayUs = 500;
+    Server server(reg, cfg);
+
+    const int n = 17; // forces ragged batches across several workers
+    std::vector<std::future<Tensor>> futs;
+    for (int i = 0; i < n; ++i)
+        futs.push_back(server.submit(
+            {"m"}, queryRow(static_cast<uint64_t>(i), 16)));
+    for (int i = 0; i < n; ++i) {
+        const Tensor got = futs[static_cast<size_t>(i)].get();
+        Tensor one(Shape{1, 16});
+        const Tensor q = queryRow(static_cast<uint64_t>(i), 16);
+        for (int64_t j = 0; j < 16; ++j) one[j] = q[j];
+        const Tensor want = model->forward(one);
+        ASSERT_EQ(got.numel(), want.numel());
+        for (int64_t j = 0; j < got.numel(); ++j)
+            EXPECT_EQ(got[j], want[j]) << "query " << i << " col " << j;
+    }
+    server.drain();
+    EXPECT_EQ(server.metrics().completed, static_cast<uint64_t>(n));
+}
+
+TEST(Server, ServesBitwiseIdenticallyOffMappedAndCopiedArtifacts)
+{
+    const std::string path =
+        testing::TempDir() + "ant_serve_mapped.antq";
+    tinyArtifact(11).saveFile(path);
+
+    // Same file, two load paths: version "map" goes through mapFile
+    // (zero-copy views), version "copy" through the copying loader.
+    ModelRegistry reg([&path](const ModelKey &key) {
+        const ModelArtifact art = key.version == "map"
+                                      ? ModelArtifact::mapFile(path)
+                                      : ModelArtifact::loadFile(path);
+        return std::make_shared<PackedStackModel>(key.str(), art);
+    });
+
+    const ModelRegistry::Lease mapped =
+        reg.acquire({"tiny", "map"});
+    const ModelRegistry::Lease copied =
+        reg.acquire({"tiny", "copy"});
+    const auto *pm =
+        dynamic_cast<const PackedStackModel *>(mapped.model().get());
+    const auto *pc =
+        dynamic_cast<const PackedStackModel *>(copied.model().get());
+    ASSERT_NE(pm, nullptr);
+    ASSERT_NE(pc, nullptr);
+    EXPECT_TRUE(pm->servesFromView());   // zero-copy end to end
+    EXPECT_FALSE(pc->servesFromView());
+
+    Server server(reg, ServerConfig{});
+    for (uint64_t i = 0; i < 6; ++i) {
+        std::future<Tensor> fm =
+            server.submit({"tiny", "map"}, queryRow(i, 16));
+        std::future<Tensor> fc =
+            server.submit({"tiny", "copy"}, queryRow(i, 16));
+        const Tensor a = fm.get();
+        const Tensor b = fc.get();
+        ASSERT_EQ(a.numel(), b.numel());
+        for (int64_t j = 0; j < a.numel(); ++j)
+            EXPECT_EQ(a[j], b[j]) << "query " << i << " col " << j;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Server, RejectsOverflowAndMalformedQueriesWithoutServingThem)
+{
+    ModelRegistry reg(hashLoader());
+
+    EXPECT_THROW(
+        {
+            ServerConfig bad;
+            bad.workers = 0;
+            Server s(reg, bad);
+        },
+        std::invalid_argument);
+
+    ServerConfig cfg;
+    cfg.maxQueue = 0; // every enqueue overflows immediately
+    Server full(reg, cfg);
+    std::future<Tensor> f = full.submit({"m"}, queryRow(1, 16));
+    EXPECT_THROW(f.get(), std::runtime_error);
+
+    std::future<Tensor> g = full.submit({"m"}, Tensor(Shape{2, 16}));
+    EXPECT_THROW(g.get(), std::invalid_argument); // not [d] or [1, d]
+    EXPECT_EQ(full.metrics().rejected, 2u);
+    EXPECT_EQ(full.metrics().submitted, 0u);
+}
+
+TEST(Server, LoadFailuresReachEveryFutureInTheBatch)
+{
+    ModelRegistry reg([](const ModelKey &key)
+                          -> std::shared_ptr<const Servable> {
+        throw std::runtime_error("no weights for " + key.str());
+    });
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 4;
+    cfg.maxDelayUs = 1000000; // dispatch on the full batch
+    Server server(reg, cfg);
+
+    std::vector<std::future<Tensor>> futs;
+    for (uint64_t i = 0; i < 4; ++i)
+        futs.push_back(server.submit({"ghost"}, queryRow(i, 16)));
+    for (auto &f : futs) EXPECT_THROW(f.get(), std::runtime_error);
+    server.drain();
+
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.failed, 4u);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.registry.loadFailures, 1u);
+}
+
+} // namespace
+} // namespace ant

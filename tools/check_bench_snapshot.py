@@ -74,6 +74,15 @@ RATIO_RULES = [
         "the scalar reference decoder (the PR 6 code path) in the same "
         "run — the codec-kernel acceptance gate",
     ),
+    (
+        "BM_ArtifactColdStartMap",
+        "BM_ArtifactColdStartCopy",
+        10.0,
+        "mapFile's time-to-ready (mmap + metadata parse, lazy payload "
+        "faulting) must be at least 10x the copying loader on the "
+        "multi-MB artifact — the PR 8 zero-copy acceptance gate; "
+        "items are loads, so the ratio is inverse load latency",
+    ),
 ]
 
 # (fast, slow, min_ratio, min_cpus, why): like RATIO_RULES, but only
@@ -100,13 +109,45 @@ SCALING_RULES = [
         "beat static contiguous chunking (static strands the heavy "
         "head items on one worker)",
     ),
+    (
+        "BM_ServeThroughput/4/8/real_time",
+        "BM_ServeThroughput/1/8/real_time",
+        1.3,
+        4,
+        "4 server workers draining batched forwards must outrun 1 "
+        "worker on the same query set — concurrent forwards off the "
+        "shared packed weights are the point of the worker pool",
+    ),
 ]
 
-# (name_a, name_b, counter): the counter must agree exactly between the
-# two entries of the SAME artifact. Used for the packed-vs-unpack GEMM
-# pair, which is bitwise-identical by construction.
+# (name_a, name_b, counter, why): the counter must agree exactly
+# between the two entries of the SAME artifact. Used for pairs that are
+# bitwise-identical by construction: the packed-vs-unpack GEMM pair,
+# and the serve-throughput sweep (batch coalescing and worker
+# concurrency must never change an answer bit).
 PARITY_RULES = [
-    ("BM_PackedGemmBT", "BM_UnpackThenSgemm", "out_l1"),
+    (
+        "BM_PackedGemmBT",
+        "BM_UnpackThenSgemm",
+        "out_l1",
+        "the packed GEMM is no longer bitwise identical to "
+        "unpack-then-sgemm",
+    ),
+    (
+        "BM_ServeThroughput/1/1/real_time",
+        "BM_ServeThroughput/4/8/real_time",
+        "out_l1",
+        "serving answers changed between sequential single-query "
+        "dispatch and 4-worker batch-8 coalescing — batching must be "
+        "bitwise transparent",
+    ),
+    (
+        "BM_ServeThroughput/1/8/real_time",
+        "BM_ServeThroughput/4/1/real_time",
+        "out_l1",
+        "serving answers changed between batch-only and worker-only "
+        "concurrency — batching must be bitwise transparent",
+    ),
 ]
 
 
@@ -201,7 +242,7 @@ def check_rules(artifact, context):
                 f"{fast} ({f_ips:.3e} items/s) is below "
                 f"{min_ratio}x {slow} ({s_ips:.3e} items/s) on a "
                 f"{num_cpus}-cpu runner: {why}")
-    for a, b, key in PARITY_RULES:
+    for a, b, key, why in PARITY_RULES:
         if a not in artifact or b not in artifact:
             continue
         va, vb = artifact[a].get(key), artifact[b].get(key)
@@ -212,8 +253,7 @@ def check_rules(artifact, context):
         if float(va) != float(vb):
             errors.append(
                 f"counter '{key}' differs between {a} ({va}) and "
-                f"{b} ({vb}) — the packed GEMM is no longer bitwise "
-                f"identical to unpack-then-sgemm")
+                f"{b} ({vb}) — {why}")
     return errors
 
 

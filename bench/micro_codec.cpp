@@ -21,6 +21,7 @@
 
 #include "core/artifact.h"
 #include "core/flint.h"
+#include "core/kv_cache.h"
 #include "core/packed_gemm.h"
 #include "core/qtensor.h"
 #include "core/quant_kernel.h"
@@ -29,8 +30,10 @@
 #include "core/type_selector.h"
 #include "hw/decoder.h"
 #include "hw/mac.h"
+#include "serve/decode.h"
 #include "serve/server.h"
 #include "sim/accelerator.h"
+#include "sim/decode.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 #include "workloads/workloads.h"
@@ -852,6 +855,200 @@ BENCHMARK(BM_ServeThroughput)
     ->Args({4, 1})
     ->Args({4, 8})
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Autoregressive decode: packed KV-cache append throughput, the
+// decode-step parity pair, the simulated KV DRAM-traffic win, and the
+// fig13-style speedup table over the full evaluation suite.
+
+KVCacheConfig
+kvBenchConfig(int64_t group_size)
+{
+    KVCacheConfig cfg;
+    cfg.type = parseType("int4");
+    cfg.groupSize = group_size;
+    return cfg;
+}
+
+/** Stream 256 decode rows into a fresh cache per iteration; Arg is the
+ *  time-group size (the repack granularity the sweep cares about).
+ *  nbytes and repacked_rows are deterministic snapshot pins. */
+void
+BM_KVCacheAppend(benchmark::State &state)
+{
+    const int64_t gs = state.range(0), T = 256, d = 256;
+    static const std::vector<Tensor> rows = [] {
+        Rng rng(0xCAC4E);
+        const Tensor all =
+            rng.laplaceOutlierTensor(Shape{256, 256}, 1.0f, 0.01, 8.0f);
+        std::vector<Tensor> out;
+        for (int64_t i = 0; i < 256; ++i) {
+            Tensor r(Shape{256});
+            std::copy(all.data() + i * 256, all.data() + (i + 1) * 256,
+                      r.data());
+            out.push_back(std::move(r));
+        }
+        return out;
+    }();
+    size_t nbytes = 0;
+    uint64_t repacked = 0;
+    for (auto _ : state) {
+        KVCacheTensor cache(d, kvBenchConfig(gs));
+        for (int64_t i = 0; i < T; ++i)
+            cache.append(rows[static_cast<size_t>(i)]);
+        nbytes = cache.nbytes();
+        repacked = cache.repackedRows();
+        benchmark::DoNotOptimize(nbytes);
+    }
+    state.SetItemsProcessed(state.iterations() * T); // appended rows/s
+    state.counters["nbytes"] = static_cast<double>(nbytes);
+    state.counters["repacked_rows"] = static_cast<double>(repacked);
+}
+BENCHMARK(BM_KVCacheAppend)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/** Shared fixture of the decode-step pair: one packed K/V pair of 256
+ *  cached timesteps plus the float tensors they dequantize to. */
+struct DecodeFixture
+{
+    KVCacheTensor keys, values;
+    Tensor keysF, valuesF, q;
+    double scale;
+
+    DecodeFixture()
+        : keys(makeCache(0xD00D)),
+          values(makeCache(0xFEED)),
+          keysF(keys.dequant()),
+          valuesF(values.dequant()),
+          q(makeQuery()),
+          scale(1.0 / std::sqrt(128.0))
+    {
+    }
+
+    static KVCacheTensor
+    makeCache(uint64_t seed)
+    {
+        Rng rng(seed);
+        return KVCacheTensor::packFull(
+            rng.laplaceOutlierTensor(Shape{256, 128}, 1.0f, 0.01, 8.0f),
+            kvBenchConfig(64));
+    }
+
+    static Tensor
+    makeQuery()
+    {
+        Rng rng(0x0123);
+        return rng.laplaceOutlierTensor(Shape{1, 128}, 1.0f, 0.01, 8.0f);
+    }
+};
+
+double
+l1Of(const Tensor &t)
+{
+    double l1 = 0.0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+        l1 += std::fabs(static_cast<double>(t[i]));
+    return l1;
+}
+
+/** One attention step over the packed caches: codes decoded on the fly
+ *  inside the GEMMs, no float K/V materialized. */
+void
+BM_DecodeStepPacked(benchmark::State &state)
+{
+    static const DecodeFixture fx;
+    const QTensor k = fx.keys.packed(), v = fx.values.packed();
+    double out_l1 = 0.0;
+    for (auto _ : state) {
+        const Tensor out = serve::attendPacked(fx.q, k, v, fx.scale);
+        out_l1 = l1Of(out);
+        benchmark::DoNotOptimize(out_l1);
+    }
+    state.SetItemsProcessed(state.iterations()); // steps/s
+    state.counters["out_l1"] = out_l1; // parity-pinned vs FloatRef
+}
+BENCHMARK(BM_DecodeStepPacked);
+
+/** The float oracle of the same step over pre-dequantized K/V — the
+ *  parity partner (out_l1 must agree bitwise) and the compute-side
+ *  baseline the packed path trades DRAM traffic against. */
+void
+BM_DecodeStepFloatRef(benchmark::State &state)
+{
+    static const DecodeFixture fx;
+    double out_l1 = 0.0;
+    for (auto _ : state) {
+        const Tensor out =
+            serve::attendReference(fx.q, fx.keysF, fx.valuesF, fx.scale);
+        out_l1 = l1Of(out);
+        benchmark::DoNotOptimize(out_l1);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["out_l1"] = out_l1;
+}
+BENCHMARK(BM_DecodeStepFloatRef);
+
+/** The decode scenario's memory story: simulated KV DRAM traffic of
+ *  gpt2Small decoding 1024 tokens, int4/g=128 vs the fp16 baseline.
+ *  traffic_ratio / mse / fp16_mse are deterministic; the snapshot
+ *  checker additionally enforces the >= 3.5x traffic floor at the
+ *  pinned MSE. */
+void
+BM_KVCacheDecodeTraffic(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::gpt2Small();
+    sim::KvCacheSimSpec spec; // int4, g=128, seeded probe
+    sim::DecodeTrafficReport r;
+    for (auto _ : state) {
+        r = sim::planDecodeTraffic(w, 1024, spec);
+        benchmark::ClobberMemory();
+    }
+    state.counters["traffic_ratio"] = r.trafficRatio;
+    state.counters["mse"] = r.mse;
+    state.counters["fp16_mse"] = r.fp16Mse;
+    state.counters["ant_read_gb"] = r.antReadBytes / 1e9;
+    state.counters["fp16_read_gb"] = r.fp16ReadBytes / 1e9;
+}
+BENCHMARK(BM_KVCacheDecodeTraffic)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/** Fig. 13-style speedup table: AntOS vs BitFusion cycles per suite
+ *  workload (index = position in workloads::evaluationSuite(), label =
+ *  workload name). speedup and avg_bits are deterministic pins; the
+ *  checker also enforces a per-workload speedup floor. */
+void
+BM_Fig13Speedup(benchmark::State &state)
+{
+    static const std::vector<workloads::Workload> suite =
+        workloads::evaluationSuite();
+    const workloads::Workload &w =
+        suite[static_cast<size_t>(state.range(0))];
+    double speedup = 0.0, avg_bits = 0.0;
+    for (auto _ : state) {
+        const sim::QuantPlan ant =
+            sim::planWorkload(w, hw::Design::AntOS);
+        const sim::QuantPlan bf =
+            sim::planWorkload(w, hw::Design::BitFusion);
+        const sim::SimResult ra = sim::simulate(
+            w, ant, sim::SimConfig::forDesign(hw::Design::AntOS));
+        const sim::SimResult rb = sim::simulate(
+            w, bf, sim::SimConfig::forDesign(hw::Design::BitFusion));
+        speedup = static_cast<double>(rb.cycles) /
+                  static_cast<double>(ra.cycles);
+        avg_bits = ant.avgBits;
+        benchmark::DoNotOptimize(speedup);
+    }
+    state.SetLabel(w.name);
+    state.counters["speedup"] = speedup;
+    state.counters["avg_bits"] = avg_bits;
+}
+BENCHMARK(BM_Fig13Speedup)
+    ->DenseRange(0, 7)
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

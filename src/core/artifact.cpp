@@ -73,7 +73,7 @@ class Reader
     [[noreturn]] void
     fail(const std::string &why) const
     {
-        throw std::invalid_argument("ModelArtifact: " + why +
+        throw ArtifactError("ModelArtifact: " + why +
                                     " at offset " +
                                     std::to_string(pos_));
     }
@@ -177,10 +177,41 @@ granularityFromCode(Reader &r, uint8_t c)
  * everything else is copied out, so every caller gets the same
  * artifact bit for bit.
  */
+ModelArtifact parseDocumentImpl(const char *data, size_t size,
+                                const std::shared_ptr<const MappedFile>
+                                    &view_keep,
+                                bool verify_checksum);
+
+/**
+ * Reader entry point: everything a hostile document can trip — the
+ * Reader's own bounds checks, the type registry's spec parser, the
+ * recipe's JSON parser, QTensor's layout validators — must surface as
+ * ArtifactError, so the two loaders have exactly one failure type.
+ */
 ModelArtifact
 parseDocument(const char *data, size_t size,
               const std::shared_ptr<const MappedFile> &view_keep,
               bool verify_checksum)
+{
+    try {
+        return parseDocumentImpl(data, size, view_keep,
+                                 verify_checksum);
+    } catch (const std::invalid_argument &e) {
+        // Inner validators (parseType, recipe JSON) classify bad
+        // stored strings as bad arguments; from the reader they are
+        // file corruption.
+        const std::string what = e.what();
+        throw ArtifactError(
+            what.compare(0, 14, "ModelArtifact:") == 0
+                ? what
+                : "ModelArtifact: " + what);
+    }
+}
+
+ModelArtifact
+parseDocumentImpl(const char *data, size_t size,
+                  const std::shared_ptr<const MappedFile> &view_keep,
+                  bool verify_checksum)
 {
     Reader r(data, size);
     if (std::memcmp(r.raw(sizeof kMagic - 1), kMagic,
@@ -300,9 +331,10 @@ parseDocument(const char *data, size_t size,
                     std::move(group_types));
             }
         } catch (const std::invalid_argument &e) {
-            throw std::invalid_argument(
-                "ModelArtifact: blob \"" + blob.layer + "\": " +
-                e.what());
+            // QTensor's layout validators see hostile stored fields as
+            // bad arguments; from the reader they are file corruption.
+            throw ArtifactError("ModelArtifact: blob \"" + blob.layer +
+                                "\": " + e.what());
         }
         a.weights.push_back(std::move(blob));
     }
@@ -398,7 +430,7 @@ ModelArtifact::loadFile(const std::string &path)
 {
     std::ifstream f(path, std::ios::binary);
     if (!f)
-        throw std::runtime_error("ModelArtifact: cannot open " + path);
+        throw ArtifactError("ModelArtifact: cannot open " + path);
     std::ostringstream ss;
     ss << f.rdbuf();
     return fromBytes(ss.str());

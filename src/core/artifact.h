@@ -56,6 +56,7 @@
 #ifndef ANT_CORE_ARTIFACT_H
 #define ANT_CORE_ARTIFACT_H
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,27 @@
 #include "core/recipe.h"
 
 namespace ant {
+
+/**
+ * Error type of the artifact readers: every way an artifact document
+ * can be bad — truncation, bad magic, unsupported version, checksum
+ * mismatch, hostile counts, unparseable specs or recipe JSON, payload
+ * layout mismatches, unreadable files — raises this one type, and the
+ * readers never crash or read out of bounds on adversarial bytes
+ * (fuzzed in tests/test_artifact_fuzz.cpp under ASan/UBSan). It
+ * derives std::runtime_error, not std::invalid_argument: a corrupt
+ * *file* is an environmental failure a server must catch and degrade
+ * on, not a caller bug — even when an inner validator (type registry,
+ * QTensor layout checks) classified the symptom as a bad argument.
+ */
+class ArtifactError : public std::runtime_error
+{
+  public:
+    explicit ArtifactError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** One layer's packed weight payload. */
 struct WeightBlob
@@ -109,8 +131,8 @@ struct ModelArtifact
 
     /**
      * Parse a document produced by toBytes. Verifies the v2 checksum.
-     * Throws std::invalid_argument naming the problem on bad magic,
-     * version, truncation, checksum mismatch, unparseable specs, or
+     * Throws ArtifactError naming the problem on bad magic, version,
+     * truncation, checksum mismatch, unparseable specs, or
      * payload/layout mismatches.
      */
     static ModelArtifact fromBytes(const std::string &bytes);
@@ -121,6 +143,7 @@ struct ModelArtifact
     /**
      * Read and parse @p path, copying every payload into owned memory.
      * The portable fallback and the bitwise oracle for mapFile.
+     * Throws ArtifactError on unreadable or corrupt files.
      */
     static ModelArtifact loadFile(const std::string &path);
 

@@ -407,19 +407,19 @@ GroupObserver::searchScales(const NumericType &type,
     return s;
 }
 
-GroupObserverSelection
-GroupObserver::selectType(const std::vector<TypePtr> &candidates,
-                          const QuantConfig &base_cfg,
-                          GroupTypeMode mode) const
-{
-    if (candidates.empty())
-        throw std::invalid_argument(
-            "GroupObserver::selectType: empty candidate list");
-    base_cfg.validate(/*require_type=*/false);
-    if (dim_ == 0)
-        throw std::logic_error(
-            "GroupObserver::selectType: nothing observed");
+namespace {
 
+/**
+ * Shared Algorithm-2-over-group-sketches engine: GroupObserver (groups
+ * tile the feature axis) and TimeGroupObserver (groups tile the
+ * timestep axis) differ only in how rows land in sketches, so both
+ * selectType queries reduce to this sweep over an Observer list.
+ */
+GroupObserverSelection
+selectTypeOverSketches(const std::vector<Observer> &obs_, int64_t gs_,
+                       const std::vector<TypePtr> &candidates,
+                       const QuantConfig &base_cfg, GroupTypeMode mode)
+{
     const size_t ng = obs_.size();
     GroupObserverSelection sel;
     sel.groupSize = gs_;
@@ -490,6 +490,23 @@ GroupObserver::selectType(const std::vector<TypePtr> &candidates,
     return sel;
 }
 
+} // namespace
+
+GroupObserverSelection
+GroupObserver::selectType(const std::vector<TypePtr> &candidates,
+                          const QuantConfig &base_cfg,
+                          GroupTypeMode mode) const
+{
+    if (candidates.empty())
+        throw std::invalid_argument(
+            "GroupObserver::selectType: empty candidate list");
+    base_cfg.validate(/*require_type=*/false);
+    if (dim_ == 0)
+        throw std::logic_error(
+            "GroupObserver::selectType: nothing observed");
+    return selectTypeOverSketches(obs_, gs_, candidates, base_cfg, mode);
+}
+
 ObserverSelection
 Observer::selectType(const std::vector<TypePtr> &candidates,
                      const QuantConfig &base_cfg) const
@@ -516,6 +533,149 @@ Observer::selectType(const std::vector<TypePtr> &candidates,
         }
     }
     return sel;
+}
+
+// ---------------------------------------------------------------------
+// TimeGroupObserver
+// ---------------------------------------------------------------------
+
+TimeGroupObserver::TimeGroupObserver(int64_t group_size,
+                                     ObserverConfig cfg)
+    : gs_(group_size), cfg_(cfg)
+{
+    if (gs_ < 1)
+        throw std::invalid_argument(
+            "TimeGroupObserver: group_size must be >= 1 (got " +
+            std::to_string(gs_) + ")");
+}
+
+const Observer &
+TimeGroupObserver::group(int64_t g) const
+{
+    if (g < 0 || g >= groups())
+        throw std::invalid_argument(
+            "TimeGroupObserver::group: index out of range");
+    return obs_[static_cast<size_t>(g)];
+}
+
+int64_t
+TimeGroupObserver::count() const
+{
+    int64_t n = 0;
+    for (const Observer &o : obs_) n += o.count();
+    return n;
+}
+
+bool
+TimeGroupObserver::empty() const
+{
+    for (const Observer &o : obs_)
+        if (!o.empty()) return false;
+    return true;
+}
+
+void
+TimeGroupObserver::reset()
+{
+    dim_ = 0;
+    t_ = 0;
+    obs_.clear();
+}
+
+void
+TimeGroupObserver::merge(const TimeGroupObserver &other)
+{
+    if (gs_ != other.gs_)
+        throw std::invalid_argument(
+            "TimeGroupObserver::merge: mismatched group size");
+    if (cfg_.isSigned != other.cfg_.isSigned ||
+        cfg_.binsPerOctave != other.cfg_.binsPerOctave ||
+        cfg_.minExp != other.cfg_.minExp ||
+        cfg_.maxExp != other.cfg_.maxExp)
+        throw std::invalid_argument(
+            "TimeGroupObserver::merge: mismatched ObserverConfig");
+    if (other.dim_ == 0) return; // nothing observed on the other side
+    if (dim_ == 0) {
+        dim_ = other.dim_;
+        t_ = other.t_;
+        obs_ = other.obs_;
+        return;
+    }
+    if (dim_ != other.dim_)
+        throw std::invalid_argument(
+            "TimeGroupObserver::merge: mismatched feature dimension");
+    // Parallel shards over the same timeline: group g merges group g;
+    // the side with the longer timeline contributes its extra groups
+    // wholesale.
+    if (other.obs_.size() > obs_.size())
+        obs_.resize(other.obs_.size(), Observer(cfg_));
+    for (size_t g = 0; g < other.obs_.size(); ++g)
+        obs_[g].merge(other.obs_[g]);
+    t_ = std::max(t_, other.t_);
+}
+
+void
+TimeGroupObserver::observe(const float *rows, int64_t nrows, int64_t d)
+{
+    if (rows == nullptr || nrows < 1 || d < 1)
+        throw std::invalid_argument(
+            "TimeGroupObserver::observe: empty row batch");
+    if (dim_ == 0) {
+        dim_ = d;
+    } else if (dim_ != d) {
+        throw std::invalid_argument(
+            "TimeGroupObserver::observe: feature dim changed between "
+            "batches (" +
+            std::to_string(dim_) + " -> " + std::to_string(d) + ")");
+    }
+    // Rows are folded group-run at a time; within a group the sketch
+    // sees a contiguous float range, so the accumulation order is
+    // exactly that of observing the concatenated [T, d] tensor.
+    int64_t r = 0;
+    while (r < nrows) {
+        const int64_t g = t_ / gs_;
+        const int64_t take = std::min(nrows - r, gs_ - (t_ - g * gs_));
+        if (g >= groups()) obs_.emplace_back(cfg_);
+        obs_[static_cast<size_t>(g)].observe(rows + r * d, take * d);
+        t_ += take;
+        r += take;
+    }
+}
+
+void
+TimeGroupObserver::observe(const Tensor &t)
+{
+    if (t.ndim() < 1 || t.numel() == 0)
+        throw std::invalid_argument(
+            "TimeGroupObserver::observe: empty tensor");
+    const int64_t d = t.dim(t.ndim() - 1);
+    observe(t.data(), t.numel() / d, d);
+}
+
+std::vector<double>
+TimeGroupObserver::searchScales(const NumericType &type,
+                                const QuantConfig &cfg) const
+{
+    const KernelPtr kernel = TypeRegistry::instance().kernelFor(type);
+    std::vector<double> s;
+    s.reserve(obs_.size());
+    for (const Observer &o : obs_) s.push_back(o.searchScale(*kernel, cfg));
+    return s;
+}
+
+GroupObserverSelection
+TimeGroupObserver::selectType(const std::vector<TypePtr> &candidates,
+                              const QuantConfig &base_cfg,
+                              GroupTypeMode mode) const
+{
+    if (candidates.empty())
+        throw std::invalid_argument(
+            "TimeGroupObserver::selectType: empty candidate list");
+    base_cfg.validate(/*require_type=*/false);
+    if (dim_ == 0)
+        throw std::logic_error(
+            "TimeGroupObserver::selectType: nothing observed");
+    return selectTypeOverSketches(obs_, gs_, candidates, base_cfg, mode);
 }
 
 } // namespace ant

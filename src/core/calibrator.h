@@ -258,6 +258,99 @@ class GroupObserver
     std::vector<Observer> obs_;
 };
 
+/**
+ * Streaming per-timestep-group magnitude observer: the calibration side
+ * of the autoregressive KV-cache scenario (M-ANT). Where GroupObserver
+ * tiles the innermost *feature* dimension, this one tiles the *leading*
+ * (timestep) axis: row t of the stream lands in group t / groupSize, so
+ * a decode loop can fold tokens in as they arrive and query the current
+ * group's scale after every append. Accumulation inherits Observer's
+ * order-exactness — streaming rows one at a time produces bit-identical
+ * sketches to observing the concatenated [T, d] tensor once, which is
+ * what pins KVCacheTensor's streaming calibration to the offline
+ * packFull oracle (tests/test_kv_cache.cpp).
+ *
+ * The feature dimension is fixed by the first observe() call. Like
+ * Observer, not thread-safe; merge() parallel shards instead — e.g.
+ * per-attention-head observers over the same timeline.
+ */
+class TimeGroupObserver
+{
+  public:
+    explicit TimeGroupObserver(int64_t group_size,
+                               ObserverConfig cfg = ObserverConfig{});
+
+    /** Timesteps per scale group. */
+    int64_t groupSize() const { return gs_; }
+
+    /** Row width seen so far (0 before the first batch). */
+    int64_t featureDim() const { return dim_; }
+
+    /** Rows folded in so far. */
+    int64_t timesteps() const { return t_; }
+
+    /** Group sketches allocated: ceil(timesteps / groupSize). */
+    int64_t groups() const { return static_cast<int64_t>(obs_.size()); }
+
+    /** One time-group's sketch — the current (ragged) group's sketch is
+     *  group(timesteps() ? (timesteps() - 1) / groupSize() : 0). */
+    const Observer &group(int64_t g) const;
+
+    /** Total elements observed across all groups. */
+    int64_t count() const;
+
+    /** True when no group has observed anything useful. */
+    bool empty() const;
+
+    /** Forget everything, including the feature dimension. */
+    void reset();
+
+    /**
+     * Fold another time-group observer's sketches into this one,
+     * group-by-group. Both must share group size and config, and (once
+     * seen) feature dimension; group counts may differ — the longer
+     * timeline wins. The intended use is parallel shards over the
+     * *same* timeline (per-head or per-replica observers whose row t is
+     * the same decode step t); timesteps() becomes the max of the two
+     * sides. Like Observer::merge, associative but not
+     * bit-order-independent.
+     */
+    void merge(const TimeGroupObserver &other);
+
+    /**
+     * Fold @p nrows rows of width @p d into the stream: row i lands in
+     * time group (timesteps() + i) / groupSize(). The width is pinned
+     * by the first call; a later batch with a different width throws.
+     */
+    void observe(const float *rows, int64_t nrows, int64_t d);
+
+    /** Tensor overload: the innermost dimension is the feature axis,
+     *  every leading dimension is flattened into timestep rows. */
+    void observe(const Tensor &t);
+
+    /** Per-time-group scale search for one fixed type (cfg.type is
+     *  ignored); index g of the result is group g's scale. */
+    std::vector<double> searchScales(const NumericType &type,
+                                     const QuantConfig &cfg) const;
+
+    /**
+     * Per-time-group Algorithm 2 from the sketches (same modes and
+     * result layout as GroupObserver::selectType, with the group axis
+     * being time). @p base_cfg.type is ignored.
+     */
+    GroupObserverSelection
+    selectType(const std::vector<TypePtr> &candidates,
+               const QuantConfig &base_cfg,
+               GroupTypeMode mode = GroupTypeMode::PerGroup) const;
+
+  private:
+    int64_t gs_;
+    int64_t dim_ = 0;
+    int64_t t_ = 0;
+    ObserverConfig cfg_;
+    std::vector<Observer> obs_;
+};
+
 } // namespace ant
 
 #endif // ANT_CORE_CALIBRATOR_H

@@ -1,0 +1,104 @@
+#include "serve/decode.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/packed_gemm.h"
+#include "tensor/ops.h"
+
+namespace ant {
+namespace serve {
+
+namespace {
+
+/** Validate a [d] / [1, d] row and return it shaped [1, d]. */
+Tensor
+asRow(const Tensor &t, int64_t d, const char *who)
+{
+    if (t.numel() != d)
+        throw std::invalid_argument(
+            std::string(who) + ": expected one row of " +
+            std::to_string(d) + " elements, got " +
+            std::to_string(t.numel()));
+    return t.reshaped(Shape{1, d});
+}
+
+/** A [d] query is one row: lift it to [1, d] for the GEMMs. */
+Tensor
+liftQuery(const Tensor &q)
+{
+    return q.ndim() == 1 ? q.reshaped(Shape{1, q.numel()}) : q;
+}
+
+/** Identical score-scale + softmax + context tail for both paths. */
+Tensor
+scaleScores(Tensor scores, double score_scale)
+{
+    const float s = static_cast<float>(score_scale);
+    float *p = scores.data();
+    for (int64_t i = 0; i < scores.numel(); ++i) p[i] *= s;
+    return scores;
+}
+
+} // namespace
+
+DecodeAttention::DecodeAttention(DecodeAttentionConfig cfg)
+    : cfg_(cfg),
+      scale_(cfg.scoreScale > 0.0
+                 ? cfg.scoreScale
+                 : 1.0 / std::sqrt(static_cast<double>(
+                       cfg.dModel > 0 ? cfg.dModel : 1))),
+      k_(cfg.dModel, cfg.kv),
+      v_(cfg.dModel, cfg.kv)
+{
+    if (cfg_.dModel < 1)
+        throw std::invalid_argument(
+            "DecodeAttention: dModel must be >= 1 (got " +
+            std::to_string(cfg_.dModel) + ")");
+    if (cfg_.scoreScale < 0.0)
+        throw std::invalid_argument(
+            "DecodeAttention: scoreScale must be >= 0");
+}
+
+Tensor
+DecodeAttention::step(const Tensor &q, const Tensor &k, const Tensor &v)
+{
+    const Tensor q2 = asRow(q, cfg_.dModel, "DecodeAttention::step(q)");
+    k_.append(asRow(k, cfg_.dModel, "DecodeAttention::step(k)"));
+    v_.append(asRow(v, cfg_.dModel, "DecodeAttention::step(v)"));
+    return attendPacked(q2, k_.packed(), v_.packed(), scale_);
+}
+
+void
+DecodeAttention::prefill(const Tensor &k, const Tensor &v)
+{
+    if (k.numel() != v.numel())
+        throw std::invalid_argument(
+            "DecodeAttention::prefill: k and v row counts differ");
+    k_.append(k);
+    v_.append(v);
+}
+
+Tensor
+attendPacked(const Tensor &q, const QTensor &keys,
+             const QTensor &values, double score_scale)
+{
+    Tensor scores =
+        scaleScores(packedMatmulBT(liftQuery(q), keys), score_scale);
+    const Tensor probs = ops::softmaxRows(scores);
+    return packedMatmul(probs, values);
+}
+
+Tensor
+attendReference(const Tensor &q, const Tensor &keys,
+                const Tensor &values, double score_scale)
+{
+    Tensor scores =
+        scaleScores(ops::matmulBT(liftQuery(q), keys), score_scale);
+    const Tensor probs = ops::softmaxRows(scores);
+    return ops::matmul(probs, values);
+}
+
+} // namespace serve
+} // namespace ant

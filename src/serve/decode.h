@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Autoregressive decode step over packed KV caches: the serving use of
+ * KVCacheTensor. Each step() appends the token's key/value rows to the
+ * two caches and attends the query over everything cached so far —
+ * q @ K^T through `packedMatmulBT` and probs @ V through
+ * `packedMatmul`, both decoding codes on the fly — so no float K or V
+ * tensor is ever materialized. That is pinned the same way the packed
+ * linear layer pins it: QTensor::unpackCalls() stays flat across a
+ * step while PackedGemmStats::fpGemmCalls advances by two.
+ *
+ * Numeric contract (tests/test_decode.cpp): attendPacked over the
+ * packed caches is *bitwise identical* to the float reference
+ * attendReference over the caches' dequantized tensors — quantization
+ * error enters only through the cached K/V codes, never through the
+ * attention arithmetic.
+ */
+
+#ifndef ANT_SERVE_DECODE_H
+#define ANT_SERVE_DECODE_H
+
+#include <cstdint>
+
+#include "core/kv_cache.h"
+#include "core/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+namespace serve {
+
+/** Static configuration of one DecodeAttention. */
+struct DecodeAttentionConfig
+{
+    /** Width of the q/k/v rows (the per-head or model dimension). */
+    int64_t dModel = 0;
+
+    /** Quantization of both KV caches (type, time-group size, scale
+     *  search); see KVCacheConfig. */
+    KVCacheConfig kv;
+
+    /** Score scaling applied before the softmax; 0 means the
+     *  transformer default 1/sqrt(dModel). */
+    double scoreScale = 0.0;
+};
+
+/**
+ * Single-head decode attention state: two packed KV caches plus the
+ * step loop. Not thread-safe (one decoding stream per instance); the
+ * packed snapshots it attends over are immutable, so a concurrent
+ * reader holding keys().packed() is safe across further steps.
+ */
+class DecodeAttention
+{
+  public:
+    explicit DecodeAttention(DecodeAttentionConfig cfg);
+
+    /**
+     * One autoregressive step: append @p k and @p v (each one [d] row
+     * or [1, d]) to the caches, then attend @p q (same shape) over the
+     * packed caches. Returns the [1, d] context row.
+     */
+    Tensor step(const Tensor &q, const Tensor &k, const Tensor &v);
+
+    /**
+     * Prefill: append a [T, d] block of keys/values without attending
+     * (the prompt's KV rows, whose attention outputs the decode loop
+     * never needs). Bitwise identical to T single-row appends.
+     */
+    void prefill(const Tensor &k, const Tensor &v);
+
+    const KVCacheTensor &keys() const { return k_; }
+    const KVCacheTensor &values() const { return v_; }
+    int64_t timesteps() const { return k_.timesteps(); }
+    double scoreScale() const { return scale_; }
+
+  private:
+    DecodeAttentionConfig cfg_;
+    double scale_;
+    KVCacheTensor k_, v_;
+};
+
+/**
+ * Stateless attention core over packed caches: scores = q @ K^T scaled
+ * by @p score_scale, probs = softmaxRows(scores), out = probs @ V.
+ * @p q is one [d] row or [1, d]; @p keys / @p values are packed
+ * [T, d]. Bitwise identical to attendReference(q, keys.unpack(),
+ * values.unpack(), score_scale) without materializing either float
+ * tensor.
+ */
+Tensor attendPacked(const Tensor &q, const QTensor &keys,
+                    const QTensor &values, double score_scale);
+
+/** The float oracle of attendPacked: identical op sequence over dense
+ *  [T, d] key/value tensors. */
+Tensor attendReference(const Tensor &q, const Tensor &keys,
+                       const Tensor &values, double score_scale);
+
+} // namespace serve
+} // namespace ant
+
+#endif // ANT_SERVE_DECODE_H

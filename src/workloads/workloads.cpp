@@ -54,6 +54,25 @@ pushEncoderBlock(std::vector<Layer> &out, const std::string &prefix,
     out.push_back(fc(prefix + ".ffn2", T, ff, D));
 }
 
+/** Knob guard shared by the zoo constructors. */
+void
+requirePositive(const char *who, const char *knob, int64_t v)
+{
+    if (v < 1)
+        throw std::invalid_argument(std::string(who) + ": " + knob +
+                                    " must be >= 1 (got " +
+                                    std::to_string(v) + ")");
+}
+
+/** Published-vs-swept naming, the gpt2Small idiom: the default shape
+ *  keeps the bare name, any deviation carries every knob. */
+std::string
+zooName(const std::string &base, bool published,
+        const std::string &knobs)
+{
+    return published ? base : base + "[" + knobs + "]";
+}
+
 } // namespace
 
 int64_t
@@ -73,74 +92,104 @@ Workload::totalWeights() const
 }
 
 Workload
-vgg16()
+vgg16(int image, int64_t classes)
 {
+    if (image < 32 || image % 32 != 0)
+        throw std::invalid_argument(
+            "vgg16: image must be a positive multiple of 32 (five 2x "
+            "pools; got " + std::to_string(image) + ")");
+    requirePositive("vgg16", "classes", classes);
     Workload w;
-    w.name = "VGG16";
+    w.name = zooName("VGG16", image == 224 && classes == 1000,
+                     "I" + std::to_string(image) + ",C" +
+                         std::to_string(classes));
     auto &L = w.layers;
-    L.push_back(conv("conv1_1", 3, 64, 3, 224, LayerKind::ConvFirst));
-    L.push_back(conv("conv1_2", 64, 64, 3, 224));
-    L.push_back(conv("conv2_1", 64, 128, 3, 112));
-    L.push_back(conv("conv2_2", 128, 128, 3, 112));
-    L.push_back(conv("conv3_1", 128, 256, 3, 56));
-    L.push_back(conv("conv3_2", 256, 256, 3, 56));
-    L.push_back(conv("conv3_3", 256, 256, 3, 56));
-    L.push_back(conv("conv4_1", 256, 512, 3, 28));
-    L.push_back(conv("conv4_2", 512, 512, 3, 28));
-    L.push_back(conv("conv4_3", 512, 512, 3, 28));
-    L.push_back(conv("conv5_1", 512, 512, 3, 14));
-    L.push_back(conv("conv5_2", 512, 512, 3, 14));
-    L.push_back(conv("conv5_3", 512, 512, 3, 14));
-    L.push_back(fc("fc6", 1, 25088, 4096));
+    const int h1 = image, h2 = image / 2, h3 = image / 4,
+              h4 = image / 8, h5 = image / 16, h6 = image / 32;
+    L.push_back(conv("conv1_1", 3, 64, 3, h1, LayerKind::ConvFirst));
+    L.push_back(conv("conv1_2", 64, 64, 3, h1));
+    L.push_back(conv("conv2_1", 64, 128, 3, h2));
+    L.push_back(conv("conv2_2", 128, 128, 3, h2));
+    L.push_back(conv("conv3_1", 128, 256, 3, h3));
+    L.push_back(conv("conv3_2", 256, 256, 3, h3));
+    L.push_back(conv("conv3_3", 256, 256, 3, h3));
+    L.push_back(conv("conv4_1", 256, 512, 3, h4));
+    L.push_back(conv("conv4_2", 512, 512, 3, h4));
+    L.push_back(conv("conv4_3", 512, 512, 3, h4));
+    L.push_back(conv("conv5_1", 512, 512, 3, h5));
+    L.push_back(conv("conv5_2", 512, 512, 3, h5));
+    L.push_back(conv("conv5_3", 512, 512, 3, h5));
+    L.push_back(fc("fc6", 1, static_cast<int64_t>(512) * h6 * h6,
+                   4096));
     L.push_back(fc("fc7", 1, 4096, 4096));
-    L.push_back(fc("fc8", 1, 4096, 1000));
+    L.push_back(fc("fc8", 1, 4096, classes));
     return w;
 }
 
 Workload
-resnet18()
+resnet18(int image, int64_t classes)
 {
+    if (image < 32 || image % 32 != 0)
+        throw std::invalid_argument(
+            "resnet18: image must be a positive multiple of 32 (got " +
+            std::to_string(image) + ")");
+    requirePositive("resnet18", "classes", classes);
     Workload w;
-    w.name = "ResNet18";
+    w.name = zooName("ResNet18", image == 224 && classes == 1000,
+                     "I" + std::to_string(image) + ",C" +
+                         std::to_string(classes));
     auto &L = w.layers;
-    L.push_back(conv("conv1", 3, 64, 7, 112, LayerKind::ConvFirst));
+    const int s1 = image / 4, s2 = image / 8, s3 = image / 16,
+              s4 = image / 32;
+    L.push_back(conv("conv1", 3, 64, 7, image / 2,
+                     LayerKind::ConvFirst));
     for (int b = 0; b < 2; ++b) {
         L.push_back(conv("l1." + std::to_string(b) + ".c1", 64, 64, 3,
-                         56));
+                         s1));
         L.push_back(conv("l1." + std::to_string(b) + ".c2", 64, 64, 3,
-                         56));
+                         s1));
     }
-    L.push_back(conv("l2.0.c1", 64, 128, 3, 28));
-    L.push_back(conv("l2.0.c2", 128, 128, 3, 28));
-    L.push_back(conv("l2.0.down", 64, 128, 1, 28));
-    L.push_back(conv("l2.1.c1", 128, 128, 3, 28));
-    L.push_back(conv("l2.1.c2", 128, 128, 3, 28));
-    L.push_back(conv("l3.0.c1", 128, 256, 3, 14));
-    L.push_back(conv("l3.0.c2", 256, 256, 3, 14));
-    L.push_back(conv("l3.0.down", 128, 256, 1, 14));
-    L.push_back(conv("l3.1.c1", 256, 256, 3, 14));
-    L.push_back(conv("l3.1.c2", 256, 256, 3, 14));
-    L.push_back(conv("l4.0.c1", 256, 512, 3, 7));
-    L.push_back(conv("l4.0.c2", 512, 512, 3, 7));
-    L.push_back(conv("l4.0.down", 256, 512, 1, 7));
-    L.push_back(conv("l4.1.c1", 512, 512, 3, 7));
-    L.push_back(conv("l4.1.c2", 512, 512, 3, 7));
-    L.push_back(fc("fc", 1, 512, 1000));
+    L.push_back(conv("l2.0.c1", 64, 128, 3, s2));
+    L.push_back(conv("l2.0.c2", 128, 128, 3, s2));
+    L.push_back(conv("l2.0.down", 64, 128, 1, s2));
+    L.push_back(conv("l2.1.c1", 128, 128, 3, s2));
+    L.push_back(conv("l2.1.c2", 128, 128, 3, s2));
+    L.push_back(conv("l3.0.c1", 128, 256, 3, s3));
+    L.push_back(conv("l3.0.c2", 256, 256, 3, s3));
+    L.push_back(conv("l3.0.down", 128, 256, 1, s3));
+    L.push_back(conv("l3.1.c1", 256, 256, 3, s3));
+    L.push_back(conv("l3.1.c2", 256, 256, 3, s3));
+    L.push_back(conv("l4.0.c1", 256, 512, 3, s4));
+    L.push_back(conv("l4.0.c2", 512, 512, 3, s4));
+    L.push_back(conv("l4.0.down", 256, 512, 1, s4));
+    L.push_back(conv("l4.1.c1", 512, 512, 3, s4));
+    L.push_back(conv("l4.1.c2", 512, 512, 3, s4));
+    // Global average pool precedes the head, so its width is
+    // image-independent.
+    L.push_back(fc("fc", 1, 512, classes));
     return w;
 }
 
 Workload
-resnet50()
+resnet50(int image, int64_t classes)
 {
+    if (image < 32 || image % 32 != 0)
+        throw std::invalid_argument(
+            "resnet50: image must be a positive multiple of 32 (got " +
+            std::to_string(image) + ")");
+    requirePositive("resnet50", "classes", classes);
     Workload w;
-    w.name = "ResNet50";
+    w.name = zooName("ResNet50", image == 224 && classes == 1000,
+                     "I" + std::to_string(image) + ",C" +
+                         std::to_string(classes));
     auto &L = w.layers;
-    L.push_back(conv("conv1", 3, 64, 7, 112, LayerKind::ConvFirst));
+    L.push_back(conv("conv1", 3, 64, 7, image / 2,
+                     LayerKind::ConvFirst));
     const struct { int blocks, in, mid, out, hw; } stages[] = {
-        {3, 64, 64, 256, 56},
-        {4, 256, 128, 512, 28},
-        {6, 512, 256, 1024, 14},
-        {3, 1024, 512, 2048, 7},
+        {3, 64, 64, 256, image / 4},
+        {4, 256, 128, 512, image / 8},
+        {6, 512, 256, 1024, image / 16},
+        {3, 1024, 512, 2048, image / 32},
     };
     int stage_idx = 0;
     for (const auto &s : stages) {
@@ -156,65 +205,103 @@ resnet50()
                 L.push_back(conv(p + ".down", s.in, s.out, 1, s.hw));
         }
     }
-    L.push_back(fc("fc", 1, 2048, 1000));
+    L.push_back(fc("fc", 1, 2048, classes));
     return w;
 }
 
 Workload
-inceptionV3()
+inceptionV3(int image, int64_t classes)
 {
     // Condensed Inception-V3: the stem plus representative mixed
     // blocks at each spatial resolution with the published channel
     // splits; totals land within a few percent of the 5.7 GMACs model.
+    // The stem's valid convolutions fix the spatial chain: each
+    // stride-2 stage computes (s - 3) / 2 + 1, so image 299 yields the
+    // published 149/147/73/71/35/17/8 resolutions.
+    const auto down = [](int s) { return (s - 3) / 2 + 1; };
+    if (image < 79)
+        throw std::invalid_argument(
+            "inceptionV3: image must be >= 79 so every stem stage "
+            "stays positive (got " + std::to_string(image) + ")");
+    requirePositive("inceptionV3", "classes", classes);
+    const int h1 = down(image); // stem.c1, stride-2 valid 3x3
+    const int h2 = h1 - 2;      // stem.c2, valid 3x3
+    const int h3 = down(h2);    // maxpool -> stem.c4
+    const int h4 = h3 - 2;      // stem.c5, valid 3x3
+    const int m5 = down(h4);    // mixed5 blocks
+    const int m6 = down(m5);    // mixed6 blocks
+    const int m7 = down(m6);    // mixed7 blocks
     Workload w;
-    w.name = "InceptionV3";
+    w.name = zooName("InceptionV3", image == 299 && classes == 1000,
+                     "I" + std::to_string(image) + ",C" +
+                         std::to_string(classes));
     auto &L = w.layers;
-    L.push_back(conv("stem.c1", 3, 32, 3, 149, LayerKind::ConvFirst));
-    L.push_back(conv("stem.c2", 32, 32, 3, 147));
-    L.push_back(conv("stem.c3", 32, 64, 3, 147));
-    L.push_back(conv("stem.c4", 64, 80, 1, 73));
-    L.push_back(conv("stem.c5", 80, 192, 3, 71));
+    L.push_back(conv("stem.c1", 3, 32, 3, h1, LayerKind::ConvFirst));
+    L.push_back(conv("stem.c2", 32, 32, 3, h2));
+    L.push_back(conv("stem.c3", 32, 64, 3, h2));
+    L.push_back(conv("stem.c4", 64, 80, 1, h3));
+    L.push_back(conv("stem.c5", 80, 192, 3, h4));
     for (int b = 0; b < 3; ++b) {
         const std::string p = "mixed5" + std::to_string(b);
         const int in_ch = b == 0 ? 192 : 288;
-        L.push_back(conv(p + ".b1x1", in_ch, 64, 1, 35));
-        L.push_back(conv(p + ".b5x5", in_ch, 64, 5, 35));
-        L.push_back(conv(p + ".b3x3a", in_ch, 96, 3, 35));
-        L.push_back(conv(p + ".b3x3b", 96, 96, 3, 35));
-        L.push_back(conv(p + ".pool", in_ch, 64, 1, 35));
+        L.push_back(conv(p + ".b1x1", in_ch, 64, 1, m5));
+        L.push_back(conv(p + ".b5x5", in_ch, 64, 5, m5));
+        L.push_back(conv(p + ".b3x3a", in_ch, 96, 3, m5));
+        L.push_back(conv(p + ".b3x3b", 96, 96, 3, m5));
+        L.push_back(conv(p + ".pool", in_ch, 64, 1, m5));
     }
     for (int b = 0; b < 4; ++b) {
         const std::string p = "mixed6" + std::to_string(b);
-        L.push_back(conv(p + ".b1x1", 768, 192, 1, 17));
-        L.push_back(conv(p + ".b7x1", 768, 192, 7, 17));
-        L.push_back(conv(p + ".b1x7", 192, 192, 7, 17));
-        L.push_back(conv(p + ".pool", 768, 192, 1, 17));
+        L.push_back(conv(p + ".b1x1", 768, 192, 1, m6));
+        L.push_back(conv(p + ".b7x1", 768, 192, 7, m6));
+        L.push_back(conv(p + ".b1x7", 192, 192, 7, m6));
+        L.push_back(conv(p + ".pool", 768, 192, 1, m6));
     }
     for (int b = 0; b < 2; ++b) {
         const std::string p = "mixed7" + std::to_string(b);
-        L.push_back(conv(p + ".b1x1", 1280, 320, 1, 8));
-        L.push_back(conv(p + ".b3x3", 1280, 384, 3, 8));
-        L.push_back(conv(p + ".b3x3d", 384, 384, 3, 8));
-        L.push_back(conv(p + ".pool", 1280, 192, 1, 8));
+        L.push_back(conv(p + ".b1x1", 1280, 320, 1, m7));
+        L.push_back(conv(p + ".b3x3", 1280, 384, 3, m7));
+        L.push_back(conv(p + ".b3x3d", 384, 384, 3, m7));
+        L.push_back(conv(p + ".pool", 1280, 192, 1, m7));
     }
-    L.push_back(fc("fc", 1, 2048, 1000));
+    L.push_back(fc("fc", 1, 2048, classes));
     return w;
 }
 
 Workload
-vitBase()
+vitBase(int image, int patch, int blocks, int64_t d_model,
+        int64_t classes)
 {
+    if (patch < 1 || image < patch || image % patch != 0)
+        throw std::invalid_argument(
+            "vitBase: image must be a positive multiple of patch "
+            "(got image " + std::to_string(image) + ", patch " +
+            std::to_string(patch) + ")");
+    requirePositive("vitBase", "blocks", blocks);
+    requirePositive("vitBase", "d_model", d_model);
+    requirePositive("vitBase", "classes", classes);
     Workload w;
-    w.name = "ViT";
+    w.name = zooName("ViT",
+                     image == 224 && patch == 16 && blocks == 12 &&
+                         d_model == 768 && classes == 1000,
+                     "I" + std::to_string(image) + ",P" +
+                         std::to_string(patch) + ",L" +
+                         std::to_string(blocks) + ",D" +
+                         std::to_string(d_model) + ",C" +
+                         std::to_string(classes));
     w.isTransformer = true;
     auto &L = w.layers;
-    // Patch embedding: 224/16 = 14x14 = 196 tokens + cls, D = 768.
-    const int64_t T = 197, D = 768, FF = 3072;
-    L.push_back(fc("patch_embed", T - 1, 16 * 16 * 3, D,
+    // Patch embedding: (image/patch)^2 tokens + cls; the published
+    // B/16 shape is 224/16 = 14x14 = 196 + 1 = 197 at D = 768.
+    const int64_t grid = image / patch;
+    const int64_t T = grid * grid + 1;
+    const int64_t FF = 4 * d_model; // ViT's fixed MLP expansion
+    L.push_back(fc("patch_embed", T - 1,
+                   static_cast<int64_t>(patch) * patch * 3, d_model,
                    LayerKind::Fc));
-    for (int b = 0; b < 12; ++b)
-        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
-    L.push_back(fc("head", 1, D, 1000));
+    for (int b = 0; b < blocks; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), T, d_model, FF);
+    L.push_back(fc("head", 1, d_model, classes));
     // ViT activations: GELU outputs are Laplace-ish, attention outputs
     // carry milder outliers than BERT's.
     for (Layer &l : L)
@@ -224,18 +311,27 @@ vitBase()
 }
 
 Workload
-bertBase(const std::string &task)
+bertBase(const std::string &task, int64_t seq, int blocks,
+         int64_t d_model)
 {
+    requirePositive("bertBase", "seq", seq);
+    requirePositive("bertBase", "blocks", blocks);
+    requirePositive("bertBase", "d_model", d_model);
     Workload w;
-    w.name = "BERT-" + task;
+    w.name = zooName("BERT-" + task,
+                     seq == 128 && blocks == 12 && d_model == 768,
+                     "T" + std::to_string(seq) + ",L" +
+                         std::to_string(blocks) + ",D" +
+                         std::to_string(d_model));
     w.isTransformer = true;
     auto &L = w.layers;
-    const int64_t T = 128, D = 768, FF = 3072;
-    for (int b = 0; b < 12; ++b)
-        pushEncoderBlock(L, "blk" + std::to_string(b), T, D, FF);
+    const int64_t FF = 4 * d_model; // BERT's fixed FFN expansion
+    for (int b = 0; b < blocks; ++b)
+        pushEncoderBlock(L, "blk" + std::to_string(b), seq, d_model,
+                         FF);
     const int64_t classes = task == "MNLI" ? 3 : 2;
-    L.push_back(fc("pooler", 1, D, D));
-    L.push_back(fc("head", 1, D, classes));
+    L.push_back(fc("pooler", 1, d_model, d_model));
+    L.push_back(fc("head", 1, d_model, classes));
     return w;
 }
 

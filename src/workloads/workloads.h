@@ -55,14 +55,31 @@ struct Workload
     int64_t totalWeights() const;
 };
 
-/** The paper's evaluated models (Table IV). */
-Workload vgg16();
-Workload resnet18();
-Workload resnet50();
-Workload inceptionV3();
-Workload vitBase();
+/**
+ * The paper's evaluated models (Table IV), each with parameterized
+ * shape knobs so sweeps can scale them without new workload functions.
+ * The defaults are the published shapes and keep the bare workload
+ * name; any deviation names every knob ("VGG16[I192,C10]",
+ * "ViT[I384,P16,L12,D768,C1000]", ...) so reports stay
+ * self-describing — the gpt2Small idiom. Every constructor throws
+ * std::invalid_argument on knobs that break the architecture (image
+ * not a multiple of the downsampling factor / patch size, non-positive
+ * counts).
+ *
+ * Conv nets take the input @p image resolution (must divide by the
+ * net's total stride of 32; Inception's valid-conv stem instead needs
+ * image >= 79) and the head's @p classes. Transformers take their
+ * token/width knobs; FF stays the published 4x expansion.
+ */
+Workload vgg16(int image = 224, int64_t classes = 1000);
+Workload resnet18(int image = 224, int64_t classes = 1000);
+Workload resnet50(int image = 224, int64_t classes = 1000);
+Workload inceptionV3(int image = 299, int64_t classes = 1000);
+Workload vitBase(int image = 224, int patch = 16, int blocks = 12,
+                 int64_t d_model = 768, int64_t classes = 1000);
 /** BERT-Base encoder; the GLUE task only changes the tiny head. */
-Workload bertBase(const std::string &task = "MNLI");
+Workload bertBase(const std::string &task = "MNLI", int64_t seq = 128,
+                  int blocks = 12, int64_t d_model = 768);
 
 /**
  * GPT-2 Small decoder (not in the paper's Table IV): @p blocks

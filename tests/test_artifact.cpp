@@ -221,20 +221,20 @@ TEST(Artifact, CorruptDocumentsAreRejected)
         SCOPED_TRACE(cut);
         EXPECT_THROW(
             (void)ModelArtifact::fromBytes(bytes.substr(0, cut)),
-            std::invalid_argument);
+            ArtifactError);
     }
     // Bad magic and unknown version.
     std::string magic = bytes;
     magic[0] = 'X';
     EXPECT_THROW((void)ModelArtifact::fromBytes(magic),
-                 std::invalid_argument);
+                 ArtifactError);
     std::string version = bytes;
     version[7] = 99;
     EXPECT_THROW((void)ModelArtifact::fromBytes(version),
-                 std::invalid_argument);
+                 ArtifactError);
     // Trailing garbage.
     EXPECT_THROW((void)ModelArtifact::fromBytes(bytes + "zz"),
-                 std::invalid_argument);
+                 ArtifactError);
     // A hostile element count must fail bounds checks, not allocate.
     // Written as a v1 document so it reaches the structural checks
     // instead of stopping at the checksum.
@@ -244,11 +244,11 @@ TEST(Artifact, CorruptDocumentsAreRejected)
         SCOPED_TRACE(cut);
         EXPECT_THROW(
             (void)ModelArtifact::fromBytes(legacy.substr(0, cut)),
-            std::invalid_argument);
+            ArtifactError);
     }
     EXPECT_THROW((void)ModelArtifact::fromBytes(legacy.substr(0, 8) +
                                                 std::string(8, '\xff')),
-                 std::invalid_argument);
+                 ArtifactError);
 
     // Corrupt dimension extents: negative dims and extents near the
     // numel * bits overflow edge must be rejected up front, not fed
@@ -288,10 +288,10 @@ TEST(Artifact, CorruptDocumentsAreRejected)
     };
     EXPECT_THROW((void)ModelArtifact::fromBytes(
                      patchDims(-1, -4)), // numel 4, negative extents
-                 std::invalid_argument);
+                 ArtifactError);
     EXPECT_THROW((void)ModelArtifact::fromBytes(patchDims(
                      int64_t{3037000500}, int64_t{3037000500})),
-                 std::invalid_argument);
+                 ArtifactError);
 
     // File I/O failure paths.
     EXPECT_THROW((void)ModelArtifact::loadFile("/nonexistent/x.antq"),
@@ -355,7 +355,7 @@ TEST(Artifact, ChecksumFailsLoudlyInBothLoaders)
     try {
         (void)ModelArtifact::fromBytes(bytes);
         FAIL() << "corrupted document parsed";
-    } catch (const std::invalid_argument &e) {
+    } catch (const ArtifactError &e) {
         EXPECT_NE(std::string(e.what()).find("checksum"),
                   std::string::npos)
             << e.what();
@@ -369,9 +369,9 @@ TEST(Artifact, ChecksumFailsLoudlyInBothLoaders)
                 static_cast<std::streamsize>(bytes.size()));
     }
     EXPECT_THROW((void)ModelArtifact::loadFile(path),
-                 std::invalid_argument);
+                 ArtifactError);
     EXPECT_THROW((void)ModelArtifact::mapFile(path),
-                 std::invalid_argument);
+                 ArtifactError);
     // The opt-out exists for storage layers with their own integrity
     // story: with verification off the flipped payload bit is not an
     // I/O error (the document is structurally intact).

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Pins for the autoregressive decode path (serve/decode.h) and the
+ * KV-cache traffic model (sim/decode.h).
+ *
+ * Serving side: attendPacked over packed KV caches is bitwise
+ * identical to the float reference over the caches' dequantized
+ * tensors, the step loop matches the stateless core at every length,
+ * prefill equals stepwise appends, and a decode step never
+ * materializes float K/V — QTensor::unpackCalls() stays flat while
+ * PackedGemmStats::fpGemmCalls advances by two per step.
+ *
+ * Simulation side: planDecodeTraffic's int4/g=128 packed cache beats
+ * the fp16 baseline on cumulative DRAM traffic (the fig13-style win
+ * the bench snapshot pins harder), the cumulative curve is monotone,
+ * the MSE probe is deterministic, and the error paths (conv nets
+ * without KV, hostile specs, SRAM-overflowing tail groups) throw.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/kv_cache.h"
+#include "core/packed_gemm.h"
+#include "core/qtensor.h"
+#include "serve/decode.h"
+#include "sim/decode.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace {
+
+using serve::DecodeAttention;
+using serve::DecodeAttentionConfig;
+
+Tensor
+makeRows(int64_t t, int64_t d, uint64_t seed)
+{
+    Rng rng(seed);
+    return rng.laplaceOutlierTensor(Shape{t, d}, 1.0f, 0.01, 8.0f);
+}
+
+Tensor
+rowOf(const Tensor &rows, int64_t i, int64_t d)
+{
+    Tensor r(Shape{d});
+    std::copy(rows.data() + i * d, rows.data() + (i + 1) * d, r.data());
+    return r;
+}
+
+DecodeAttentionConfig
+makeConfig(int64_t d, int64_t gs, const std::string &spec = "int4")
+{
+    DecodeAttentionConfig cfg;
+    cfg.dModel = d;
+    cfg.kv.type = parseType(spec);
+    cfg.kv.groupSize = gs;
+    return cfg;
+}
+
+void
+expectBitwise(const Tensor &a, const Tensor &b)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "elem " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Serving: packed attention == float reference over dequantized caches.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeTest, AttendPackedMatchesReferenceBitwise)
+{
+    const int64_t T = 96, d = 32, gs = 32;
+    KVCacheConfig kcfg;
+    kcfg.type = parseType("int4");
+    kcfg.groupSize = gs;
+    const KVCacheTensor keys =
+        KVCacheTensor::packFull(makeRows(T, d, 0xA1), kcfg);
+    const KVCacheTensor values =
+        KVCacheTensor::packFull(makeRows(T, d, 0xA2), kcfg);
+    const Tensor q = makeRows(1, d, 0xA3);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+
+    const Tensor packed =
+        serve::attendPacked(q, keys.packed(), values.packed(), scale);
+    const Tensor ref = serve::attendReference(q, keys.dequant(),
+                                              values.dequant(), scale);
+    ASSERT_EQ(packed.shape(), (Shape{1, d}));
+    expectBitwise(packed, ref);
+}
+
+TEST(DecodeTest, StepMatchesStatelessCoreAtEveryLength)
+{
+    const int64_t steps = 50, d = 24, gs = 16;
+    DecodeAttention da(makeConfig(d, gs));
+    const Tensor qs = makeRows(steps, d, 0xB1);
+    const Tensor ks = makeRows(steps, d, 0xB2);
+    const Tensor vs = makeRows(steps, d, 0xB3);
+
+    for (int64_t i = 0; i < steps; ++i) {
+        const Tensor out = da.step(rowOf(qs, i, d), rowOf(ks, i, d),
+                                   rowOf(vs, i, d));
+        ASSERT_EQ(da.timesteps(), i + 1);
+        // Spot-check against the float oracle at a few lengths
+        // (covering group boundaries at gs=16 and the ragged middle).
+        if (i % 9 == 0 || i == steps - 1) {
+            SCOPED_TRACE("step " + std::to_string(i));
+            const Tensor ref = serve::attendReference(
+                rowOf(qs, i, d), da.keys().dequant(),
+                da.values().dequant(), da.scoreScale());
+            expectBitwise(out, ref);
+        }
+    }
+}
+
+TEST(DecodeTest, PrefillMatchesStepwiseAppends)
+{
+    const int64_t T = 40, d = 16, gs = 16;
+    const Tensor ks = makeRows(T, d, 0xC1);
+    const Tensor vs = makeRows(T, d, 0xC2);
+    const Tensor q = makeRows(1, d, 0xC3);
+    const Tensor k_next = makeRows(1, d, 0xC4);
+    const Tensor v_next = makeRows(1, d, 0xC5);
+
+    DecodeAttention prefilled(makeConfig(d, gs));
+    prefilled.prefill(ks, vs);
+    ASSERT_EQ(prefilled.timesteps(), T);
+
+    DecodeAttention stepped(makeConfig(d, gs));
+    for (int64_t i = 0; i < T; ++i)
+        stepped.step(rowOf(ks, i, d), rowOf(ks, i, d), rowOf(vs, i, d));
+
+    const Tensor a = prefilled.step(q, k_next, v_next);
+    const Tensor b = stepped.step(q, k_next, v_next);
+    expectBitwise(a, b);
+    const QTensor pk = prefilled.keys().packed();
+    const QTensor sk = stepped.keys().packed();
+    ASSERT_TRUE(pk.words() == sk.words());
+    ASSERT_EQ(pk.scales(), sk.scales());
+}
+
+TEST(DecodeTest, StepNeverMaterializesFloatKv)
+{
+    const int64_t d = 32, gs = 16;
+    DecodeAttention da(makeConfig(d, gs));
+    const Tensor qs = makeRows(8, d, 0xD1);
+    const Tensor ks = makeRows(8, d, 0xD2);
+    const Tensor vs = makeRows(8, d, 0xD3);
+    for (int64_t i = 0; i < 3; ++i) // warm up past the empty cache
+        da.step(rowOf(qs, i, d), rowOf(ks, i, d), rowOf(vs, i, d));
+
+    const uint64_t unpacks0 = QTensor::unpackCalls();
+    const uint64_t gemms0 = packedGemmStats().fpGemmCalls;
+    for (int64_t i = 3; i < 8; ++i)
+        da.step(rowOf(qs, i, d), rowOf(ks, i, d), rowOf(vs, i, d));
+    EXPECT_EQ(QTensor::unpackCalls(), unpacks0)
+        << "a decode step materialized a float K/V tensor";
+    EXPECT_EQ(packedGemmStats().fpGemmCalls, gemms0 + 10)
+        << "expected two packed GEMMs (q@K^T, probs@V) per step";
+}
+
+TEST(DecodeTest, ScoreScaleDefaultsToInverseSqrtD)
+{
+    DecodeAttention da(makeConfig(64, 16));
+    EXPECT_DOUBLE_EQ(da.scoreScale(), 1.0 / 8.0);
+    DecodeAttentionConfig cfg = makeConfig(64, 16);
+    cfg.scoreScale = 0.25;
+    EXPECT_DOUBLE_EQ(DecodeAttention(cfg).scoreScale(), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation: the KV DRAM traffic model.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeTest, TrafficModelShowsPackedWin)
+{
+    const workloads::Workload w = workloads::gpt2Small(2, 64, 256, 0);
+    sim::KvCacheSimSpec spec;
+    spec.groupSize = 16;
+    const sim::DecodeTrafficReport r =
+        sim::planDecodeTraffic(w, 256, spec);
+
+    EXPECT_EQ(r.seq, 256);
+    EXPECT_EQ(r.dModel, 64);
+    EXPECT_EQ(r.kvBlocks, 2);
+    EXPECT_GT(r.antTotalBytes, 0.0);
+    EXPECT_LT(r.antTotalBytes, r.fp16TotalBytes);
+    // int4 codes + per-group scales against fp16: better than 3x on
+    // total traffic (the bench snapshot pins the exact figure).
+    EXPECT_GT(r.trafficRatio, 3.0);
+    EXPECT_EQ(r.antResidentBytes,
+              2.0 * static_cast<double>(KVCacheTensor::footprintBytes(
+                        256, 64, 4, 16)));
+    EXPECT_EQ(r.fp16ResidentBytes, 2.0 * 256 * 64 * 2);
+
+    // Cumulative curves are strictly increasing and end at the totals.
+    ASSERT_FALSE(r.curve.empty());
+    for (size_t i = 1; i < r.curve.size(); ++i) {
+        EXPECT_GT(r.curve[i].antBytes, r.curve[i - 1].antBytes);
+        EXPECT_GT(r.curve[i].fp16Bytes, r.curve[i - 1].fp16Bytes);
+    }
+    EXPECT_EQ(r.curve.back().timestep, 256);
+    EXPECT_EQ(r.curve.back().antBytes, r.antTotalBytes);
+    EXPECT_EQ(r.curve.back().fp16Bytes, r.fp16TotalBytes);
+
+    // The iso-quality frame: the packed cache is lossier than fp16 but
+    // both probes are finite, positive, and deterministic.
+    EXPECT_GT(r.mse, 0.0);
+    EXPECT_GT(r.fp16Mse, 0.0);
+    EXPECT_LT(r.fp16Mse, r.mse);
+    EXPECT_TRUE(std::isfinite(r.mse));
+    const sim::DecodeTrafficReport again =
+        sim::planDecodeTraffic(w, 256, spec);
+    EXPECT_EQ(r.mse, again.mse);
+    EXPECT_EQ(r.fp16Mse, again.fp16Mse);
+    EXPECT_EQ(r.trafficRatio, again.trafficRatio);
+}
+
+TEST(DecodeTest, TrafficModelErrorPaths)
+{
+    const workloads::Workload gpt = workloads::gpt2Small(1, 64, 64, 0);
+    sim::KvCacheSimSpec spec;
+    spec.groupSize = 16;
+
+    // Conv nets hold no KV cache.
+    EXPECT_THROW(sim::planDecodeTraffic(workloads::vgg16(), 64, spec),
+                 std::invalid_argument);
+    EXPECT_THROW(sim::planDecodeTraffic(gpt, 0, spec),
+                 std::invalid_argument);
+
+    sim::KvCacheSimSpec bad_type = spec;
+    bad_type.typeSpec = "notatype";
+    EXPECT_THROW(sim::planDecodeTraffic(gpt, 64, bad_type),
+                 std::invalid_argument);
+
+    // A tail group that cannot fit the accelerator's SRAM buffer is
+    // not servable on the design.
+    sim::KvCacheSimSpec huge = spec;
+    huge.groupSize = int64_t{1} << 32;
+    EXPECT_THROW(sim::planDecodeTraffic(gpt, 64, huge),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Serving error paths.
+// ---------------------------------------------------------------------------
+
+TEST(DecodeTest, RejectsBadShapesAndConfigs)
+{
+    DecodeAttentionConfig no_d = makeConfig(0, 16);
+    EXPECT_THROW(DecodeAttention{no_d}, std::invalid_argument);
+
+    DecodeAttention da(makeConfig(16, 8));
+    const Tensor ok = makeRows(1, 16, 1);
+    const Tensor wide = makeRows(1, 24, 2);
+    EXPECT_THROW(da.step(wide, ok, ok), std::invalid_argument);
+    EXPECT_THROW(da.step(ok, wide, ok), std::invalid_argument);
+    EXPECT_THROW(da.step(ok, ok, wide), std::invalid_argument);
+    EXPECT_THROW(da.prefill(makeRows(4, 16, 3), makeRows(5, 16, 4)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace ant

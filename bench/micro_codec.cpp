@@ -26,6 +26,7 @@
 #include "core/qtensor.h"
 #include "core/quant_kernel.h"
 #include "core/quantizer.h"
+#include "core/tp_split.h"
 #include "core/type_registry.h"
 #include "core/type_selector.h"
 #include "hw/decoder.h"
@@ -34,6 +35,8 @@
 #include "serve/server.h"
 #include "sim/accelerator.h"
 #include "sim/decode.h"
+#include "sim/distributed.h"
+#include "sim/planner.h"
 #include "tensor/ops.h"
 #include "tensor/parallel.h"
 #include "workloads/workloads.h"
@@ -1048,6 +1051,172 @@ BM_Fig13Speedup(benchmark::State &state)
 }
 BENCHMARK(BM_Fig13Speedup)
     ->DenseRange(0, 7)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// Sharded artifacts, tensor-parallel splits, and multi-chip scale-out.
+
+/** The cold-start workload resharded into one manifest + per-blob
+ *  shard files, built once per process next to the monolithic
+ *  fixture. */
+const std::string &
+shardedManifestPath()
+{
+    static const std::string path = [] {
+        serve::StackSpec spec;
+        spec.granularity = Granularity::PerTensor;
+        const ModelArtifact art = serve::buildWorkloadArtifact(
+            workloads::gpt2Small(2, 512, 4, /*vocab=*/0), spec);
+        const std::string p = "/tmp/ant_bench_coldstart.antm";
+        saveSharded(art, p);
+        return p;
+    }();
+    return path;
+}
+
+/** Time-to-ready through mapSharded on the same payload as the
+ *  monolithic cold-start pair: one mmap per shard, metadata parses
+ *  only, lazy payload faulting. Checksum verification off for the
+ *  same reason as BM_ArtifactColdStartMap — verifying would fault
+ *  every page in. The snapshot gates this against both monolithic
+ *  loaders: far faster than the copying load, same order as the
+ *  single-mmap load. */
+void
+BM_ShardColdStartMap(benchmark::State &state)
+{
+    const std::string &path = shardedManifestPath();
+    MapOptions opts;
+    opts.verifyChecksum = false;
+    size_t payload = 0;
+    for (auto _ : state) {
+        const ModelArtifact art = mapSharded(path, opts);
+        payload = art.payloadBytes();
+        benchmark::DoNotOptimize(payload);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(payload));
+    state.SetItemsProcessed(state.iterations()); // loads/s for the gate
+    state.counters["payload_mb"] = static_cast<double>(payload) / 1e6;
+    state.counters["shards"] = static_cast<double>(
+        ShardedManifest::loadFile(path).shards.size());
+}
+BENCHMARK(BM_ShardColdStartMap)->Unit(benchmark::kMillisecond);
+
+/**
+ * Split serving GEMM: Args are {parts, split} (0 = column, 1 = row) of
+ * a per-group int4 weight. out_l1 is the summed |C| of the recombined
+ * output — the snapshot's parity rules pin it equal across every
+ * (parts, split) point, the machine-checkable form of "tensor
+ * parallelism never changes an answer bit".
+ */
+void
+BM_ShardTPMatmulBT(benchmark::State &state)
+{
+    struct Fixture
+    {
+        Tensor a;
+        QTensor q;
+        Fixture()
+        {
+            Rng rng(321);
+            const int64_t n = 512, k = 2048;
+            const Tensor w =
+                rng.tensor(Shape{n, k}, DistFamily::WeightLike);
+            a = rng.tensor(Shape{8, k}, DistFamily::Gaussian);
+            QuantConfig cfg;
+            cfg.type = parseType("int4");
+            cfg.granularity = Granularity::PerGroup;
+            cfg.scaleMode = ScaleMode::MaxCalib;
+            cfg.groupSize = 128;
+            q = *quantize(w, cfg, QuantizeTo::Packed).packed;
+        }
+    };
+    static const Fixture fx;
+    const int parts = static_cast<int>(state.range(0));
+    const TpSplit split =
+        state.range(1) == 0 ? TpSplit::Column : TpSplit::Row;
+    const std::vector<QTensor> shards =
+        splitTensorParallel(fx.q, parts, split);
+
+    double out_l1 = 0.0;
+    for (auto _ : state) {
+        const Tensor c = tpMatmulBT(fx.a, shards, split);
+        double l1 = 0.0;
+        for (int64_t i = 0; i < c.numel(); ++i)
+            l1 += std::fabs(static_cast<double>(c[i]));
+        out_l1 = l1;
+        benchmark::DoNotOptimize(out_l1);
+    }
+    state.SetItemsProcessed(
+        state.iterations() * fx.a.dim(0) * fx.q.shape().dim(0) *
+        fx.q.shape().dim(1)); // MACs
+    state.counters["out_l1"] = out_l1;
+}
+BENCHMARK(BM_ShardTPMatmulBT)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/** Multi-chip tensor-parallel scale-out of the GPT-2 trunk + head on
+ *  ANT-OS chips: speedup over one chip, collective traffic, and the
+ *  packed model bytes across the fleet. Deterministic (pure simulator
+ *  outputs), so the snapshot pins speedup and the checker enforces an
+ *  absolute floor at 8 chips. */
+void
+BM_MultiChipScaleOut(benchmark::State &state)
+{
+    static const workloads::Workload w = workloads::gpt2Small();
+    static const sim::QuantPlan plan =
+        sim::planWorkload(w, hw::Design::AntOS);
+    sim::MultiChipConfig cfg;
+    cfg.chips = static_cast<int>(state.range(0));
+    sim::MultiChipResult r;
+    for (auto _ : state) {
+        r = sim::simulateMultiChip(w, plan, cfg);
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel(w.name + std::string(" x") +
+                   std::to_string(cfg.chips));
+    state.counters["speedup"] = r.speedup;
+    state.counters["comm_mb"] =
+        (r.allReduceBytes + r.allGatherBytes) / 1e6;
+    state.counters["model_mb"] = r.modelBytes / 1e6;
+}
+BENCHMARK(BM_MultiChipScaleOut)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** The capacity table behind "fewer chips at iso model size": chips
+ *  of 16 MB on-package memory needed just to hold GPT-2 Small in
+ *  int4/g128 packed form (codes + scale plane) vs fp16. The checker
+ *  enforces chip_ratio >= 3.0 outright — the paper-facing claim. */
+void
+BM_MultiChipIsoCapacity(benchmark::State &state)
+{
+    const workloads::Workload w = workloads::gpt2Small();
+    const double cap = 16e6;
+    sim::IsoCapacityReport rep;
+    for (auto _ : state) {
+        rep = sim::chipsAtIsoModelSize(w, cap);
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel(rep.ant.label + std::string(" vs fp16"));
+    state.counters["ant_chips"] = rep.ant.chips;
+    state.counters["fp16_chips"] = rep.fp16.chips;
+    state.counters["chip_ratio"] = rep.chipRatio;
+    state.counters["ant_model_mb"] = rep.ant.modelBytes / 1e6;
+    state.counters["fp16_model_mb"] = rep.fp16.modelBytes / 1e6;
+}
+BENCHMARK(BM_MultiChipIsoCapacity)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

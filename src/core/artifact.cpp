@@ -68,12 +68,16 @@ padTo8(std::string &out)
 class Reader
 {
   public:
-    Reader(const char *data, size_t size) : data_(data), size_(size) {}
+    Reader(const char *data, size_t size,
+           const char *ctx = "ModelArtifact")
+        : data_(data), size_(size), ctx_(ctx)
+    {
+    }
 
     [[noreturn]] void
     fail(const std::string &why) const
     {
-        throw ArtifactError("ModelArtifact: " + why +
+        throw ArtifactError(std::string(ctx_) + ": " + why +
                                     " at offset " +
                                     std::to_string(pos_));
     }
@@ -145,6 +149,7 @@ class Reader
   private:
     const char *data_;
     size_t size_;
+    const char *ctx_;
     size_t pos_ = 0;
 };
 
@@ -445,6 +450,360 @@ ModelArtifact::mapFile(const std::string &path, MapOptions opts)
     // loadFile, instead of two.
     return parseDocument(mf->data(), mf->size(), mf,
                          opts.verifyChecksum);
+}
+
+// --------------------------------------------------------------------
+// Sharded manifests (v3)
+// --------------------------------------------------------------------
+
+namespace {
+
+constexpr char kManifestMagic[] = "ANTMANF"; // 7 bytes + version byte
+constexpr uint8_t kManifestVersion = 1;
+// magic + version + u32 crc, excluded from the manifest checksum.
+constexpr size_t kManifestHeaderBytes = sizeof kManifestMagic - 1 + 1 + 4;
+
+/** Directory prefix of @p path, including the trailing separator
+ *  (empty for a bare filename) — shard names in the manifest are
+ *  relative to this. */
+std::string
+dirnameOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of("/\\");
+    return slash == std::string::npos ? std::string()
+                                      : path.substr(0, slash + 1);
+}
+
+/** Basename of @p path with its last extension stripped. */
+std::string
+stemOf(const std::string &path)
+{
+    const size_t slash = path.find_last_of("/\\");
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const size_t dot = base.find_last_of('.');
+    return dot == std::string::npos || dot == 0 ? base
+                                                : base.substr(0, dot);
+}
+
+std::string
+shardFileName(const std::string &stem, size_t index)
+{
+    std::string n = std::to_string(index);
+    if (n.size() < 3) n.insert(0, 3 - n.size(), '0');
+    return stem + ".shard" + n + ".antq";
+}
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw ArtifactError("ShardedManifest: cannot open " + path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+/** The recipe layers a shard's blob range covers, in blob order. A
+ *  shard file must be a self-describing v2 artifact on its own, so it
+ *  carries exactly the recipe slice its payloads need. */
+QuantRecipe
+sliceRecipe(const QuantRecipe &full,
+            const std::vector<WeightBlob> &blobs, size_t first,
+            size_t count)
+{
+    QuantRecipe slice;
+    slice.model = full.model;
+    for (size_t i = first; i < first + count; ++i) {
+        const std::string &name = blobs[i].layer;
+        bool already = false;
+        for (const LayerRecipe &l : slice.layers)
+            if (l.layer == name) { already = true; break; }
+        if (already) continue;
+        for (const LayerRecipe &l : full.layers)
+            if (l.layer == name) {
+                slice.layers.push_back(l);
+                break;
+            }
+    }
+    return slice;
+}
+
+/** Parse + (optionally whole-file-CRC-check + ) assemble one shard's
+ *  blobs onto @p out, with table-consistency errors naming the shard. */
+void
+appendShardBlobs(ModelArtifact &out, const ManifestShard &s,
+                 ModelArtifact &&shard)
+{
+    if (shard.weights.size() != s.blobCount)
+        throw ArtifactError(
+            "ShardedManifest: shard \"" + s.file + "\" holds " +
+            std::to_string(shard.weights.size()) +
+            " blobs, manifest says " + std::to_string(s.blobCount));
+    if (out.weights.size() != static_cast<size_t>(s.firstBlob))
+        throw ArtifactError(
+            "ShardedManifest: shard \"" + s.file +
+            "\" starts at blob " + std::to_string(s.firstBlob) +
+            " but " + std::to_string(out.weights.size()) +
+            " blobs were assembled before it");
+    for (WeightBlob &b : shard.weights)
+        out.weights.push_back(std::move(b));
+}
+
+void
+checkShardSizeCrc(const ManifestShard &s, const char *data,
+                  size_t size, bool verify_crc)
+{
+    if (size != s.bytes)
+        throw ArtifactError(
+            "ShardedManifest: shard \"" + s.file + "\" is " +
+            std::to_string(size) + " bytes, manifest says " +
+            std::to_string(s.bytes));
+    if (!verify_crc) return;
+    const uint32_t computed = crc32c(data, size);
+    if (computed != s.crc)
+        throw ArtifactError(
+            "ShardedManifest: shard \"" + s.file +
+            "\" checksum mismatch (stored " + std::to_string(s.crc) +
+            ", computed " + std::to_string(computed) +
+            ") — truncated or corrupted shard");
+}
+
+} // namespace
+
+size_t
+ShardedManifest::totalBytes() const
+{
+    size_t n = 0;
+    for (const ManifestShard &s : shards)
+        n += static_cast<size_t>(s.bytes);
+    return n;
+}
+
+size_t
+ShardedManifest::totalBlobs() const
+{
+    size_t n = 0;
+    for (const ManifestShard &s : shards)
+        n += static_cast<size_t>(s.blobCount);
+    return n;
+}
+
+std::string
+ShardedManifest::toBytes() const
+{
+    std::string out;
+    out += kManifestMagic;
+    out += static_cast<char>(kManifestVersion);
+    out.append(4, '\0'); // CRC slot, patched below
+    putString(out, recipe.toJson());
+    putU64(out, shards.size());
+    for (const ManifestShard &s : shards) {
+        putString(out, s.file);
+        putU64(out, s.bytes);
+        putU64(out, s.crc);
+        putU64(out, s.firstBlob);
+        putU64(out, s.blobCount);
+    }
+    const uint32_t crc = crc32c(out.data() + kManifestHeaderBytes,
+                                out.size() - kManifestHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+        out[sizeof kManifestMagic - 1 + 1 + static_cast<size_t>(i)] =
+            static_cast<char>((crc >> (8 * i)) & 0xff);
+    return out;
+}
+
+ShardedManifest
+ShardedManifest::fromBytes(const std::string &bytes)
+{
+    try {
+        Reader r(bytes.data(), bytes.size(), "ShardedManifest");
+        if (std::memcmp(r.raw(sizeof kManifestMagic - 1),
+                        kManifestMagic,
+                        sizeof kManifestMagic - 1) != 0)
+            r.fail("bad magic (not an ANT shard manifest)");
+        const uint8_t version = r.u8();
+        if (version != kManifestVersion)
+            r.fail("unsupported manifest version " +
+                   std::to_string(version));
+        uint32_t stored = 0;
+        {
+            const unsigned char *p =
+                reinterpret_cast<const unsigned char *>(r.raw(4));
+            for (int i = 0; i < 4; ++i)
+                stored |= static_cast<uint32_t>(p[i]) << (8 * i);
+        }
+        const uint32_t computed =
+            crc32c(bytes.data() + kManifestHeaderBytes,
+                   bytes.size() - kManifestHeaderBytes);
+        if (computed != stored)
+            r.fail("checksum mismatch (stored " +
+                   std::to_string(stored) + ", computed " +
+                   std::to_string(computed) +
+                   ") — truncated or corrupted manifest");
+
+        ShardedManifest m;
+        m.recipe = QuantRecipe::fromJson(r.str());
+        // A shard row's fixed fields take 40 bytes (5 u64s), so a
+        // larger count than remaining/40 is corruption.
+        const uint64_t count = r.checkCount(r.u64(), 40);
+        m.shards.reserve(static_cast<size_t>(count));
+        uint64_t next_blob = 0;
+        for (uint64_t i = 0; i < count; ++i) {
+            ManifestShard s;
+            s.file = r.str();
+            if (s.file.empty()) r.fail("empty shard filename");
+            s.bytes = r.u64();
+            const uint64_t crc = r.u64();
+            if (crc > 0xffffffffull)
+                r.fail("shard CRC field exceeds 32 bits");
+            s.crc = static_cast<uint32_t>(crc);
+            s.firstBlob = r.u64();
+            s.blobCount = r.u64();
+            if (s.firstBlob != next_blob)
+                r.fail("non-contiguous shard table (shard " +
+                       std::to_string(i) + " starts at blob " +
+                       std::to_string(s.firstBlob) + ", expected " +
+                       std::to_string(next_blob) + ")");
+            next_blob += s.blobCount;
+            m.shards.push_back(std::move(s));
+        }
+        if (!r.done()) r.fail("trailing bytes");
+        return m;
+    } catch (const std::invalid_argument &e) {
+        // The recipe JSON parser classifies hostile stored documents
+        // as bad arguments; from this reader they are corruption.
+        throw ArtifactError(std::string("ShardedManifest: ") +
+                            e.what());
+    }
+}
+
+void
+ShardedManifest::saveFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw std::runtime_error("ShardedManifest: cannot open " +
+                                 path);
+    const std::string bytes = toBytes();
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f)
+        throw std::runtime_error("ShardedManifest: write failed: " +
+                                 path);
+}
+
+ShardedManifest
+ShardedManifest::loadFile(const std::string &path)
+{
+    return fromBytes(readFileBytes(path));
+}
+
+bool
+isShardedManifest(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f) return false;
+    char buf[sizeof kManifestMagic - 1];
+    if (!f.read(buf, sizeof buf)) return false;
+    return std::memcmp(buf, kManifestMagic, sizeof buf) == 0;
+}
+
+ShardedManifest
+saveSharded(const ModelArtifact &art, const std::string &manifest_path,
+            ShardingOptions opts)
+{
+    const std::string dir = dirnameOf(manifest_path);
+    const std::string stem = stemOf(manifest_path);
+    ShardedManifest m;
+    m.recipe = art.recipe;
+    size_t first = 0;
+    while (first < art.weights.size()) {
+        // Greedy packing over the *payload* bytes (the dominant term);
+        // a single over-target blob still gets its own shard.
+        size_t count = 1;
+        if (opts.targetShardBytes > 0) {
+            size_t bytes = art.weights[first].tensor.nbytes();
+            while (first + count < art.weights.size()) {
+                const size_t next =
+                    art.weights[first + count].tensor.nbytes();
+                if (bytes + next > opts.targetShardBytes) break;
+                bytes += next;
+                ++count;
+            }
+        }
+        ModelArtifact shard;
+        shard.recipe = sliceRecipe(art.recipe, art.weights, first,
+                                   count);
+        shard.weights.assign(art.weights.begin() +
+                                 static_cast<std::ptrdiff_t>(first),
+                             art.weights.begin() +
+                                 static_cast<std::ptrdiff_t>(first +
+                                                             count));
+        ManifestShard row;
+        row.file = shardFileName(stem, m.shards.size());
+        const std::string bytes = shard.toBytes();
+        {
+            std::ofstream f(dir + row.file, std::ios::binary);
+            if (!f)
+                throw std::runtime_error(
+                    "ShardedManifest: cannot open " + dir + row.file);
+            f.write(bytes.data(),
+                    static_cast<std::streamsize>(bytes.size()));
+            if (!f)
+                throw std::runtime_error(
+                    "ShardedManifest: write failed: " + dir +
+                    row.file);
+        }
+        row.bytes = bytes.size();
+        row.crc = crc32c(bytes.data(), bytes.size());
+        row.firstBlob = first;
+        row.blobCount = count;
+        m.shards.push_back(std::move(row));
+        first += count;
+    }
+    m.saveFile(manifest_path);
+    return m;
+}
+
+ModelArtifact
+loadSharded(const std::string &manifest_path)
+{
+    const ShardedManifest m = ShardedManifest::loadFile(manifest_path);
+    const std::string dir = dirnameOf(manifest_path);
+    ModelArtifact out;
+    out.recipe = m.recipe;
+    out.weights.reserve(m.totalBlobs());
+    for (const ManifestShard &s : m.shards) {
+        const std::string bytes = readFileBytes(dir + s.file);
+        checkShardSizeCrc(s, bytes.data(), bytes.size(), true);
+        // The whole-file CRC just verified subsumes the shard's inner
+        // v2 checksum, so the parse skips re-streaming it.
+        appendShardBlobs(out, s,
+                         parseDocument(bytes.data(), bytes.size(),
+                                       nullptr, false));
+    }
+    return out;
+}
+
+ModelArtifact
+mapSharded(const std::string &manifest_path, MapOptions opts)
+{
+    const ShardedManifest m = ShardedManifest::loadFile(manifest_path);
+    const std::string dir = dirnameOf(manifest_path);
+    ModelArtifact out;
+    out.recipe = m.recipe;
+    out.weights.reserve(m.totalBlobs());
+    for (const ManifestShard &s : m.shards) {
+        const std::shared_ptr<const MappedFile> mf =
+            MappedFile::open(dir + s.file);
+        checkShardSizeCrc(s, mf->data(), mf->size(),
+                          opts.verifyChecksum);
+        appendShardBlobs(out, s,
+                         parseDocument(mf->data(), mf->size(), mf,
+                                       false));
+    }
+    return out;
 }
 
 } // namespace ant

@@ -161,6 +161,114 @@ struct ModelArtifact
                                  MapOptions opts = {});
 };
 
+// --------------------------------------------------------------------
+// Sharded manifests (format v3): the multi-GB / multi-device layout.
+//
+// A v3 "artifact" is not one file but a small *manifest* plus N shard
+// files, each shard a complete, independently loadable v2 artifact
+// holding a contiguous blob range. The manifest carries the full model
+// recipe and a content-hash table (CRC32C over every shard file's
+// bytes), so a serving node can fetch, verify, and mmap exactly the
+// shards its placement needs — per-group scale planes make the cuts
+// free of any re-quantization. Reassembly (`loadSharded`/`mapSharded`)
+// is bitwise equal to the monolithic artifact (pinned by
+// tests/test_shard.cpp).
+//
+// Manifest binary layout (all integers little-endian):
+//
+//     magic  "ANTMANF"            7 bytes
+//     version u8                  currently 1
+//     u32 crc                     CRC32C of every byte after this field
+//     u64 json_len, json bytes    the FULL model recipe (recipe.h)
+//     u64 shard_count
+//     per shard:
+//       u64 file_len, bytes       shard filename, relative to the
+//                                 manifest's directory
+//       u64 bytes                 shard file size
+//       u64 crc                   CRC32C of the whole shard file
+//       u64 first_blob            index into the monolithic blob order
+//       u64 blob_count
+// --------------------------------------------------------------------
+
+/** Knobs of the shard writer. */
+struct ShardingOptions
+{
+    /**
+     * Greedy shard-size target in payload bytes: blobs are packed into
+     * a shard until it would exceed this, then a new shard starts (a
+     * single blob larger than the target gets its own shard). 0, the
+     * default, emits one shard per blob — the finest placement
+     * granularity a multi-chip planner can ask for.
+     */
+    size_t targetShardBytes = 0;
+};
+
+/** One row of the manifest's shard table. */
+struct ManifestShard
+{
+    std::string file;       //!< relative to the manifest's directory
+    uint64_t bytes = 0;     //!< shard file size on disk
+    uint32_t crc = 0;       //!< CRC32C of the whole shard file
+    uint64_t firstBlob = 0; //!< index into the monolithic blob order
+    uint64_t blobCount = 0; //!< blobs this shard carries
+};
+
+/** The parsed v3 manifest: full recipe + content-hashed shard table. */
+struct ShardedManifest
+{
+    QuantRecipe recipe;
+    std::vector<ManifestShard> shards;
+
+    /** Total shard file bytes (what a full fetch transfers). */
+    size_t totalBytes() const;
+    /** Total blobs across the table (the monolithic blob count). */
+    size_t totalBlobs() const;
+
+    std::string toBytes() const;
+    /** Parse + CRC-verify a manifest document (ArtifactError on any
+     *  corruption, exactly like the artifact readers). */
+    static ShardedManifest fromBytes(const std::string &bytes);
+    void saveFile(const std::string &path) const;
+    static ShardedManifest loadFile(const std::string &path);
+};
+
+/** True when @p path starts with the manifest magic ("ANTMANF") — the
+ *  sniff `serve::loadServable` uses to accept either format. False on
+ *  unreadable or short files (never throws). */
+bool isShardedManifest(const std::string &path);
+
+/**
+ * Split @p art into shard files next to @p manifest_path and write the
+ * manifest there. Shards are named `<stem>.shardNNN.antq`, each a
+ * complete v2 artifact (own CRC, mmap-able alignment) whose recipe is
+ * the slice of layers its blobs cover, holding blobs
+ * [firstBlob, firstBlob+blobCount) of @p art in order. Returns the
+ * manifest that was written. std::runtime_error on I/O failure.
+ */
+ShardedManifest saveSharded(const ModelArtifact &art,
+                            const std::string &manifest_path,
+                            ShardingOptions opts = {});
+
+/**
+ * Reassemble the monolithic artifact from a manifest: every shard is
+ * read, its whole-file CRC32C checked against the manifest table, and
+ * its blobs appended in table order under the manifest's full recipe.
+ * The result is bitwise toBytes-equal to the artifact saveSharded was
+ * given. ArtifactError on a missing/corrupt/mismatched shard.
+ */
+ModelArtifact loadSharded(const std::string &manifest_path);
+
+/**
+ * Zero-copy reassembly: like loadSharded but every shard is mmap-ed
+ * (per-shard lazily faulted views, each blob co-owning its shard's
+ * mapping). With opts.verifyChecksum (default) each shard's whole-file
+ * CRC is checked against the manifest — which faults the shard in, so
+ * a cold start that trusts its storage can opt out and keep the load
+ * metadata-sized per shard. Bitwise identical to loadSharded.
+ */
+ModelArtifact mapSharded(const std::string &manifest_path,
+                         MapOptions opts = {});
+
 } // namespace ant
 
 #endif // ANT_CORE_ARTIFACT_H

@@ -409,6 +409,92 @@ packedMatmulBT(const Tensor &a, const QTensor &w)
 }
 
 Tensor
+packedMatmulBTConcatK(const Tensor &a,
+                      const std::vector<QTensor> &parts)
+{
+    if (parts.empty())
+        throw std::invalid_argument(
+            "packedMatmulBTConcatK: no weight parts");
+    std::vector<RowDecodePlan> plans;
+    plans.reserve(parts.size());
+    for (const QTensor &p : parts) {
+        checkPacked("packedMatmulBTConcatK", p);
+        plans.emplace_back(p);
+    }
+    const int64_t n = plans[0].rows;
+    int64_t k = 0;
+    for (const RowDecodePlan &pl : plans) {
+        if (pl.rows != n)
+            throw std::invalid_argument(
+                "packedMatmulBTConcatK: every part must share the "
+                "output dim (got " + std::to_string(pl.rows) +
+                " vs " + std::to_string(n) + ")");
+        k += pl.chunk;
+    }
+    if (a.ndim() != 2)
+        throw std::invalid_argument(
+            "packedMatmulBTConcatK: activations must be 2-D, got " +
+            a.shape().str());
+    const int64_t m = a.dim(0);
+    if (a.dim(1) != k)
+        throw std::invalid_argument(
+            "packedMatmulBTConcatK: inner dim mismatch (" +
+            a.shape().str() + " vs parts totalling k=" +
+            std::to_string(k) + ")");
+    Tensor c{Shape{m, n}};
+    g_fp_gemm_calls.fetch_add(1, std::memory_order_relaxed);
+    const float *pa = a.data();
+    float *pc = c.data();
+    // Same task shape as packedMatmulBT — one output column per task —
+    // but the row scratch is assembled from every part's segment at
+    // its k offset before the (identical) inner product runs. The
+    // decode of each segment is bit-for-bit what the monolithic plan
+    // writes at that offset (same codes, same scale, same LUT), so the
+    // whole kernel is bitwise equal to the unsplit GEMM.
+    parallelFor(n, [&](int64_t jb, int64_t je) {
+        std::vector<float> row(static_cast<size_t>(k));
+        std::vector<float> lut;
+        for (int64_t j = jb; j < je; ++j) {
+            int64_t off = 0;
+            for (const RowDecodePlan &pl : plans) {
+                pl.decodeRowFloat(j, row.data() + off, lut);
+                off += pl.chunk;
+            }
+            int64_t i = 0;
+            for (; i + 4 <= m; i += 4) {
+                const float *a0 = pa + i * k;
+                const float *a1 = a0 + k;
+                const float *a2 = a1 + k;
+                const float *a3 = a2 + k;
+                double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+                for (int64_t p = 0; p < k; ++p) {
+                    const double wv = row[p];
+                    s0 += static_cast<double>(a0[p]) * wv;
+                    s1 += static_cast<double>(a1[p]) * wv;
+                    s2 += static_cast<double>(a2[p]) * wv;
+                    s3 += static_cast<double>(a3[p]) * wv;
+                }
+                pc[i * n + j] = static_cast<float>(s0);
+                pc[(i + 1) * n + j] = static_cast<float>(s1);
+                pc[(i + 2) * n + j] = static_cast<float>(s2);
+                pc[(i + 3) * n + j] = static_cast<float>(s3);
+            }
+            for (; i < m; ++i) {
+                const float *arow = pa + i * k;
+                double s = 0.0;
+                for (int64_t p = 0; p < k; ++p)
+                    s += static_cast<double>(arow[p]) * row[p];
+                pc[i * n + j] = static_cast<float>(s);
+            }
+        }
+        g_rows_decoded.fetch_add(
+            static_cast<uint64_t>(je - jb) * plans.size(),
+            std::memory_order_relaxed);
+    });
+    return c;
+}
+
+Tensor
 packedMatmul(const Tensor &a, const QTensor &w)
 {
     checkPacked("packedMatmul", w);

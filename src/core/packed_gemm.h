@@ -98,6 +98,23 @@ DecodedGridPtr cachedDecodedGrid(const TypePtr &type);
 Tensor packedMatmulBT(const Tensor &a, const QTensor &w);
 
 /**
+ * Serving GEMM over a k-wise split weight: C = A @ concat_k(parts)^T
+ * for float A:[m, sum k_p] against row-parallel shards parts[p]:[n,k_p]
+ * (core/tp_split.h), decoding each shard's row segment into its slice
+ * of ONE k-wide row buffer and then running the exact packedMatmulBT
+ * inner product. Because per-group splits cut at scale-segment
+ * boundaries, each shard decodes the identical floats the monolithic
+ * row held at that offset — so the result is **bitwise identical** to
+ * `packedMatmulBT(a, w)` of the unsplit weight, realizing the TP
+ * all-reduce sum in the monolithic summation order instead of adding
+ * independently rounded partials (which float non-associativity could
+ * never make bitwise). Every part must share n; throws
+ * std::invalid_argument on ragged rows or a k mismatch.
+ */
+Tensor packedMatmulBTConcatK(const Tensor &a,
+                             const std::vector<QTensor> &parts);
+
+/**
  * C = A @ W for float A:[m,n] against packed W:[n,k]; the backward
  * companion of packedMatmulBT (dx = dy @ W). Bitwise identical to
  * `ops::matmul(a, w.unpack())`, including its skip of zero

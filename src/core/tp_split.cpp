@@ -1,0 +1,249 @@
+#include "core/tp_split.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/packed_gemm.h"
+#include "tensor/parallel.h"
+
+namespace ant {
+
+namespace {
+
+/** @p len (1..64) bits of the packed stream at bit @p pos. The
+ *  straddle read of word w+1 is safe whenever pos+len stays inside the
+ *  payload: off+len > 64 implies the run extends into that word. */
+uint64_t
+readBits(const uint64_t *src, uint64_t pos, int len)
+{
+    const uint64_t w = pos >> 6;
+    const int off = static_cast<int>(pos & 63);
+    uint64_t v = src[w] >> off;
+    if (off + len > 64) v |= src[w + 1] << (64 - off);
+    if (len < 64) v &= (uint64_t{1} << len) - 1;
+    return v;
+}
+
+/**
+ * Bit-gather the split payload: element range [k0, k1) of every
+ * channel in [c0, c1) of @p w, repacked contiguously in the same
+ * LSB-first order `QTensor::pack` freezes. Parallel over *destination*
+ * words — each task computes whole words from scratch (no read-modify
+ * -write), so the result is bitwise invariant across thread counts
+ * and schedules like the word-window pack path.
+ */
+std::vector<uint64_t>
+gatherChannelSegments(const QTensor &w, int64_t c0, int64_t c1,
+                      int64_t k0, int64_t k1)
+{
+    const int bits = w.bits();
+    const int64_t chunk = w.shape().dim(1);
+    const uint64_t seg_bits =
+        static_cast<uint64_t>(k1 - k0) * static_cast<uint64_t>(bits);
+    const uint64_t total_bits =
+        static_cast<uint64_t>(c1 - c0) * seg_bits;
+    const int64_t ndw = static_cast<int64_t>((total_bits + 63) / 64);
+    std::vector<uint64_t> out(static_cast<size_t>(ndw), 0);
+    const uint64_t *src = w.words().data();
+    parallelFor(
+        ndw,
+        [&](int64_t wb, int64_t we) {
+            for (int64_t wi = wb; wi < we; ++wi) {
+                const uint64_t dbit = static_cast<uint64_t>(wi) * 64;
+                const int room =
+                    total_bits - dbit < 64
+                        ? static_cast<int>(total_bits - dbit)
+                        : 64;
+                uint64_t word = 0;
+                int filled = 0;
+                // A destination word spans at most two source channel
+                // segments; gather each run with one straddling read.
+                while (filled < room) {
+                    const uint64_t d = dbit +
+                                       static_cast<uint64_t>(filled);
+                    const uint64_t ch = d / seg_bits;
+                    const uint64_t within = d % seg_bits;
+                    const int take = static_cast<int>(
+                        std::min(static_cast<uint64_t>(room - filled),
+                                 seg_bits - within));
+                    const uint64_t spos =
+                        (static_cast<uint64_t>(c0 +
+                                               static_cast<int64_t>(
+                                                   ch)) *
+                             static_cast<uint64_t>(chunk) +
+                         static_cast<uint64_t>(k0)) *
+                            static_cast<uint64_t>(bits) +
+                        within;
+                    word |= readBits(src, spos, take) << filled;
+                    filled += take;
+                }
+                out[static_cast<size_t>(wi)] = word;
+            }
+        },
+        grainForCost(16.0), Schedule::Static);
+    return out;
+}
+
+void
+checkSplittable(const char *who, const QTensor &w, int parts)
+{
+    if (w.empty())
+        throw std::invalid_argument(std::string(who) +
+                                    ": empty packed weight");
+    if (w.shape().ndim() != 2)
+        throw std::invalid_argument(
+            std::string(who) + ": weight must be 2-D, got " +
+            w.shape().str());
+    if (parts < 1)
+        throw std::invalid_argument(std::string(who) +
+                                    ": parts must be >= 1, got " +
+                                    std::to_string(parts));
+}
+
+} // namespace
+
+std::vector<QTensor>
+splitColumnParallel(const QTensor &w, int parts)
+{
+    checkSplittable("splitColumnParallel", w, parts);
+    const int64_t n = w.shape().dim(0), k = w.shape().dim(1);
+    if (parts > n)
+        throw std::invalid_argument(
+            "splitColumnParallel: " + std::to_string(parts) +
+            " parts over " + std::to_string(n) + " output channels");
+    const int64_t gpc = w.granularity() == Granularity::PerGroup
+                            ? w.groupsPerChannel()
+                            : 1;
+    std::vector<QTensor> out;
+    out.reserve(static_cast<size_t>(parts));
+    for (int p = 0; p < parts; ++p) {
+        const int64_t c0 = n * p / parts;
+        const int64_t c1 = n * (p + 1) / parts;
+        std::vector<double> scales;
+        std::vector<TypePtr> gts;
+        // The scale plane (and any heterogeneous group-type plane,
+        // which shares its layout) slices with the channels; PerTensor
+        // replicates its single scale into every shard.
+        if (w.granularity() == Granularity::PerTensor) {
+            scales = w.scales();
+            gts = w.groupTypes();
+        } else {
+            const int64_t s0 = c0 * gpc, s1 = c1 * gpc;
+            scales.assign(w.scales().begin() + s0,
+                          w.scales().begin() + s1);
+            if (!w.groupTypes().empty())
+                gts.assign(w.groupTypes().begin() + s0,
+                           w.groupTypes().begin() + s1);
+        }
+        out.push_back(QTensor::fromParts(
+            Shape{c1 - c0, k}, w.type(), w.granularity(),
+            w.groupSize(), std::move(scales),
+            gatherChannelSegments(w, c0, c1, 0, k), std::move(gts)));
+    }
+    return out;
+}
+
+std::vector<QTensor>
+splitRowParallel(const QTensor &w, int parts)
+{
+    checkSplittable("splitRowParallel", w, parts);
+    const int64_t n = w.shape().dim(0), k = w.shape().dim(1);
+    std::vector<QTensor> out;
+    out.reserve(static_cast<size_t>(parts));
+    if (w.granularity() == Granularity::PerGroup) {
+        const int64_t gpc = w.groupsPerChannel();
+        const int64_t gs = w.groupSize();
+        if (parts > gpc)
+            throw std::invalid_argument(
+                "splitRowParallel: " + std::to_string(parts) +
+                " parts over " + std::to_string(gpc) +
+                " groups per channel");
+        for (int p = 0; p < parts; ++p) {
+            const int64_t g0 = gpc * p / parts;
+            const int64_t g1 = gpc * (p + 1) / parts;
+            const int64_t k0 = g0 * gs;
+            // The ragged tail group (if any) belongs to the last part.
+            const int64_t k1 = std::min(g1 * gs, k);
+            std::vector<double> scales;
+            std::vector<TypePtr> gts;
+            scales.reserve(static_cast<size_t>(n * (g1 - g0)));
+            for (int64_t c = 0; c < n; ++c)
+                scales.insert(scales.end(),
+                              w.scales().begin() + c * gpc + g0,
+                              w.scales().begin() + c * gpc + g1);
+            if (!w.groupTypes().empty()) {
+                gts.reserve(static_cast<size_t>(n * (g1 - g0)));
+                for (int64_t c = 0; c < n; ++c)
+                    gts.insert(gts.end(),
+                               w.groupTypes().begin() + c * gpc + g0,
+                               w.groupTypes().begin() + c * gpc + g1);
+            }
+            out.push_back(QTensor::fromParts(
+                Shape{n, k1 - k0}, w.type(), Granularity::PerGroup,
+                gs, std::move(scales),
+                gatherChannelSegments(w, 0, n, k0, k1),
+                std::move(gts)));
+        }
+        return out;
+    }
+    // PerChannel/PerTensor scales cover whole rows, so any element cut
+    // works and every part keeps the full scale plane.
+    if (parts > k)
+        throw std::invalid_argument(
+            "splitRowParallel: " + std::to_string(parts) +
+            " parts over k=" + std::to_string(k));
+    for (int p = 0; p < parts; ++p) {
+        const int64_t k0 = k * p / parts;
+        const int64_t k1 = k * (p + 1) / parts;
+        out.push_back(QTensor::fromParts(
+            Shape{n, k1 - k0}, w.type(), w.granularity(),
+            w.groupSize(), w.scales(),
+            gatherChannelSegments(w, 0, n, k0, k1), w.groupTypes()));
+    }
+    return out;
+}
+
+std::vector<QTensor>
+splitTensorParallel(const QTensor &w, int parts, TpSplit split)
+{
+    return split == TpSplit::Column ? splitColumnParallel(w, parts)
+                                    : splitRowParallel(w, parts);
+}
+
+Tensor
+tpMatmulBT(const Tensor &a, const std::vector<QTensor> &parts,
+           TpSplit split)
+{
+    if (parts.empty())
+        throw std::invalid_argument("tpMatmulBT: no weight parts");
+    if (split == TpSplit::Row)
+        // The all-reduce recombine, realized in the monolithic
+        // summation order (order-exact; see packed_gemm.h).
+        return packedMatmulBTConcatK(a, parts);
+    // Column split: every chip sees the full activations and owns a
+    // disjoint output column range — recombination is pure concat (the
+    // all-gather), bitwise trivially.
+    std::vector<Tensor> outs;
+    outs.reserve(parts.size());
+    int64_t ntot = 0;
+    for (const QTensor &p : parts) {
+        outs.push_back(packedMatmulBT(a, p));
+        ntot += outs.back().dim(1);
+    }
+    const int64_t m = a.dim(0);
+    Tensor c{Shape{m, ntot}};
+    int64_t off = 0;
+    for (const Tensor &o : outs) {
+        const int64_t np = o.dim(1);
+        for (int64_t i = 0; i < m; ++i)
+            std::memcpy(c.data() + i * ntot + off,
+                        o.data() + i * np,
+                        static_cast<size_t>(np) * sizeof(float));
+        off += np;
+    }
+    return c;
+}
+
+} // namespace ant

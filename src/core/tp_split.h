@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tensor-parallel partitioning of packed weights: the shard seams the
+ * per-group layout gives away for free. A packed `QTensor` carries its
+ * scales in self-contained segments (one scale plane entry per group /
+ * channel / tensor), so splitting a weight for Megatron-style tensor
+ * parallelism needs **zero re-quantization**: cuts land exactly on
+ * scale-segment boundaries, codes are bit-copied out of the packed
+ * word stream (the same word-window math `QTensor::pack` uses), and
+ * the scale plane is sliced — never re-searched.
+ *
+ * Two partitions of a 2-D packed weight W:[n, k] (the `packedMatmulBT`
+ * layout — rows are output channels):
+ *
+ *  - **Column parallel** (`splitColumnParallel`): cut the output dim n
+ *    into per-chip channel ranges. Each shard's GEMM output is a
+ *    column slice of the monolithic output; recombination is a concat
+ *    (all-gather on real hardware).
+ *
+ *  - **Row parallel** (`splitRowParallel`): cut the inner dim k at
+ *    group boundaries into per-chip segments. Each shard consumes the
+ *    matching activation column slice; recombination is a sum
+ *    (all-reduce on real hardware).
+ *
+ * `tpMatmulBT` runs the split GEMM and recombines, **bitwise equal**
+ * to `packedMatmulBT(a, w)` of the unsplit weight for both partitions
+ * (pinned by tests/test_tp_split.cpp). Column-split is bitwise
+ * trivially (disjoint output columns); row-split realizes the
+ * all-reduce in the monolithic summation order via
+ * `packedMatmulBTConcatK` (core/packed_gemm.h), because summing
+ * independently rounded float partials could never be bitwise.
+ */
+
+#ifndef ANT_CORE_TP_SPLIT_H
+#define ANT_CORE_TP_SPLIT_H
+
+#include <vector>
+
+#include "core/qtensor.h"
+#include "tensor/tensor.h"
+
+namespace ant {
+
+/** Which axis of W:[n, k] a tensor-parallel partition cuts. */
+enum class TpSplit
+{
+    Column, //!< cut n (output channels); recombine by concat
+    Row,    //!< cut k (inner dim) at group boundaries; recombine by sum
+};
+
+/**
+ * Partition @p w:[n, k] into @p parts channel ranges
+ * [n*p/parts, n*(p+1)/parts). Scales/group-types slice with the
+ * channels; codes are bit-copied (each channel's payload run is
+ * contiguous). Requires a non-empty 2-D packed tensor and
+ * 1 <= parts <= n; throws std::invalid_argument otherwise.
+ */
+std::vector<QTensor> splitColumnParallel(const QTensor &w, int parts);
+
+/**
+ * Partition @p w:[n, k] into @p parts inner-dim segments, cut at
+ * scale-segment boundaries: group multiples for PerGroup (the ragged
+ * tail group stays with the last part), any element for
+ * PerChannel/PerTensor (whose scales cover whole rows and are kept by
+ * every part). Requires a non-empty 2-D packed tensor and
+ * 1 <= parts <= groupsPerChannel (PerGroup) or k (otherwise); throws
+ * std::invalid_argument otherwise.
+ */
+std::vector<QTensor> splitRowParallel(const QTensor &w, int parts);
+
+/** Dispatch to the two partitioners by @p split. */
+std::vector<QTensor> splitTensorParallel(const QTensor &w, int parts,
+                                         TpSplit split);
+
+/**
+ * Split serving GEMM: C = A @ W^T computed across @p parts as a
+ * tensor-parallel ensemble and recombined — column concat for
+ * TpSplit::Column, order-exact sum for TpSplit::Row. Bitwise identical
+ * to `packedMatmulBT(a, w)` of the weight the parts were split from.
+ */
+Tensor tpMatmulBT(const Tensor &a, const std::vector<QTensor> &parts,
+                  TpSplit split);
+
+} // namespace ant
+
+#endif // ANT_CORE_TP_SPLIT_H

@@ -59,6 +59,13 @@ Metrics::onFail(uint64_t n)
 }
 
 void
+Metrics::onTimeout(uint64_t n)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    timedOut_ += n;
+}
+
+void
 Metrics::onQueueDepth(size_t depth)
 {
     std::lock_guard<std::mutex> lk(mu_);
@@ -95,6 +102,7 @@ Metrics::snapshot(double window_seconds) const
     s.completed = completed_;
     s.failed = failed_;
     s.rejected = rejected_;
+    s.timedOut = timedOut_;
     s.batches = batches_;
     s.windowSeconds = window_seconds;
     s.qps = window_seconds > 0

@@ -33,6 +33,7 @@ struct MetricsSnapshot
     uint64_t completed = 0; //!< requests answered successfully
     uint64_t failed = 0;    //!< requests answered with an exception
     uint64_t rejected = 0;  //!< requests refused (queue full/stopped)
+    uint64_t timedOut = 0;  //!< requests whose deadline expired queued
     uint64_t batches = 0;   //!< forward passes dispatched
 
     double windowSeconds = 0; //!< measurement window of qps
@@ -63,6 +64,9 @@ class Metrics
     void onBatch(size_t batch);
     void onComplete(double latency_us);
     void onFail(uint64_t n);
+    /** @p n requests fast-failed on an expired deadline (distinct
+     *  from onFail: no forward was ever attempted for these). */
+    void onTimeout(uint64_t n);
     void onQueueDepth(size_t depth);
 
     /** @p window_seconds is the elapsed serving time the caller
@@ -81,6 +85,7 @@ class Metrics
     uint64_t completed_ = 0;
     uint64_t failed_ = 0;
     uint64_t rejected_ = 0;
+    uint64_t timedOut_ = 0;
     uint64_t batches_ = 0;
     std::array<uint64_t, kLatencyBuckets> latency_{};
     std::array<uint64_t, kMaxBatchSlot + 1> batchHist_{};

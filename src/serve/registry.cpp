@@ -39,6 +39,7 @@ ModelRegistry::acquire(const ModelKey &key)
         ++e.refs;
         e.lastUse = ++tick_;
         ++stats_.hits;
+        ++perModel_[ks].hits;
         return Lease(this, ks, e.model);
     }
 
@@ -47,6 +48,7 @@ ModelRegistry::acquire(const ModelKey &key)
     placeholder.refs = 1; // pin the slot while loading
     ++stats_.misses;
     ++stats_.loads;
+    ++perModel_[ks].loads;
     lk.unlock();
 
     std::shared_ptr<const Servable> model;
@@ -93,6 +95,7 @@ ModelRegistry::evictAll()
         if (it->second.refs == 0 && !it->second.loading) {
             stats_.residentBytes -= it->second.bytes;
             ++stats_.evictions;
+            ++perModel_[it->first].evictions;
             it = entries_.erase(it);
         } else {
             ++it;
@@ -106,6 +109,21 @@ ModelRegistry::stats() const
     std::lock_guard<std::mutex> lk(mu_);
     RegistryStats s = stats_;
     s.residentModels = entries_.size();
+    s.perModel.reserve(perModel_.size());
+    for (const auto &kv : perModel_) {
+        ModelStats m;
+        m.key = kv.first;
+        m.hits = kv.second.hits;
+        m.loads = kv.second.loads;
+        m.evictions = kv.second.evictions;
+        const auto it = entries_.find(kv.first);
+        if (it != entries_.end() && !it->second.loading) {
+            m.resident = true;
+            m.residentBytes = it->second.bytes;
+            m.pinned = it->second.refs > 0;
+        }
+        s.perModel.push_back(std::move(m));
+    }
     return s;
 }
 
@@ -138,6 +156,7 @@ ModelRegistry::evictLocked()
         if (victim == entries_.end()) return; // everything is pinned
         stats_.residentBytes -= victim->second.bytes;
         ++stats_.evictions;
+        ++perModel_[victim->first].evictions;
         entries_.erase(victim);
     }
 }

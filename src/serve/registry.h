@@ -33,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "serve/servable.h"
 
@@ -54,6 +55,20 @@ struct ModelKey
     }
 };
 
+/** One model's cumulative counters. These survive eviction — "how
+ *  often was B thrashed out and reloaded" stays answerable after B is
+ *  gone — so a key that was ever touched always has a row. */
+struct ModelStats
+{
+    std::string key;          //!< ModelKey::str()
+    uint64_t hits = 0;        //!< acquires served from residency
+    uint64_t loads = 0;       //!< loader invocations for this key
+    uint64_t evictions = 0;   //!< times the LRU policy dropped it
+    size_t residentBytes = 0; //!< charged bytes now (0 when evicted)
+    bool resident = false;    //!< loaded and usable right now
+    bool pinned = false;      //!< held by >= 1 live Lease right now
+};
+
 /** Counters the registry exposes (snapshot under the lock). */
 struct RegistryStats
 {
@@ -65,6 +80,8 @@ struct RegistryStats
     size_t residentBytes = 0;  //!< current charged bytes
     size_t peakResidentBytes = 0;
     size_t residentModels = 0;
+    /** Per-key breakdown, sorted by key (deterministic). */
+    std::vector<ModelStats> perModel;
 };
 
 class ModelRegistry
@@ -174,6 +191,14 @@ class ModelRegistry
     std::map<std::string, Entry> entries_;
     uint64_t tick_ = 0;
     RegistryStats stats_;
+    /** Cumulative per-key counters; entries persist across eviction. */
+    struct PerModel
+    {
+        uint64_t hits = 0;
+        uint64_t loads = 0;
+        uint64_t evictions = 0;
+    };
+    std::map<std::string, PerModel> perModel_;
 };
 
 } // namespace serve

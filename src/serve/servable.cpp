@@ -126,5 +126,22 @@ buildWorkloadArtifact(const workloads::Workload &w,
     return a;
 }
 
+std::shared_ptr<const Servable>
+loadServable(std::string name, const std::string &path, Activation act,
+             bool verify_checksum)
+{
+    MapOptions opts;
+    opts.verifyChecksum = verify_checksum;
+    // One entry point for both formats: the magic sniff picks the
+    // loader, and either way every layer's QTensor views its (shard)
+    // file's mapping, so the model serves zero-copy and the registry
+    // charges the true resident payload bytes.
+    const ModelArtifact art = isShardedManifest(path)
+                                  ? mapSharded(path, opts)
+                                  : ModelArtifact::mapFile(path, opts);
+    return std::make_shared<PackedStackModel>(std::move(name), art,
+                                              act);
+}
+
 } // namespace serve
 } // namespace ant

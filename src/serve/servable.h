@@ -130,6 +130,21 @@ struct StackSpec
 ModelArtifact buildWorkloadArtifact(const workloads::Workload &w,
                                     const StackSpec &spec = {});
 
+/**
+ * Assemble a PackedStackModel from either artifact format at @p path:
+ * a sharded manifest (sniffed by magic, loaded via `mapSharded` —
+ * per-shard lazy mmap, every layer co-owning its shard's mapping) or a
+ * monolithic artifact (`mapFile`). The registry's byte budget charges
+ * the model's nbytes() either way, which for a sharded model is the
+ * sum of the per-shard payload bytes. @p verify_checksum forwards to
+ * the mapped loaders. Throws ArtifactError on unreadable/corrupt
+ * files, std::invalid_argument on an unchainable blob table.
+ */
+std::shared_ptr<const Servable>
+loadServable(std::string name, const std::string &path,
+             Activation act = Activation::GELU,
+             bool verify_checksum = true);
+
 } // namespace serve
 } // namespace ant
 

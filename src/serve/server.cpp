@@ -45,9 +45,23 @@ Server::~Server()
 std::future<Tensor>
 Server::submit(const ModelKey &key, Tensor query)
 {
+    return submit(key, std::move(query), 0);
+}
+
+std::future<Tensor>
+Server::submit(const ModelKey &key, Tensor query, int64_t deadline_us)
+{
     std::promise<Tensor> promise;
     std::future<Tensor> fut = promise.get_future();
 
+    if (deadline_us < 0) {
+        metrics_.onReject();
+        promise.set_exception(std::make_exception_ptr(
+            std::invalid_argument(
+                "Server::submit: negative deadline_us (" +
+                std::to_string(deadline_us) + ")")));
+        return fut;
+    }
     if (query.ndim() == 2 && query.dim(0) == 1)
         query = query.reshaped(Shape{query.numel()});
     if (query.ndim() != 1 || query.numel() <= 0) {
@@ -82,6 +96,9 @@ Server::submit(const ModelKey &key, Tensor query)
         r.query = std::move(query);
         r.promise = std::move(promise);
         r.enqueued = Clock::now();
+        if (deadline_us > 0)
+            r.deadline =
+                r.enqueued + std::chrono::microseconds(deadline_us);
         g.q.push_back(std::move(r));
         ++pending_;
         metrics_.onSubmit(pending_);
@@ -91,10 +108,31 @@ Server::submit(const ModelKey &key, Tensor query)
 }
 
 std::vector<Server::Request>
-Server::takeBatchLocked(ModelKey *key_out)
+Server::takeBatchLocked(ModelKey *key_out,
+                        std::vector<Request> *expired_out)
 {
     const Clock::time_point now = Clock::now();
     const auto delay = std::chrono::microseconds(cfg_.maxDelayUs);
+
+    // Expiry sweep first: an expired request must never be picked into
+    // a batch, even when it is the oldest head that made its group
+    // ready. The caller fails these futures outside the lock.
+    for (auto it = groups_.begin(); it != groups_.end();) {
+        std::deque<Request> &q = it->second.q;
+        for (auto rit = q.begin(); rit != q.end();) {
+            if (rit->deadline <= now) {
+                expired_out->push_back(std::move(*rit));
+                rit = q.erase(rit);
+                --pending_;
+            } else {
+                ++rit;
+            }
+        }
+        if (q.empty())
+            it = groups_.erase(it);
+        else
+            ++it;
+    }
 
     auto best = groups_.end();
     for (auto it = groups_.begin(); it != groups_.end(); ++it) {
@@ -128,17 +166,20 @@ Server::workerLoop()
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
         ModelKey key;
-        std::vector<Request> batch = takeBatchLocked(&key);
-        if (batch.empty()) {
+        std::vector<Request> expired;
+        std::vector<Request> batch = takeBatchLocked(&key, &expired);
+        if (batch.empty() && expired.empty()) {
             if (stopping_ && pending_ == 0) return;
-            // Sleep until the earliest latency deadline (or a submit /
-            // shutdown notification, whichever comes first).
+            // Sleep until the earliest latency or request deadline (or
+            // a submit / shutdown notification, whichever comes first).
             auto deadline = Clock::time_point::max();
             const auto delay = std::chrono::microseconds(cfg_.maxDelayUs);
             for (const auto &kv : groups_)
                 if (!kv.second.q.empty()) {
                     const auto d = kv.second.q.front().enqueued + delay;
                     if (d < deadline) deadline = d;
+                    for (const Request &r : kv.second.q)
+                        if (r.deadline < deadline) deadline = r.deadline;
                 }
             if (deadline == Clock::time_point::max())
                 workCv_.wait(lk);
@@ -147,6 +188,7 @@ Server::workerLoop()
             continue;
         }
 
+        // takeBatchLocked already un-counted the expired requests.
         pending_ -= batch.size();
         inFlight_ += batch.size();
         metrics_.onQueueDepth(pending_);
@@ -155,32 +197,45 @@ Server::workerLoop()
         if (pending_ > 0) workCv_.notify_one();
         lk.unlock();
 
-        metrics_.onBatch(batch.size());
-        try {
-            ModelRegistry::Lease lease = registry_.acquire(key);
-            const int64_t width = batch.front().query.numel();
-            Tensor in(Shape{static_cast<int64_t>(batch.size()), width});
-            for (size_t i = 0; i < batch.size(); ++i)
-                std::memcpy(in.data() + static_cast<int64_t>(i) * width,
-                            batch[i].query.data(),
-                            static_cast<size_t>(width) * sizeof(float));
+        if (!expired.empty()) {
+            const std::exception_ptr ep = std::make_exception_ptr(
+                DeadlineError("Server: request deadline expired while "
+                              "queued (never batched)"));
+            for (Request &r : expired) r.promise.set_exception(ep);
+            metrics_.onTimeout(expired.size());
+        }
 
-            const Tensor out = lease->forward(in);
-            const int64_t od = out.dim(1);
-            const Clock::time_point done = Clock::now();
-            for (size_t i = 0; i < batch.size(); ++i) {
-                Tensor row(Shape{od});
-                std::memcpy(row.data(),
-                            out.data() + static_cast<int64_t>(i) * od,
-                            static_cast<size_t>(od) * sizeof(float));
-                batch[i].promise.set_value(std::move(row));
-                metrics_.onComplete(
-                    elapsedUs(batch[i].enqueued, done));
+        if (!batch.empty()) {
+            metrics_.onBatch(batch.size());
+            try {
+                ModelRegistry::Lease lease = registry_.acquire(key);
+                const int64_t width = batch.front().query.numel();
+                Tensor in(
+                    Shape{static_cast<int64_t>(batch.size()), width});
+                for (size_t i = 0; i < batch.size(); ++i)
+                    std::memcpy(
+                        in.data() + static_cast<int64_t>(i) * width,
+                        batch[i].query.data(),
+                        static_cast<size_t>(width) * sizeof(float));
+
+                const Tensor out = lease->forward(in);
+                const int64_t od = out.dim(1);
+                const Clock::time_point done = Clock::now();
+                for (size_t i = 0; i < batch.size(); ++i) {
+                    Tensor row(Shape{od});
+                    std::memcpy(
+                        row.data(),
+                        out.data() + static_cast<int64_t>(i) * od,
+                        static_cast<size_t>(od) * sizeof(float));
+                    batch[i].promise.set_value(std::move(row));
+                    metrics_.onComplete(
+                        elapsedUs(batch[i].enqueued, done));
+                }
+            } catch (...) {
+                const std::exception_ptr ep = std::current_exception();
+                for (Request &r : batch) r.promise.set_exception(ep);
+                metrics_.onFail(batch.size());
             }
-        } catch (...) {
-            const std::exception_ptr ep = std::current_exception();
-            for (Request &r : batch) r.promise.set_exception(ep);
-            metrics_.onFail(batch.size());
         }
 
         lk.lock();

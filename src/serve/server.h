@@ -22,6 +22,13 @@
  * fails fast (exceptional future, `rejected` counter) when the queue
  * is at maxQueue depth or the server is shutting down.
  *
+ * Admission control: submit() takes an optional per-request deadline.
+ * Workers sweep every queue for expired requests *before* picking a
+ * batch, so a request whose deadline passed while it waited fails fast
+ * with DeadlineError instead of burning a batch slot on an answer the
+ * caller has already abandoned. Timeouts are counted separately from
+ * forward failures (MetricsSnapshot::timedOut vs ::failed).
+ *
  * The destructor stops intake, flushes every queued query, and joins
  * the workers — no future is ever abandoned.
  */
@@ -36,6 +43,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +54,14 @@
 
 namespace ant {
 namespace serve {
+
+/** What a request's future carries when its deadline passed before a
+ *  worker batched it (counted as timedOut, not failed). */
+class DeadlineError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 struct ServerConfig
 {
@@ -74,6 +90,17 @@ class Server
      */
     std::future<Tensor> submit(const ModelKey &key, Tensor query);
 
+    /**
+     * Like submit(), with a per-request deadline: if the query is
+     * still queued @p deadline_us microseconds from now, it fails
+     * fast with DeadlineError before any batching work is spent on
+     * it. 0 means no deadline; negative is rejected. A request
+     * already picked into a batch always runs to completion — the
+     * deadline bounds *queueing* delay, not inference time.
+     */
+    std::future<Tensor> submit(const ModelKey &key, Tensor query,
+                               int64_t deadline_us);
+
     /** Block until every already-submitted query has been answered.
      *  New submits stay open; useful for deterministic tests. */
     void drain();
@@ -91,6 +118,8 @@ class Server
         Tensor query; //!< flattened to [d]
         std::promise<Tensor> promise;
         Clock::time_point enqueued;
+        /** Absolute queueing deadline; max() = none. */
+        Clock::time_point deadline = Clock::time_point::max();
     };
 
     struct Group
@@ -100,9 +129,12 @@ class Server
     };
 
     void workerLoop();
-    /** Pick the ready group with the oldest head, pop <= maxBatch
-     *  same-width queries (lock held). Empty result = nothing ready. */
-    std::vector<Request> takeBatchLocked(ModelKey *key_out);
+    /** First sweep every queue's expired requests into @p expired_out
+     *  (already un-counted from pending_), then pick the ready group
+     *  with the oldest head and pop <= maxBatch same-width queries
+     *  (lock held). Empty result = nothing ready. */
+    std::vector<Request> takeBatchLocked(ModelKey *key_out,
+                                         std::vector<Request> *expired_out);
 
     ModelRegistry &registry_;
     const ServerConfig cfg_;

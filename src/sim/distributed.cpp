@@ -1,0 +1,307 @@
+#include "sim/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "core/qtensor.h"
+
+namespace ant {
+namespace sim {
+
+namespace {
+
+int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Resident packed-weight bytes of one [n, k] layer shard under its
+ *  plan — the ANT designs' exact artifact footprint (what
+ *  simulateLayer streams), analytic bits/8 for baseline designs. */
+double
+shardWeightBytes(const LayerPlan &p, hw::Design d, int64_t k,
+                 int64_t n)
+{
+    const bool ant_design =
+        d == hw::Design::AntOS || d == hw::Design::AntWS;
+    if (ant_design)
+        return static_cast<double>(QTensor::footprintBytes(
+            Shape{n, k}, p.weightBits,
+            p.groupSize > 0 ? Granularity::PerGroup
+                            : Granularity::PerTensor,
+            p.groupSize > 0 ? p.groupSize : 0));
+    return static_cast<double>(k) * static_cast<double>(n) *
+           p.weightBits / 8.0;
+}
+
+/** Cycles a ring collective of @p per_chip_bytes per chip takes over
+ *  @p steps ring steps: bandwidth term + per-step launch latency. */
+int64_t
+collectiveCycles(const InterconnectConfig &link, double per_chip_bytes,
+                 int64_t steps)
+{
+    const double bw = std::max(link.linkBytesPerCycle, 1e-9);
+    return static_cast<int64_t>(std::ceil(per_chip_bytes / bw)) +
+           steps * link.linkLatencyCycles;
+}
+
+void
+checkPlanCovers(const workloads::Workload &w, const QuantPlan &plan)
+{
+    if (plan.layers.size() != w.layers.size())
+        throw std::invalid_argument(
+            "simulateMultiChip: plan covers " +
+            std::to_string(plan.layers.size()) + " layers, workload " +
+            w.name + " has " + std::to_string(w.layers.size()));
+    if (w.layers.empty())
+        throw std::invalid_argument(
+            "simulateMultiChip: empty workload " + w.name);
+}
+
+MultiChipResult
+simulateTensorParallel(const workloads::Workload &w,
+                       const QuantPlan &plan, const MultiChipConfig &cfg,
+                       int64_t single_chip_cycles)
+{
+    const int chips = cfg.chips;
+    MultiChipResult res;
+    res.workload = w.name;
+    res.design = cfg.chip.design;
+    res.strategy = PartitionStrategy::TensorParallel;
+    res.chips = chips;
+    res.singleChipCycles = single_chip_cycles;
+
+    ChipLoad load;
+    load.firstLayer = 0;
+    load.layerCount = static_cast<int64_t>(w.layers.size());
+
+    // Greedy Megatron pairing: a layer whose output dim feeds the next
+    // layer's reduction dim runs column-split into a row-split partner
+    // — the intermediate activation stays chip-local and one
+    // all-reduce closes the pair. Everything else runs column-split
+    // and closes with an all-gather.
+    size_t i = 0;
+    while (i < w.layers.size()) {
+        const workloads::Layer &a = w.layers[i];
+        const bool paired = i + 1 < w.layers.size() &&
+                            w.layers[i + 1].k == a.n;
+        // Column shard of the first (or only) layer: cut n.
+        if (chips > a.n)
+            throw std::invalid_argument(
+                "simulateMultiChip: " + std::to_string(chips) +
+                " chips cannot column-split layer " + a.name +
+                " (n=" + std::to_string(a.n) + ")");
+        workloads::Layer sa = a;
+        sa.n = ceilDiv(a.n, chips); // critical-path (ceil) shard
+        const LayerResult ra =
+            simulateLayer(sa, plan.layers[i], cfg.chip);
+        load.computeCycles += ra.computeCycles;
+        load.memoryCycles += ra.memoryCycles;
+        load.cycles += ra.cycles;
+        load.weightBytes += shardWeightBytes(
+            plan.layers[i], cfg.chip.design, sa.k, sa.n);
+
+        if (paired) {
+            const workloads::Layer &b = w.layers[i + 1];
+            if (chips > b.k)
+                throw std::invalid_argument(
+                    "simulateMultiChip: " + std::to_string(chips) +
+                    " chips cannot row-split layer " + b.name +
+                    " (k=" + std::to_string(b.k) + ")");
+            workloads::Layer sb = b;
+            sb.k = ceilDiv(b.k, chips);
+            const LayerResult rb =
+                simulateLayer(sb, plan.layers[i + 1], cfg.chip);
+            load.computeCycles += rb.computeCycles;
+            load.memoryCycles += rb.memoryCycles;
+            load.cycles += rb.cycles;
+            load.weightBytes += shardWeightBytes(
+                plan.layers[i + 1], cfg.chip.design, sb.k, sb.n);
+            if (chips > 1) {
+                // Ring all-reduce of the pair's fp16 output: each chip
+                // moves 2*(P-1)/P of the buffer over 2*(P-1) steps.
+                const double out_bytes =
+                    static_cast<double>(b.m) * cfg.chip.batch *
+                    static_cast<double>(b.n) * 2.0;
+                const double per_chip =
+                    2.0 * out_bytes * (chips - 1) / chips;
+                const int64_t cyc = collectiveCycles(
+                    cfg.link, per_chip, 2 * (chips - 1));
+                load.commCycles += cyc;
+                load.commBytes += per_chip;
+                res.allReduceBytes += per_chip * chips;
+            }
+            i += 2;
+        } else {
+            if (chips > 1) {
+                // Ring all-gather of the column-split fp16 output:
+                // each chip receives the other chips' shards.
+                const double out_bytes =
+                    static_cast<double>(a.m) * cfg.chip.batch *
+                    static_cast<double>(a.n) * 2.0;
+                const double per_chip =
+                    out_bytes * (chips - 1) / chips;
+                const int64_t cyc =
+                    collectiveCycles(cfg.link, per_chip, chips - 1);
+                load.commCycles += cyc;
+                load.commBytes += per_chip;
+                res.allGatherBytes += per_chip * chips;
+            }
+            i += 1;
+        }
+    }
+
+    res.cycles = load.cycles + load.commCycles;
+    res.commCycles = load.commCycles;
+    res.speedup = static_cast<double>(res.singleChipCycles) /
+                  static_cast<double>(res.cycles);
+    res.modelBytes = load.weightBytes * chips;
+    res.chipLoads.reserve(static_cast<size_t>(chips));
+    for (int c = 0; c < chips; ++c) {
+        ChipLoad cl = load; // shards are symmetric by construction
+        cl.chip = c;
+        res.chipLoads.push_back(std::move(cl));
+    }
+    return res;
+}
+
+MultiChipResult
+simulateLayerPipeline(const workloads::Workload &w,
+                      const QuantPlan &plan, const MultiChipConfig &cfg,
+                      const SimResult &single)
+{
+    const int chips = cfg.chips;
+    if (static_cast<size_t>(chips) > w.layers.size())
+        throw std::invalid_argument(
+            "simulateMultiChip: " + std::to_string(chips) +
+            " pipeline stages over " +
+            std::to_string(w.layers.size()) + " layers");
+    MultiChipResult res;
+    res.workload = w.name;
+    res.design = cfg.chip.design;
+    res.strategy = PartitionStrategy::LayerPipeline;
+    res.chips = chips;
+    res.singleChipCycles = single.cycles;
+
+    // Contiguous stages balanced by single-chip layer cycles: stage s
+    // closes once the prefix reaches (s+1)/chips of the total, while
+    // always leaving one layer per remaining stage.
+    const int64_t total = single.cycles;
+    size_t li = 0;
+    int64_t prefix = 0;
+    for (int s = 0; s < chips; ++s) {
+        ChipLoad load;
+        load.chip = s;
+        load.firstLayer = static_cast<int64_t>(li);
+        const size_t must_leave = static_cast<size_t>(chips - 1 - s);
+        const int64_t target = total * (s + 1) / chips;
+        while (li < w.layers.size() - must_leave &&
+               (load.layerCount == 0 || prefix < target)) {
+            const LayerResult &lr = single.layers[li];
+            load.computeCycles += lr.computeCycles;
+            load.memoryCycles += lr.memoryCycles;
+            load.cycles += lr.cycles;
+            load.weightBytes += shardWeightBytes(
+                plan.layers[li], cfg.chip.design, w.layers[li].k,
+                w.layers[li].n);
+            prefix += lr.cycles;
+            ++load.layerCount;
+            ++li;
+        }
+        res.chipLoads.push_back(std::move(load));
+    }
+
+    // Steady-state initiation interval: the slowest stage including
+    // its forward of the boundary activation to the next stage.
+    int64_t ii = 0;
+    for (int s = 0; s < chips; ++s) {
+        ChipLoad &load = res.chipLoads[static_cast<size_t>(s)];
+        if (s + 1 < chips) {
+            const workloads::Layer &out = w.layers[static_cast<size_t>(
+                load.firstLayer + load.layerCount - 1)];
+            const double bytes = static_cast<double>(out.m) *
+                                 cfg.chip.batch *
+                                 static_cast<double>(out.n) * 2.0;
+            load.commBytes = bytes;
+            load.commCycles =
+                collectiveCycles(cfg.link, bytes, 1);
+            res.activationBytes += bytes;
+        }
+        res.modelBytes += load.weightBytes;
+        ii = std::max(ii, load.cycles + load.commCycles);
+        res.commCycles += load.commCycles;
+    }
+    res.cycles = ii;
+    res.speedup = static_cast<double>(res.singleChipCycles) /
+                  static_cast<double>(res.cycles);
+    return res;
+}
+
+} // namespace
+
+const char *
+partitionStrategyName(PartitionStrategy s)
+{
+    switch (s) {
+      case PartitionStrategy::LayerPipeline: return "layer-pipeline";
+      case PartitionStrategy::TensorParallel: return "tensor-parallel";
+    }
+    return "unknown";
+}
+
+MultiChipResult
+simulateMultiChip(const workloads::Workload &w, const QuantPlan &plan,
+                  const MultiChipConfig &cfg)
+{
+    checkPlanCovers(w, plan);
+    if (cfg.chips < 1)
+        throw std::invalid_argument(
+            "simulateMultiChip: chips must be >= 1, got " +
+            std::to_string(cfg.chips));
+    const SimResult single = simulate(w, plan, cfg.chip);
+    if (cfg.strategy == PartitionStrategy::LayerPipeline)
+        return simulateLayerPipeline(w, plan, cfg, single);
+    return simulateTensorParallel(w, plan, cfg, single.cycles);
+}
+
+IsoCapacityReport
+chipsAtIsoModelSize(const workloads::Workload &w,
+                    double chip_memory_bytes, int bits,
+                    int64_t group_size)
+{
+    if (chip_memory_bytes <= 0.0)
+        throw std::invalid_argument(
+            "chipsAtIsoModelSize: non-positive chip memory");
+    if (bits < 1 || group_size < 1)
+        throw std::invalid_argument(
+            "chipsAtIsoModelSize: bits and group_size must be >= 1");
+    IsoCapacityReport rep;
+    rep.workload = w.name;
+    rep.chipMemoryBytes = chip_memory_bytes;
+    rep.ant.label =
+        "int" + std::to_string(bits) + "/g" + std::to_string(group_size);
+    rep.fp16.label = "fp16";
+    for (const workloads::Layer &l : w.layers) {
+        rep.ant.modelBytes +=
+            static_cast<double>(QTensor::footprintBytes(
+                Shape{l.n, l.k}, bits, Granularity::PerGroup,
+                group_size));
+        rep.fp16.modelBytes +=
+            static_cast<double>(l.weightElems()) * 2.0;
+    }
+    rep.ant.chips = static_cast<int>(
+        std::ceil(rep.ant.modelBytes / chip_memory_bytes));
+    rep.fp16.chips = static_cast<int>(
+        std::ceil(rep.fp16.modelBytes / chip_memory_bytes));
+    rep.chipRatio = rep.ant.chips > 0
+                        ? static_cast<double>(rep.fp16.chips) /
+                              static_cast<double>(rep.ant.chips)
+                        : 0.0;
+    return rep;
+}
+
+} // namespace sim
+} // namespace ant

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Multi-chip scale-out model: N copies of the single-chip accelerator
+ * (sim/accelerator.h) joined by a ring interconnect, placing a
+ * workload across them the way the sharded artifact + tensor-parallel
+ * split machinery (core/artifact.h, core/tp_split.h) places weights —
+ * so the Fig. 13-style single-chip story extends to "how many chips,
+ * at what speedup, moving how many collective bytes".
+ *
+ * Two placement strategies, mirroring the two real split axes:
+ *
+ *  - **TensorParallel**: every layer is cut across all chips.
+ *    Consecutive layers whose dimensions chain (k_{i+1} == n_i) run as
+ *    a Megatron-style pair — the first column-split, the second
+ *    row-split — so the intermediate activation never leaves the chip
+ *    and one ring all-reduce of the pair's output closes the pair.
+ *    Unpaired layers run column-split and close with a ring
+ *    all-gather. Per-layer chip time comes from `simulateLayer` on the
+ *    sliced GEMM (ceil shards: the critical-path chip), collectives
+ *    from the link model; the makespan is their sum.
+ *
+ *  - **LayerPipeline**: contiguous layer ranges balanced by
+ *    single-chip layer cycles, one stage per chip, activations
+ *    forwarded stage to stage. The reported cycles are the
+ *    steady-state initiation interval (the throughput bound), i.e.
+ *    max over stages of stage compute + outgoing activation transfer.
+ *
+ * `speedup` is single-chip cycles over multi-chip cycles in both
+ * cases, so chips=1 is exactly 1.0 and the two strategies are
+ * comparable. Activations cross links at 2 bytes/element (fp16 wire
+ * format, matching the accelerator model's activation traffic).
+ *
+ * `chipsAtIsoModelSize` is the capacity side of the same story: how
+ * many chips of a given memory each format needs just to *hold* a
+ * model — where ANT's packed 4-bit footprint (scales included, via
+ * QTensor::footprintBytes) turns into fewer chips than fp16.
+ */
+
+#ifndef ANT_SIM_DISTRIBUTED_H
+#define ANT_SIM_DISTRIBUTED_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/accelerator.h"
+#include "workloads/workloads.h"
+
+namespace ant {
+namespace sim {
+
+/** Ring-interconnect link model (per direction, per chip). */
+struct InterconnectConfig
+{
+    /** Link bandwidth in bytes per accelerator cycle. The default
+     *  matches the DRAM bandwidth SimConfig charges (64 B/cycle) —
+     *  an on-package chiplet-to-chiplet link; scale-out across slower
+     *  board-level links is modeled by lowering it (the bench/test
+     *  sweep uses 0.25 B/cycle for that regime). */
+    double linkBytesPerCycle = 64.0;
+    /** Fixed per-step launch latency of a collective (cycles). */
+    int64_t linkLatencyCycles = 2000;
+};
+
+/** How layers are placed across chips. */
+enum class PartitionStrategy
+{
+    LayerPipeline,  //!< contiguous layer stages, one per chip
+    TensorParallel, //!< every layer cut across all chips
+};
+
+const char *partitionStrategyName(PartitionStrategy s);
+
+/** Machine configuration of the multi-chip run. */
+struct MultiChipConfig
+{
+    int chips = 2;
+    PartitionStrategy strategy = PartitionStrategy::TensorParallel;
+    InterconnectConfig link;
+    SimConfig chip = SimConfig::forDesign(hw::Design::AntOS);
+};
+
+/** One chip's share of the placement. */
+struct ChipLoad
+{
+    int chip = 0;
+    int64_t firstLayer = 0; //!< LayerPipeline: stage range; TP: 0..L
+    int64_t layerCount = 0;
+    int64_t computeCycles = 0; //!< summed layer compute on this chip
+    int64_t memoryCycles = 0;  //!< summed layer DRAM cycles
+    int64_t cycles = 0;        //!< summed per-layer max(compute, mem)
+    int64_t commCycles = 0;    //!< collective / forwarding cycles
+    double weightBytes = 0.0;  //!< packed weight bytes resident here
+    double commBytes = 0.0;    //!< bytes this chip's link carries
+};
+
+/** Whole-placement outcome. */
+struct MultiChipResult
+{
+    std::string workload;
+    hw::Design design = hw::Design::AntOS;
+    PartitionStrategy strategy = PartitionStrategy::TensorParallel;
+    int chips = 1;
+
+    /** TP: per-inference makespan. Pipeline: steady-state initiation
+     *  interval (throughput bound). */
+    int64_t cycles = 0;
+    int64_t singleChipCycles = 0; //!< same plan, one chip
+    double speedup = 1.0;         //!< singleChipCycles / cycles
+    int64_t commCycles = 0;       //!< total collective cycles charged
+
+    double allReduceBytes = 0.0;  //!< total link bytes of all-reduces
+    double allGatherBytes = 0.0;  //!< total link bytes of all-gathers
+    double activationBytes = 0.0; //!< pipeline stage-to-stage bytes
+    double modelBytes = 0.0;      //!< packed weights across all chips
+
+    std::vector<ChipLoad> chipLoads;
+};
+
+/**
+ * Place @p w (planned by @p plan, one entry per layer) across
+ * cfg.chips chips and simulate. Throws std::invalid_argument when the
+ * plan does not cover the workload, chips < 1, or chips exceeds what
+ * the strategy can use (more chips than layers for LayerPipeline;
+ * more chips than the smallest layer dimension for TensorParallel).
+ */
+MultiChipResult simulateMultiChip(const workloads::Workload &w,
+                                  const QuantPlan &plan,
+                                  const MultiChipConfig &cfg);
+
+/** One format's row of the iso-capacity table. */
+struct IsoCapacityRow
+{
+    std::string label;      //!< e.g. "int4/g128", "fp16"
+    double modelBytes = 0.0;
+    int chips = 0;          //!< ceil(modelBytes / chipMemoryBytes)
+};
+
+/** Chips needed just to hold the model, per storage format. */
+struct IsoCapacityReport
+{
+    std::string workload;
+    double chipMemoryBytes = 0.0;
+    IsoCapacityRow ant;  //!< packed per-group ANT storage
+    IsoCapacityRow fp16; //!< 2-byte baseline
+    double chipRatio = 0.0; //!< fp16.chips / ant.chips (>1 = ANT wins)
+};
+
+/**
+ * Capacity comparison at iso model size: ANT bytes are the exact
+ * packed footprint (QTensor::footprintBytes — codes at @p bits plus
+ * the per-group scale plane at @p group_size over each layer's [n, k]
+ * weight), fp16 is 2 bytes/element. Throws std::invalid_argument on
+ * non-positive capacity/bits/group_size.
+ */
+IsoCapacityReport chipsAtIsoModelSize(const workloads::Workload &w,
+                                      double chip_memory_bytes,
+                                      int bits = 4,
+                                      int64_t group_size = 128);
+
+} // namespace sim
+} // namespace ant
+
+#endif // ANT_SIM_DISTRIBUTED_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the multi-chip scale-out simulator (sim/distributed.h):
+ * chips=1 degenerating to exactly the single-chip result, speedup and
+ * traffic accounting under both partition strategies, pipeline stage
+ * coverage, the paper-style iso-capacity claim (int4/g128 holds a
+ * model in fewer chips than fp16), and the error surface. Suite names
+ * carry "MultiChip" so the CI test legs
+ * (-R 'Shard|TensorParallel|MultiChip') pick them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/distributed.h"
+#include "sim/planner.h"
+
+namespace ant {
+namespace sim {
+namespace {
+
+/** A transformer trunk (every layer chains) planned for the ANT chip. */
+struct Fixture
+{
+    workloads::Workload w = workloads::gpt2Small(2, 256, 64, 0);
+    QuantPlan plan = planWorkload(w, hw::Design::AntOS);
+    MultiChipConfig cfg;
+};
+
+TEST(MultiChip, OneChipIsExactlyTheSingleChipResult)
+{
+    Fixture f;
+    f.cfg.chips = 1;
+    for (const PartitionStrategy s :
+         {PartitionStrategy::TensorParallel,
+          PartitionStrategy::LayerPipeline}) {
+        f.cfg.strategy = s;
+        const MultiChipResult r = simulateMultiChip(f.w, f.plan, f.cfg);
+        SCOPED_TRACE(partitionStrategyName(s));
+        EXPECT_DOUBLE_EQ(r.speedup, 1.0);
+        EXPECT_EQ(r.cycles, r.singleChipCycles);
+        EXPECT_EQ(r.commCycles, 0);
+        EXPECT_EQ(r.allReduceBytes + r.allGatherBytes +
+                      r.activationBytes,
+                  0.0);
+    }
+}
+
+TEST(MultiChip, TensorParallelScalesAndAccountsTraffic)
+{
+    Fixture f;
+    f.cfg.strategy = PartitionStrategy::TensorParallel;
+    int64_t prev_cycles = 0;
+    for (const int chips : {1, 2, 4, 8}) {
+        f.cfg.chips = chips;
+        const MultiChipResult r = simulateMultiChip(f.w, f.plan, f.cfg);
+        SCOPED_TRACE("chips=" + std::to_string(chips));
+        EXPECT_EQ(r.chips, chips);
+        ASSERT_EQ(r.chipLoads.size(), static_cast<size_t>(chips));
+        if (chips > 1) {
+            // More chips, less critical-path time (for this workload
+            // the compute shrinks far faster than collectives grow).
+            EXPECT_LT(r.cycles, prev_cycles);
+            EXPECT_GT(r.speedup, 1.0);
+            EXPECT_GT(r.commCycles, 0);
+            // The trunk pairs every chaining layer: all-reduce traffic
+            // exists; per-chip comm bytes match the totals.
+            EXPECT_GT(r.allReduceBytes, 0.0);
+            double per_chip = 0.0;
+            for (const ChipLoad &cl : r.chipLoads)
+                per_chip += cl.commBytes;
+            EXPECT_NEAR(per_chip,
+                        r.allReduceBytes + r.allGatherBytes,
+                        1e-6 * per_chip);
+        }
+        // Sharded weights cover the model at most once per chip (ceil
+        // slicing rounds up, never down).
+        EXPECT_GE(r.modelBytes,
+                  r.chipLoads[0].weightBytes * chips * 0.999);
+        prev_cycles = r.cycles;
+    }
+}
+
+TEST(MultiChip, SlowLinksShrinkTheSpeedup)
+{
+    Fixture f;
+    f.cfg.strategy = PartitionStrategy::TensorParallel;
+    f.cfg.chips = 4;
+    const MultiChipResult fast = simulateMultiChip(f.w, f.plan, f.cfg);
+    f.cfg.link.linkBytesPerCycle = 0.25; // 32x slower interconnect
+    f.cfg.link.linkLatencyCycles = 50000;
+    const MultiChipResult slow = simulateMultiChip(f.w, f.plan, f.cfg);
+    EXPECT_LT(slow.speedup, fast.speedup);
+    EXPECT_GT(slow.commCycles, fast.commCycles);
+    // Same placement, same bytes — only the cycle cost moved.
+    EXPECT_DOUBLE_EQ(slow.allReduceBytes, fast.allReduceBytes);
+    EXPECT_DOUBLE_EQ(slow.allGatherBytes, fast.allGatherBytes);
+}
+
+TEST(MultiChip, PipelineStagesPartitionTheLayersContiguously)
+{
+    Fixture f;
+    f.cfg.strategy = PartitionStrategy::LayerPipeline;
+    f.cfg.chips = 3;
+    const MultiChipResult r = simulateMultiChip(f.w, f.plan, f.cfg);
+    ASSERT_EQ(r.chipLoads.size(), 3u);
+    int64_t next = 0;
+    int64_t covered = 0;
+    for (const ChipLoad &cl : r.chipLoads) {
+        EXPECT_EQ(cl.firstLayer, next);
+        EXPECT_GE(cl.layerCount, 1);
+        next += cl.layerCount;
+        covered += cl.layerCount;
+    }
+    EXPECT_EQ(covered, static_cast<int64_t>(f.w.layers.size()));
+    // The initiation interval is at least the slowest stage and at
+    // most the single-chip total (stages are proper subsets).
+    EXPECT_LT(r.cycles, r.singleChipCycles);
+    EXPECT_GT(r.speedup, 1.0);
+    // Stage boundaries forward activations; the last stage doesn't.
+    EXPECT_GT(r.activationBytes, 0.0);
+    EXPECT_EQ(r.chipLoads.back().commBytes, 0.0);
+}
+
+TEST(MultiChip, IsoCapacityNeedsFewerChipsThanFp16)
+{
+    // The paper-facing claim: a chip's memory holds ~4x more model in
+    // int4/g128 than fp16, so the chips-to-hold-it count drops.
+    const workloads::Workload w = workloads::gpt2Small();
+    double model_fp16 = 0.0;
+    for (const workloads::Layer &l : w.layers)
+        model_fp16 += static_cast<double>(l.weightElems()) * 2.0;
+    // Pick a capacity that needs several fp16 chips.
+    const double cap = model_fp16 / 6.0;
+    const IsoCapacityReport rep = chipsAtIsoModelSize(w, cap);
+    EXPECT_EQ(rep.ant.label, "int4/g128");
+    EXPECT_EQ(rep.fp16.chips, 6);
+    EXPECT_LT(rep.ant.chips, rep.fp16.chips);
+    EXPECT_GE(rep.chipRatio, 3.0); // int4+scales is ~3.9x smaller
+    EXPECT_LT(rep.ant.modelBytes, rep.fp16.modelBytes);
+    // Scales are charged: the packed footprint exceeds pure bits/8.
+    double pure_codes = 0.0;
+    for (const workloads::Layer &l : w.layers)
+        pure_codes += static_cast<double>(l.weightElems()) * 4.0 / 8.0;
+    EXPECT_GT(rep.ant.modelBytes, pure_codes);
+}
+
+TEST(MultiChip, RejectsInvalidPlacements)
+{
+    Fixture f;
+    EXPECT_THROW(
+        {
+            MultiChipConfig bad = f.cfg;
+            bad.chips = 0;
+            simulateMultiChip(f.w, f.plan, bad);
+        },
+        std::invalid_argument);
+    EXPECT_THROW(
+        {
+            MultiChipConfig bad = f.cfg;
+            bad.strategy = PartitionStrategy::LayerPipeline;
+            bad.chips = static_cast<int>(f.w.layers.size()) + 1;
+            simulateMultiChip(f.w, f.plan, bad);
+        },
+        std::invalid_argument);
+    // A plan that doesn't cover the workload is rejected.
+    QuantPlan short_plan = f.plan;
+    short_plan.layers.pop_back();
+    EXPECT_THROW(simulateMultiChip(f.w, short_plan, f.cfg),
+                 std::invalid_argument);
+    EXPECT_THROW(chipsAtIsoModelSize(f.w, 0.0), std::invalid_argument);
+    EXPECT_THROW(chipsAtIsoModelSize(f.w, 1e9, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace sim
+} // namespace ant

@@ -413,6 +413,145 @@ TEST(Server, RejectsOverflowAndMalformedQueriesWithoutServingThem)
     EXPECT_EQ(full.metrics().submitted, 0u);
 }
 
+TEST(ServerDeadline, ExpiredRequestsFastFailBeforeBatching)
+{
+    std::atomic<int> forwards{0};
+    ModelRegistry reg([&forwards](const ModelKey &key) {
+        ++forwards;
+        return tinyModel(key.str(), 42);
+    });
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 64;
+    cfg.maxDelayUs = 30000; // well past the request deadlines
+    Server server(reg, cfg);
+
+    // A 1us deadline is over before any worker wakes: the request
+    // must fail with DeadlineError without a forward ever running.
+    std::vector<std::future<Tensor>> doomed;
+    for (uint64_t i = 0; i < 3; ++i)
+        doomed.push_back(server.submit({"m"}, queryRow(i, 16), 1));
+    for (auto &f : doomed) {
+        try {
+            f.get();
+            FAIL() << "expected DeadlineError";
+        } catch (const serve::DeadlineError &) {
+        }
+    }
+    server.drain();
+    EXPECT_EQ(forwards.load(), 0); // fast-fail really skipped the GEMM
+
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.submitted, 3u);
+    EXPECT_EQ(s.timedOut, 3u);
+    EXPECT_EQ(s.completed, 0u);
+    EXPECT_EQ(s.failed, 0u);   // timeouts are not forward failures
+    EXPECT_EQ(s.rejected, 0u); // ...and not admission rejections
+    EXPECT_EQ(s.queueDepth, 0u);
+}
+
+TEST(ServerDeadline, GenerousDeadlinesAndNoDeadlineStillComplete)
+{
+    ModelRegistry reg(hashLoader());
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.maxBatch = 4;
+    cfg.maxDelayUs = 500;
+    Server server(reg, cfg);
+
+    // A generous deadline (10s) and the no-deadline overload behave
+    // identically: both complete.
+    std::future<Tensor> slow =
+        server.submit({"m"}, queryRow(1, 16), 10 * 1000 * 1000);
+    std::future<Tensor> none = server.submit({"m"}, queryRow(2, 16));
+    EXPECT_EQ(slow.get().numel(), 24);
+    EXPECT_EQ(none.get().numel(), 24);
+    server.drain();
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_EQ(s.timedOut, 0u);
+
+    // Negative deadlines are rejected at submit, not enqueued.
+    std::future<Tensor> bad = server.submit({"m"}, queryRow(3, 16), -1);
+    EXPECT_THROW(bad.get(), std::invalid_argument);
+    EXPECT_EQ(server.metrics().rejected, 1u);
+}
+
+TEST(ServerDeadline, ExpiredAndLiveRequestsCoexistInOneQueue)
+{
+    ModelRegistry reg(hashLoader());
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxBatch = 2; // the two live requests form a full batch
+    cfg.maxDelayUs = 50000;
+    Server server(reg, cfg);
+
+    std::future<Tensor> dead = server.submit({"m"}, queryRow(1, 16), 1);
+    // Let the 1us deadline lapse before the live neighbors arrive, so
+    // the sweep (not batch membership) decides its fate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::future<Tensor> ok1 = server.submit({"m"}, queryRow(2, 16));
+    std::future<Tensor> ok2 =
+        server.submit({"m"}, queryRow(3, 16), 10 * 1000 * 1000);
+    EXPECT_THROW(dead.get(), serve::DeadlineError);
+    EXPECT_EQ(ok1.get().numel(), 24); // live neighbors still answered
+    EXPECT_EQ(ok2.get().numel(), 24);
+    server.drain();
+    const MetricsSnapshot s = server.metrics();
+    EXPECT_EQ(s.timedOut, 1u);
+    EXPECT_EQ(s.completed, 2u);
+}
+
+TEST(Registry, PerModelStatsTrackResidencyAndChurn)
+{
+    const size_t one = tinyModel("probe", 1)->nbytes();
+    ModelRegistry reg(hashLoader(), 2 * one);
+
+    ModelRegistry::Lease la = reg.acquire({"A"});
+    reg.acquire({"B"});
+    reg.acquire({"C"}); // over budget: B (LRU, unpinned) goes
+    reg.acquire({"B"}); // reload B: C goes
+
+    const serve::RegistryStats s = reg.stats();
+    ASSERT_EQ(s.perModel.size(), 3u); // evicted keys keep their row
+    const auto row = [&s](const std::string &key) {
+        for (const serve::ModelStats &m : s.perModel)
+            if (m.key == key) return m;
+        ADD_FAILURE() << "no per-model row for " << key;
+        return serve::ModelStats{};
+    };
+    const serve::ModelStats a = row("A@latest");
+    EXPECT_TRUE(a.resident);
+    EXPECT_TRUE(a.pinned);
+    EXPECT_EQ(a.loads, 1u);
+    EXPECT_EQ(a.evictions, 0u);
+    EXPECT_EQ(a.residentBytes, one);
+
+    const serve::ModelStats b = row("B@latest");
+    EXPECT_TRUE(b.resident);
+    EXPECT_FALSE(b.pinned);
+    EXPECT_EQ(b.loads, 2u); // loaded, evicted, reloaded
+    EXPECT_EQ(b.evictions, 1u);
+
+    const serve::ModelStats c = row("C@latest");
+    EXPECT_FALSE(c.resident);   // currently evicted...
+    EXPECT_EQ(c.residentBytes, 0u);
+    EXPECT_EQ(c.loads, 1u);     // ...but its history survives
+    EXPECT_EQ(c.evictions, 1u);
+
+    // The per-model rows reconcile with the aggregate counters.
+    uint64_t loads = 0, evictions = 0;
+    size_t resident = 0;
+    for (const serve::ModelStats &m : s.perModel) {
+        loads += m.loads;
+        evictions += m.evictions;
+        resident += m.residentBytes;
+    }
+    EXPECT_EQ(loads, s.loads);
+    EXPECT_EQ(evictions, s.evictions);
+    EXPECT_EQ(resident, s.residentBytes);
+}
+
 TEST(Server, LoadFailuresReachEveryFutureInTheBatch)
 {
     ModelRegistry reg([](const ModelKey &key)

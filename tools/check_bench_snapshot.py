@@ -68,6 +68,17 @@ DETERMINISTIC_COUNTERS = {
     "speedup": 1e-9,
     "avg_bits": 1e-9,
     "repacked_rows": 0.0,
+    # Distributed-serving pins (PR 10): shard counts, collective
+    # traffic, and the iso-capacity chip table are pure functions of
+    # the workload and the packing recipe.
+    "shards": 0.0,
+    "comm_mb": 1e-9,
+    "model_mb": 1e-9,
+    "ant_chips": 0.0,
+    "fp16_chips": 0.0,
+    "chip_ratio": 1e-9,
+    "ant_model_mb": 1e-9,
+    "fp16_model_mb": 1e-9,
 }
 
 # (faster, slower, min_ratio, why): faster.items_per_second must be at
@@ -96,6 +107,15 @@ RATIO_RULES = [
         "faulting) must be at least 10x the copying loader on the "
         "multi-MB artifact — the PR 8 zero-copy acceptance gate; "
         "items are loads, so the ratio is inverse load latency",
+    ),
+    (
+        "BM_ShardColdStartMap",
+        "BM_ArtifactColdStartCopy",
+        5.0,
+        "mapping the sharded manifest (one mmap per shard plus the "
+        "manifest parse) must still be at least 5x the monolithic "
+        "copying loader — sharding may not forfeit the zero-copy "
+        "cold-start win",
     ),
 ]
 
@@ -160,6 +180,23 @@ THRESHOLD_RULES = [
         "~2.46x)",
     )
     for i in range(8)
+] + [
+    (
+        "BM_MultiChipScaleOut/8/iterations:1",
+        "speedup",
+        2.5,
+        "8 tensor-parallel ANT chips must deliver at least 2.5x the "
+        "single-chip latency on the GPT-2 trunk despite ring "
+        "all-reduce costs — the multi-chip scale-out acceptance gate",
+    ),
+    (
+        "BM_MultiChipIsoCapacity/iterations:1",
+        "chip_ratio",
+        3.0,
+        "at iso model size, fp16 must need at least 3x the chips that "
+        "int4/g=128 packed weights need (codes + scale plane charged) "
+        "— the paper-facing capacity claim",
+    ),
 ]
 
 # (name_a, name_b, counter, why): the counter must agree exactly
@@ -199,6 +236,16 @@ PARITY_RULES = [
         "error must enter only through the cached codes, never the "
         "attention arithmetic",
     ),
+] + [
+    (
+        "BM_ShardTPMatmulBT/1/0",
+        f"BM_ShardTPMatmulBT/{parts}/{split}",
+        "out_l1",
+        "tensor-parallel recombination drifted from the monolithic "
+        "packed GEMM — column/row splits at group boundaries must be "
+        "bitwise transparent at every width",
+    )
+    for parts, split in [(2, 0), (4, 0), (1, 1), (2, 1), (4, 1)]
 ]
 
 
